@@ -1,0 +1,42 @@
+//! Criterion bench for Figure 4: fused vs unfused quantization kernels,
+//! forward and backward, across tensor sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tqt_quant::tqt::{quantize, quantize_backward, quantize_unfused};
+use tqt_quant::QuantSpec;
+use tqt_tensor::init;
+
+fn bench_fused_vs_unfused(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantizer_forward");
+    for &numel in &[1usize << 12, 1 << 16, 1 << 20] {
+        let mut rng = init::rng(1);
+        let x = init::normal([numel], 0.0, 1.0, &mut rng);
+        group.throughput(Throughput::Elements(numel as u64));
+        group.bench_with_input(BenchmarkId::new("fused", numel), &x, |b, x| {
+            b.iter(|| quantize(x, 0.3, QuantSpec::INT8))
+        });
+        group.bench_with_input(BenchmarkId::new("unfused", numel), &x, |b, x| {
+            b.iter(|| quantize_unfused(x, 0.3, QuantSpec::INT8))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("quantizer_backward");
+    for &numel in &[1usize << 16] {
+        let mut rng = init::rng(2);
+        let x = init::normal([numel], 0.0, 1.0, &mut rng);
+        let gy = x.clone();
+        group.throughput(Throughput::Elements(numel as u64));
+        group.bench_with_input(BenchmarkId::new("fused", numel), &x, |b, x| {
+            b.iter(|| quantize_backward(x, 0.3, QuantSpec::INT8, &gy))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fused_vs_unfused
+}
+criterion_main!(benches);

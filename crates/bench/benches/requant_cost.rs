@@ -1,0 +1,49 @@
+//! Criterion bench for Appendix A: int8 matmul + requantization under the
+//! three schemes (power-of-2 shift, normalized fixed-point multiplier,
+//! affine with zero-point cross-terms).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tqt_fixedpoint::kernels::{
+    col_sums, matmul_i8_acc32, requant_buffer_affine, requant_buffer_pow2, requant_buffer_real,
+    row_sums,
+};
+use tqt_fixedpoint::requant::NormalizedMultiplier;
+
+fn bench_requant_cost(c: &mut Criterion) {
+    let (m, k, n) = (64usize, 256, 64);
+    let a: Vec<i8> = (0..m * k).map(|i| ((i * 31) % 255) as i8).collect();
+    let b: Vec<i8> = (0..k * n).map(|i| ((i * 17) % 251) as i8).collect();
+    let acc = matmul_i8_acc32(&a, &b, m, k, n);
+    let mult = NormalizedMultiplier::from_f64(0.0037);
+
+    let mut group = c.benchmark_group("requant");
+    group.throughput(Throughput::Elements((m * n) as u64));
+    group.bench_function("pow2_shift_eq16", |bch| {
+        bch.iter(|| requant_buffer_pow2(&acc, 8))
+    });
+    group.bench_function("fixedpoint_mult_eq15", |bch| {
+        bch.iter(|| requant_buffer_real(&acc, mult))
+    });
+    group.bench_function("affine_zero_points_eq13", |bch| {
+        bch.iter(|| {
+            let a_sums = row_sums(&a, m, k);
+            let b_sums = col_sums(&b, k, n);
+            requant_buffer_affine(&acc, &a_sums, &b_sums, k, 3, -5, 7, mult)
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("int_matmul");
+    group.throughput(Throughput::Elements((m * k * n) as u64));
+    group.bench_function("i8_acc32", |bch| {
+        bch.iter(|| matmul_i8_acc32(&a, &b, m, k, n))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_requant_cost
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation: the `ceil` in the power-of-2 scale selection
+//! (`s = 2^ceil(log2 t) / 2^(b-1)`, Section 3.2, footnote 3). `ceil`
+//! biases toward keeping elements inside the clip range; this ablation
+//! compares static-INT8 accuracy when thresholds are instead snapped with
+//! `round` or `floor` (emulated by snapping `log2 t` to the corresponding
+//! integer before inference, since `ceil` of an integer is the identity).
+
+use tqt::config::TrialKind;
+use tqt::experiment::{run_trial, ExpEnv};
+use tqt::trainer::evaluate;
+use tqt_bench::{pct, Args, Sink};
+use tqt_models::ModelKind;
+
+fn main() {
+    let args = Args::parse();
+    let scale: f32 = args.get_or("scale", 0.5);
+    let mut env = ExpEnv::standard(tqt_bench::zoo_dir(), scale);
+    env.pretrain_epochs = args.get_or("pretrain-epochs", 8);
+    let model = ModelKind::parse(args.get("model").unwrap_or("resnet8")).expect("model");
+
+    let mut sink = Sink::new("ablation_ceil");
+    sink.row_str(&["model", "snap", "top1", "top5"]);
+    // Baseline: the paper's ceil behaviour (raw calibrated thresholds).
+    let (r, g) = run_trial(model, TrialKind::StaticInt8, &env);
+    sink.row(&[model.name().into(), "ceil".into(), pct(r.top1), pct(r.top5)]);
+    drop(g);
+    for (name, snap) in [
+        ("round", f32::round as fn(f32) -> f32),
+        ("floor", f32::floor as fn(f32) -> f32),
+    ] {
+        let (_, mut g) = run_trial(model, TrialKind::StaticInt8, &env);
+        for t in g.thresholds_mut() {
+            let snapped = snap(t.log2_t());
+            t.set_log2_t(snapped);
+        }
+        let (t1, t5, _) = evaluate(&mut g, &env.val, 32);
+        sink.row(&[model.name().into(), name.into(), pct(t1), pct(t5)]);
+    }
+    eprintln!(
+        "ablation_ceil: ceil keeps more elements in range; floor halves every \
+         range (favoring precision), round sits between"
+    );
+}

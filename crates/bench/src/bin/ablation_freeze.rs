@@ -1,0 +1,47 @@
+//! Ablation: incremental threshold freezing (Section 5.2) on vs off during
+//! TQT INT8 retraining. Freezing suppresses post-convergence oscillation
+//! across integer bins, which otherwise perturbs downstream layers.
+
+use tqt::config::TrainHyper;
+use tqt::experiment::ExpEnv;
+use tqt::trainer::train;
+use tqt_bench::{pct, Args, Sink};
+use tqt_graph::{quantize_graph, transforms, QuantizeOptions, WeightBits};
+use tqt_models::{ModelKind, INPUT_DIMS};
+
+fn main() {
+    let args = Args::parse();
+    let scale: f32 = args.get_or("scale", 0.5);
+    let mut env = ExpEnv::standard(tqt_bench::zoo_dir(), scale);
+    env.pretrain_epochs = args.get_or("pretrain-epochs", 8);
+    env.retrain_epochs = args.get_or("retrain-epochs", 5);
+    let model = ModelKind::parse(args.get("model").unwrap_or("mobilenet_v1")).expect("model");
+
+    let mut sink = Sink::new("ablation_freeze");
+    sink.row_str(&["model", "freezing", "top1", "top5", "best_epoch", "frozen_count"]);
+    for freezing in [true, false] {
+        let mut g = env.pretrained(model);
+        transforms::optimize(&mut g, &INPUT_DIMS);
+        quantize_graph(&mut g, QuantizeOptions::retrain_wt_th(WeightBits::Int8));
+        g.calibrate(&env.calib);
+        let mut hyper = TrainHyper::retrain(env.steps_per_epoch);
+        hyper.epochs = env.retrain_epochs;
+        if !freezing {
+            hyper.freeze_start = u64::MAX;
+        }
+        let r = train(&mut g, &env.train, &env.val, &hyper);
+        let frozen = g
+            .thresholds()
+            .iter()
+            .filter(|t| t.mode == tqt_graph::ThresholdMode::Trained && !t.param.trainable)
+            .count();
+        sink.row(&[
+            model.name().into(),
+            freezing.to_string(),
+            pct(r.best.top1),
+            pct(r.best.top5),
+            format!("{:.1}", r.best.epoch),
+            frozen.to_string(),
+        ]);
+    }
+}

@@ -1,0 +1,56 @@
+//! Ablation: weight-threshold initialization scheme (Table 2's design
+//! choice) for TQT INT8 retraining — MAX vs 3SD vs percentile. The paper
+//! finds 3SD useful when thresholds are trained; this ablation quantifies
+//! it on the synthetic benchmark.
+
+use tqt::config::TrainHyper;
+use tqt::experiment::ExpEnv;
+use tqt::trainer::train;
+use tqt_bench::{pct, Args, Sink};
+use tqt_graph::{quantize_graph, transforms, QuantizeOptions, ThresholdMode, WeightBits};
+use tqt_models::{ModelKind, INPUT_DIMS};
+use tqt_quant::calib::ThresholdInit;
+
+fn main() {
+    let args = Args::parse();
+    let scale: f32 = args.get_or("scale", 0.5);
+    let mut env = ExpEnv::standard(tqt_bench::zoo_dir(), scale);
+    env.pretrain_epochs = args.get_or("pretrain-epochs", 8);
+    env.retrain_epochs = args.get_or("retrain-epochs", 5);
+    let model = ModelKind::parse(args.get("model").unwrap_or("mobilenet_v1")).expect("model");
+
+    let schemes = [
+        ("MAX", ThresholdInit::Max),
+        ("3SD", ThresholdInit::THREE_SD),
+        ("P99.9", ThresholdInit::Percentile(99.9)),
+    ];
+    let mut sink = Sink::new("ablation_init");
+    sink.row_str(&["model", "weight_init", "top1", "top5", "best_epoch", "mean_deviation"]);
+    for (name, init) in schemes {
+        let mut g = env.pretrained(model);
+        transforms::optimize(&mut g, &INPUT_DIMS);
+        quantize_graph(
+            &mut g,
+            QuantizeOptions {
+                weight_bits: WeightBits::Int8,
+                mode: ThresholdMode::Trained,
+                weight_init: init,
+                act_init: ThresholdInit::KlJ,
+            },
+        );
+        g.calibrate(&env.calib);
+        let mut hyper = TrainHyper::retrain(env.steps_per_epoch);
+        hyper.epochs = env.retrain_epochs;
+        let r = train(&mut g, &env.train, &env.val, &hyper);
+        let devs = r.threshold_deviations();
+        let mean = devs.iter().sum::<i32>() as f32 / devs.len().max(1) as f32;
+        sink.row(&[
+            model.name().into(),
+            name.into(),
+            pct(r.best.top1),
+            pct(r.best.top5),
+            format!("{:.1}", r.best.epoch),
+            format!("{mean:+.2}"),
+        ]);
+    }
+}

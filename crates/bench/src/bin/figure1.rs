@@ -1,0 +1,47 @@
+//! Figure 1: forward and backward transfer curves of the TQT quantizer for
+//! signed and unsigned data (b = 3, t = 1.0), including the overall
+//! gradients of the toy L2 loss.
+//!
+//! Columns: `x, q(x), dq_dlog2t, dq_dx, dL_dlog2t, dL_dx` where
+//! `L = (q(x) - x)^2 / 2`.
+
+use tqt_bench::Sink;
+use tqt_quant::tqt::{local_grad_input, local_grad_log2_t, quantize};
+use tqt_quant::QuantSpec;
+use tqt_tensor::Tensor;
+
+fn emit(sink: &mut Sink, spec: QuantSpec, label: &str) {
+    let log2_t = 0.0; // t = 1.0
+    let xs = Tensor::linspace(-2.0, 2.0, 801);
+    let q = quantize(&xs, log2_t, spec);
+    for i in 0..xs.len() {
+        let x = xs.data()[i];
+        let qx = q.data()[i];
+        let dq_dlog2t = local_grad_log2_t(x, log2_t, spec);
+        let dq_dx = local_grad_input(x, log2_t, spec);
+        // Overall L2-loss gradients (eq. 9 and 10).
+        let dl_dlog2t = (qx - x) * dq_dlog2t;
+        let dl_dx = (qx - x) * (dq_dx - 1.0);
+        sink.row(&[
+            label.to_string(),
+            format!("{x:.5}"),
+            format!("{qx:.5}"),
+            format!("{dq_dlog2t:.6}"),
+            format!("{dq_dx:.1}"),
+            format!("{dl_dlog2t:.6}"),
+            format!("{dl_dx:.6}"),
+        ]);
+    }
+}
+
+fn main() {
+    let mut sink = Sink::new("figure1");
+    sink.row_str(&["curve", "x", "q", "dq_dlog2t", "dq_dx", "dL_dlog2t", "dL_dx"]);
+    emit(&mut sink, QuantSpec::new(3, true), "signed");
+    emit(&mut sink, QuantSpec::new(3, false), "unsigned");
+    eprintln!(
+        "figure1: transfer curves regenerated (b=3, t=1.0). Check: signed clip \
+         limits at x_n = {:?}",
+        QuantSpec::new(3, true).real_clip_limits(0.0)
+    );
+}

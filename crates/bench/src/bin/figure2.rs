@@ -1,0 +1,44 @@
+//! Figure 2: the three threshold-training regimes of the toy L2 model —
+//! thresholds move inward (net positive gradient), outward (net negative),
+//! or sit converged (gradients cancel) depending on where the clip limits
+//! fall relative to the input distribution.
+//!
+//! For a unit Gaussian and an 8-bit signed quantizer we evaluate the
+//! per-element overall gradient at three thresholds (too wide, too narrow,
+//! converged) and report both the pointwise curves and the summed
+//! gradient whose sign drives the update.
+
+use tqt_bench::Sink;
+use tqt_quant::toy::{find_critical_threshold, grad_log2_t, pointwise_grad_log2_t};
+use tqt_quant::QuantSpec;
+use tqt_tensor::{init, Tensor};
+
+fn main() {
+    let spec = QuantSpec::INT8;
+    let sigma = 1.0f32;
+    let star = find_critical_threshold(spec, sigma, 21);
+    let mut rng = init::rng(22);
+    let sample = init::normal([50_000], 0.0, sigma, &mut rng);
+    let mut sink = Sink::new("figure2");
+    sink.row_str(&["regime", "log2_t", "x", "pointwise_grad"]);
+    let xs = Tensor::linspace(-4.0 * sigma, 4.0 * sigma, 401);
+    let regimes = [
+        ("move_inward", star + 2.0),  // range too wide: positive net grad
+        ("move_outward", star - 2.0), // range too narrow: negative net grad
+        ("converged", star + 0.5),    // near log2 t*: gradients cancel
+    ];
+    for (label, log2_t) in regimes {
+        let g = pointwise_grad_log2_t(&xs, log2_t, spec);
+        for i in 0..xs.len() {
+            sink.row(&[
+                label.to_string(),
+                format!("{log2_t:.2}"),
+                format!("{:.4}", xs.data()[i]),
+                format!("{:.6}", g.data()[i]),
+            ]);
+        }
+        let net = grad_log2_t(&sample, log2_t, spec);
+        eprintln!("figure2: regime {label:>12} log2_t={log2_t:+.2} net gradient {net:+.4e}");
+    }
+    eprintln!("figure2: critical threshold log2 t* = {star}");
+}

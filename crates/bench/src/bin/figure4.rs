@@ -1,0 +1,74 @@
+//! Figure 4: fused vs unfused quantization kernels. The unfused version
+//! materializes the scale / round / saturate / de-quant intermediates
+//! (four extra tensors) the way a native-op composition would; the fused
+//! kernel makes one pass. Reports time and peak transient allocation per
+//! call. For robust timing use
+//! `cargo bench -p tqt-bench --bench quantizer_kernels`.
+
+use std::time::Instant;
+use tqt_bench::{Args, Sink};
+use tqt_quant::tqt::{quantize, quantize_backward, quantize_unfused};
+use tqt_quant::QuantSpec;
+use tqt_tensor::init;
+
+fn main() {
+    let args = Args::parse();
+    let numel: usize = args.get_or("numel", 1 << 20);
+    let reps: usize = args.get_or("reps", 20);
+    let mut rng = init::rng(71);
+    let x = init::normal([numel], 0.0, 1.0, &mut rng);
+    let spec = QuantSpec::INT8;
+    let log2_t = 0.3;
+
+    let fused = {
+        let t = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(quantize(&x, log2_t, spec));
+        }
+        t.elapsed().as_secs_f64() / reps as f64
+    };
+    let unfused = {
+        let t = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(quantize_unfused(&x, log2_t, spec));
+        }
+        t.elapsed().as_secs_f64() / reps as f64
+    };
+    let backward = {
+        let gy = x.clone();
+        let t = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(quantize_backward(&x, log2_t, spec, &gy));
+        }
+        t.elapsed().as_secs_f64() / reps as f64
+    };
+
+    let bytes = numel * 4;
+    let mut sink = Sink::new("figure4");
+    sink.row_str(&["kernel", "time_ms", "transient_bytes", "speedup_vs_unfused"]);
+    sink.row(&[
+        "fused_forward".into(),
+        format!("{:.3}", fused * 1e3),
+        bytes.to_string(), // one output tensor
+        format!("{:.2}", unfused / fused),
+    ]);
+    sink.row(&[
+        "unfused_forward".into(),
+        format!("{:.3}", unfused * 1e3),
+        (4 * bytes).to_string(), // scale/round/saturate/dequant intermediates
+        "1.00".into(),
+    ]);
+    sink.row(&[
+        "fused_backward".into(),
+        format!("{:.3}", backward * 1e3),
+        bytes.to_string(),
+        format!("{:.2}", unfused / backward),
+    ]);
+    eprintln!(
+        "figure4: fused kernel avoids {}x transient memory and runs {:.2}x faster \
+         than the native-op composition ({} elements)",
+        4,
+        unfused / fused,
+        numel
+    );
+}

@@ -1,0 +1,85 @@
+//! Figures 5 and 10: weight and activation distributions of the MobileNet
+//! v1 analogue before (initialized thresholds) and after TQT (wt+th)
+//! retraining, for every quantizer whose threshold moved by a non-zero
+//! integer amount in the log domain. Depthwise layers' preference for
+//! precision (negative deviations) is the headline observation.
+
+use tqt::config::{TrainHyper};
+use tqt::experiment::ExpEnv;
+use tqt::report::capture_distributions;
+use tqt::trainer::train;
+use tqt_bench::{Args, Sink};
+use tqt_graph::{quantize_graph, transforms, QuantizeOptions, WeightBits};
+use tqt_models::{ModelKind, INPUT_DIMS};
+
+fn main() {
+    let args = Args::parse();
+    let scale: f32 = args.get_or("scale", 0.5);
+    let mut env = ExpEnv::standard(tqt_bench::zoo_dir(), scale);
+    env.pretrain_epochs = args.get_or("pretrain-epochs", 8);
+    env.retrain_epochs = args.get_or("retrain-epochs", 5);
+    let model = ModelKind::parse(args.get("model").unwrap_or("mobilenet_v1")).expect("model");
+
+    let mut g = env.pretrained(model);
+    transforms::optimize(&mut g, &INPUT_DIMS);
+    quantize_graph(&mut g, QuantizeOptions::retrain_wt_th(WeightBits::Int8));
+    g.calibrate(&env.calib);
+
+    let before = capture_distributions(&mut g, &env.calib, 64);
+    let mut hyper = TrainHyper::retrain(env.steps_per_epoch);
+    hyper.epochs = env.retrain_epochs;
+    let r = train(&mut g, &env.train, &env.val, &hyper);
+    let after = capture_distributions(&mut g, &env.calib, 64);
+
+    let mut sink = Sink::new("figure5");
+    sink.row_str(&[
+        "quantizer",
+        "bits",
+        "t_init",
+        "t_trained",
+        "deviation_d",
+        "hist_before",
+        "hist_after",
+    ]);
+    let mut moved = 0;
+    for (b, a) in before.iter().zip(&after) {
+        assert_eq!(b.name, a.name);
+        let d = a.raw_threshold.log2().ceil() as i32 - b.raw_threshold.log2().ceil() as i32;
+        if d != 0 {
+            moved += 1;
+        }
+        sink.row(&[
+            b.name.clone(),
+            b.bits.to_string(),
+            format!("{:.5}", b.raw_threshold),
+            format!("{:.5}", a.raw_threshold),
+            d.to_string(),
+            b.hist.to_csv_cells(),
+            a.hist.to_csv_cells(),
+        ]);
+    }
+    eprintln!(
+        "figure5: {model}: {} of {} trained thresholds moved by a non-zero \
+         integer log2 amount; best retrained top-1 = {:.1}%",
+        moved,
+        before.len(),
+        r.best.top1 * 100.0
+    );
+    // The paper's headline: depthwise weight thresholds move inward
+    // (negative deviation, favoring precision).
+    let dw_devs: Vec<i32> = before
+        .iter()
+        .zip(&after)
+        .filter(|(b, _)| b.name.contains("dwconv") && b.name.contains("wt_q"))
+        .map(|(b, a)| {
+            a.raw_threshold.log2().ceil() as i32 - b.raw_threshold.log2().ceil() as i32
+        })
+        .collect();
+    if !dw_devs.is_empty() {
+        let mean: f32 = dw_devs.iter().sum::<i32>() as f32 / dw_devs.len() as f32;
+        eprintln!(
+            "figure5: depthwise weight-threshold deviations {dw_devs:?} (mean {mean:+.2}; \
+             paper observes a strong preference for precision, i.e. <= 0)"
+        );
+    }
+}

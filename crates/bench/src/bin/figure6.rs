@@ -1,0 +1,67 @@
+//! Figure 6: threshold dynamics during TQT training — per-threshold values
+//! over the first 100 steps (left panels) and the histogram of integer
+//! log-domain deviations from initialization to trained values (right
+//! panels), for INT8 and INT4 retraining. The paper's observation: INT8
+//! shows larger positive deviations than INT4 (more precision bits allow
+//! more range; fewer bits force the range back in).
+
+use tqt::config::TrainHyper;
+use tqt::experiment::ExpEnv;
+use tqt::trainer::train;
+use tqt_bench::{select_models, Args, Sink};
+use tqt_graph::{quantize_graph, transforms, QuantizeOptions, WeightBits};
+use tqt_models::INPUT_DIMS;
+
+fn main() {
+    let args = Args::parse();
+    let scale: f32 = args.get_or("scale", 0.5);
+    let mut env = ExpEnv::standard(tqt_bench::zoo_dir(), scale);
+    env.pretrain_epochs = args.get_or("pretrain-epochs", 8);
+    env.retrain_epochs = args.get_or("retrain-epochs", 3);
+    let models = select_models(&args);
+
+    let mut trace_sink = Sink::new("figure6_traces");
+    trace_sink.row_str(&["model", "bits", "step", "threshold_index", "log2_t"]);
+    let mut dev_sink = Sink::new("figure6_deviations");
+    dev_sink.row_str(&["model", "bits", "threshold", "deviation_d"]);
+
+    for model in models {
+        for (label, bits) in [("8", WeightBits::Int8), ("4", WeightBits::Int4)] {
+            let mut g = env.pretrained(model);
+            transforms::optimize(&mut g, &INPUT_DIMS);
+            quantize_graph(&mut g, QuantizeOptions::retrain_wt_th(bits));
+            g.calibrate(&env.calib);
+            let mut hyper = TrainHyper::retrain(env.steps_per_epoch);
+            hyper.epochs = env.retrain_epochs;
+            let r = train(&mut g, &env.train, &env.val, &hyper);
+            for (step, values) in r.threshold_trace.iter().enumerate() {
+                for (ti, &v) in values.iter().enumerate() {
+                    trace_sink.row(&[
+                        model.name().into(),
+                        label.into(),
+                        step.to_string(),
+                        ti.to_string(),
+                        format!("{v:.4}"),
+                    ]);
+                }
+            }
+            let devs = r.threshold_deviations();
+            for (name, d) in r.threshold_names.iter().zip(&devs) {
+                dev_sink.row(&[
+                    model.name().into(),
+                    label.into(),
+                    name.clone(),
+                    d.to_string(),
+                ]);
+            }
+            let pos = devs.iter().filter(|&&d| d > 0).count();
+            let neg = devs.iter().filter(|&&d| d < 0).count();
+            eprintln!(
+                "figure6: {model} INT{label}: {} thresholds, deviations: {pos} positive, \
+                 {neg} negative, mean {:+.2}",
+                devs.len(),
+                devs.iter().sum::<i32>() as f32 / devs.len().max(1) as f32
+            );
+        }
+    }
+}

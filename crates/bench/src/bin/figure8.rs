@@ -1,0 +1,53 @@
+//! Figure 8: threshold-training trajectories on the toy L2 loss — raw-SGD,
+//! log-SGD, normed-log-SGD and log-Adam — for 2000 steps at lr 0.1, across
+//! bit-widths b ∈ {4, 8} and input scales σ ∈ {1e-2, 1e-1, 1, 1e1, 1e2}.
+//! Also reports the empirical gradient ratio `rg` estimated around the
+//! critical threshold, as the paper annotates each panel.
+
+use tqt_bench::{Args, Sink};
+use tqt_quant::toy::{
+    estimate_rg, find_critical_threshold, run_toy, ToyConfig, ToyMethod,
+};
+
+fn main() {
+    let args = Args::parse();
+    let steps: usize = args.get_or("steps", 2000);
+    let stride: usize = args.get_or("stride", 10);
+    let mut sink = Sink::new("figure8");
+    sink.row_str(&["bits", "sigma", "method", "step", "log2_t"]);
+    let methods = [
+        ("raw_sgd", ToyMethod::RawSgd),
+        ("log_sgd", ToyMethod::LogSgd),
+        ("normed_log_sgd", ToyMethod::NormedLogSgd),
+        ("log_adam", ToyMethod::LogAdam),
+    ];
+    for bits in [4u32, 8] {
+        for exp in -2..=2 {
+            let sigma = 10f32.powi(exp);
+            let mut cfg = ToyConfig::figure8(bits, sigma, 41);
+            cfg.steps = steps;
+            let star = find_critical_threshold(cfg.spec, sigma, 41);
+            let rg = estimate_rg(cfg.spec, sigma, star, 41);
+            eprintln!("figure8: b={bits} sigma={sigma:e}: log2 t* = {star}, rg ~= {rg:.1}");
+            for (name, method) in methods {
+                let trace = run_toy(cfg, method);
+                for (i, &v) in trace.log2_t.iter().enumerate() {
+                    if i % stride == 0 || i + 1 == trace.log2_t.len() {
+                        sink.row(&[
+                            bits.to_string(),
+                            format!("{sigma:e}"),
+                            name.to_string(),
+                            i.to_string(),
+                            format!("{v:.4}"),
+                        ]);
+                    }
+                }
+                let last = trace.log2_t.last().unwrap();
+                eprintln!(
+                    "figure8:   {name:>15}: final log2_t = {last:+.3} (distance {:.3})",
+                    (last - star).abs()
+                );
+            }
+        }
+    }
+}

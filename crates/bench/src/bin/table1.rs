@@ -1,0 +1,150 @@
+//! Table 1: MobileNet quantization-scheme comparison — Google-QAT-style
+//! schemes (per-channel symmetric real scaling; per-tensor asymmetric real
+//! scaling, both with weight-only retraining) against TQT (per-tensor,
+//! symmetric, power-of-2 scaling, wt+th retraining), on the MobileNet v1
+//! and v2 analogues.
+//!
+//! The paper's point: TQT's *strictly more constrained* scheme matches or
+//! beats the less constrained QAT schemes on MobileNets.
+
+use tqt::config::{TrainHyper, TrialKind};
+use tqt::experiment::{run_trial, ExpEnv};
+use tqt::trainer::{evaluate, train};
+use tqt_bench::{pct, Args, Sink};
+use tqt_graph::ir::op_params_mut;
+use tqt_graph::{transforms, Graph};
+use tqt_models::{ModelKind, INPUT_DIMS};
+use tqt_nn::ParamKind;
+use tqt_quant::fakequant::quantize_per_channel_symmetric;
+
+/// QAT-style per-channel symmetric weight quantization with real scales:
+/// bakes the per-channel-quantized weights in and quantizes activations
+/// per-tensor (KL-J calibrated, fixed thresholds), then retrains weights.
+fn qat_per_channel(g: &mut Graph, env: &ExpEnv) -> (f32, f32) {
+    transforms::optimize(g, &INPUT_DIMS);
+    // Per-channel symmetric real-scale weight quantization, re-applied via
+    // a projection each step is beyond this baseline's scope; bake once
+    // after retraining weights against activation quantizers only.
+    insert_activation_quants(g);
+    g.calibrate(&env.calib);
+    let mut hyper = TrainHyper::retrain(env.steps_per_epoch);
+    hyper.epochs = env.retrain_epochs;
+    train(g, &env.train, &env.val, &hyper);
+    project_weights_per_channel(g);
+    evaluate_pair(g, env)
+}
+
+/// QAT-style per-tensor asymmetric (min/max real scale) weight
+/// quantization with per-tensor activation quantizers.
+fn qat_per_tensor_asymmetric(g: &mut Graph, env: &ExpEnv) -> (f32, f32) {
+    transforms::optimize(g, &INPUT_DIMS);
+    insert_activation_quants(g);
+    g.calibrate(&env.calib);
+    let mut hyper = TrainHyper::retrain(env.steps_per_epoch);
+    hyper.epochs = env.retrain_epochs;
+    train(g, &env.train, &env.val, &hyper);
+    project_weights_min_max(g);
+    evaluate_pair(g, env)
+}
+
+/// Adds fixed per-tensor activation quantizers (KL-J) to every compute
+/// output — shared scaffolding for the two QAT baselines.
+fn insert_activation_quants(g: &mut Graph) {
+    use tqt_graph::quantize_graph;
+    use tqt_graph::QuantizeOptions;
+    // Reuse the standard pass in fixed mode, then strip weight quantizers
+    // (the QAT baselines quantize weights with *real* scales, emulated by
+    // the projection step instead of power-of-2 thresholds).
+    quantize_graph(g, QuantizeOptions::static_int8());
+    for id in 0..g.len() {
+        g.node_mut(id).wq = None;
+    }
+}
+
+fn project_weights_per_channel(g: &mut Graph) {
+    for id in 0..g.len() {
+        if g.node(id).op.is_compute() {
+            let node = g.node_mut(id);
+            for p in op_params_mut(&mut node.op) {
+                if p.kind == ParamKind::Weight {
+                    p.value = quantize_per_channel_symmetric(&p.value, 8);
+                }
+            }
+        }
+    }
+}
+
+fn project_weights_min_max(g: &mut Graph) {
+    use tqt_quant::fakequant::FakeQuant;
+    for id in 0..g.len() {
+        if g.node(id).op.is_compute() {
+            let node = g.node_mut(id);
+            for p in op_params_mut(&mut node.op) {
+                if p.kind == ParamKind::Weight {
+                    let fq = FakeQuant::from_min_max(&p.value, 8);
+                    p.value = fq.quantize(&p.value);
+                }
+            }
+        }
+    }
+}
+
+fn evaluate_pair(g: &mut Graph, env: &ExpEnv) -> (f32, f32) {
+    let (t1, t5, _) = evaluate(g, &env.val, 32);
+    (t1, t5)
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale: f32 = args.get_or("scale", 0.5);
+    let mut env = ExpEnv::standard(tqt_bench::zoo_dir(), scale);
+    env.pretrain_epochs = args.get_or("pretrain-epochs", 8);
+    env.retrain_epochs = args.get_or("retrain-epochs", 5);
+
+    let mut sink = Sink::new("table1");
+    sink.row_str(&["model", "method", "precision", "scheme", "top1", "top5"]);
+    for model in [ModelKind::MobileNetV1, ModelKind::MobileNetV2] {
+        // FP32 baseline.
+        let (fp32, _) = run_trial(model, TrialKind::Fp32, &env);
+        sink.row(&[
+            model.name().into(),
+            "QAT/TQT".into(),
+            "FP32".into(),
+            "-".into(),
+            pct(fp32.top1),
+            pct(fp32.top5),
+        ]);
+        // QAT per-channel symmetric real scaling.
+        let mut g = env.pretrained(model);
+        let (t1, t5) = qat_per_channel(&mut g, &env);
+        sink.row(&[
+            model.name().into(),
+            "QAT".into(),
+            "INT8".into(),
+            "per-channel symmetric real".into(),
+            pct(t1),
+            pct(t5),
+        ]);
+        // QAT per-tensor asymmetric real scaling.
+        let mut g = env.pretrained(model);
+        let (t1, t5) = qat_per_tensor_asymmetric(&mut g, &env);
+        sink.row(&[
+            model.name().into(),
+            "QAT".into(),
+            "INT8".into(),
+            "per-tensor asymmetric real".into(),
+            pct(t1),
+            pct(t5),
+        ]);
+        // TQT: per-tensor symmetric power-of-2, wt+th.
+        let (tqt_r, _) = run_trial(model, TrialKind::RetrainWtThInt8, &env);
+        sink.row(&[
+            model.name().into(),
+            "TQT".into(),
+            "INT8".into(),
+            "per-tensor symmetric pow2".into(),
+            pct(tqt_r.top1),
+            pct(tqt_r.top5),
+        ]);
+    }
+}

@@ -1,0 +1,50 @@
+//! Table 3: the main results grid — for every zoo network, the six trials
+//! (FP32 baseline, static INT8, FP32 wt-retrain, INT8 wt-retrain, INT8
+//! TQT wt+th retrain, INT4 TQT wt+th retrain), reporting best top-1/top-5
+//! validation accuracy and the fractional epoch of the best checkpoint.
+//!
+//! Flags: `--models a,b --scale 0.5 --pretrain-epochs 8 --retrain-epochs 5`.
+
+use tqt::config::TrialKind;
+use tqt::experiment::{run_trial, ExpEnv};
+use tqt_bench::{pct, select_models, Args, Sink};
+
+fn main() {
+    let args = Args::parse();
+    let scale: f32 = args.get_or("scale", 0.5);
+    let models = select_models(&args);
+    let mut env = ExpEnv::standard(tqt_bench::zoo_dir(), scale);
+    env.pretrain_epochs = args.get_or("pretrain-epochs", 8);
+    env.retrain_epochs = args.get_or("retrain-epochs", 5);
+
+    let mut sink = Sink::new("table3");
+    sink.row_str(&[
+        "model",
+        "stands_in_for",
+        "mode",
+        "bits_w_a",
+        "top1",
+        "top5",
+        "epochs",
+    ]);
+    for model in models {
+        for &kind in TrialKind::all() {
+            let start = std::time::Instant::now();
+            let (r, _) = run_trial(model, kind, &env);
+            sink.row(&[
+                model.name().to_string(),
+                model.stands_in_for().to_string(),
+                kind.mode_label().to_string(),
+                kind.bits_label().to_string(),
+                pct(r.top1),
+                pct(r.top5),
+                format!("{:.1}", r.epochs),
+            ]);
+            eprintln!(
+                "table3: {model} {:?} done in {:.0}s",
+                kind,
+                start.elapsed().as_secs_f64()
+            );
+        }
+    }
+}

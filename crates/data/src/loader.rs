@@ -1,0 +1,134 @@
+//! Batch iteration and calibration sampling.
+
+use crate::synth::Dataset;
+use rand::seq::SliceRandom;
+use tqt_tensor::{init, Tensor};
+
+/// Iterates a dataset in shuffled mini-batches. Each epoch reshuffles
+/// deterministically from the base seed and epoch number; the final partial
+/// batch is dropped (as is conventional for batch-norm training).
+#[derive(Debug)]
+pub struct BatchIter<'a> {
+    data: &'a Dataset,
+    order: Vec<usize>,
+    batch: usize,
+    pos: usize,
+}
+
+impl<'a> BatchIter<'a> {
+    /// Creates a shuffled batch iterator for one epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0` or the dataset has fewer examples than one
+    /// batch.
+    pub fn new(data: &'a Dataset, batch: usize, seed: u64, epoch: u64) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        assert!(
+            data.len() >= batch,
+            "dataset of {} examples cannot fill a batch of {batch}",
+            data.len()
+        );
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut rng = init::rng(seed ^ epoch.wrapping_mul(0xD134_2543_DE82_EF95));
+        order.shuffle(&mut rng);
+        BatchIter {
+            data,
+            order,
+            batch,
+            pos: 0,
+        }
+    }
+
+    /// Number of full batches in one epoch.
+    pub fn batches_per_epoch(&self) -> usize {
+        self.data.len() / self.batch
+    }
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos + self.batch > self.order.len() {
+            return None;
+        }
+        let idx = &self.order[self.pos..self.pos + self.batch];
+        self.pos += self.batch;
+        Some(self.data.gather(idx))
+    }
+}
+
+/// Iterates a dataset sequentially in fixed-size batches for validation
+/// (includes the final partial batch).
+pub fn eval_batches(data: &Dataset, batch: usize) -> Vec<(Tensor, Vec<usize>)> {
+    assert!(batch > 0, "batch size must be positive");
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < data.len() {
+        let end = (i + batch).min(data.len());
+        let idx: Vec<usize> = (i..end).collect();
+        out.push(data.gather(&idx));
+        i = end;
+    }
+    out
+}
+
+/// Draws a calibration batch of `n` examples sampled uniformly without
+/// replacement (the paper uses 50 unlabeled images from the validation
+/// set).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > data.len()`.
+pub fn calibration_batch(data: &Dataset, n: usize, seed: u64) -> Tensor {
+    assert!(n > 0 && n <= data.len(), "invalid calibration size {n}");
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    let mut rng = init::rng(seed);
+    idx.shuffle(&mut rng);
+    idx.truncate(n);
+    data.gather(&idx).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+
+    #[test]
+    fn epoch_covers_all_full_batches() {
+        let d = generate(&SynthConfig::default(), 50);
+        let it = BatchIter::new(&d, 16, 1, 0);
+        assert_eq!(it.batches_per_epoch(), 3);
+        let batches: Vec<_> = it.collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].0.dims(), &[16, 3, 32, 32]);
+    }
+
+    #[test]
+    fn epochs_shuffle_differently_but_deterministically() {
+        let d = generate(&SynthConfig::default(), 40);
+        let a: Vec<_> = BatchIter::new(&d, 8, 1, 0).map(|(_, l)| l).collect();
+        let b: Vec<_> = BatchIter::new(&d, 8, 1, 0).map(|(_, l)| l).collect();
+        let c: Vec<_> = BatchIter::new(&d, 8, 1, 1).map(|(_, l)| l).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn eval_batches_cover_everything_including_tail() {
+        let d = generate(&SynthConfig::default(), 21);
+        let batches = eval_batches(&d, 8);
+        assert_eq!(batches.len(), 3);
+        let total: usize = batches.iter().map(|(_, l)| l.len()).sum();
+        assert_eq!(total, 21);
+        assert_eq!(batches[2].1.len(), 5);
+    }
+
+    #[test]
+    fn calibration_batch_shape() {
+        let d = generate(&SynthConfig::default(), 60);
+        let c = calibration_batch(&d, 50, 2);
+        assert_eq!(c.dims(), &[50, 3, 32, 32]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Narrow integer kernels for the Appendix A cost study: an `i8 × i8 → i32`
+//! matrix multiply with three output requantization schemes (power-of-2
+//! shift, normalized fixed-point multiplier, affine with zero-points).
+//! These are the kernels the Criterion benches time against each other;
+//! the reference bit-accuracy engine lives in [`crate::lower`](mod@crate::lower).
+
+use crate::requant::{requant_affine, requant_pow2, requant_real, NormalizedMultiplier};
+
+/// Integer matmul `c[m,n] = Σ_k a[m,k] * b[k,n]` with `i32` accumulators.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the dimensions.
+pub fn matmul_i8_acc32(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Vec<i32> {
+    assert_eq!(a.len(), m * k, "lhs length mismatch");
+    assert_eq!(b.len(), k * n, "rhs length mismatch");
+    let mut out = vec![0i32; m * n];
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0 {
+                continue;
+            }
+            let av = av as i32;
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv as i32;
+            }
+        }
+    }
+    out
+}
+
+/// Requantizes an `i32` accumulator buffer to `i8` by power-of-2 shift
+/// (the TQT deployment path, eq. 16).
+pub fn requant_buffer_pow2(acc: &[i32], shift: i32) -> Vec<i8> {
+    acc.iter()
+        .map(|&v| requant_pow2(v as i64, shift, -128, 127) as i8)
+        .collect()
+}
+
+/// Requantizes by normalized fixed-point multiplier (eq. 15).
+pub fn requant_buffer_real(acc: &[i32], m: NormalizedMultiplier) -> Vec<i8> {
+    acc.iter()
+        .map(|&v| requant_real(v as i64, m, -128, 127) as i8)
+        .collect()
+}
+
+/// Requantizes an affine accumulator buffer (eq. 13): applies the
+/// per-row/per-column zero-point cross-term correction, then the
+/// fixed-point multiplier and the output zero-point. `a_sums[i]` is
+/// `Σ_k a[i,k]`, `b_sums[j]` is `Σ_k b[k,j]`.
+#[allow(clippy::too_many_arguments)]
+pub fn requant_buffer_affine(
+    acc: &[i32],
+    a_sums: &[i32],
+    b_sums: &[i32],
+    k: usize,
+    z1: i32,
+    z2: i32,
+    z3: i32,
+    m: NormalizedMultiplier,
+) -> Vec<i8> {
+    let n = b_sums.len();
+    assert_eq!(acc.len(), a_sums.len() * n, "accumulator length mismatch");
+    let mut out = Vec::with_capacity(acc.len());
+    for (i, &asum) in a_sums.iter().enumerate() {
+        for (j, &bsum) in b_sums.iter().enumerate() {
+            out.push(requant_affine(
+                acc[i * n + j] as i64,
+                asum as i64,
+                bsum as i64,
+                k as i64,
+                z1 as i64,
+                z2 as i64,
+                z3 as i64,
+                m,
+                -128,
+                127,
+            ) as i8);
+        }
+    }
+    out
+}
+
+/// Row sums of an `[m, k]` i8 matrix (affine correction input).
+pub fn row_sums(a: &[i8], m: usize, k: usize) -> Vec<i32> {
+    assert_eq!(a.len(), m * k);
+    (0..m)
+        .map(|i| a[i * k..(i + 1) * k].iter().map(|&v| v as i32).sum())
+        .collect()
+}
+
+/// Column sums of a `[k, n]` i8 matrix (affine correction input).
+pub fn col_sums(b: &[i8], k: usize, n: usize) -> Vec<i32> {
+    assert_eq!(b.len(), k * n);
+    let mut out = vec![0i32; n];
+    for kk in 0..k {
+        for (o, &v) in out.iter_mut().zip(&b[kk * n..(kk + 1) * n]) {
+            *o += v as i32;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_matmul_matches_float() {
+        let a: Vec<i8> = (0..6).map(|v| v - 3).collect();
+        let b: Vec<i8> = (0..12).map(|v| 2 * v - 11).collect();
+        let c = matmul_i8_acc32(&a, &b, 2, 3, 4);
+        for i in 0..2 {
+            for j in 0..4 {
+                let mut acc = 0i32;
+                for kk in 0..3 {
+                    acc += a[i * 3 + kk] as i32 * b[kk * 4 + j] as i32;
+                }
+                assert_eq!(c[i * 4 + j], acc);
+            }
+        }
+    }
+
+    #[test]
+    fn affine_equals_symmetric_reference() {
+        // The affine path with explicit zero-points must equal a direct
+        // computation on de-zero-pointed operands.
+        let m = 3;
+        let k = 5;
+        let n = 4;
+        let a: Vec<i8> = (0..15).map(|v| (v * 7 % 23) as i8 - 11).collect();
+        let b: Vec<i8> = (0..20).map(|v| (v * 5 % 19) as i8 - 9).collect();
+        let (z1, z2, z3) = (3i32, -2, 1);
+        let mult = NormalizedMultiplier::from_f64(0.017);
+        let acc = matmul_i8_acc32(&a, &b, m, k, n);
+        let got = requant_buffer_affine(
+            &acc,
+            &row_sums(&a, m, k),
+            &col_sums(&b, k, n),
+            k,
+            z1,
+            z2,
+            z3,
+            mult,
+        );
+        // Reference: subtract zero-points first.
+        let a0: Vec<i8> = a.iter().map(|&v| (v as i32 - z1) as i8).collect();
+        let b0: Vec<i8> = b.iter().map(|&v| (v as i32 - z2) as i8).collect();
+        let acc0 = matmul_i8_acc32(&a0, &b0, m, k, n);
+        let expected: Vec<i8> = acc0
+            .iter()
+            .map(|&v| {
+                crate::requant::saturate(
+                    z3 as i64 + crate::requant::shift_round(v as i64 * mult.s0_q15 as i64, 15 + mult.n),
+                    -128,
+                    127,
+                ) as i8
+            })
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn pow2_and_real_agree_on_pow2_multiplier() {
+        let acc: Vec<i32> = (-50..50).map(|v| v * 997).collect();
+        let shifted = requant_buffer_pow2(&acc, 3);
+        let real = requant_buffer_real(&acc, NormalizedMultiplier::from_f64(0.125));
+        assert_eq!(shifted, real);
+    }
+
+    #[test]
+    fn sums_correct() {
+        let a: Vec<i8> = vec![1, 2, 3, 4, 5, 6];
+        assert_eq!(row_sums(&a, 2, 3), vec![6, 15]);
+        assert_eq!(col_sums(&a, 2, 3), vec![5, 7, 9]);
+    }
+}

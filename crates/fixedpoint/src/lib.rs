@@ -1,0 +1,20 @@
+//! # tqt-fixedpoint
+//!
+//! Integer-only fixed-point inference for TQT-quantized graphs:
+//!
+//! * [`qtensor`] — integer tensors with power-of-2 Q-format metadata;
+//! * [`requant`] — the three requantization schemes of Appendix A
+//!   (power-of-2 shift, normalized fixed-point multiplier, affine with
+//!   zero-point cross-terms);
+//! * [`kernels`] — narrow `i8` kernels for the Appendix A cost benches;
+//! * [`mod@lower`] with the [`lower()`](lower::lower) entry point — lowering a quantized float graph to an [`IntGraph`]
+//!   that is bit-exact to the baked float inference graph (the paper's
+//!   Section 4.2 property).
+
+pub mod kernels;
+pub mod lower;
+pub mod qtensor;
+pub mod requant;
+
+pub use lower::{lower, IntGraph};
+pub use qtensor::{QFormat, QTensor};

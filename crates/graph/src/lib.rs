@@ -1,0 +1,26 @@
+//! # tqt-graph
+//!
+//! A Graffitist-style graph framework (the paper's Section 4): a layer
+//! dataflow IR with pattern-matching transforms and automatic quantization
+//! passes.
+//!
+//! * [`ir`] — the graph, node, and threshold-side-table representation.
+//!   Quantizer thresholds live in a side table so several quant ops can
+//!   share one scale (the paper's merged `q'` scales for concat,
+//!   eltwise-add and bias).
+//! * [`exec`] — topological forward/backward execution, on-the-fly
+//!   topological calibration, shape inference.
+//! * [`transforms`] — batch-norm folding, identity splicing,
+//!   concat-of-concat collapsing, avgpool → depthwise conversion.
+//! * [`quantize`] — the automatic quantization pass implementing the
+//!   layer-precision topologies of Section 4.3 in static or retrain mode.
+//! * [`state`] — weight checkpointing (save/load state dicts).
+
+pub mod exec;
+pub mod ir;
+pub mod quantize;
+pub mod state;
+pub mod transforms;
+
+pub use ir::{Graph, Node, NodeId, Op, ThresholdId, ThresholdMode, ThresholdState, WeightQuant};
+pub use quantize::{quantize_graph, QuantizeOptions, WeightBits};

@@ -1,0 +1,214 @@
+//! Weight checkpointing: serialize a graph's parameters (including
+//! batch-norm moving statistics and quantizer thresholds) to JSON and back.
+//! Used to cache the FP32 "model zoo" between experiments, playing the role
+//! of the paper's TF-Slim pre-trained checkpoints.
+
+use crate::ir::{Graph, Op};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+use tqt_tensor::Tensor;
+
+/// A serializable snapshot of every stateful tensor in a graph.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Default)]
+pub struct StateDict {
+    /// Name → (shape, flat data). A `BTreeMap` keeps the file diff-stable.
+    pub tensors: BTreeMap<String, (Vec<usize>, Vec<f32>)>,
+}
+
+impl StateDict {
+    /// Number of stored tensors.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Writes the snapshot as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O or serialization error.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let json = serde_json::to_vec(self).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Reads a snapshot from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O or deserialization error.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        serde_json::from_slice(&bytes).map_err(std::io::Error::other)
+    }
+}
+
+impl Graph {
+    /// Captures all parameters, batch-norm moving statistics, and
+    /// calibrated thresholds.
+    pub fn state_dict(&mut self) -> StateDict {
+        let mut sd = StateDict::default();
+        for p in self.params_mut() {
+            sd.tensors.insert(
+                p.name.clone(),
+                (p.value.dims().to_vec(), p.value.data().to_vec()),
+            );
+        }
+        for (_, node) in self.iter() {
+            if let Op::BatchNorm(bn) = &node.op {
+                let (mean, var) = bn.running_stats();
+                sd.tensors.insert(
+                    format!("{}/running_mean", node.name),
+                    (mean.dims().to_vec(), mean.data().to_vec()),
+                );
+                sd.tensors.insert(
+                    format!("{}/running_var", node.name),
+                    (var.dims().to_vec(), var.data().to_vec()),
+                );
+            }
+        }
+        sd
+    }
+
+    /// Restores a snapshot produced by [`state_dict`](Self::state_dict) on
+    /// a structurally identical graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parameter is missing from the snapshot or has a
+    /// different shape — loading into the wrong architecture is a bug, not
+    /// a recoverable condition.
+    pub fn load_state_dict(&mut self, sd: &StateDict) {
+        for p in self.params_mut() {
+            let (dims, data) = sd
+                .tensors
+                .get(&p.name)
+                .unwrap_or_else(|| panic!("state dict missing parameter {}", p.name));
+            assert_eq!(
+                dims,
+                &p.value.dims().to_vec(),
+                "shape mismatch for {}",
+                p.name
+            );
+            p.value = Tensor::from_vec(dims.clone(), data.clone());
+            if p.kind == tqt_nn::ParamKind::Threshold {
+                // A checkpointed threshold is by definition calibrated.
+            }
+        }
+        // Mark any loaded thresholds calibrated.
+        for t in self.thresholds_mut() {
+            if sd.tensors.contains_key(&t.param.name) {
+                t.calibrated = true;
+            }
+        }
+        let names: Vec<String> = self.iter().map(|(_, n)| n.name.clone()).collect();
+        for name in names {
+            let id = self.find(&name).unwrap();
+            if let Op::BatchNorm(bn) = &mut self.node_mut(id).op {
+                let mean_key = format!("{name}/running_mean");
+                let var_key = format!("{name}/running_var");
+                if let (Some((md, m)), Some((vd, v))) =
+                    (sd.tensors.get(&mean_key), sd.tensors.get(&var_key))
+                {
+                    bn.set_running_stats(
+                        Tensor::from_vec(md.clone(), m.clone()),
+                        Tensor::from_vec(vd.clone(), v.clone()),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqt_nn::{BatchNorm, Conv2d, Mode};
+    use tqt_tensor::conv::Conv2dGeom;
+    use tqt_tensor::init;
+
+    fn net(seed: u64) -> Graph {
+        let mut rng = init::rng(seed);
+        let mut g = Graph::new();
+        let x = g.add_input("input");
+        let c = g.add(
+            "conv",
+            Op::Conv(Conv2d::new("conv", 1, 2, Conv2dGeom::same(3), &mut rng)),
+            &[x],
+        );
+        let b = g.add("bn", Op::BatchNorm(BatchNorm::new("bn", 2, 0.9, 1e-5)), &[c]);
+        g.set_output(b);
+        g
+    }
+
+    #[test]
+    fn roundtrip_restores_outputs() {
+        let mut rng = init::rng(80);
+        let mut g1 = net(80);
+        // Train a bit so running stats are non-trivial.
+        for _ in 0..5 {
+            let x = init::normal([4, 1, 5, 5], 1.0, 2.0, &mut rng);
+            g1.forward(&x, Mode::Train);
+        }
+        let sd = g1.state_dict();
+        let mut g2 = net(81); // different seed => different weights
+        let x = init::normal([2, 1, 5, 5], 0.0, 1.0, &mut rng);
+        assert!(g1.forward(&x, Mode::Eval).max_abs_diff(&g2.forward(&x, Mode::Eval)) > 1e-4);
+        g2.load_state_dict(&sd);
+        let y1 = g1.forward(&x, Mode::Eval);
+        let y2 = g2.forward(&x, Mode::Eval);
+        y1.assert_close(&y2, 0.0);
+    }
+
+    #[test]
+    fn json_file_roundtrip() {
+        let mut g = net(82);
+        let sd = g.state_dict();
+        let dir = std::env::temp_dir().join("tqt_state_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        sd.save(&path).unwrap();
+        let sd2 = StateDict::load(&path).unwrap();
+        assert_eq!(sd, sd2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "missing parameter")]
+    fn load_rejects_wrong_architecture() {
+        let mut g = net(83);
+        let sd = StateDict::default();
+        g.load_state_dict(&sd);
+    }
+
+    #[test]
+    fn thresholds_roundtrip_as_calibrated() {
+        use crate::ir::{ThresholdMode, ThresholdState};
+        use tqt_quant::calib::ThresholdInit;
+        use tqt_quant::QuantSpec;
+        let mut g = net(84);
+        let tid = g.add_threshold(ThresholdState::new(
+            "t",
+            QuantSpec::INT8,
+            ThresholdInit::Max,
+            ThresholdMode::Trained,
+        ));
+        g.thresholds_mut()[tid].set_log2_t(1.25);
+        let sd = g.state_dict();
+        let mut g2 = net(85);
+        let tid2 = g2.add_threshold(ThresholdState::new(
+            "t",
+            QuantSpec::INT8,
+            ThresholdInit::Max,
+            ThresholdMode::Trained,
+        ));
+        g2.load_state_dict(&sd);
+        assert!(g2.thresholds()[tid2].calibrated);
+        assert_eq!(g2.thresholds()[tid2].log2_t(), 1.25);
+    }
+}

@@ -1,0 +1,177 @@
+//! Shared building blocks for the mini model zoo.
+
+use rand::rngs::StdRng;
+use tqt_graph::{Graph, NodeId, Op};
+use tqt_nn::{BatchNorm, Conv2d, Dense, DepthwiseConv2d, MaxPool2d, Relu};
+use tqt_tensor::conv::Conv2dGeom;
+
+/// Which rectifier a block ends with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Act {
+    /// Plain ReLU.
+    Relu,
+    /// ReLU capped at 6 (MobileNets).
+    Relu6,
+    /// Leaky ReLU with slope 0.1 (DarkNet).
+    Leaky,
+    /// No activation (e.g. MobileNet v2 linear bottlenecks).
+    None,
+}
+
+impl Act {
+    fn layer(self) -> Option<Relu> {
+        match self {
+            Act::Relu => Some(Relu::new()),
+            Act::Relu6 => Some(Relu::relu6()),
+            Act::Leaky => Some(Relu::leaky(0.1)),
+            Act::None => None,
+        }
+    }
+}
+
+/// Incrementally builds a model graph with auto-numbered layer names.
+#[derive(Debug)]
+pub struct NetBuilder {
+    /// The graph under construction.
+    pub g: Graph,
+    /// Seeded RNG for weight initialization.
+    pub rng: StdRng,
+    counter: usize,
+}
+
+impl NetBuilder {
+    /// Starts a builder with the input placeholder added.
+    pub fn new(seed: u64) -> (Self, NodeId) {
+        let mut g = Graph::new();
+        let input = g.add_input("input");
+        (
+            NetBuilder {
+                g,
+                rng: tqt_tensor::init::rng(seed),
+                counter: 0,
+            },
+            input,
+        )
+    }
+
+    fn next_name(&mut self, base: &str) -> String {
+        self.counter += 1;
+        format!("{base}{}", self.counter)
+    }
+
+    /// conv → batch-norm → activation.
+    pub fn conv_bn_act(
+        &mut self,
+        x: NodeId,
+        in_ch: usize,
+        out_ch: usize,
+        geom: Conv2dGeom,
+        act: Act,
+    ) -> NodeId {
+        let name = self.next_name("conv");
+        let c = self.g.add(
+            name.clone(),
+            Op::Conv(Conv2d::new(&name, in_ch, out_ch, geom, &mut self.rng)),
+            &[x],
+        );
+        let bn_name = format!("{name}_bn");
+        let b = self.g.add(
+            bn_name.clone(),
+            Op::BatchNorm(BatchNorm::new(&bn_name, out_ch, 0.9, 1e-5)),
+            &[c],
+        );
+        self.act(b, act)
+    }
+
+    /// conv → activation (no batch norm; VGG style).
+    pub fn conv_act(
+        &mut self,
+        x: NodeId,
+        in_ch: usize,
+        out_ch: usize,
+        geom: Conv2dGeom,
+        act: Act,
+    ) -> NodeId {
+        let name = self.next_name("conv");
+        let c = self.g.add(
+            name.clone(),
+            Op::Conv(Conv2d::new(&name, in_ch, out_ch, geom, &mut self.rng)),
+            &[x],
+        );
+        self.act(c, act)
+    }
+
+    /// depthwise conv → batch-norm → activation.
+    pub fn dw_bn_act(&mut self, x: NodeId, ch: usize, geom: Conv2dGeom, act: Act) -> NodeId {
+        let name = self.next_name("dwconv");
+        let c = self.g.add(
+            name.clone(),
+            Op::Depthwise(DepthwiseConv2d::new(&name, ch, geom, &mut self.rng)),
+            &[x],
+        );
+        let bn_name = format!("{name}_bn");
+        let b = self.g.add(
+            bn_name.clone(),
+            Op::BatchNorm(BatchNorm::new(&bn_name, ch, 0.9, 1e-5)),
+            &[c],
+        );
+        self.act(b, act)
+    }
+
+    /// Appends the requested activation (or nothing).
+    pub fn act(&mut self, x: NodeId, act: Act) -> NodeId {
+        match act.layer() {
+            Some(layer) => {
+                let name = self.next_name("act");
+                self.g.add(name, Op::Relu(layer), &[x])
+            }
+            None => x,
+        }
+    }
+
+    /// 2x2 stride-2 max pooling.
+    pub fn maxpool(&mut self, x: NodeId) -> NodeId {
+        let name = self.next_name("pool");
+        self.g.add(name, Op::MaxPool(MaxPool2d::k2s2()), &[x])
+    }
+
+    /// Global average pool → dense classifier head.
+    pub fn gap_head(&mut self, x: NodeId, in_ch: usize, classes: usize) -> NodeId {
+        let gap = self
+            .g
+            .add("gap", Op::GlobalAvgPool(tqt_nn::GlobalAvgPool::new()), &[x]);
+        let fc = self.g.add(
+            "logits",
+            Op::Dense(Dense::new("logits", in_ch, classes, &mut self.rng)),
+            &[gap],
+        );
+        self.g.set_output(fc);
+        fc
+    }
+
+    /// Flatten → dense → act → dense classifier head (VGG style).
+    pub fn flatten_head(
+        &mut self,
+        x: NodeId,
+        features: usize,
+        hidden: usize,
+        classes: usize,
+    ) -> NodeId {
+        let f = self
+            .g
+            .add("flatten", Op::Flatten(tqt_nn::Flatten::new()), &[x]);
+        let fc1 = self.g.add(
+            "fc1",
+            Op::Dense(Dense::new("fc1", features, hidden, &mut self.rng)),
+            &[f],
+        );
+        let r = self.act(fc1, Act::Relu);
+        let fc2 = self.g.add(
+            "logits",
+            Op::Dense(Dense::new("logits", hidden, classes, &mut self.rng)),
+            &[r],
+        );
+        self.g.set_output(fc2);
+        fc2
+    }
+}

@@ -1,0 +1,12 @@
+//! # tqt-models
+//!
+//! The mini model zoo standing in for the paper's TF-Slim evaluation
+//! networks (see DESIGN.md for the substitution table). Each model is a
+//! `tqt-graph` [`Graph`](tqt_graph::Graph) ready for FP32 training,
+//! optimization and quantization.
+
+pub mod builder;
+pub mod zoo;
+
+pub use builder::{Act, NetBuilder};
+pub use zoo::{ModelKind, INPUT_DIMS, NUM_CLASSES};

@@ -1,0 +1,209 @@
+//! Pointwise activation layers: ReLU, ReLU6, and leaky ReLU (the DarkNet
+//! activation with its dedicated quantization topology in Section 4.3).
+
+use crate::layer::{single, Layer, Mode};
+use tqt_tensor::Tensor;
+
+/// Rectified linear unit, optionally capped (ReLU6), with an optional
+/// leaky negative slope.
+///
+/// * `Relu::new()` — standard ReLU.
+/// * `Relu::relu6()` — ReLU capped at 6 (MobileNet).
+/// * `Relu::leaky(alpha)` — leaky ReLU (DarkNet uses `alpha = 0.1`).
+#[derive(Debug, Clone)]
+pub struct Relu {
+    cap: Option<f32>,
+    negative_slope: f32,
+    cached_x: Option<Tensor>,
+}
+
+impl Relu {
+    /// Standard ReLU: `max(x, 0)`.
+    pub fn new() -> Self {
+        Relu {
+            cap: None,
+            negative_slope: 0.0,
+            cached_x: None,
+        }
+    }
+
+    /// ReLU6: `min(max(x, 0), 6)`.
+    pub fn relu6() -> Self {
+        Relu {
+            cap: Some(6.0),
+            negative_slope: 0.0,
+            cached_x: None,
+        }
+    }
+
+    /// Leaky ReLU: `x` for `x > 0`, `alpha * x` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= alpha < 1`.
+    pub fn leaky(alpha: f32) -> Self {
+        assert!(
+            (0.0..1.0).contains(&alpha),
+            "leaky slope must be in [0,1), got {alpha}"
+        );
+        Relu {
+            cap: None,
+            negative_slope: alpha,
+            cached_x: None,
+        }
+    }
+
+    /// ReLU capped at an arbitrary value (used by the fixed-point lowering
+    /// to snap the ReLU6 cap onto the integer grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cap > 0`.
+    pub fn capped(cap: f32) -> Self {
+        assert!(cap > 0.0, "cap must be positive, got {cap}");
+        Relu {
+            cap: Some(cap),
+            negative_slope: 0.0,
+            cached_x: None,
+        }
+    }
+
+    /// Replaces the negative slope (used by the fixed-point lowering to
+    /// snap leaky-ReLU's α onto a fixed-point grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= alpha < 1`.
+    pub fn set_negative_slope(&mut self, alpha: f32) {
+        assert!(
+            (0.0..1.0).contains(&alpha),
+            "leaky slope must be in [0,1), got {alpha}"
+        );
+        self.negative_slope = alpha;
+    }
+
+    /// The cap value, if any.
+    pub fn cap(&self) -> Option<f32> {
+        self.cap
+    }
+
+    /// The negative slope (0 for plain/capped ReLU).
+    pub fn negative_slope(&self) -> f32 {
+        self.negative_slope
+    }
+
+    fn apply(&self, v: f32) -> f32 {
+        let mut y = if v > 0.0 { v } else { self.negative_slope * v };
+        if let Some(c) = self.cap {
+            y = y.min(c);
+        }
+        y
+    }
+
+    fn grad_at(&self, v: f32) -> f32 {
+        if v <= 0.0 {
+            self.negative_slope
+        } else if let Some(c) = self.cap {
+            if v >= c {
+                0.0
+            } else {
+                1.0
+            }
+        } else {
+            1.0
+        }
+    }
+}
+
+impl Default for Relu {
+    fn default() -> Self {
+        Relu::new()
+    }
+}
+
+impl Layer for Relu {
+    fn op_name(&self) -> &'static str {
+        if self.negative_slope > 0.0 {
+            "leaky_relu"
+        } else if self.cap.is_some() {
+            "relu6"
+        } else {
+            "relu"
+        }
+    }
+
+    fn forward(&mut self, inputs: &[&Tensor], mode: Mode) -> Tensor {
+        let x = single(inputs, "relu");
+        if mode == Mode::Train {
+            self.cached_x = Some(x.clone());
+        }
+        x.map(|v| self.apply(v))
+    }
+
+    fn backward(&mut self, gy: &Tensor) -> Vec<Tensor> {
+        let x = self
+            .cached_x
+            .take()
+            .expect("relu backward without cached forward");
+        vec![gy.zip_map(&x, |g, v| g * self.grad_at(v))]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::gradcheck_layer;
+    use tqt_tensor::init;
+
+    #[test]
+    fn relu_forward() {
+        let mut r = Relu::new();
+        let y = r.forward(&[&Tensor::from_slice(&[-1.0, 0.0, 2.0])], Mode::Eval);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu6_caps() {
+        let mut r = Relu::relu6();
+        let y = r.forward(&[&Tensor::from_slice(&[-1.0, 3.0, 9.0])], Mode::Eval);
+        assert_eq!(y.data(), &[0.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn leaky_negative_slope() {
+        let mut r = Relu::leaky(0.1);
+        let y = r.forward(&[&Tensor::from_slice(&[-2.0, 4.0])], Mode::Eval);
+        assert_eq!(y.data(), &[-0.2, 4.0]);
+    }
+
+    #[test]
+    fn gradients_mask_correctly() {
+        let mut r = Relu::relu6();
+        let x = Tensor::from_slice(&[-1.0, 3.0, 9.0]);
+        r.forward(&[&x], Mode::Train);
+        let g = r.backward(&Tensor::from_slice(&[1.0, 1.0, 1.0])).remove(0);
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn leaky_gradcheck() {
+        let mut rng = init::rng(30);
+        let mut r = Relu::leaky(0.1);
+        // Keep probes away from the kink at 0.
+        let x = init::uniform([64], 0.2, 2.0, &mut rng)
+            .zip_map(&init::uniform([64], -2.0, -0.2, &mut rng), |a, b| {
+                if (a + b) > 0.0 {
+                    a
+                } else {
+                    b
+                }
+            });
+        gradcheck_layer(&mut r, &[x], 1e-3, 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaky slope")]
+    fn rejects_bad_slope() {
+        Relu::leaky(1.5);
+    }
+}

@@ -1,0 +1,266 @@
+//! Convolution layers: standard and depthwise, with optional bias.
+
+use crate::layer::{single, Layer, Mode};
+use crate::param::{Param, ParamKind};
+use rand::rngs::StdRng;
+use tqt_tensor::conv::{
+    conv2d, conv2d_backward, depthwise_conv2d, depthwise_conv2d_backward, Conv2dGeom,
+};
+use tqt_tensor::{init, ops, Tensor};
+
+/// Standard 2-D convolution layer (`[out, in, kh, kw]` weights, NCHW data).
+#[derive(Debug)]
+pub struct Conv2d {
+    w: Param,
+    b: Option<Param>,
+    geom: Conv2dGeom,
+    cached_x: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a conv layer with He-normal weights and zero bias.
+    pub fn new(
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        geom: Conv2dGeom,
+        rng: &mut StdRng,
+    ) -> Self {
+        let w = init::he_normal([out_ch, in_ch, geom.kh, geom.kw], rng);
+        Conv2d {
+            w: Param::new(format!("{name}/weight"), w, ParamKind::Weight),
+            b: Some(Param::new(
+                format!("{name}/bias"),
+                Tensor::zeros([out_ch]),
+                ParamKind::Bias,
+            )),
+            geom,
+            cached_x: None,
+        }
+    }
+
+    /// Creates a conv layer from explicit tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not 4-D, its spatial dims disagree with `geom`, or
+    /// the bias length does not match the output channels.
+    pub fn from_parts(name: &str, w: Tensor, b: Option<Tensor>, geom: Conv2dGeom) -> Self {
+        assert_eq!(w.ndim(), 4, "conv weight must be 4-D, got {}", w.shape());
+        assert_eq!(
+            (w.dim(2), w.dim(3)),
+            (geom.kh, geom.kw),
+            "weight spatial dims {}x{} disagree with geometry {}x{}",
+            w.dim(2),
+            w.dim(3),
+            geom.kh,
+            geom.kw
+        );
+        if let Some(b) = &b {
+            assert_eq!(b.dims(), &[w.dim(0)], "bias does not match out channels");
+        }
+        Conv2d {
+            w: Param::new(format!("{name}/weight"), w, ParamKind::Weight),
+            b: b.map(|b| Param::new(format!("{name}/bias"), b, ParamKind::Bias)),
+            geom,
+            cached_x: None,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn geom(&self) -> Conv2dGeom {
+        self.geom
+    }
+
+    /// The weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.w
+    }
+}
+
+impl Layer for Conv2d {
+    fn op_name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, inputs: &[&Tensor], mode: Mode) -> Tensor {
+        let x = single(inputs, "conv2d");
+        let mut y = conv2d(x, &self.w.value, self.geom);
+        if let Some(b) = &self.b {
+            ops::add_channel_inplace(&mut y, &b.value);
+        }
+        if mode == Mode::Train {
+            self.cached_x = Some(x.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, gy: &Tensor) -> Vec<Tensor> {
+        let x = self
+            .cached_x
+            .take()
+            .expect("conv2d backward without cached forward");
+        let (gx, gw) = conv2d_backward(&x, &self.w.value, gy, self.geom);
+        self.w.accumulate(&gw);
+        if let Some(b) = &mut self.b {
+            b.accumulate(&ops::sum_over_channel(gy));
+        }
+        vec![gx]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut p = vec![&self.w];
+        if let Some(b) = &self.b {
+            p.push(b);
+        }
+        p
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = vec![&mut self.w];
+        if let Some(b) = &mut self.b {
+            p.push(b);
+        }
+        p
+    }
+}
+
+/// Depthwise 2-D convolution layer (`[c, 1, kh, kw]` weights), the
+/// MobileNet building block with irregular per-channel weight ranges that
+/// makes per-tensor quantization hard — the paper's motivating case.
+#[derive(Debug)]
+pub struct DepthwiseConv2d {
+    w: Param,
+    b: Option<Param>,
+    geom: Conv2dGeom,
+    cached_x: Option<Tensor>,
+}
+
+impl DepthwiseConv2d {
+    /// Creates a depthwise conv layer with He-normal weights and zero bias.
+    pub fn new(name: &str, channels: usize, geom: Conv2dGeom, rng: &mut StdRng) -> Self {
+        let w = init::he_normal([channels, 1, geom.kh, geom.kw], rng);
+        DepthwiseConv2d {
+            w: Param::new(format!("{name}/weight"), w, ParamKind::Weight),
+            b: Some(Param::new(
+                format!("{name}/bias"),
+                Tensor::zeros([channels]),
+                ParamKind::Bias,
+            )),
+            geom,
+            cached_x: None,
+        }
+    }
+
+    /// Creates a depthwise layer from explicit tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not `[c, 1, kh, kw]` matching `geom`.
+    pub fn from_parts(name: &str, w: Tensor, b: Option<Tensor>, geom: Conv2dGeom) -> Self {
+        assert_eq!(w.ndim(), 4, "depthwise weight must be 4-D");
+        assert_eq!(w.dim(1), 1, "depthwise channel multiplier must be 1");
+        assert_eq!((w.dim(2), w.dim(3)), (geom.kh, geom.kw));
+        if let Some(b) = &b {
+            assert_eq!(b.dims(), &[w.dim(0)], "bias does not match channels");
+        }
+        DepthwiseConv2d {
+            w: Param::new(format!("{name}/weight"), w, ParamKind::Weight),
+            b: b.map(|b| Param::new(format!("{name}/bias"), b, ParamKind::Bias)),
+            geom,
+            cached_x: None,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn geom(&self) -> Conv2dGeom {
+        self.geom
+    }
+}
+
+impl Layer for DepthwiseConv2d {
+    fn op_name(&self) -> &'static str {
+        "depthwise_conv2d"
+    }
+
+    fn forward(&mut self, inputs: &[&Tensor], mode: Mode) -> Tensor {
+        let x = single(inputs, "depthwise_conv2d");
+        let mut y = depthwise_conv2d(x, &self.w.value, self.geom);
+        if let Some(b) = &self.b {
+            ops::add_channel_inplace(&mut y, &b.value);
+        }
+        if mode == Mode::Train {
+            self.cached_x = Some(x.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, gy: &Tensor) -> Vec<Tensor> {
+        let x = self
+            .cached_x
+            .take()
+            .expect("depthwise backward without cached forward");
+        let (gx, gw) = depthwise_conv2d_backward(&x, &self.w.value, gy, self.geom);
+        self.w.accumulate(&gw);
+        if let Some(b) = &mut self.b {
+            b.accumulate(&ops::sum_over_channel(gy));
+        }
+        vec![gx]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut p = vec![&self.w];
+        if let Some(b) = &self.b {
+            p.push(b);
+        }
+        p
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = vec![&mut self.w];
+        if let Some(b) = &mut self.b {
+            p.push(b);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::gradcheck_layer;
+
+    #[test]
+    fn conv_gradcheck() {
+        let mut rng = init::rng(10);
+        let mut l = Conv2d::new("c", 2, 3, Conv2dGeom::new(3, 2, 1), &mut rng);
+        let x = init::normal([2, 2, 5, 5], 0.0, 1.0, &mut rng);
+        gradcheck_layer(&mut l, &[x], 1e-2, 3e-2);
+    }
+
+    #[test]
+    fn depthwise_gradcheck() {
+        let mut rng = init::rng(11);
+        let mut l = DepthwiseConv2d::new("dw", 3, Conv2dGeom::same(3), &mut rng);
+        let x = init::normal([2, 3, 4, 4], 0.0, 1.0, &mut rng);
+        gradcheck_layer(&mut l, &[x], 1e-2, 3e-2);
+    }
+
+    #[test]
+    fn conv_bias_broadcasts() {
+        let w = Tensor::zeros([2, 1, 1, 1]);
+        let b = Tensor::from_slice(&[1.0, -1.0]);
+        let mut l = Conv2d::from_parts("c", w, Some(b), Conv2dGeom::new(1, 1, 0));
+        let x = Tensor::zeros([1, 1, 2, 2]);
+        let y = l.forward(&[&x], Mode::Eval);
+        assert_eq!(y.data(), &[1., 1., 1., 1., -1., -1., -1., -1.]);
+    }
+
+    #[test]
+    fn output_shape_stride2() {
+        let mut rng = init::rng(12);
+        let mut l = Conv2d::new("c", 3, 8, Conv2dGeom::new(3, 2, 1), &mut rng);
+        let y = l.forward(&[&Tensor::zeros([1, 3, 32, 32])], Mode::Eval);
+        assert_eq!(y.dims(), &[1, 8, 16, 16]);
+    }
+}

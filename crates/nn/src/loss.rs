@@ -1,0 +1,160 @@
+//! Softmax cross-entropy loss and classification metrics.
+
+use tqt_tensor::{reduce, Tensor};
+
+/// Softmax cross-entropy over a batch of logits.
+///
+/// Returns `(mean_loss, dlogits)` where `dlogits = (softmax - onehot) / n`
+/// — the gradient of the mean loss with respect to the logits.
+///
+/// # Panics
+///
+/// Panics if `logits` is not `[n, k]`, `labels.len() != n`, or any label is
+/// out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.ndim(), 2, "logits must be [n, k], got {}", logits.shape());
+    let (n, k) = (logits.dim(0), logits.dim(1));
+    assert_eq!(labels.len(), n, "labels length {} != batch {}", labels.len(), n);
+    let mut dlogits = Tensor::zeros([n, k]);
+    let mut loss = 0.0f64;
+    let inv_n = 1.0 / n as f32;
+    for i in 0..n {
+        assert!(labels[i] < k, "label {} out of range for {k} classes", labels[i]);
+        let row = &logits.data()[i * k..(i + 1) * k];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f64> = row.iter().map(|&v| ((v - max) as f64).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        let drow = &mut dlogits.data_mut()[i * k..(i + 1) * k];
+        for j in 0..k {
+            let p = (exps[j] / sum) as f32;
+            drow[j] = p * inv_n;
+        }
+        drow[labels[i]] -= inv_n;
+        loss += -(exps[labels[i]] / sum).ln();
+    }
+    ((loss / n as f64) as f32, dlogits)
+}
+
+/// Softmax probabilities of a batch of logits (for inspection; training
+/// uses the fused loss above).
+///
+/// # Panics
+///
+/// Panics if `logits` is not 2-D.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.ndim(), 2, "logits must be [n, k]");
+    let (n, k) = (logits.dim(0), logits.dim(1));
+    let mut out = Tensor::zeros([n, k]);
+    for i in 0..n {
+        let row = &logits.data()[i * k..(i + 1) * k];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        for j in 0..k {
+            out.data_mut()[i * k + j] = exps[j] / sum;
+        }
+    }
+    out
+}
+
+/// Top-1 and top-5 accuracy of logits against labels, as fractions in
+/// `[0, 1]`. Top-5 falls back to top-`k` when there are fewer than 5
+/// classes.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn topk_accuracy(logits: &Tensor, labels: &[usize]) -> (f32, f32) {
+    assert_eq!(logits.ndim(), 2, "logits must be [n, k]");
+    let n = logits.dim(0);
+    assert_eq!(labels.len(), n, "labels length mismatch");
+    let kk = logits.dim(1).min(5);
+    let top = reduce::topk_rows(logits, kk);
+    let mut top1 = 0usize;
+    let mut top5 = 0usize;
+    for i in 0..n {
+        if top[i][0] == labels[i] {
+            top1 += 1;
+        }
+        if top[i].contains(&labels[i]) {
+            top5 += 1;
+        }
+    }
+    (top1 as f32 / n as f32, top5 as f32 / n as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_loss_is_log_k() {
+        let logits = Tensor::zeros([2, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let (_, d) = softmax_cross_entropy(&logits, &[0, 2]);
+        for i in 0..2 {
+            let s: f32 = d.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_finite_difference() {
+        let logits = Tensor::from_vec([2, 3], vec![0.3, -1.2, 0.8, 2.0, 0.1, -0.4]);
+        let labels = [2usize, 0];
+        let (_, d) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let fd = (softmax_cross_entropy(&lp, &labels).0
+                - softmax_cross_entropy(&lm, &labels).0)
+                / (2.0 * eps);
+            assert!(
+                (fd - d.data()[i]).abs() < 1e-3,
+                "grad mismatch at {i}: fd={fd} analytic={}",
+                d.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn numerically_stable_for_large_logits() {
+        let logits = Tensor::from_vec([1, 2], vec![1000.0, 0.0]);
+        let (loss, d) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss.is_finite() && loss >= 0.0);
+        assert!(d.all_finite());
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec([2, 3], vec![1., 2., 3., -5., 0., 5.]);
+        let p = softmax(&logits);
+        for i in 0..2 {
+            let s: f32 = p.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn accuracy_counts() {
+        let logits = Tensor::from_vec(
+            [2, 6],
+            vec![
+                0.9, 0.05, 0.02, 0.01, 0.01, 0.01, // argmax 0
+                0.1, 0.2, 0.3, 0.15, 0.15, 0.1, // argmax 2
+            ],
+        );
+        let (t1, t5) = topk_accuracy(&logits, &[0, 5]);
+        assert_eq!(t1, 0.5);
+        assert_eq!(t5, 0.5); // label 5 has the smallest logit in row 2
+    }
+}

@@ -1,0 +1,105 @@
+//! Trainable parameters and their gradient storage.
+
+use tqt_tensor::Tensor;
+
+/// What role a parameter plays, used by the trainer to route parameters to
+/// the right optimizer group (the paper trains weights and thresholds with
+/// different learning rates and decay schedules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamKind {
+    /// Convolution / dense weights.
+    Weight,
+    /// Bias vectors.
+    Bias,
+    /// Batch-norm scale (gamma) and shift (beta).
+    BatchNorm,
+    /// Quantization log-thresholds (`log2 t`).
+    Threshold,
+}
+
+/// A named trainable tensor with accumulated gradient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Unique name within a graph (e.g. `conv1/weight`).
+    pub name: String,
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    /// Parameter role for optimizer-group routing.
+    pub kind: ParamKind,
+    /// Whether the optimizer may update this parameter. Frozen thresholds
+    /// and fixed weights set this to `false`.
+    pub trainable: bool,
+}
+
+impl Param {
+    /// Creates a trainable parameter with a zeroed gradient.
+    pub fn new(name: impl Into<String>, value: Tensor, kind: ParamKind) -> Self {
+        let grad = Tensor::zeros(value.shape().clone());
+        Param {
+            name: name.into(),
+            value,
+            grad,
+            kind,
+            trainable: true,
+        }
+    }
+
+    /// Zeroes the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.data_mut().fill(0.0);
+    }
+
+    /// Adds `g` into the accumulated gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` has a different shape than the parameter.
+    pub fn accumulate(&mut self, g: &Tensor) {
+        tqt_tensor::ops::axpy(&mut self.grad, 1.0, g);
+    }
+
+    /// Convenience for scalar parameters (log-thresholds): the single value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter is not scalar.
+    pub fn scalar(&self) -> f32 {
+        self.value.item()
+    }
+
+    /// Adds `g` to a scalar parameter's gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter is not scalar.
+    pub fn accumulate_scalar(&mut self, g: f32) {
+        assert_eq!(self.grad.len(), 1, "accumulate_scalar on non-scalar param");
+        self.grad.data_mut()[0] += g;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_and_zero() {
+        let mut p = Param::new("w", Tensor::zeros([2]), ParamKind::Weight);
+        p.accumulate(&Tensor::from_slice(&[1.0, 2.0]));
+        p.accumulate(&Tensor::from_slice(&[0.5, 0.5]));
+        assert_eq!(p.grad.data(), &[1.5, 2.5]);
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn scalar_param() {
+        let mut p = Param::new("log2_t", Tensor::scalar(1.5), ParamKind::Threshold);
+        assert_eq!(p.scalar(), 1.5);
+        p.accumulate_scalar(0.25);
+        p.accumulate_scalar(0.25);
+        assert_eq!(p.grad.item(), 0.5);
+    }
+}

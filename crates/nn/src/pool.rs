@@ -1,0 +1,379 @@
+//! Pooling layers: max pooling, average pooling, global average pooling,
+//! and flatten.
+//!
+//! Average pooling is also expressible as a depthwise convolution with
+//! reciprocal weights — the transform Graffitist applies before
+//! quantization (Section 4.1); the direct implementation here is the
+//! reference the transform is validated against.
+
+use crate::layer::{single, Layer, Mode};
+use tqt_tensor::conv::Conv2dGeom;
+use tqt_tensor::Tensor;
+
+/// Max pooling over spatial windows of an NCHW tensor.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    geom: Conv2dGeom,
+    /// For each output element, the flat input index of its max.
+    cached_argmax: Option<(Vec<usize>, Vec<usize>)>, // (argmax, input dims as len-4)
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with the given window geometry.
+    pub fn new(geom: Conv2dGeom) -> Self {
+        MaxPool2d {
+            geom,
+            cached_argmax: None,
+        }
+    }
+
+    /// The standard 2x2 stride-2 pooling.
+    pub fn k2s2() -> Self {
+        MaxPool2d::new(Conv2dGeom::new(2, 2, 0))
+    }
+
+    /// The pooling geometry.
+    pub fn geom(&self) -> Conv2dGeom {
+        self.geom
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn op_name(&self) -> &'static str {
+        "max_pool"
+    }
+
+    fn forward(&mut self, inputs: &[&Tensor], mode: Mode) -> Tensor {
+        let x = single(inputs, "max_pool");
+        assert_eq!(x.ndim(), 4, "max_pool input must be NCHW, got {}", x.shape());
+        let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+        let g = self.geom;
+        let (oh, ow) = g.out_size(h, w);
+        let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        let xd = x.data();
+        for ni in 0..n {
+            for ci in 0..c {
+                let ibase = (ni * c + ci) * h * w;
+                let obase = (ni * c + ci) * oh * ow;
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut besti = 0usize;
+                        for ki in 0..g.kh {
+                            let ii = (oi * g.stride + ki) as isize - g.pad as isize;
+                            if ii < 0 || ii >= h as isize {
+                                continue;
+                            }
+                            for kj in 0..g.kw {
+                                let jj = (oj * g.stride + kj) as isize - g.pad as isize;
+                                if jj < 0 || jj >= w as isize {
+                                    continue;
+                                }
+                                let idx = ibase + ii as usize * w + jj as usize;
+                                if xd[idx] > best {
+                                    best = xd[idx];
+                                    besti = idx;
+                                }
+                            }
+                        }
+                        out[obase + oi * ow + oj] = best;
+                        argmax[obase + oi * ow + oj] = besti;
+                    }
+                }
+            }
+        }
+        if mode == Mode::Train {
+            self.cached_argmax = Some((argmax, vec![n, c, h, w]));
+        }
+        Tensor::from_vec([n, c, oh, ow], out)
+    }
+
+    fn backward(&mut self, gy: &Tensor) -> Vec<Tensor> {
+        let (argmax, dims) = self
+            .cached_argmax
+            .take()
+            .expect("max_pool backward without cached forward");
+        let mut gx = Tensor::zeros(dims);
+        let gxd = gx.data_mut();
+        for (o, &i) in argmax.iter().enumerate() {
+            gxd[i] += gy.data()[o];
+        }
+        vec![gx]
+    }
+}
+
+/// Average pooling over spatial windows (count includes padding positions,
+/// i.e. the divisor is the full kernel size, matching the depthwise-conv
+/// reciprocal-weights equivalence the paper uses).
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    geom: Conv2dGeom,
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer.
+    pub fn new(geom: Conv2dGeom) -> Self {
+        AvgPool2d {
+            geom,
+            cached_dims: None,
+        }
+    }
+
+    /// The pooling geometry.
+    pub fn geom(&self) -> Conv2dGeom {
+        self.geom
+    }
+
+    /// The reciprocal multiplier `1 / F²` (with `F` the kernel size) that
+    /// the avgpool → depthwise-conv transform uses as weights.
+    pub fn reciprocal(&self) -> f32 {
+        1.0 / (self.geom.kh * self.geom.kw) as f32
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn op_name(&self) -> &'static str {
+        "avg_pool"
+    }
+
+    fn forward(&mut self, inputs: &[&Tensor], mode: Mode) -> Tensor {
+        let x = single(inputs, "avg_pool");
+        assert_eq!(x.ndim(), 4, "avg_pool input must be NCHW, got {}", x.shape());
+        let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+        let g = self.geom;
+        let (oh, ow) = g.out_size(h, w);
+        let r = self.reciprocal();
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        let xd = x.data();
+        for ni in 0..n {
+            for ci in 0..c {
+                let ibase = (ni * c + ci) * h * w;
+                let obase = (ni * c + ci) * oh * ow;
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let mut acc = 0.0f32;
+                        for ki in 0..g.kh {
+                            let ii = (oi * g.stride + ki) as isize - g.pad as isize;
+                            if ii < 0 || ii >= h as isize {
+                                continue;
+                            }
+                            for kj in 0..g.kw {
+                                let jj = (oj * g.stride + kj) as isize - g.pad as isize;
+                                if jj < 0 || jj >= w as isize {
+                                    continue;
+                                }
+                                acc += xd[ibase + ii as usize * w + jj as usize];
+                            }
+                        }
+                        out[obase + oi * ow + oj] = acc * r;
+                    }
+                }
+            }
+        }
+        if mode == Mode::Train {
+            self.cached_dims = Some(vec![n, c, h, w]);
+        }
+        Tensor::from_vec([n, c, oh, ow], out)
+    }
+
+    fn backward(&mut self, gy: &Tensor) -> Vec<Tensor> {
+        let dims = self
+            .cached_dims
+            .take()
+            .expect("avg_pool backward without cached forward");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let g = self.geom;
+        let (oh, ow) = g.out_size(h, w);
+        let r = self.reciprocal();
+        let mut gx = Tensor::zeros(dims);
+        let gxd = gx.data_mut();
+        for ni in 0..n {
+            for ci in 0..c {
+                let ibase = (ni * c + ci) * h * w;
+                let obase = (ni * c + ci) * oh * ow;
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let gv = gy.data()[obase + oi * ow + oj] * r;
+                        for ki in 0..g.kh {
+                            let ii = (oi * g.stride + ki) as isize - g.pad as isize;
+                            if ii < 0 || ii >= h as isize {
+                                continue;
+                            }
+                            for kj in 0..g.kw {
+                                let jj = (oj * g.stride + kj) as isize - g.pad as isize;
+                                if jj < 0 || jj >= w as isize {
+                                    continue;
+                                }
+                                gxd[ibase + ii as usize * w + jj as usize] += gv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        vec![gx]
+    }
+}
+
+/// Global average pooling: NCHW → `[N, C]` (the head of every model in the
+/// zoo; the paper replaces `reduce_mean` with `avg_pool` before export,
+/// which this layer matches by construction).
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAvgPool {
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { cached_dims: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn op_name(&self) -> &'static str {
+        "global_avg_pool"
+    }
+
+    fn forward(&mut self, inputs: &[&Tensor], mode: Mode) -> Tensor {
+        let x = single(inputs, "global_avg_pool");
+        assert_eq!(x.ndim(), 4, "global_avg_pool input must be NCHW");
+        let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+        let inv = 1.0 / (h * w) as f32;
+        let mut out = vec![0.0f32; n * c];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                out[ni * c + ci] = x.data()[base..base + h * w].iter().sum::<f32>() * inv;
+            }
+        }
+        if mode == Mode::Train {
+            self.cached_dims = Some(vec![n, c, h, w]);
+        }
+        Tensor::from_vec([n, c], out)
+    }
+
+    fn backward(&mut self, gy: &Tensor) -> Vec<Tensor> {
+        let dims = self
+            .cached_dims
+            .take()
+            .expect("global_avg_pool backward without cached forward");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let inv = 1.0 / (h * w) as f32;
+        let mut gx = Tensor::zeros(dims);
+        let gxd = gx.data_mut();
+        for ni in 0..n {
+            for ci in 0..c {
+                let gv = gy.data()[ni * c + ci] * inv;
+                let base = (ni * c + ci) * h * w;
+                gxd[base..base + h * w].fill(gv);
+            }
+        }
+        vec![gx]
+    }
+}
+
+/// Flattens NCHW to `[N, C*H*W]` (2-D tensors pass through).
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { cached_dims: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn op_name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn forward(&mut self, inputs: &[&Tensor], mode: Mode) -> Tensor {
+        let x = single(inputs, "flatten");
+        if mode == Mode::Train {
+            self.cached_dims = Some(x.dims().to_vec());
+        }
+        let n = x.dim(0);
+        x.reshape([n, x.len() / n])
+    }
+
+    fn backward(&mut self, gy: &Tensor) -> Vec<Tensor> {
+        let dims = self
+            .cached_dims
+            .take()
+            .expect("flatten backward without cached forward");
+        vec![gy.reshape(dims)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::gradcheck_layer;
+    use tqt_tensor::init;
+
+    #[test]
+    fn max_pool_known() {
+        let mut p = MaxPool2d::k2s2();
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1., 2., 3., 4.]);
+        let y = p.forward(&[&x], Mode::Eval);
+        assert_eq!(y.data(), &[4.0]);
+    }
+
+    #[test]
+    fn max_pool_routes_gradient_to_argmax() {
+        let mut p = MaxPool2d::k2s2();
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1., 2., 3., 4.]);
+        p.forward(&[&x], Mode::Train);
+        let g = p.backward(&Tensor::from_vec([1, 1, 1, 1], vec![5.0])).remove(0);
+        assert_eq!(g.data(), &[0., 0., 0., 5.0]);
+    }
+
+    #[test]
+    fn avg_pool_known() {
+        let mut p = AvgPool2d::new(Conv2dGeom::new(2, 2, 0));
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1., 2., 3., 4.]);
+        let y = p.forward(&[&x], Mode::Eval);
+        assert_eq!(y.data(), &[2.5]);
+    }
+
+    #[test]
+    fn avg_pool_gradcheck() {
+        let mut rng = init::rng(40);
+        let mut p = AvgPool2d::new(Conv2dGeom::new(2, 2, 0));
+        let x = init::normal([2, 2, 4, 4], 0.0, 1.0, &mut rng);
+        gradcheck_layer(&mut p, &[x], 1e-2, 1e-2);
+    }
+
+    #[test]
+    fn global_avg_pool_gradcheck() {
+        let mut rng = init::rng(41);
+        let mut p = GlobalAvgPool::new();
+        let x = init::normal([2, 3, 4, 4], 0.0, 1.0, &mut rng);
+        gradcheck_layer(&mut p, &[x], 1e-2, 1e-2);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec([2, 2, 1, 2], (0..8).map(|v| v as f32).collect());
+        let y = f.forward(&[&x], Mode::Train);
+        assert_eq!(y.dims(), &[2, 4]);
+        let g = f.backward(&y).remove(0);
+        assert_eq!(g.dims(), x.dims());
+        assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    fn max_pool_gradcheck_distinct_values() {
+        // Use strictly distinct values so the max is FD-differentiable.
+        let mut p = MaxPool2d::k2s2();
+        let x = Tensor::from_vec([1, 2, 4, 4], (0..32).map(|v| v as f32 * 0.37).collect());
+        gradcheck_layer(&mut p, &[x], 1e-3, 1e-2);
+    }
+}

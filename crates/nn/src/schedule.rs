@@ -1,0 +1,89 @@
+//! Learning-rate schedules. The paper decays exponentially "with staircase
+//! enabled": the rate drops by a fixed factor every fixed number of steps,
+//! with the step interval scaled by `24 / batch_size` (Section 5.2).
+
+/// Exponential staircase decay: `lr(step) = lr0 * decay^floor(step / interval)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaircaseDecay {
+    /// Initial learning rate.
+    pub lr0: f32,
+    /// Multiplicative decay factor per staircase drop.
+    pub decay: f32,
+    /// Steps between drops.
+    pub interval: u64,
+}
+
+impl StaircaseDecay {
+    /// Creates a staircase schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr0 <= 0`, `decay` is outside `(0, 1]`, or
+    /// `interval == 0`.
+    pub fn new(lr0: f32, decay: f32, interval: u64) -> Self {
+        assert!(lr0 > 0.0, "initial learning rate must be positive");
+        assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0,1]");
+        assert!(interval > 0, "interval must be positive");
+        StaircaseDecay {
+            lr0,
+            decay,
+            interval,
+        }
+    }
+
+    /// The paper's weight schedule: decay 0.94 every `3000 * (24/N)` steps
+    /// for batch size `N`.
+    pub fn paper_weights(lr0: f32, batch_size: usize) -> Self {
+        StaircaseDecay::new(lr0, 0.94, scaled_interval(3000, batch_size))
+    }
+
+    /// The paper's threshold schedule: decay 0.5 every `1000 * (24/N)`
+    /// steps for batch size `N`.
+    pub fn paper_thresholds(lr0: f32, batch_size: usize) -> Self {
+        StaircaseDecay::new(lr0, 0.5, scaled_interval(1000, batch_size))
+    }
+
+    /// Learning rate at a given global step.
+    pub fn at(&self, step: u64) -> f32 {
+        self.lr0 * self.decay.powi((step / self.interval) as i32)
+    }
+}
+
+/// Scales a step interval by `24 / batch_size` as in Section 5.2, keeping
+/// at least one step.
+///
+/// # Panics
+///
+/// Panics if `batch_size == 0`.
+pub fn scaled_interval(base: u64, batch_size: usize) -> u64 {
+    assert!(batch_size > 0, "batch size must be positive");
+    ((base as f64 * 24.0 / batch_size as f64).round() as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staircase_holds_then_drops() {
+        let s = StaircaseDecay::new(1.0, 0.5, 10);
+        assert_eq!(s.at(0), 1.0);
+        assert_eq!(s.at(9), 1.0);
+        assert_eq!(s.at(10), 0.5);
+        assert_eq!(s.at(25), 0.25);
+    }
+
+    #[test]
+    fn paper_intervals_scale_with_batch() {
+        // Batch 24 => base interval; batch 12 => doubled.
+        assert_eq!(StaircaseDecay::paper_weights(1e-6, 24).interval, 3000);
+        assert_eq!(StaircaseDecay::paper_weights(1e-6, 12).interval, 6000);
+        assert_eq!(StaircaseDecay::paper_thresholds(1e-2, 16).interval, 1500);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay")]
+    fn rejects_bad_decay() {
+        StaircaseDecay::new(1.0, 0.0, 10);
+    }
+}

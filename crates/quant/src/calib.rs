@@ -1,0 +1,256 @@
+//! Threshold calibration: MAX, n-standard-deviations, percentile, and the
+//! symmetric Kullback-Leibler-J-distance histogram method the paper uses
+//! for activations (Table 2, Section 4.2).
+
+use crate::spec::QuantSpec;
+use tqt_tensor::stats::{mean_std, abs_percentile, Histogram};
+use tqt_tensor::Tensor;
+
+/// Number of histogram bins used for KL-J calibration.
+pub const KLJ_HIST_BINS: usize = 2048;
+
+/// A threshold-initialization scheme (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThresholdInit {
+    /// Maximum absolute value (paper's weight init in static mode and
+    /// wt-only retrain mode).
+    Max,
+    /// `n` standard deviations of the distribution: `t = |mean| + n·std`
+    /// (paper's weight init for wt+th retrain mode uses `n = 3`).
+    StdDevs(f32),
+    /// The q-th percentile (`0..=100`) of the absolute values.
+    Percentile(f32),
+    /// Symmetric KL-J distance minimization over a histogram of absolute
+    /// values (paper's activation init in every mode).
+    KlJ,
+}
+
+impl ThresholdInit {
+    /// The paper's "3SD" weight initialization.
+    pub const THREE_SD: ThresholdInit = ThresholdInit::StdDevs(3.0);
+}
+
+/// Calibrates a raw threshold `t > 0` for a tensor under the given scheme.
+///
+/// The returned value is the *raw* threshold; take `log2` for the trainable
+/// log-domain parameter (see [`calibrate_log2_t`]).
+///
+/// # Panics
+///
+/// Panics if the tensor is empty, or if a percentile argument is outside
+/// `[0, 100]`.
+pub fn calibrate(t: &Tensor, init: ThresholdInit, spec: QuantSpec) -> f32 {
+    assert!(!t.is_empty(), "cannot calibrate threshold on empty tensor");
+    let raw = match init {
+        ThresholdInit::Max => t.abs_max(),
+        ThresholdInit::StdDevs(n) => {
+            let (m, s) = mean_std(t);
+            m.abs() + n * s
+        }
+        ThresholdInit::Percentile(q) => abs_percentile(t, q),
+        ThresholdInit::KlJ => {
+            // Zeros are exactly representable at every scale; excluding
+            // them keeps the post-ReLU zero spike from biasing the merge
+            // cost toward over-tight thresholds.
+            let hist = Histogram::from_tensor_nonzero(t, KLJ_HIST_BINS);
+            kl_j_threshold(&hist, quant_levels(spec))
+        }
+    };
+    // A threshold of zero (all-zero tensor) would make log2 diverge; use a
+    // tiny positive floor so a degenerate tensor still quantizes to zeros.
+    raw.max(f32::MIN_POSITIVE.sqrt())
+}
+
+/// Calibrates and returns the log-domain threshold `log2 t` directly.
+///
+/// # Panics
+///
+/// Same conditions as [`calibrate`].
+pub fn calibrate_log2_t(t: &Tensor, init: ThresholdInit, spec: QuantSpec) -> f32 {
+    calibrate(t, init, spec).log2()
+}
+
+/// The number of representable magnitude levels the KL-J merge should
+/// target: `2^(b-1)` for signed data (magnitudes share the sign bit) and
+/// `2^b` for unsigned data.
+fn quant_levels(spec: QuantSpec) -> usize {
+    if spec.signed() {
+        1usize << (spec.bits() - 1)
+    } else {
+        1usize << spec.bits()
+    }
+}
+
+/// Discrete symmetric KL-J divergence `J(P,Q) = KL(P||Q) + KL(Q||P)`
+/// between two unnormalized non-negative histograms of equal length, with
+/// epsilon smoothing of empty bins.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths, are empty, or either has
+/// zero total mass.
+pub fn kl_j_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "KL-J requires equal-length histograms");
+    assert!(!p.is_empty(), "KL-J of empty histograms");
+    const EPS: f64 = 1e-10;
+    let ps: f64 = p.iter().sum::<f64>() + EPS * p.len() as f64;
+    let qs: f64 = q.iter().sum::<f64>() + EPS * q.len() as f64;
+    assert!(ps > 0.0 && qs > 0.0, "KL-J of zero-mass histogram");
+    let mut j = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        let pn = (pi + EPS) / ps;
+        let qn = (qi + EPS) / qs;
+        j += pn * (pn / qn).ln() + qn * (qn / pn).ln();
+    }
+    j
+}
+
+/// Finds the clipping threshold minimizing the KL-J distance between the
+/// original distribution and its quantized approximation, scanning
+/// candidate thresholds over the histogram's bin edges (the TensorRT-style
+/// calibration of Migacz (2017), with the symmetric J-distance of
+/// D'Alberto & Dasdan (2009) that the paper specifies).
+///
+/// `levels` is the number of quantized magnitude bins (e.g. 128 for INT8).
+///
+/// # Panics
+///
+/// Panics if the histogram has no mass or fewer bins than `levels`.
+pub fn kl_j_threshold(hist: &Histogram, levels: usize) -> f32 {
+    let bins = hist.bins();
+    let n = bins.len();
+    assert!(hist.total() > 0.0, "KL-J calibration on empty histogram");
+    if n <= levels {
+        // Nothing to clip: every bin is representable, keep full range.
+        return hist.max();
+    }
+    let mut best = (f64::INFINITY, n);
+    for i in (levels..=n).step_by(levels.max(8) / 8) {
+        // Reference distribution: first i bins with the clipped tail mass
+        // folded into the last kept bin.
+        let mut p: Vec<f64> = bins[..i].to_vec();
+        let tail: f64 = bins[i..].iter().sum();
+        p[i - 1] += tail;
+
+        // Candidate distribution: merge the i bins into `levels` groups,
+        // spreading each group's mass uniformly over its occupied bins.
+        let mut q = vec![0.0f64; i];
+        let group = i as f64 / levels as f64;
+        for l in 0..levels {
+            let start = (l as f64 * group).floor() as usize;
+            let end = (((l + 1) as f64 * group).floor() as usize).min(i).max(start + 1);
+            let mass: f64 = bins[start..end].iter().sum();
+            let occupied = bins[start..end].iter().filter(|&&b| b > 0.0).count();
+            if occupied == 0 {
+                continue;
+            }
+            let share = mass / occupied as f64;
+            for k in start..end {
+                if bins[k] > 0.0 {
+                    q[k] = share;
+                }
+            }
+        }
+        let j = kl_j_divergence(&p, &q);
+        if j < best.0 {
+            best = (j, i);
+        }
+    }
+    hist.bin_upper_edge(best.1 - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqt_tensor::init;
+
+    #[test]
+    fn max_init_is_abs_max() {
+        let t = Tensor::from_slice(&[0.1, -7.0, 3.0]);
+        assert_eq!(calibrate(&t, ThresholdInit::Max, QuantSpec::INT8), 7.0);
+    }
+
+    #[test]
+    fn three_sd_smaller_than_max_on_long_tails() {
+        let mut rng = init::rng(5);
+        let mut x = init::normal([10_000], 0.0, 1.0, &mut rng);
+        x.data_mut()[0] = 50.0; // inject an outlier
+        let t_max = calibrate(&x, ThresholdInit::Max, QuantSpec::INT8);
+        let t_3sd = calibrate(&x, ThresholdInit::THREE_SD, QuantSpec::INT8);
+        assert_eq!(t_max, 50.0);
+        assert!(t_3sd < 5.0, "3SD threshold should ignore the outlier, got {t_3sd}");
+    }
+
+    #[test]
+    fn percentile_init() {
+        let t = Tensor::linspace(0.0, 1.0, 101);
+        let p = calibrate(&t, ThresholdInit::Percentile(99.0), QuantSpec::INT8);
+        assert!((p - 0.99).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_tensor_is_safe() {
+        let t = Tensor::zeros([16]);
+        let c = calibrate(&t, ThresholdInit::Max, QuantSpec::INT8);
+        assert!(c > 0.0 && c.is_finite());
+        assert!(calibrate_log2_t(&t, ThresholdInit::Max, QuantSpec::INT8).is_finite());
+    }
+
+    #[test]
+    fn kl_j_is_symmetric_and_nonnegative() {
+        let p = [1.0, 5.0, 2.0, 0.0];
+        let q = [2.0, 3.0, 3.0, 1.0];
+        let j_pq = kl_j_divergence(&p, &q);
+        let j_qp = kl_j_divergence(&q, &p);
+        assert!((j_pq - j_qp).abs() < 1e-12);
+        assert!(j_pq > 0.0);
+        assert!(kl_j_divergence(&p, &p) < 1e-9);
+    }
+
+    #[test]
+    fn kl_j_threshold_clips_long_tails() {
+        // A distribution with 99.9% of mass below 1.0 and a sparse tail out
+        // to 100: the KL-J threshold should clip far below the max.
+        let mut rng = init::rng(6);
+        let bulk = init::normal([50_000], 0.0, 0.3, &mut rng);
+        let mut data = bulk.into_vec();
+        for i in 0..20 {
+            data.push(50.0 + i as f32);
+        }
+        let n = data.len();
+        let t = Tensor::from_vec(n, data);
+        let thr = calibrate(&t, ThresholdInit::KlJ, QuantSpec::INT8);
+        assert!(
+            thr < 10.0,
+            "KL-J should clip the sparse tail (max {} -> threshold {thr})",
+            t.abs_max()
+        );
+        assert!(thr > 0.5, "KL-J must keep the bulk of the mass, got {thr}");
+    }
+
+    #[test]
+    fn kl_j_keeps_full_range_for_compact_distributions() {
+        // Uniform data has no tail to clip: threshold should be near max.
+        let mut rng = init::rng(7);
+        let t = init::uniform([50_000], -1.0, 1.0, &mut rng);
+        let thr = calibrate(&t, ThresholdInit::KlJ, QuantSpec::INT8);
+        assert!(thr > 0.8, "uniform data should keep most of its range, got {thr}");
+    }
+
+    #[test]
+    fn small_histogram_short_circuits() {
+        let h = Histogram::new(64, 1.0);
+        let mut h2 = h.clone();
+        h2.add(&Tensor::from_slice(&[0.5]));
+        assert_eq!(kl_j_threshold(&h2, 128), 1.0);
+    }
+
+    #[test]
+    fn log2_variant_consistent() {
+        let t = Tensor::from_slice(&[0.5, -4.0]);
+        let raw = calibrate(&t, ThresholdInit::Max, QuantSpec::INT8);
+        let l = calibrate_log2_t(&t, ThresholdInit::Max, QuantSpec::INT8);
+        assert_eq!(l, raw.log2());
+        assert_eq!(l, 2.0);
+    }
+}

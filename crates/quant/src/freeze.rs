@@ -1,0 +1,207 @@
+//! Incremental threshold freezing (Section 5.2).
+//!
+//! With power-of-2 scaling, a converged threshold oscillates around a
+//! critical integer level `log2 t*`; every crossing changes downstream
+//! activation distributions and forces later layers to re-adapt. The paper
+//! therefore incrementally freezes thresholds — starting at a configured
+//! step, once every `interval` steps, in order of increasing absolute
+//! gradient magnitude — but only when a threshold is on the "correct side"
+//! of `log2 t*` as judged by an exponential moving average of its value.
+
+/// Per-threshold freezing state.
+#[derive(Debug, Clone)]
+struct ThresholdState {
+    frozen: bool,
+    /// EMA of the log-threshold value, used to estimate which integer bin
+    /// the threshold is converging to.
+    ema_log2_t: f64,
+    /// EMA of the absolute gradient, used for the freeze ordering.
+    ema_abs_grad: f64,
+    initialized: bool,
+}
+
+/// Controller that decides when each trainable threshold stops updating.
+///
+/// # Examples
+///
+/// ```
+/// use tqt_quant::freeze::FreezeController;
+/// let mut fc = FreezeController::new(2, 100, 50, 0.9);
+/// assert!(!fc.is_frozen(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FreezeController {
+    states: Vec<ThresholdState>,
+    start_step: u64,
+    interval: u64,
+    ema_decay: f64,
+    last_freeze_step: Option<u64>,
+}
+
+impl FreezeController {
+    /// Creates a controller for `n` thresholds. Freezing begins at
+    /// `start_step` and freezes at most one threshold every `interval`
+    /// steps; EMAs use decay `ema_decay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval == 0` or `ema_decay` is outside `(0, 1)`.
+    pub fn new(n: usize, start_step: u64, interval: u64, ema_decay: f64) -> Self {
+        assert!(interval > 0, "freeze interval must be positive");
+        assert!(
+            (0.0..1.0).contains(&ema_decay) && ema_decay > 0.0,
+            "EMA decay must be in (0,1)"
+        );
+        FreezeController {
+            states: vec![
+                ThresholdState {
+                    frozen: false,
+                    ema_log2_t: 0.0,
+                    ema_abs_grad: 0.0,
+                    initialized: false,
+                };
+                n
+            ],
+            start_step,
+            interval,
+            ema_decay,
+            last_freeze_step: None,
+        }
+    }
+
+    /// Number of tracked thresholds.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the controller tracks no thresholds.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Whether threshold `idx` is frozen (its updates should be skipped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn is_frozen(&self, idx: usize) -> bool {
+        self.states[idx].frozen
+    }
+
+    /// Number of currently frozen thresholds.
+    pub fn frozen_count(&self) -> usize {
+        self.states.iter().filter(|s| s.frozen).count()
+    }
+
+    /// Records the current value and gradient of threshold `idx` for this
+    /// step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn observe(&mut self, idx: usize, log2_t: f32, grad: f32) {
+        let s = &mut self.states[idx];
+        if !s.initialized {
+            s.ema_log2_t = log2_t as f64;
+            s.ema_abs_grad = grad.abs() as f64;
+            s.initialized = true;
+        } else {
+            s.ema_log2_t = self.ema_decay * s.ema_log2_t + (1.0 - self.ema_decay) * log2_t as f64;
+            s.ema_abs_grad =
+                self.ema_decay * s.ema_abs_grad + (1.0 - self.ema_decay) * grad.abs() as f64;
+        }
+    }
+
+    /// After all observations for `step`, freezes at most one eligible
+    /// threshold and returns its index. A threshold is eligible when it is
+    /// not yet frozen and its current integer bin `ceil(log2 t)` matches
+    /// the bin of its EMA (it is on the correct side of `log2 t*`). Among
+    /// eligible thresholds the one with the smallest absolute-gradient EMA
+    /// freezes first.
+    pub fn step(&mut self, step: u64, current_log2_t: &[f32]) -> Option<usize> {
+        assert_eq!(
+            current_log2_t.len(),
+            self.states.len(),
+            "value slice length mismatch"
+        );
+        if step < self.start_step {
+            return None;
+        }
+        if let Some(last) = self.last_freeze_step {
+            if step < last + self.interval {
+                return None;
+            }
+        }
+        let candidate = self
+            .states
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| {
+                s.initialized
+                    && !s.frozen
+                    && (current_log2_t[*i].ceil() as i64) == (s.ema_log2_t.ceil() as i64)
+            })
+            .min_by(|(_, a), (_, b)| a.ema_abs_grad.partial_cmp(&b.ema_abs_grad).unwrap())
+            .map(|(i, _)| i);
+        if let Some(i) = candidate {
+            self.states[i].frozen = true;
+            self.last_freeze_step = Some(step);
+        }
+        candidate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freezes_smallest_gradient_first() {
+        let mut fc = FreezeController::new(3, 10, 5, 0.5);
+        for _ in 0..20 {
+            fc.observe(0, 1.2, 0.5);
+            fc.observe(1, -0.3, 0.01);
+            fc.observe(2, 2.7, 0.2);
+        }
+        let vals = [1.2, -0.3, 2.7];
+        assert_eq!(fc.step(10, &vals), Some(1));
+        assert!(fc.is_frozen(1));
+        assert_eq!(fc.frozen_count(), 1);
+    }
+
+    #[test]
+    fn respects_start_and_interval() {
+        let mut fc = FreezeController::new(2, 100, 50, 0.5);
+        fc.observe(0, 0.5, 0.1);
+        fc.observe(1, 0.5, 0.2);
+        assert_eq!(fc.step(99, &[0.5, 0.5]), None);
+        assert_eq!(fc.step(100, &[0.5, 0.5]), Some(0));
+        // Must wait a full interval before the next freeze.
+        assert_eq!(fc.step(120, &[0.5, 0.5]), None);
+        assert_eq!(fc.step(150, &[0.5, 0.5]), Some(1));
+    }
+
+    #[test]
+    fn skips_thresholds_in_wrong_bin() {
+        let mut fc = FreezeController::new(1, 0, 1, 0.9);
+        for _ in 0..50 {
+            fc.observe(0, 1.9, 0.1); // EMA settles near bin ceil=2
+        }
+        // Current value jumped into a different integer bin: not eligible.
+        assert_eq!(fc.step(10, &[2.4]), None);
+        // Back in the EMA's bin: freezes.
+        assert_eq!(fc.step(11, &[1.8]), Some(0));
+    }
+
+    #[test]
+    fn never_observed_never_frozen() {
+        let mut fc = FreezeController::new(1, 0, 1, 0.9);
+        assert_eq!(fc.step(5, &[0.0]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn rejects_zero_interval() {
+        FreezeController::new(1, 0, 0, 0.9);
+    }
+}

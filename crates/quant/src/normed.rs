@@ -1,0 +1,116 @@
+//! Gradient norming for log-threshold training (Appendix B.2, eqs. 17–18).
+//!
+//! Neither raw- nor log-threshold gradients are scale invariant; normalizing
+//! the gradient by a bias-corrected moving average of its variance restores
+//! both threshold- and input-scale invariance, which is what lets plain SGD
+//! train thresholds stably. (Adam performs an equivalent norming internally,
+//! which is why the paper can use unnormed log gradients with Adam.)
+
+/// Bias-corrected moving-variance gradient normalizer (eq. 17), with an
+/// optional `tanh` clip (eq. 18).
+///
+/// # Examples
+///
+/// ```
+/// use tqt_quant::normed::NormedGrad;
+/// let mut n = NormedGrad::new(0.999);
+/// // A huge first gradient is normalized to ~1 in magnitude.
+/// let g = n.normalize(1e6);
+/// assert!((g.abs() - 1.0).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormedGrad {
+    beta: f64,
+    v: f64,
+    step: u64,
+    eps: f64,
+}
+
+impl NormedGrad {
+    /// Creates a normalizer with variance decay `beta` (the paper uses
+    /// `β = 0.999`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < beta < 1`.
+    pub fn new(beta: f64) -> Self {
+        assert!((0.0..1.0).contains(&beta) && beta > 0.0, "beta must be in (0,1)");
+        NormedGrad {
+            beta,
+            v: 0.0,
+            step: 0,
+            eps: 1e-12,
+        }
+    }
+
+    /// Applies eq. 17: updates the moving variance and returns
+    /// `g / sqrt(v_hat + eps)`.
+    pub fn normalize(&mut self, g: f32) -> f32 {
+        let g = g as f64;
+        self.step += 1;
+        self.v = self.beta * self.v + (1.0 - self.beta) * g * g;
+        let v_hat = self.v / (1.0 - self.beta.powi(self.step as i32));
+        (g / (v_hat.sqrt() + self.eps)) as f32
+    }
+
+    /// Applies eq. 18: like [`normalize`](Self::normalize) but wrapped in
+    /// `tanh` so the result is guaranteed in `(-1, 1)`.
+    pub fn normalize_clipped(&mut self, g: f32) -> f32 {
+        self.normalize(g).tanh()
+    }
+
+    /// Number of gradients observed.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_invariant_after_warmup() {
+        // Two streams whose gradients differ by 10^6 in scale produce the
+        // same normalized sequence.
+        let gs: Vec<f32> = (0..200).map(|i| ((i * 7 % 13) as f32 - 6.0) / 3.0).collect();
+        let mut a = NormedGrad::new(0.99);
+        let mut b = NormedGrad::new(0.99);
+        let na: Vec<f32> = gs.iter().map(|&g| a.normalize(g)).collect();
+        let nb: Vec<f32> = gs.iter().map(|&g| b.normalize(g * 1e6)).collect();
+        for (x, y) in na.iter().zip(&nb) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn clipped_bounded_by_one() {
+        let mut n = NormedGrad::new(0.999);
+        for g in [1e9f32, -1e9, 0.1, -1e-9] {
+            let out = n.normalize_clipped(g);
+            assert!(out.abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn constant_gradient_normalizes_to_unit() {
+        let mut n = NormedGrad::new(0.9);
+        let mut last = 0.0;
+        for _ in 0..500 {
+            last = n.normalize(0.25);
+        }
+        assert!((last - 1.0).abs() < 1e-3, "got {last}");
+    }
+
+    #[test]
+    fn zero_gradient_stays_zero() {
+        let mut n = NormedGrad::new(0.999);
+        assert_eq!(n.normalize(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn rejects_bad_beta() {
+        NormedGrad::new(1.0);
+    }
+}

@@ -1,0 +1,538 @@
+//! The toy L2 quantizer model of Section 3.4 and Appendices B–C: a single
+//! quantizer trained to minimize `L = (q(x; s) − x)² / 2` on Gaussian
+//! inputs. This model underlies Figures 2, 7, 8 and 9 and the Adam
+//! convergence guidelines of Table 4, all of which this module regenerates
+//! exactly (no dataset or network required).
+
+use crate::spec::QuantSpec;
+use crate::normed::NormedGrad;
+use crate::tqt::{local_grad_log2_t, quantize, quantize_backward};
+use tqt_tensor::{init, Tensor};
+
+/// L2 quantization-error loss `Σ (q(x) − x)² / 2`, accumulated in `f64`.
+pub fn l2_loss(x: &Tensor, log2_t: f32, spec: QuantSpec) -> f64 {
+    let q = quantize(x, log2_t, spec);
+    q.data()
+        .iter()
+        .zip(x.data())
+        .map(|(&a, &b)| {
+            let d = (a - b) as f64;
+            0.5 * d * d
+        })
+        .sum()
+}
+
+/// Overall gradient of the L2 loss with respect to the log-threshold
+/// (eq. 9): `∇(log2 t) L = Σ (q − x) · ∇(log2 t) q`.
+pub fn grad_log2_t(x: &Tensor, log2_t: f32, spec: QuantSpec) -> f32 {
+    let q = quantize(x, log2_t, spec);
+    let gy = q.zip_map(x, |a, b| a - b);
+    quantize_backward(x, log2_t, spec, &gy).dlog2_t
+}
+
+/// Overall gradient of the L2 loss with respect to the *raw* threshold:
+/// `∇t L = ∇(log2 t) L / (t · ln 2)`.
+pub fn grad_raw_t(x: &Tensor, log2_t: f32, spec: QuantSpec) -> f32 {
+    let t = 2.0f32.powf(log2_t);
+    grad_log2_t(x, log2_t, spec) / (t * std::f32::consts::LN_2)
+}
+
+/// Per-element overall threshold gradient `(q(x) − x) · ∇(log2 t) q(x)`
+/// as a function of `x`, for the regime plots of Figure 2.
+pub fn pointwise_grad_log2_t(xs: &Tensor, log2_t: f32, spec: QuantSpec) -> Tensor {
+    let q = quantize(xs, log2_t, spec);
+    let mut out = Tensor::zeros(xs.shape().clone());
+    for i in 0..xs.len() {
+        let v = xs.data()[i];
+        out.data_mut()[i] = (q.data()[i] - v) * local_grad_log2_t(v, log2_t, spec);
+    }
+    out
+}
+
+/// Scalar Adam optimizer (Kingma & Ba, 2014) with bias correction, used for
+/// log-threshold training.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarAdam {
+    /// Learning rate α.
+    pub alpha: f64,
+    /// First-moment decay β1.
+    pub beta1: f64,
+    /// Second-moment decay β2.
+    pub beta2: f64,
+    m: f64,
+    v: f64,
+    t: u64,
+}
+
+impl ScalarAdam {
+    /// Creates an Adam state with the given hyperparameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha <= 0` or either β is outside `[0, 1)`.
+    pub fn new(alpha: f64, beta1: f64, beta2: f64) -> Self {
+        assert!(alpha > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1), "beta1 must be in [0,1)");
+        assert!((0.0..1.0).contains(&beta2), "beta2 must be in [0,1)");
+        ScalarAdam {
+            alpha,
+            beta1,
+            beta2,
+            m: 0.0,
+            v: 0.0,
+            t: 0,
+        }
+    }
+
+    /// The paper's hyperparameters: α = 0.01, β1 = 0.9, β2 = 0.999.
+    pub fn paper_defaults() -> Self {
+        ScalarAdam::new(0.01, 0.9, 0.999)
+    }
+
+    /// Consumes one gradient and returns the (signed) parameter update to
+    /// *subtract*.
+    pub fn step(&mut self, g: f32) -> f32 {
+        let g = g as f64;
+        self.t += 1;
+        self.m = self.beta1 * self.m + (1.0 - self.beta1) * g;
+        self.v = self.beta2 * self.v + (1.0 - self.beta2) * g * g;
+        let m_hat = self.m / (1.0 - self.beta1.powi(self.t as i32));
+        let v_hat = self.v / (1.0 - self.beta2.powi(self.t as i32));
+        (self.alpha * m_hat / (v_hat.sqrt() + 1e-12)) as f32
+    }
+}
+
+/// The threshold-training method compared in Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ToyMethod {
+    /// SGD directly on the raw threshold `t` (unstable; Appendix B.1).
+    RawSgd,
+    /// SGD on `log2 t` with unnormed gradients (poor scale invariance).
+    LogSgd,
+    /// SGD on `log2 t` with tanh-clipped normed gradients (eq. 18).
+    NormedLogSgd,
+    /// Adam on `log2 t` with unnormed gradients (the paper's method).
+    LogAdam,
+}
+
+/// Configuration for a toy training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ToyConfig {
+    /// Quantizer spec (bit-width / signedness).
+    pub spec: QuantSpec,
+    /// Standard deviation σ of the Gaussian input.
+    pub sigma: f32,
+    /// Training steps.
+    pub steps: usize,
+    /// Learning rate (Figure 8 uses 0.1 for SGD variants, 0.01-ish for
+    /// Adam via [`ScalarAdam::paper_defaults`]).
+    pub lr: f32,
+    /// Number of Gaussian samples drawn per step.
+    pub samples_per_step: usize,
+    /// Initial log-domain threshold.
+    pub init_log2_t: f32,
+    /// RNG seed (a fresh Gaussian vector is drawn every step, as in the
+    /// paper's Figure 9 discussion of input randomness).
+    pub seed: u64,
+}
+
+impl ToyConfig {
+    /// Figure 8's setup for a given bit-width and input scale: 2000 steps,
+    /// lr 0.1, threshold initialized several bins away from optimum.
+    pub fn figure8(bits: u32, sigma: f32, seed: u64) -> Self {
+        ToyConfig {
+            spec: QuantSpec::new(bits, true),
+            sigma,
+            steps: 2000,
+            lr: 0.1,
+            samples_per_step: 1000,
+            init_log2_t: sigma.log2() + 4.0,
+            seed,
+        }
+    }
+}
+
+/// Recorded trajectory of a toy run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToyTrace {
+    /// `log2 t` after each step (length `steps`).
+    pub log2_t: Vec<f32>,
+    /// Loss gradient w.r.t. `log2 t` observed at each step.
+    pub grad: Vec<f32>,
+    /// L2 loss at each step (per-sample average).
+    pub loss: Vec<f32>,
+}
+
+/// Runs toy threshold training and records the trajectory.
+///
+/// # Panics
+///
+/// Panics if `cfg.steps == 0` or `cfg.samples_per_step == 0`.
+pub fn run_toy(cfg: ToyConfig, method: ToyMethod) -> ToyTrace {
+    assert!(cfg.steps > 0, "toy run needs at least one step");
+    assert!(cfg.samples_per_step > 0, "toy run needs samples");
+    let mut rng = init::rng(cfg.seed);
+    let mut log2_t = cfg.init_log2_t;
+    // Raw-domain state mirrors log2_t for the RawSgd method.
+    let mut t_raw = 2.0f32.powf(cfg.init_log2_t);
+    let mut adam = ScalarAdam::new(cfg.lr as f64, 0.9, 0.999);
+    let mut normer = NormedGrad::new(0.999);
+    let mut trace = ToyTrace {
+        log2_t: Vec::with_capacity(cfg.steps),
+        grad: Vec::with_capacity(cfg.steps),
+        loss: Vec::with_capacity(cfg.steps),
+    };
+    for _ in 0..cfg.steps {
+        let x = init::normal([cfg.samples_per_step], 0.0, cfg.sigma, &mut rng);
+        // Summed (not averaged) gradient, matching the paper's L2 loss over
+        // the whole input vector; Adam is invariant to this scale but the
+        // SGD variants' (in)stability depends on it, which is the point of
+        // Figure 8.
+        let g_log = grad_log2_t(&x, log2_t, cfg.spec);
+        trace
+            .loss
+            .push((l2_loss(&x, log2_t, cfg.spec) / cfg.samples_per_step as f64) as f32);
+        trace.grad.push(g_log);
+        match method {
+            ToyMethod::RawSgd => {
+                let g_raw = g_log / (t_raw * std::f32::consts::LN_2);
+                t_raw -= cfg.lr * g_raw;
+                // A gradient bump below zero would make log2 t diverge
+                // (Appendix B.1); clamp to a tiny floor so the trace
+                // records the failure instead of producing NaNs.
+                t_raw = t_raw.max(1e-30);
+                log2_t = t_raw.log2();
+            }
+            ToyMethod::LogSgd => {
+                log2_t -= cfg.lr * g_log;
+            }
+            ToyMethod::NormedLogSgd => {
+                log2_t -= cfg.lr * normer.normalize_clipped(g_log);
+            }
+            ToyMethod::LogAdam => {
+                log2_t -= adam.step(g_log);
+            }
+        }
+        if !log2_t.is_finite() {
+            // Divergence: freeze the trace at a sentinel so callers can
+            // detect and plot the failure.
+            log2_t = f32::MAX.log2();
+        }
+        t_raw = 2.0f32.powf(log2_t);
+        trace.log2_t.push(log2_t);
+    }
+    trace
+}
+
+/// Locates the critical integer threshold `log2 t*` (Appendix B.3): the
+/// integer bin boundary where the expected loss gradient flips from
+/// negative (below) to positive (above). Returns the integer boundary as
+/// `f32`.
+pub fn find_critical_threshold(spec: QuantSpec, sigma: f32, seed: u64) -> f32 {
+    let mut rng = init::rng(seed);
+    let x = init::normal([20_000], 0.0, sigma, &mut rng);
+    // Scan integer bins around log2(sigma).
+    let center = sigma.log2().round() as i32;
+    let mut prev_neg = None;
+    for k in (center - 12)..=(center + 12) {
+        // Gradient evaluated in the middle of bin (k-1, k].
+        let g = grad_log2_t(&x, k as f32 - 0.5, spec);
+        if g < 0.0 {
+            prev_neg = Some(k);
+        } else if prev_neg == Some(k - 1) {
+            return (k - 1) as f32;
+        }
+    }
+    // Fallback: no sign flip found (degenerate sigma); report the center.
+    center as f32
+}
+
+/// Estimates the gradient ratio `rg = -gl / gh` on the two sides of the
+/// critical threshold (Appendix C), using fresh Gaussian batches.
+pub fn estimate_rg(spec: QuantSpec, sigma: f32, log2_t_star: f32, seed: u64) -> f32 {
+    let mut rng = init::rng(seed);
+    let n = 20_000usize;
+    let x = init::normal([n], 0.0, sigma, &mut rng);
+    let gl = grad_log2_t(&x, log2_t_star - 0.25, spec);
+    let gh = grad_log2_t(&x, log2_t_star + 0.25, spec);
+    if gh.abs() < 1e-20 {
+        return f32::INFINITY;
+    }
+    -gl / gh
+}
+
+/// Post-convergence oscillation statistics of a trajectory, for validating
+/// the Appendix C analysis (`T ≈ rg`, `Δθ_max < √rg`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Oscillation {
+    /// Peak-to-peak amplitude of `log2 t` in the analysis window.
+    pub amplitude: f32,
+    /// Mean number of steps between upward jumps (the sawtooth period).
+    pub period: f32,
+}
+
+/// Measures oscillation amplitude and period over the last `window` steps
+/// of a trace.
+///
+/// # Panics
+///
+/// Panics if the trace is shorter than `window` or `window < 8`.
+pub fn measure_oscillation(trace: &ToyTrace, window: usize) -> Oscillation {
+    assert!(window >= 8, "oscillation window too small");
+    assert!(
+        trace.log2_t.len() >= window,
+        "trace shorter than analysis window"
+    );
+    let tail = &trace.log2_t[trace.log2_t.len() - window..];
+    let lo = tail.iter().copied().fold(f32::INFINITY, f32::min);
+    let hi = tail.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    // A "jump" is a step increase larger than half the amplitude, i.e. the
+    // reset edge of the sawtooth.
+    let amp = hi - lo;
+    let mut jumps = Vec::new();
+    for i in 1..tail.len() {
+        if tail[i] - tail[i - 1] > 0.5 * amp && amp > 1e-6 {
+            jumps.push(i);
+        }
+    }
+    let period = if jumps.len() >= 2 {
+        (jumps[jumps.len() - 1] - jumps[0]) as f32 / (jumps.len() - 1) as f32
+    } else {
+        window as f32
+    };
+    Oscillation {
+        amplitude: amp,
+        period,
+    }
+}
+
+/// Adam hyperparameter guidelines for log-threshold training (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdamGuidelines {
+    /// Upper bound on the learning rate: `α ≤ 0.1 / √p`.
+    pub alpha_max: f64,
+    /// Lower bound on β1: `1/e`.
+    pub beta1_min: f64,
+    /// Lower bound on β2: `1 − 0.1/p`.
+    pub beta2_min: f64,
+    /// Rough convergence-step estimate `1/α + 1/(1−β2)` at the bounds.
+    pub steps_estimate: f64,
+}
+
+/// Computes the Table 4 guidelines for a signed `bits`-wide quantizer,
+/// using `p = 2^(b-1) − 1`.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn adam_guidelines(bits: u32) -> AdamGuidelines {
+    assert!(bits >= 2, "guidelines need bits >= 2");
+    let p = ((1u64 << (bits - 1)) - 1) as f64;
+    let alpha_max = 0.1 / p.sqrt();
+    let beta2_min = 1.0 - 0.1 / p;
+    AdamGuidelines {
+        alpha_max,
+        beta1_min: (1.0f64).exp().recip(),
+        beta2_min,
+        steps_estimate: 1.0 / alpha_max + 1.0 / (1.0 - beta2_min),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_sign_flips_across_critical_threshold() {
+        let spec = QuantSpec::INT8;
+        let star = find_critical_threshold(spec, 1.0, 1);
+        let mut rng = init::rng(2);
+        let x = init::normal([20_000], 0.0, 1.0, &mut rng);
+        assert!(grad_log2_t(&x, star - 0.5, spec) < 0.0);
+        assert!(grad_log2_t(&x, star + 0.5, spec) > 0.0);
+    }
+
+    #[test]
+    fn adam_converges_to_critical_bin() {
+        let cfg = ToyConfig::figure8(8, 1.0, 3);
+        let trace = run_toy(cfg, ToyMethod::LogAdam);
+        let star = find_critical_threshold(cfg.spec, 1.0, 3);
+        let last = *trace.log2_t.last().unwrap();
+        assert!(
+            (last - star).abs() <= 1.0,
+            "Adam should settle within one bin of log2 t* = {star}, got {last}"
+        );
+    }
+
+    #[test]
+    fn normed_sgd_converges() {
+        let cfg = ToyConfig::figure8(8, 0.01, 4);
+        let trace = run_toy(cfg, ToyMethod::NormedLogSgd);
+        let star = find_critical_threshold(cfg.spec, 0.01, 4);
+        let last = *trace.log2_t.last().unwrap();
+        assert!(
+            (last - star).abs() <= 1.0,
+            "normed-log SGD should converge near {star}, got {last}"
+        );
+    }
+
+    #[test]
+    fn log_sgd_slow_for_small_sigma() {
+        // Appendix B.2: unnormed log gradients shrink exponentially for
+        // thresholds above optimum with small inputs, so convergence over
+        // 2000 steps leaves the threshold far from log2 t*.
+        let cfg = ToyConfig::figure8(8, 0.01, 5);
+        let trace = run_toy(cfg, ToyMethod::LogSgd);
+        let star = find_critical_threshold(cfg.spec, 0.01, 5);
+        let last = *trace.log2_t.last().unwrap();
+        let normed_last = *run_toy(cfg, ToyMethod::NormedLogSgd).log2_t.last().unwrap();
+        assert!(
+            (last - star).abs() > (normed_last - star).abs(),
+            "unnormed log SGD ({last}) should lag normed SGD ({normed_last}) toward {star}"
+        );
+    }
+
+    #[test]
+    fn loss_decreases_under_adam() {
+        let cfg = ToyConfig::figure8(8, 1.0, 6);
+        let trace = run_toy(cfg, ToyMethod::LogAdam);
+        // Threshold starts 4 bins above optimum; within the first handful
+        // of steps Adam has barely moved (≈ lr per step), so the early
+        // window reflects the bad initialization.
+        let early: f32 = trace.loss[..5].iter().sum::<f32>() / 5.0;
+        let late: f32 = trace.loss[trace.loss.len() - 50..].iter().sum::<f32>() / 50.0;
+        assert!(
+            late < early * 0.2,
+            "loss should drop by >5x: early {early}, late {late}"
+        );
+    }
+
+    #[test]
+    fn oscillation_amplitude_bounded_by_design_rule() {
+        // Appendix C: Δθ_max ⪅ α √rg (with 10x over-design headroom). With
+        // the paper's α = 0.01 and rg ⪅ 10 p, the amplitude stays well
+        // below one integer bin.
+        let mut cfg = ToyConfig::figure8(8, 1.0, 7);
+        cfg.lr = 0.01; // the paper's training learning rate for thresholds
+        cfg.steps = 3000;
+        let trace = run_toy(cfg, ToyMethod::LogAdam);
+        let osc = measure_oscillation(&trace, 500);
+        assert!(
+            osc.amplitude < 1.0,
+            "post-convergence oscillation should stay within one bin, got {}",
+            osc.amplitude
+        );
+    }
+
+    #[test]
+    fn rg_exceeds_one_when_clipping_dominates() {
+        // At 4 bits the lower bin clips ~8% of a unit Gaussian, so the
+        // lower-bin (outward-pushing) gradient dominates the upper-bin
+        // rounding gradient: rg = -gl/gh > 1, the regime Appendix C
+        // analyses.
+        let spec = QuantSpec::INT4;
+        let star = find_critical_threshold(spec, 1.0, 8);
+        let rg = estimate_rg(spec, 1.0, star, 8);
+        assert!(rg > 1.0, "rg should exceed 1, got {rg}");
+        // Appendix C bounds rg ≈ 6fp ⪅ p with 10x headroom.
+        assert!(rg < 10.0 * 127.0, "rg implausibly large: {rg}");
+    }
+
+    #[test]
+    fn guidelines_match_table4() {
+        let g4 = adam_guidelines(4);
+        let g8 = adam_guidelines(8);
+        assert!((g4.alpha_max - 0.1 / (7.0f64).sqrt()).abs() < 1e-12);
+        assert!((g8.alpha_max - 0.1 / (127.0f64).sqrt()).abs() < 1e-12);
+        assert!((g4.beta2_min - (1.0 - 0.1 / 7.0)).abs() < 1e-12);
+        assert!((g8.beta2_min - 0.999212598).abs() < 1e-6);
+        // Table 4 reports ~100 and ~1000 steps.
+        assert!(g4.steps_estimate > 50.0 && g4.steps_estimate < 200.0);
+        assert!(g8.steps_estimate > 500.0 && g8.steps_estimate < 2000.0);
+    }
+
+    #[test]
+    fn pointwise_grads_positive_inside_negative_outside() {
+        // Figure 2: threshold gradients are positive for x inside
+        // (xn, xp), negative outside.
+        let spec = QuantSpec::new(3, true);
+        let xs = Tensor::from_slice(&[0.3, -0.4, 2.0, -2.0]);
+        let g = pointwise_grad_log2_t(&xs, 0.0, spec);
+        assert!(g.data()[0] >= 0.0);
+        assert!(g.data()[1] >= 0.0);
+        assert!(g.data()[2] < 0.0);
+        assert!(g.data()[3] < 0.0);
+    }
+
+    /// Index of the first step within 0.75 bins of `target`, if any.
+    fn steps_to_converge(trace: &ToyTrace, target: f32) -> Option<usize> {
+        trace.log2_t.iter().position(|&l| (l - target).abs() < 0.75)
+    }
+
+    #[test]
+    fn raw_sgd_converges_much_slower_than_adaptive_methods() {
+        // Appendix B.2: raw-threshold gradients are not scale invariant, so
+        // at a fixed learning rate raw SGD needs orders of magnitude more
+        // steps than the normed / adaptive methods, across input scales.
+        for sigma in [0.01f32, 100.0] {
+            let cfg = ToyConfig::figure8(8, sigma, 9);
+            let star = find_critical_threshold(cfg.spec, sigma, 9);
+            let raw = steps_to_converge(&run_toy(cfg, ToyMethod::RawSgd), star)
+                .unwrap_or(cfg.steps);
+            let adam = steps_to_converge(&run_toy(cfg, ToyMethod::LogAdam), star)
+                .expect("Adam must converge");
+            assert!(
+                raw > 10 * adam,
+                "sigma {sigma}: raw SGD ({raw} steps) should be >10x slower than Adam ({adam})"
+            );
+        }
+    }
+
+    #[test]
+    fn log_sgd_diverges_for_large_sigma() {
+        // Appendix B.2: unnormed log-threshold gradients grow with the
+        // square of the input scale, so for σ = 100 plain SGD overshoots by
+        // thousands of bins in one step and never recovers; normed SGD
+        // (eq. 18) bounds each update by the learning rate and converges.
+        let cfg = ToyConfig::figure8(8, 100.0, 10);
+        let star = find_critical_threshold(cfg.spec, 100.0, 10);
+        let log = run_toy(cfg, ToyMethod::LogSgd);
+        let normed = run_toy(cfg, ToyMethod::NormedLogSgd);
+        let log_dist = (log.log2_t.last().unwrap() - star).abs();
+        let normed_dist = (normed.log2_t.last().unwrap() - star).abs();
+        assert!(
+            log_dist > 100.0,
+            "unnormed log SGD should diverge by many bins, got distance {log_dist}"
+        );
+        assert!(
+            normed_dist <= 1.0,
+            "normed log SGD should converge near {star}, got distance {normed_dist}"
+        );
+    }
+
+    #[test]
+    fn adaptive_methods_converge_across_four_orders_of_magnitude() {
+        // The paper's headline stability claim: normed-SGD and Adam on log
+        // thresholds converge for every input scale with the *same*
+        // hyperparameters.
+        for sigma in [0.01f32, 1.0, 100.0] {
+            let cfg = ToyConfig::figure8(8, sigma, 11);
+            let star = find_critical_threshold(cfg.spec, sigma, 11);
+            for method in [ToyMethod::NormedLogSgd, ToyMethod::LogAdam] {
+                let trace = run_toy(cfg, method);
+                let dist = (trace.log2_t.last().unwrap() - star).abs();
+                assert!(
+                    dist <= 1.0,
+                    "{method:?} at sigma {sigma}: distance {dist} from log2 t* = {star}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_adam_first_step_is_lr() {
+        let mut a = ScalarAdam::new(0.01, 0.9, 0.999);
+        let d = a.step(5.0);
+        assert!((d - 0.01).abs() < 1e-6, "bias-corrected first step = lr, got {d}");
+    }
+}

@@ -1,0 +1,331 @@
+//! The TQT quantizer: forward pass (eq. 4) and the paper's careful
+//! straight-through-estimator backward pass (eqs. 6–8).
+//!
+//! This is the paper's core contribution. The forward pass applies
+//! scale → round(half-to-even) → saturate → de-quant. The backward pass uses
+//! the STE only on the *derivative* of round/ceil (`d round(x)/dx := 1`)
+//! while keeping `round(x) != x` in the gradient expressions, which yields a
+//! threshold gradient that trades off range and precision instead of only
+//! growing the range.
+
+use crate::spec::{round_half_even, QuantSpec};
+use tqt_tensor::Tensor;
+
+/// Fused forward pass of the TQT quantizer (eq. 4):
+///
+/// `q(x; s) = clip(round(x / s), n, p) * s` with `s = 2^(ceil(log2 t)) / 2^denom`.
+///
+/// # Examples
+///
+/// ```
+/// use tqt_quant::{tqt::quantize, QuantSpec};
+/// use tqt_tensor::Tensor;
+/// let x = Tensor::from_slice(&[0.3, -2.0, 0.004]);
+/// let y = quantize(&x, 0.0, QuantSpec::INT8); // t = 1.0, s = 1/128
+/// assert!((y.data()[0] - 0.296875).abs() < 1e-7); // round(38.4)/128
+/// assert_eq!(y.data()[1], -1.0);                  // clipped to n*s
+/// ```
+pub fn quantize(x: &Tensor, log2_t: f32, spec: QuantSpec) -> Tensor {
+    let s = spec.scale_for_log2_t(log2_t);
+    let (n, p) = (spec.qmin(), spec.qmax());
+    x.map(|v| round_half_even(v / s).clamp(n, p) * s)
+}
+
+/// Gradients produced by [`quantize_backward`].
+#[derive(Debug, Clone)]
+pub struct TqtGrads {
+    /// Gradient with respect to the input tensor (eq. 8): passes the
+    /// upstream gradient inside the clip range, zero outside.
+    pub dx: Tensor,
+    /// Scalar gradient with respect to the log-domain threshold (eq. 7),
+    /// summed over all elements of the tensor (per-tensor scaling).
+    pub dlog2_t: f32,
+}
+
+/// Backward pass of the TQT quantizer (eqs. 7–8).
+///
+/// Given the original input `x`, the threshold, and the upstream gradient
+/// `gy` (same shape as `x`), computes the input gradient and the scalar
+/// log-threshold gradient:
+///
+/// ```text
+/// ∇(log2 t) q = s·ln2 · { round(x/s) − x/s   if n ≤ round(x/s) ≤ p
+///                        { n                  if round(x/s) < n
+///                        { p                  if round(x/s) > p
+/// ∇x q        =          { 1 inside, 0 outside
+/// ```
+///
+/// The gradient is accumulated in `f64` — a per-tensor threshold gradient
+/// sums millions of terms whose cancellation (positive inside the clip
+/// range, negative outside) is exactly the paper's range–precision
+/// trade-off, so accumulation error matters.
+///
+/// # Panics
+///
+/// Panics if `gy` has a different shape than `x`.
+pub fn quantize_backward(x: &Tensor, log2_t: f32, spec: QuantSpec, gy: &Tensor) -> TqtGrads {
+    assert!(
+        x.shape().same_as(gy.shape()),
+        "upstream gradient shape {} does not match input {}",
+        gy.shape(),
+        x.shape()
+    );
+    let s = spec.scale_for_log2_t(log2_t);
+    let (n, p) = (spec.qmin(), spec.qmax());
+    let ln2 = std::f32::consts::LN_2;
+    let mut dx = Tensor::zeros(x.shape().clone());
+    let mut dlog2_t = 0.0f64;
+    let dxd = dx.data_mut();
+    for (i, (&v, &g)) in x.data().iter().zip(gy.data()).enumerate() {
+        let r = v / s;
+        let q = round_half_even(r);
+        let local = if q < n {
+            n
+        } else if q > p {
+            p
+        } else {
+            dxd[i] = g;
+            q - r
+        };
+        dlog2_t += (g * s * ln2 * local) as f64;
+    }
+    TqtGrads {
+        dx,
+        dlog2_t: dlog2_t as f32,
+    }
+}
+
+/// Per-element local gradient of the quantizer output with respect to the
+/// log-threshold (eq. 7, before multiplying by the upstream gradient).
+/// Exposed for the transfer-curve reproduction of Figure 1.
+pub fn local_grad_log2_t(v: f32, log2_t: f32, spec: QuantSpec) -> f32 {
+    let s = spec.scale_for_log2_t(log2_t);
+    let (n, p) = (spec.qmin(), spec.qmax());
+    let r = v / s;
+    let q = round_half_even(r);
+    let ln2 = std::f32::consts::LN_2;
+    s * ln2
+        * if q < n {
+            n
+        } else if q > p {
+            p
+        } else {
+            q - r
+        }
+}
+
+/// Per-element local gradient of the quantizer output with respect to its
+/// input (eq. 8). Exposed for Figure 1.
+pub fn local_grad_input(v: f32, log2_t: f32, spec: QuantSpec) -> f32 {
+    let s = spec.scale_for_log2_t(log2_t);
+    let q = round_half_even(v / s);
+    if q >= spec.qmin() && q <= spec.qmax() {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// An "unfused" reference implementation of the forward pass built from
+/// separate scale / round / saturate / de-quant passes over intermediate
+/// tensors, mirroring the native-TensorFlow composition of the paper's
+/// Figure 4. Used to validate the fused kernel and to benchmark the memory
+/// and time cost the fused kernel avoids.
+pub fn quantize_unfused(x: &Tensor, log2_t: f32, spec: QuantSpec) -> Tensor {
+    let s = spec.scale_for_log2_t(log2_t);
+    let scaled = x.map(|v| v / s);
+    let rounded = scaled.map(round_half_even);
+    let saturated = rounded.map(|v| v.clamp(spec.qmin(), spec.qmax()));
+    saturated.map(|v| v * s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqt_tensor::init;
+
+    const B3: QuantSpec = QuantSpec::INT8;
+
+    #[test]
+    fn forward_grid_and_clipping() {
+        let spec = QuantSpec::new(3, true); // n=-4, p=3, t=1 => s=0.25
+        let x = Tensor::from_slice(&[0.0, 0.3, 0.4, -0.3, 5.0, -5.0, 0.74]);
+        let y = quantize(&x, 0.0, spec);
+        // 0.4/0.25 = 1.6 -> 2 -> 0.5; 0.74/0.25 = 2.96 -> 3 -> 0.75;
+        // +-5.0 clip to p*s = 0.75 and n*s = -1.0.
+        assert_eq!(y.data(), &[0.0, 0.25, 0.5, -0.25, 0.75, -1.0, 0.75]);
+    }
+
+    #[test]
+    fn unsigned_clips_negative_to_zero() {
+        let spec = QuantSpec::new(3, false); // n=0, p=7, t=1 => s=0.125
+        let x = Tensor::from_slice(&[-0.4, 0.3, 2.0]);
+        let y = quantize(&x, 0.0, spec);
+        assert_eq!(y.data(), &[0.0, 0.25, 0.875]);
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut rng = init::rng(11);
+        let x = init::normal([512], 0.0, 1.0, &mut rng);
+        for spec in [QuantSpec::INT8, QuantSpec::UINT8, QuantSpec::INT4] {
+            let y = quantize(&x, 0.3, spec);
+            let yy = quantize(&y, 0.3, spec);
+            y.assert_close(&yy, 0.0);
+        }
+    }
+
+    #[test]
+    fn fused_matches_unfused() {
+        let mut rng = init::rng(12);
+        let x = init::normal([1024], 0.0, 2.0, &mut rng);
+        for log2_t in [-2.0f32, 0.0, 1.5] {
+            quantize(&x, log2_t, B3).assert_close(&quantize_unfused(&x, log2_t, B3), 0.0);
+        }
+    }
+
+    #[test]
+    fn input_gradient_masks_clipped_elements() {
+        let spec = QuantSpec::new(3, true);
+        let x = Tensor::from_slice(&[0.1, 5.0, -5.0]);
+        let gy = Tensor::from_slice(&[1.0, 1.0, 1.0]);
+        let g = quantize_backward(&x, 0.0, spec, &gy);
+        assert_eq!(g.dx.data(), &[1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn threshold_gradient_signs_match_paper() {
+        // All input inside clip range => per-element grads are (q - r), and
+        // with the L2-loss sign convention the *loss* threshold gradient is
+        // positive when precision should win. Here we check the raw local
+        // gradient: outside-range elements contribute s*ln2*n (negative for
+        // x below range) or s*ln2*p (positive saturation side).
+        let spec = QuantSpec::new(3, true);
+        let gy = Tensor::from_slice(&[1.0]);
+        // Element far above range: local grad = s*ln2*p > 0.
+        let g_hi = quantize_backward(&Tensor::from_slice(&[10.0]), 0.0, spec, &gy);
+        assert!(g_hi.dlog2_t > 0.0);
+        // Element far below range: local grad = s*ln2*n < 0.
+        let g_lo = quantize_backward(&Tensor::from_slice(&[-10.0]), 0.0, spec, &gy);
+        assert!(g_lo.dlog2_t < 0.0);
+    }
+
+    /// Finite-difference check of the threshold gradient (the paper's core
+    /// equation 7) through a smooth loss, at a point where no element sits
+    /// on a rounding boundary. We perturb log2_t *within one integer bin*
+    /// (so ceil does not jump) and compare with s·ln2-chain analytics.
+    #[test]
+    fn threshold_gradient_finite_difference() {
+        // Use log2_t in the middle of a bin so ceil(log2_t) is locally
+        // constant and q(x; s) is differentiable in s almost everywhere.
+        let spec = QuantSpec::INT8;
+        let log2_t = 0.5; // ceil = 1 over (0, 1]
+        let mut rng = init::rng(42);
+        let x = init::normal([4096], 0.0, 1.0, &mut rng);
+        // L = 0.5 * sum((q - x)^2); dL/dq = q - x
+        let q0 = quantize(&x, log2_t, spec);
+        let gy = q0.zip_map(&x, |a, b| a - b);
+        let analytic = quantize_backward(&x, log2_t, spec, &gy).dlog2_t;
+
+        // FD on the *effective* continuous relaxation: within the bin the
+        // forward output is constant in log2_t (pow2 ceil), so instead test
+        // the derivative identity dq/d(log2 t) = s ln2 * local (eq. 7) via
+        // the underlying continuous scale s' = 2^(l - denom):
+        let loss = |l: f64| -> f64 {
+            let s = 2f64.powf(l - spec.scale_denom_log2() as f64);
+            x.data()
+                .iter()
+                .map(|&v| {
+                    let q = (v as f64 / s)
+                        .round_ties_even()
+                        .clamp(spec.qmin() as f64, spec.qmax() as f64)
+                        * s;
+                    0.5 * (q - v as f64) * (q - v as f64)
+                })
+                .sum()
+        };
+        // Evaluate FD at l = ceil(log2_t) = 1, where the continuous scale
+        // equals the actual power-of-2 scale.
+        let l0 = 1.0f64;
+        let eps = 1e-4;
+        let fd = (loss(l0 + eps) - loss(l0 - eps)) / (2.0 * eps);
+        let rel = (fd - analytic as f64).abs() / (1.0 + fd.abs());
+        assert!(
+            rel < 5e-3,
+            "threshold gradient mismatch: fd={fd} analytic={analytic}"
+        );
+    }
+
+    /// Finite-difference check of the input path through the L2 loss.
+    ///
+    /// The quantizer output is piecewise constant in `x`, so the *true*
+    /// derivative of `L = 0.5 (q(x) - x)^2` at non-boundary points is
+    /// `(q - x)(0 - 1) = x - q` everywhere. The STE input gradient (eq. 8)
+    /// intentionally replaces `dq/dx = 0` by the in-range mask; here we
+    /// verify (a) the true FD derivative matches `x - q`, and (b) the STE
+    /// mask is exactly the in-range indicator, which together give the
+    /// paper's eq. 10 decomposition.
+    #[test]
+    fn input_gradient_finite_difference() {
+        let spec = QuantSpec::INT4;
+        let log2_t = 0.4;
+        let x = Tensor::from_slice(&[0.113, -0.721, 0.377, 3.0, -3.0, 0.051]);
+        let q0 = quantize(&x, log2_t, spec);
+        let gy = q0.zip_map(&x, |a, b| a - b); // dL/dq for L = 0.5 (q-x)^2
+        let g = quantize_backward(&x, log2_t, spec, &gy);
+        let loss = |x: &Tensor| -> f64 {
+            let q = quantize(x, log2_t, spec);
+            q.data()
+                .iter()
+                .zip(x.data())
+                .map(|(&a, &b)| 0.5 * ((a - b) as f64) * ((a - b) as f64))
+                .sum()
+        };
+        let s = spec.scale_for_log2_t(log2_t);
+        let eps = 1e-3f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = ((loss(&xp) - loss(&xm)) / (2.0 * eps as f64)) as f32;
+            // (a) True derivative is x - q at non-boundary points.
+            let true_grad = x.data()[i] - q0.data()[i];
+            assert!(
+                (fd - true_grad).abs() < 1e-2,
+                "true derivative mismatch at {i}: fd={fd} expected={true_grad}"
+            );
+            // (b) STE mask: passes gy exactly when round(x/s) is in range.
+            let in_range = {
+                let q = round_half_even(x.data()[i] / s);
+                q >= spec.qmin() && q <= spec.qmax()
+            };
+            let expected_dx = if in_range { gy.data()[i] } else { 0.0 };
+            assert_eq!(g.dx.data()[i], expected_dx, "STE mask wrong at {i}");
+        }
+    }
+
+    #[test]
+    fn symmetric_negation_away_from_ties() {
+        let mut rng = init::rng(13);
+        // Values chosen so x/s never lands exactly on a .5 tie or the
+        // asymmetric clip edge.
+        let x = init::uniform([256], 0.01, 0.9, &mut rng);
+        let neg = x.map(|v| -v);
+        let spec = QuantSpec::INT8;
+        let qp = quantize(&x, 0.0, spec);
+        let qn = quantize(&neg, 0.0, spec);
+        qn.map(|v| -v).assert_close(&qp, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match input")]
+    fn backward_shape_checked() {
+        quantize_backward(
+            &Tensor::zeros([4]),
+            0.0,
+            QuantSpec::INT8,
+            &Tensor::zeros([5]),
+        );
+    }
+}

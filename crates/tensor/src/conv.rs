@@ -1,0 +1,546 @@
+//! 2-D convolution (im2col-based) and depthwise convolution, forward and
+//! backward, on NCHW tensors.
+//!
+//! Weight layout is `[out_channels, in_channels, kh, kw]` for standard
+//! convolution and `[channels, 1, kh, kw]` for depthwise convolution
+//! (channel multiplier 1, as used by MobileNets).
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Spatial geometry of a convolution or pooling operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeom {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding applied symmetrically to both spatial dimensions.
+    pub pad: usize,
+}
+
+impl Conv2dGeom {
+    /// A square kernel with the given size, stride and padding.
+    pub fn new(k: usize, stride: usize, pad: usize) -> Self {
+        Conv2dGeom {
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+        }
+    }
+
+    /// "Same" geometry for odd kernel size `k` at stride 1.
+    pub fn same(k: usize) -> Self {
+        Conv2dGeom::new(k, 1, k / 2)
+    }
+
+    /// Output spatial size for an input of size `(h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel (plus padding) does not fit in the input.
+    pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
+        assert!(
+            h + 2 * self.pad >= self.kh && w + 2 * self.pad >= self.kw,
+            "kernel {}x{} does not fit input {}x{} with pad {}",
+            self.kh,
+            self.kw,
+            h,
+            w,
+            self.pad
+        );
+        (
+            (h + 2 * self.pad - self.kh) / self.stride + 1,
+            (w + 2 * self.pad - self.kw) / self.stride + 1,
+        )
+    }
+}
+
+/// Unfolds one image `[c, h, w]` (a slice of length `c*h*w`) into a column
+/// matrix `[c*kh*kw, oh*ow]` stored row-major in `cols`.
+fn im2col(img: &[f32], c: usize, h: usize, w: usize, g: Conv2dGeom, cols: &mut [f32]) {
+    let (oh, ow) = g.out_size(h, w);
+    let ncols = oh * ow;
+    debug_assert_eq!(cols.len(), c * g.kh * g.kw * ncols);
+    for ci in 0..c {
+        for ki in 0..g.kh {
+            for kj in 0..g.kw {
+                let row = ((ci * g.kh + ki) * g.kw + kj) * ncols;
+                for oi in 0..oh {
+                    let ii = (oi * g.stride + ki) as isize - g.pad as isize;
+                    let base = row + oi * ow;
+                    if ii < 0 || ii >= h as isize {
+                        cols[base..base + ow].fill(0.0);
+                        continue;
+                    }
+                    let irow = (ci * h + ii as usize) * w;
+                    for oj in 0..ow {
+                        let jj = (oj * g.stride + kj) as isize - g.pad as isize;
+                        cols[base + oj] = if jj < 0 || jj >= w as isize {
+                            0.0
+                        } else {
+                            img[irow + jj as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Folds a column matrix back into an image, accumulating overlaps
+/// (the adjoint of [`im2col`]).
+fn col2im(cols: &[f32], c: usize, h: usize, w: usize, g: Conv2dGeom, img: &mut [f32]) {
+    let (oh, ow) = g.out_size(h, w);
+    let ncols = oh * ow;
+    img.fill(0.0);
+    for ci in 0..c {
+        for ki in 0..g.kh {
+            for kj in 0..g.kw {
+                let row = ((ci * g.kh + ki) * g.kw + kj) * ncols;
+                for oi in 0..oh {
+                    let ii = (oi * g.stride + ki) as isize - g.pad as isize;
+                    if ii < 0 || ii >= h as isize {
+                        continue;
+                    }
+                    let irow = (ci * h + ii as usize) * w;
+                    for oj in 0..ow {
+                        let jj = (oj * g.stride + kj) as isize - g.pad as isize;
+                        if jj >= 0 && jj < w as isize {
+                            img[irow + jj as usize] += cols[row + oi * ow + oj];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn check_conv_shapes(x: &Tensor, w: &Tensor, depthwise: bool) {
+    assert_eq!(x.ndim(), 4, "conv input must be NCHW, got {}", x.shape());
+    assert_eq!(w.ndim(), 4, "conv weight must be 4-D, got {}", w.shape());
+    if depthwise {
+        assert_eq!(
+            w.dim(1),
+            1,
+            "depthwise weight must have channel-multiplier 1, got {}",
+            w.shape()
+        );
+        assert_eq!(
+            w.dim(0),
+            x.dim(1),
+            "depthwise weight channels {} do not match input channels {}",
+            w.dim(0),
+            x.dim(1)
+        );
+    } else {
+        assert_eq!(
+            w.dim(1),
+            x.dim(1),
+            "weight in-channels {} do not match input channels {}",
+            w.dim(1),
+            x.dim(1)
+        );
+    }
+}
+
+/// Standard 2-D convolution forward pass.
+///
+/// Input `x: [n, c_in, h, w]`, weight `w: [c_out, c_in, kh, kw]`; returns
+/// `[n, c_out, oh, ow]`.
+///
+/// # Panics
+///
+/// Panics on rank or channel-count mismatches, or if the kernel does not
+/// fit the padded input.
+pub fn conv2d(x: &Tensor, w: &Tensor, g: Conv2dGeom) -> Tensor {
+    check_conv_shapes(x, w, false);
+    let (n, c, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let cout = w.dim(0);
+    let (oh, ow) = g.out_size(h, wd);
+    let ncols = oh * ow;
+    let krows = c * g.kh * g.kw;
+    let mut out = vec![0.0f32; n * cout * ncols];
+    let xd = x.data();
+    let wdat = w.data();
+    out.par_chunks_mut(cout * ncols)
+        .enumerate()
+        .for_each(|(ni, ochunk)| {
+            let mut cols = vec![0.0f32; krows * ncols];
+            im2col(&xd[ni * c * h * wd..(ni + 1) * c * h * wd], c, h, wd, g, &mut cols);
+            // ochunk[co, :] = sum_k wdat[co, k] * cols[k, :]
+            for co in 0..cout {
+                let wrow = &wdat[co * krows..(co + 1) * krows];
+                let orow = &mut ochunk[co * ncols..(co + 1) * ncols];
+                for (kk, &wv) in wrow.iter().enumerate() {
+                    if wv == 0.0 {
+                        continue;
+                    }
+                    let crow = &cols[kk * ncols..(kk + 1) * ncols];
+                    for (o, &cv) in orow.iter_mut().zip(crow) {
+                        *o += wv * cv;
+                    }
+                }
+            }
+        });
+    Tensor::from_vec([n, cout, oh, ow], out)
+}
+
+/// Standard 2-D convolution backward pass.
+///
+/// Given the upstream gradient `gy: [n, c_out, oh, ow]`, returns
+/// `(grad_input, grad_weight)` with the shapes of `x` and `w`.
+///
+/// # Panics
+///
+/// Panics on shape mismatches between `x`, `w`, `gy` and `g`.
+pub fn conv2d_backward(x: &Tensor, w: &Tensor, gy: &Tensor, g: Conv2dGeom) -> (Tensor, Tensor) {
+    check_conv_shapes(x, w, false);
+    let (n, c, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let cout = w.dim(0);
+    let (oh, ow) = g.out_size(h, wd);
+    assert_eq!(
+        gy.dims(),
+        &[n, cout, oh, ow],
+        "upstream gradient shape {} does not match conv output [{n}x{cout}x{oh}x{ow}]",
+        gy.shape()
+    );
+    let ncols = oh * ow;
+    let krows = c * g.kh * g.kw;
+    let xd = x.data();
+    let wdat = w.data();
+    let gyd = gy.data();
+
+    // Per-image partials computed in parallel, then reduced.
+    let results: Vec<(Vec<f32>, Vec<f32>)> = (0..n)
+        .into_par_iter()
+        .map(|ni| {
+            let mut cols = vec![0.0f32; krows * ncols];
+            im2col(&xd[ni * c * h * wd..(ni + 1) * c * h * wd], c, h, wd, g, &mut cols);
+            let gslice = &gyd[ni * cout * ncols..(ni + 1) * cout * ncols];
+            // grad_w[co, k] += gy[co, :] . cols[k, :]
+            let mut gw = vec![0.0f32; cout * krows];
+            for co in 0..cout {
+                let grow = &gslice[co * ncols..(co + 1) * ncols];
+                let gwrow = &mut gw[co * krows..(co + 1) * krows];
+                for (kk, gwv) in gwrow.iter_mut().enumerate() {
+                    let crow = &cols[kk * ncols..(kk + 1) * ncols];
+                    *gwv = grow.iter().zip(crow).map(|(&a, &b)| a * b).sum();
+                }
+            }
+            // grad_cols[k, :] = sum_co w[co, k] * gy[co, :]
+            let mut gcols = vec![0.0f32; krows * ncols];
+            for co in 0..cout {
+                let wrow = &wdat[co * krows..(co + 1) * krows];
+                let grow = &gslice[co * ncols..(co + 1) * ncols];
+                for (kk, &wv) in wrow.iter().enumerate() {
+                    if wv == 0.0 {
+                        continue;
+                    }
+                    let gcrow = &mut gcols[kk * ncols..(kk + 1) * ncols];
+                    for (gc, &gv) in gcrow.iter_mut().zip(grow) {
+                        *gc += wv * gv;
+                    }
+                }
+            }
+            let mut gx = vec![0.0f32; c * h * wd];
+            col2im(&gcols, c, h, wd, g, &mut gx);
+            (gx, gw)
+        })
+        .collect();
+
+    let mut gx_all = vec![0.0f32; n * c * h * wd];
+    let mut gw_all = vec![0.0f32; cout * krows];
+    for (ni, (gx, gw)) in results.into_iter().enumerate() {
+        gx_all[ni * c * h * wd..(ni + 1) * c * h * wd].copy_from_slice(&gx);
+        for (a, b) in gw_all.iter_mut().zip(gw) {
+            *a += b;
+        }
+    }
+    (
+        Tensor::from_vec([n, c, h, wd], gx_all),
+        Tensor::from_vec([cout, c, g.kh, g.kw], gw_all),
+    )
+}
+
+/// Depthwise 2-D convolution forward pass (channel multiplier 1).
+///
+/// Input `x: [n, c, h, w]`, weight `w: [c, 1, kh, kw]`; returns
+/// `[n, c, oh, ow]`.
+///
+/// # Panics
+///
+/// Panics on rank or channel-count mismatches.
+pub fn depthwise_conv2d(x: &Tensor, w: &Tensor, g: Conv2dGeom) -> Tensor {
+    check_conv_shapes(x, w, true);
+    let (n, c, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (oh, ow) = g.out_size(h, wd);
+    let xd = x.data();
+    let wdat = w.data();
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    out.par_chunks_mut(c * oh * ow)
+        .enumerate()
+        .for_each(|(ni, ochunk)| {
+            for ci in 0..c {
+                let img = &xd[(ni * c + ci) * h * wd..(ni * c + ci + 1) * h * wd];
+                let ker = &wdat[ci * g.kh * g.kw..(ci + 1) * g.kh * g.kw];
+                let orow = &mut ochunk[ci * oh * ow..(ci + 1) * oh * ow];
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let mut acc = 0.0f32;
+                        for ki in 0..g.kh {
+                            let ii = (oi * g.stride + ki) as isize - g.pad as isize;
+                            if ii < 0 || ii >= h as isize {
+                                continue;
+                            }
+                            for kj in 0..g.kw {
+                                let jj = (oj * g.stride + kj) as isize - g.pad as isize;
+                                if jj >= 0 && jj < wd as isize {
+                                    acc += ker[ki * g.kw + kj]
+                                        * img[ii as usize * wd + jj as usize];
+                                }
+                            }
+                        }
+                        orow[oi * ow + oj] = acc;
+                    }
+                }
+            }
+        });
+    Tensor::from_vec([n, c, oh, ow], out)
+}
+
+/// Depthwise 2-D convolution backward pass.
+///
+/// Returns `(grad_input, grad_weight)` with the shapes of `x` and `w`.
+///
+/// # Panics
+///
+/// Panics on shape mismatches between `x`, `w`, `gy` and `g`.
+pub fn depthwise_conv2d_backward(
+    x: &Tensor,
+    w: &Tensor,
+    gy: &Tensor,
+    g: Conv2dGeom,
+) -> (Tensor, Tensor) {
+    check_conv_shapes(x, w, true);
+    let (n, c, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (oh, ow) = g.out_size(h, wd);
+    assert_eq!(
+        gy.dims(),
+        &[n, c, oh, ow],
+        "upstream gradient shape {} does not match depthwise output [{n}x{c}x{oh}x{ow}]",
+        gy.shape()
+    );
+    let xd = x.data();
+    let wdat = w.data();
+    let gyd = gy.data();
+    let results: Vec<(Vec<f32>, Vec<f32>)> = (0..n)
+        .into_par_iter()
+        .map(|ni| {
+            let mut gx = vec![0.0f32; c * h * wd];
+            let mut gw = vec![0.0f32; c * g.kh * g.kw];
+            for ci in 0..c {
+                let img = &xd[(ni * c + ci) * h * wd..(ni * c + ci + 1) * h * wd];
+                let ker = &wdat[ci * g.kh * g.kw..(ci + 1) * g.kh * g.kw];
+                let grow = &gyd[(ni * c + ci) * oh * ow..(ni * c + ci + 1) * oh * ow];
+                let gximg = &mut gx[ci * h * wd..(ci + 1) * h * wd];
+                let gwker = &mut gw[ci * g.kh * g.kw..(ci + 1) * g.kh * g.kw];
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let gv = grow[oi * ow + oj];
+                        if gv == 0.0 {
+                            continue;
+                        }
+                        for ki in 0..g.kh {
+                            let ii = (oi * g.stride + ki) as isize - g.pad as isize;
+                            if ii < 0 || ii >= h as isize {
+                                continue;
+                            }
+                            for kj in 0..g.kw {
+                                let jj = (oj * g.stride + kj) as isize - g.pad as isize;
+                                if jj >= 0 && jj < wd as isize {
+                                    let xoff = ii as usize * wd + jj as usize;
+                                    gximg[xoff] += ker[ki * g.kw + kj] * gv;
+                                    gwker[ki * g.kw + kj] += img[xoff] * gv;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            (gx, gw)
+        })
+        .collect();
+    let mut gx_all = vec![0.0f32; n * c * h * wd];
+    let mut gw_all = vec![0.0f32; c * g.kh * g.kw];
+    for (ni, (gx, gw)) in results.into_iter().enumerate() {
+        gx_all[ni * c * h * wd..(ni + 1) * c * h * wd].copy_from_slice(&gx);
+        for (a, b) in gw_all.iter_mut().zip(gw) {
+            *a += b;
+        }
+    }
+    (
+        Tensor::from_vec([n, c, h, wd], gx_all),
+        Tensor::from_vec([c, 1, g.kh, g.kw], gw_all),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geom_out_sizes() {
+        assert_eq!(Conv2dGeom::same(3).out_size(8, 8), (8, 8));
+        assert_eq!(Conv2dGeom::new(3, 2, 1).out_size(8, 8), (4, 4));
+        assert_eq!(Conv2dGeom::new(2, 2, 0).out_size(8, 8), (4, 4));
+        assert_eq!(Conv2dGeom::new(1, 1, 0).out_size(5, 7), (5, 7));
+    }
+
+    #[test]
+    fn identity_kernel_1x1() {
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1., 2., 3., 4.]);
+        let w = Tensor::from_vec([1, 1, 1, 1], vec![1.0]);
+        let y = conv2d(&x, &w, Conv2dGeom::new(1, 1, 0));
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_valid_conv() {
+        // 3x3 input, 2x2 kernel of ones => 2x2 output of window sums.
+        let x = Tensor::from_vec([1, 1, 3, 3], (1..=9).map(|v| v as f32).collect());
+        let w = Tensor::from_vec([1, 1, 2, 2], vec![1.0; 4]);
+        let y = conv2d(&x, &w, Conv2dGeom::new(2, 1, 0));
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[12., 16., 24., 28.]);
+    }
+
+    #[test]
+    fn padding_zero_extends() {
+        let x = Tensor::from_vec([1, 1, 1, 1], vec![2.0]);
+        let w = Tensor::from_vec([1, 1, 3, 3], vec![1.0; 9]);
+        let y = conv2d(&x, &w, Conv2dGeom::same(3));
+        assert_eq!(y.data(), &[2.0]);
+    }
+
+    #[test]
+    fn multi_channel_sums_inputs() {
+        let x = Tensor::from_vec([1, 2, 1, 1], vec![3.0, 4.0]);
+        let w = Tensor::from_vec([1, 2, 1, 1], vec![1.0, 10.0]);
+        let y = conv2d(&x, &w, Conv2dGeom::new(1, 1, 0));
+        assert_eq!(y.data(), &[43.0]);
+    }
+
+    #[test]
+    fn depthwise_keeps_channels_separate() {
+        let x = Tensor::from_vec([1, 2, 1, 1], vec![3.0, 4.0]);
+        let w = Tensor::from_vec([2, 1, 1, 1], vec![2.0, 10.0]);
+        let y = depthwise_conv2d(&x, &w, Conv2dGeom::new(1, 1, 0));
+        assert_eq!(y.data(), &[6.0, 40.0]);
+    }
+
+    /// Finite-difference gradient check for conv2d.
+    #[test]
+    fn conv2d_gradcheck() {
+        let g = Conv2dGeom::new(3, 2, 1);
+        let x = Tensor::from_vec(
+            [2, 2, 5, 5],
+            (0..100).map(|i| ((i * 37 % 19) as f32 - 9.0) / 10.0).collect(),
+        );
+        let w = Tensor::from_vec(
+            [3, 2, 3, 3],
+            (0..54).map(|i| ((i * 23 % 17) as f32 - 8.0) / 10.0).collect(),
+        );
+        let y = conv2d(&x, &w, g);
+        // Loss = 0.5 * sum(y^2) => upstream gradient is y itself.
+        let (gx, gw) = conv2d_backward(&x, &w, &y, g);
+        let loss = |x: &Tensor, w: &Tensor| -> f64 {
+            conv2d(x, w, g).data().iter().map(|&v| 0.5 * (v as f64) * (v as f64)).sum()
+        };
+        let eps = 1e-2f32;
+        for &i in &[0usize, 13, 57, 99] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = ((loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (fd - gx.data()[i]).abs() < 2e-2,
+                "input grad mismatch at {i}: fd={fd} analytic={}",
+                gx.data()[i]
+            );
+        }
+        for &i in &[0usize, 11, 29, 53] {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let fd = ((loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (fd - gw.data()[i]).abs() < 2e-2,
+                "weight grad mismatch at {i}: fd={fd} analytic={}",
+                gw.data()[i]
+            );
+        }
+    }
+
+    /// Finite-difference gradient check for depthwise conv.
+    #[test]
+    fn depthwise_gradcheck() {
+        let g = Conv2dGeom::same(3);
+        let x = Tensor::from_vec(
+            [2, 3, 4, 4],
+            (0..96).map(|i| ((i * 31 % 23) as f32 - 11.0) / 12.0).collect(),
+        );
+        let w = Tensor::from_vec(
+            [3, 1, 3, 3],
+            (0..27).map(|i| ((i * 29 % 13) as f32 - 6.0) / 8.0).collect(),
+        );
+        let y = depthwise_conv2d(&x, &w, g);
+        let (gx, gw) = depthwise_conv2d_backward(&x, &w, &y, g);
+        let loss = |x: &Tensor, w: &Tensor| -> f64 {
+            depthwise_conv2d(x, w, g)
+                .data()
+                .iter()
+                .map(|&v| 0.5 * (v as f64) * (v as f64))
+                .sum()
+        };
+        let eps = 1e-2f32;
+        for &i in &[0usize, 17, 55, 95] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = ((loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps as f64)) as f32;
+            assert!((fd - gx.data()[i]).abs() < 2e-2, "input grad mismatch at {i}");
+        }
+        for &i in &[0usize, 9, 20, 26] {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let fd = ((loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps as f64)) as f32;
+            assert!((fd - gw.data()[i]).abs() < 2e-2, "weight grad mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn stride_two_downsamples() {
+        let x = Tensor::from_vec([1, 1, 4, 4], (0..16).map(|v| v as f32).collect());
+        let w = Tensor::from_vec([1, 1, 1, 1], vec![1.0]);
+        let y = conv2d(&x, &w, Conv2dGeom::new(1, 2, 0));
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[0., 2., 8., 10.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "in-channels")]
+    fn channel_mismatch_panics() {
+        let x = Tensor::zeros([1, 3, 4, 4]);
+        let w = Tensor::zeros([2, 2, 3, 3]);
+        conv2d(&x, &w, Conv2dGeom::same(3));
+    }
+}

@@ -1,0 +1,149 @@
+//! Deterministic random tensor initialization.
+//!
+//! All randomness in the workspace flows through seeded [`StdRng`] instances
+//! so every experiment is exactly reproducible.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples a standard normal variate via the Box–Muller transform (keeps the
+/// workspace free of a `rand_distr` dependency).
+pub fn sample_standard_normal(rng: &mut StdRng) -> f32 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
+}
+
+/// Creates a seeded RNG. Thin wrapper so callers don't need a direct `rand`
+/// dependency for the common case.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Tensor with i.i.d. uniform entries in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut StdRng) -> Tensor {
+    assert!(lo < hi, "uniform requires lo < hi, got [{lo}, {hi})");
+    let shape = shape.into();
+    let n = shape.numel();
+    Tensor::from_vec(shape, (0..n).map(|_| rng.gen_range(lo..hi)).collect())
+}
+
+/// Tensor with i.i.d. normal entries with the given mean and standard
+/// deviation.
+///
+/// # Panics
+///
+/// Panics if `std` is negative or not finite.
+pub fn normal(shape: impl Into<Shape>, mean: f32, std: f32, rng: &mut StdRng) -> Tensor {
+    assert!(std >= 0.0 && std.is_finite(), "invalid std {std}");
+    let shape = shape.into();
+    let n = shape.numel();
+    Tensor::from_vec(
+        shape,
+        (0..n)
+            .map(|_| mean + std * sample_standard_normal(rng))
+            .collect(),
+    )
+}
+
+/// He (Kaiming) normal initialization for a conv/dense weight tensor:
+/// `std = sqrt(2 / fan_in)`. For a 4-D `[co, ci, kh, kw]` weight the fan-in
+/// is `ci*kh*kw`; for a 2-D `[in, out]` weight it is `in`.
+///
+/// # Panics
+///
+/// Panics if the shape is not 2-D or 4-D or has zero fan-in.
+pub fn he_normal(shape: impl Into<Shape>, rng: &mut StdRng) -> Tensor {
+    let shape = shape.into();
+    let fan_in = fan_in(&shape);
+    let std = (2.0 / fan_in as f32).sqrt();
+    normal(shape, 0.0, std, rng)
+}
+
+/// Xavier/Glorot uniform initialization:
+/// `limit = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Panics
+///
+/// Panics if the shape is not 2-D or 4-D or has zero fans.
+pub fn xavier_uniform(shape: impl Into<Shape>, rng: &mut StdRng) -> Tensor {
+    let shape = shape.into();
+    let (fi, fo) = (fan_in(&shape), fan_out(&shape));
+    let limit = (6.0 / (fi + fo) as f32).sqrt();
+    uniform(shape, -limit, limit, rng)
+}
+
+fn fan_in(shape: &Shape) -> usize {
+    let f = match shape.ndim() {
+        2 => shape.dim(0),
+        4 => shape.dim(1) * shape.dim(2) * shape.dim(3),
+        n => panic!("fan-in defined only for 2-D/4-D weights, got rank {n}"),
+    };
+    assert!(f > 0, "zero fan-in for shape {shape}");
+    f
+}
+
+fn fan_out(shape: &Shape) -> usize {
+    let f = match shape.ndim() {
+        2 => shape.dim(1),
+        4 => shape.dim(0) * shape.dim(2) * shape.dim(3),
+        n => panic!("fan-out defined only for 2-D/4-D weights, got rank {n}"),
+    };
+    assert!(f > 0, "zero fan-out for shape {shape}");
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = uniform([100], -1.0, 1.0, &mut rng(7));
+        let b = uniform([100], -1.0, 1.0, &mut rng(7));
+        let c = uniform([100], -1.0, 1.0, &mut rng(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let t = uniform([1000], -0.5, 0.5, &mut rng(1));
+        assert!(reduce::max(&t) < 0.5);
+        assert!(reduce::min(&t) >= -0.5);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let t = normal([20_000], 1.0, 2.0, &mut rng(2));
+        let m = reduce::mean(&t);
+        let var = t.data().iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / t.len() as f32;
+        assert!((m - 1.0).abs() < 0.05, "mean {m}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn he_std_matches_fan_in() {
+        // fan_in = 4*3*3 = 36 => std = sqrt(2/36) ~= 0.2357
+        let t = he_normal([8, 4, 3, 3], &mut rng(3));
+        let m = reduce::mean(&t);
+        let std = (t.data().iter().map(|&x| (x - m) * (x - m)).sum::<f32>()
+            / t.len() as f32)
+            .sqrt();
+        assert!((std - (2.0f32 / 36.0).sqrt()).abs() < 0.05, "std {std}");
+    }
+
+    #[test]
+    fn xavier_limit() {
+        let t = xavier_uniform([10, 30], &mut rng(4));
+        let lim = (6.0f32 / 40.0).sqrt();
+        assert!(t.abs_max() <= lim);
+    }
+}

@@ -1,0 +1,36 @@
+//! # tqt-tensor
+//!
+//! Dense `f32` tensor substrate for the TQT (Trained Quantization
+//! Thresholds) reproduction. Provides the N-d [`Tensor`] container plus the
+//! numerical kernels the neural-network stack is built on: elementwise and
+//! per-channel broadcasting ops, matrix multiplication, 2-D (and depthwise)
+//! convolution with hand-derived backward passes, reductions, seeded random
+//! initialization, and the distribution statistics (histograms, moments,
+//! percentiles) used by quantization-threshold calibration.
+//!
+//! Everything is deterministic: all randomness is drawn from caller-provided
+//! seeded RNGs and no kernel depends on thread scheduling for its result.
+//!
+//! # Examples
+//!
+//! ```
+//! use tqt_tensor::{Tensor, conv::{conv2d, Conv2dGeom}};
+//!
+//! let image = Tensor::ones([1, 3, 8, 8]);            // NCHW
+//! let weight = Tensor::ones([4, 3, 3, 3]);           // [out, in, kh, kw]
+//! let out = conv2d(&image, &weight, Conv2dGeom::same(3));
+//! assert_eq!(out.dims(), &[1, 4, 8, 8]);
+//! ```
+
+pub mod conv;
+pub mod init;
+pub mod matmul;
+pub mod ops;
+pub mod reduce;
+pub mod shape;
+pub mod stats;
+mod tensor;
+
+pub use matmul::{matmul, matmul_nt, matmul_tn};
+pub use shape::Shape;
+pub use tensor::Tensor;

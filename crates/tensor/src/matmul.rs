@@ -1,0 +1,196 @@
+//! Dense matrix multiplication, parallelized across output rows with rayon.
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Minimum number of output rows before parallelism is worth dispatching.
+const PAR_THRESHOLD_ROWS: usize = 8;
+
+/// Matrix product `a @ b` of a `[m, k]` tensor with a `[k, n]` tensor.
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D or the inner dimensions disagree.
+///
+/// # Examples
+///
+/// ```
+/// use tqt_tensor::{Tensor, matmul};
+/// let a = Tensor::from_vec([2, 2], vec![1., 2., 3., 4.]);
+/// let b = Tensor::from_vec([2, 1], vec![5., 6.]);
+/// assert_eq!(matmul(&a, &b).data(), &[17., 39.]);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul lhs must be 2-D, got {}", a.shape());
+    assert_eq!(b.ndim(), 2, "matmul rhs must be 2-D, got {}", b.shape());
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (k2, n) = (b.dim(0), b.dim(1));
+    assert_eq!(
+        k,
+        k2,
+        "matmul inner dimension mismatch: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    let row = |i: usize, orow: &mut [f32]| {
+        let arow = &ad[i * k..(i + 1) * k];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    };
+    if m >= PAR_THRESHOLD_ROWS && m * n * k > 1 << 14 {
+        out.par_chunks_mut(n).enumerate().for_each(|(i, orow)| row(i, orow));
+    } else {
+        for (i, orow) in out.chunks_mut(n).enumerate() {
+            row(i, orow);
+        }
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+/// `a^T @ b` for `a: [k, m]`, `b: [k, n]`, without materializing the
+/// transpose. Used in dense-layer weight gradients.
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D or the leading dimensions disagree.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul_tn lhs must be 2-D");
+    assert_eq!(b.ndim(), 2, "matmul_tn rhs must be 2-D");
+    let (k, m) = (a.dim(0), a.dim(1));
+    let (k2, n) = (b.dim(0), b.dim(1));
+    assert_eq!(
+        k,
+        k2,
+        "matmul_tn leading dimension mismatch: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    // out[i, j] = sum_k a[k, i] * b[k, j]
+    for kk in 0..k {
+        let arow = &ad[kk * m..(kk + 1) * m];
+        let brow = &bd[kk * n..(kk + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+/// `a @ b^T` for `a: [m, k]`, `b: [n, k]`, without materializing the
+/// transpose. Used in dense-layer input gradients.
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D or the trailing dimensions disagree.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul_nt lhs must be 2-D");
+    assert_eq!(b.ndim(), 2, "matmul_nt rhs must be 2-D");
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (n, k2) = (b.dim(0), b.dim(1));
+    assert_eq!(
+        k,
+        k2,
+        "matmul_nt trailing dimension mismatch: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    let row = |i: usize, orow: &mut [f32]| {
+        let arow = &ad[i * k..(i + 1) * k];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &bd[j * k..(j + 1) * k];
+            *o = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+        }
+    };
+    if m >= PAR_THRESHOLD_ROWS && m * n * k > 1 << 14 {
+        out.par_chunks_mut(n).enumerate().for_each(|(i, orow)| row(i, orow));
+    } else {
+        for (i, orow) in out.chunks_mut(n).enumerate() {
+            row(i, orow);
+        }
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_matmul() {
+        let a = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec([3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn identity() {
+        let a = Tensor::from_vec([2, 2], vec![1., 2., 3., 4.]);
+        let i = Tensor::from_vec([2, 2], vec![1., 0., 0., 1.]);
+        assert_eq!(matmul(&a, &i), a);
+        assert_eq!(matmul(&i, &a), a);
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose() {
+        let a = Tensor::from_vec([3, 2], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec([3, 4], (0..12).map(|x| x as f32).collect());
+        matmul_tn(&a, &b).assert_close(&matmul(&a.transpose2(), &b), 1e-6);
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        let a = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec([4, 3], (0..12).map(|x| x as f32).collect());
+        matmul_nt(&a, &b).assert_close(&matmul(&a, &b.transpose2()), 1e-6);
+    }
+
+    #[test]
+    fn large_parallel_path_matches_serial() {
+        // Cross the parallel threshold and check against a small-block oracle.
+        let m = 33;
+        let k = 17;
+        let n = 29;
+        let a = Tensor::from_vec([m, k], (0..m * k).map(|x| (x % 7) as f32 - 3.0).collect());
+        let b = Tensor::from_vec([k, n], (0..k * n).map(|x| (x % 5) as f32 - 2.0).collect());
+        let c = matmul(&a, &b);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.at(&[i, kk]) * b.at(&[kk, j]);
+                }
+                assert!((c.at(&[i, j]) - acc).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn shape_checked() {
+        matmul(&Tensor::zeros([2, 3]), &Tensor::zeros([4, 2]));
+    }
+}

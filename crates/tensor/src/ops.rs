@@ -1,0 +1,233 @@
+//! Elementwise and broadcasting arithmetic on [`Tensor`]s.
+//!
+//! Only the broadcasting patterns the NN stack needs are supported:
+//! same-shape binary ops, scalar broadcast, and per-channel broadcast over
+//! NCHW activations (used by batch-norm and bias-add).
+
+use crate::tensor::Tensor;
+
+/// Elementwise addition of two same-shaped tensors.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    a.zip_map(b, |x, y| x + y)
+}
+
+/// Elementwise subtraction `a - b` of two same-shaped tensors.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
+    a.zip_map(b, |x, y| x - y)
+}
+
+/// Elementwise multiplication of two same-shaped tensors.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
+    a.zip_map(b, |x, y| x * y)
+}
+
+/// Elementwise division `a / b` of two same-shaped tensors.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn div(a: &Tensor, b: &Tensor) -> Tensor {
+    a.zip_map(b, |x, y| x / y)
+}
+
+/// Adds `s` to every element.
+pub fn add_scalar(a: &Tensor, s: f32) -> Tensor {
+    a.map(|x| x + s)
+}
+
+/// Multiplies every element by `s`.
+pub fn scale(a: &Tensor, s: f32) -> Tensor {
+    a.map(|x| x * s)
+}
+
+/// In-place `a += alpha * b` (axpy), the workhorse of gradient accumulation.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn axpy(a: &mut Tensor, alpha: f32, b: &Tensor) {
+    assert!(
+        a.shape().same_as(b.shape()),
+        "axpy shape mismatch: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    for (x, &y) in a.data_mut().iter_mut().zip(b.data()) {
+        *x += alpha * y;
+    }
+}
+
+/// Adds a per-channel vector to an NCHW tensor: `out[n,c,h,w] = a[n,c,h,w] + bias[c]`.
+///
+/// Also accepts 2-D `[N, C]` inputs (dense-layer bias-add).
+///
+/// # Panics
+///
+/// Panics if `a` is not 2-D or 4-D, or if `bias` is not 1-D with length
+/// equal to the channel dimension of `a`.
+pub fn add_channel(a: &Tensor, bias: &Tensor) -> Tensor {
+    let mut out = a.clone();
+    add_channel_inplace(&mut out, bias);
+    out
+}
+
+/// In-place variant of [`add_channel`].
+///
+/// # Panics
+///
+/// Same conditions as [`add_channel`].
+pub fn add_channel_inplace(a: &mut Tensor, bias: &Tensor) {
+    let c = channel_dim(a);
+    assert_eq!(
+        bias.dims(),
+        &[c],
+        "bias shape {} does not match channel dim {}",
+        bias.shape(),
+        c
+    );
+    let spatial = a.len() / (a.dim(0) * c);
+    let (n, data, b) = (a.dim(0), a.data_mut(), bias.data());
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * spatial;
+            let bv = b[ci];
+            for v in &mut data[base..base + spatial] {
+                *v += bv;
+            }
+        }
+    }
+}
+
+/// Multiplies an NCHW (or `[N, C]`) tensor by a per-channel vector.
+///
+/// # Panics
+///
+/// Same conditions as [`add_channel`].
+pub fn mul_channel(a: &Tensor, g: &Tensor) -> Tensor {
+    let c = channel_dim(a);
+    assert_eq!(
+        g.dims(),
+        &[c],
+        "scale shape {} does not match channel dim {}",
+        g.shape(),
+        c
+    );
+    let spatial = a.len() / (a.dim(0) * c);
+    let n = a.dim(0);
+    let mut out = a.clone();
+    let data = out.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * spatial;
+            let gv = g.data()[ci];
+            for v in &mut data[base..base + spatial] {
+                *v *= gv;
+            }
+        }
+    }
+    out
+}
+
+/// Sums an NCHW (or `[N, C]`) tensor over all axes except channels,
+/// producing a 1-D `[C]` tensor. This is the adjoint of [`add_channel`].
+///
+/// # Panics
+///
+/// Panics if `a` is not 2-D or 4-D.
+pub fn sum_over_channel(a: &Tensor) -> Tensor {
+    let c = channel_dim(a);
+    let spatial = a.len() / (a.dim(0) * c);
+    let n = a.dim(0);
+    let mut out = vec![0.0f32; c];
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * spatial;
+            out[ci] += a.data()[base..base + spatial].iter().sum::<f32>();
+        }
+    }
+    Tensor::from_vec(c, out)
+}
+
+fn channel_dim(a: &Tensor) -> usize {
+    match a.ndim() {
+        2 | 4 => a.dim(1),
+        n => panic!("channel ops require 2-D [N,C] or 4-D NCHW tensors, got rank {n}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_ops() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[3.0, 5.0]);
+        assert_eq!(add(&a, &b).data(), &[4.0, 7.0]);
+        assert_eq!(sub(&a, &b).data(), &[-2.0, -3.0]);
+        assert_eq!(mul(&a, &b).data(), &[3.0, 10.0]);
+        assert_eq!(div(&b, &a).data(), &[3.0, 2.5]);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = Tensor::from_slice(&[1.0, -2.0]);
+        assert_eq!(add_scalar(&a, 1.0).data(), &[2.0, -1.0]);
+        assert_eq!(scale(&a, -2.0).data(), &[-2.0, 4.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::from_slice(&[1.0, 1.0]);
+        axpy(&mut a, 0.5, &Tensor::from_slice(&[2.0, 4.0]));
+        assert_eq!(a.data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn channel_add_4d() {
+        // N=1, C=2, H=1, W=2
+        let a = Tensor::from_vec([1, 2, 1, 2], vec![0., 0., 0., 0.]);
+        let b = Tensor::from_slice(&[1.0, 2.0]);
+        let out = add_channel(&a, &b);
+        assert_eq!(out.data(), &[1., 1., 2., 2.]);
+    }
+
+    #[test]
+    fn channel_add_2d() {
+        let a = Tensor::from_vec([2, 2], vec![0., 0., 10., 10.]);
+        let b = Tensor::from_slice(&[1.0, 2.0]);
+        assert_eq!(add_channel(&a, &b).data(), &[1., 2., 11., 12.]);
+    }
+
+    #[test]
+    fn channel_mul() {
+        let a = Tensor::from_vec([1, 2, 1, 2], vec![1., 2., 3., 4.]);
+        let g = Tensor::from_slice(&[2.0, 10.0]);
+        assert_eq!(mul_channel(&a, &g).data(), &[2., 4., 30., 40.]);
+    }
+
+    #[test]
+    fn channel_sum_is_adjoint_of_add() {
+        let a = Tensor::from_vec([2, 2, 1, 2], vec![1., 2., 3., 4., 5., 6., 7., 8.]);
+        let s = sum_over_channel(&a);
+        assert_eq!(s.data(), &[1. + 2. + 5. + 6., 3. + 4. + 7. + 8.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel ops require")]
+    fn channel_ops_reject_3d() {
+        sum_over_channel(&Tensor::zeros([2, 2, 2]));
+    }
+}

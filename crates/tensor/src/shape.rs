@@ -1,0 +1,194 @@
+//! Shape and index arithmetic for dense row-major tensors.
+
+use std::fmt;
+
+/// The dimensions of a dense, row-major (C-order) tensor.
+///
+/// A `Shape` is an ordered list of dimension sizes. A zero-dimensional shape
+/// (`Shape::scalar()`) describes a single element.
+///
+/// # Examples
+///
+/// ```
+/// use tqt_tensor::Shape;
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.numel(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension sizes.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+
+    /// The zero-dimensional (scalar) shape.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions (rank).
+    pub fn ndim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Size of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.ndim()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Total number of elements (product of all dimensions; 1 for a scalar).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Linear offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx.len() != self.ndim()` or any coordinate is out of
+    /// bounds.
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(
+            idx.len(),
+            self.0.len(),
+            "index rank {} does not match shape rank {}",
+            idx.len(),
+            self.0.len()
+        );
+        let mut off = 0;
+        let mut stride = 1;
+        for i in (0..self.0.len()).rev() {
+            assert!(
+                idx[i] < self.0[i],
+                "index {} out of bounds for dimension {} of size {}",
+                idx[i],
+                i,
+                self.0[i]
+            );
+            off += idx[i] * stride;
+            stride *= self.0[i];
+        }
+        off
+    }
+
+    /// Whether two shapes are identical.
+    pub fn same_as(&self, other: &Shape) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl From<usize> for Shape {
+    fn from(d: usize) -> Self {
+        Shape(vec![d])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_strides() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.ndim(), 3);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.ndim(), 0);
+        assert_eq!(s.offset(&[]), 0);
+    }
+
+    #[test]
+    fn offsets_are_row_major() {
+        let s = Shape::from([2, 3]);
+        assert_eq!(s.offset(&[0, 0]), 0);
+        assert_eq!(s.offset(&[0, 2]), 2);
+        assert_eq!(s.offset(&[1, 0]), 3);
+        assert_eq!(s.offset(&[1, 2]), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_bounds_checked() {
+        Shape::from([2, 3]).offset(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn offset_rank_checked() {
+        Shape::from([2, 3]).offset(&[1]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape::from([2, 3]).to_string(), "[2x3]");
+    }
+
+    #[test]
+    fn empty_dim_numel_zero() {
+        assert_eq!(Shape::from([2, 0, 4]).numel(), 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Distribution statistics used for quantization-threshold calibration:
+//! moments, percentiles and fixed-width histograms.
+
+use crate::tensor::Tensor;
+
+/// Mean and standard deviation of the elements of a tensor, accumulated in
+/// `f64`.
+///
+/// Returns `(mean, std)`. The standard deviation is the population (biased)
+/// form, matching the "n standard deviations of the weight distribution"
+/// initialization of the paper's Table 2.
+///
+/// # Panics
+///
+/// Panics if the tensor is empty.
+pub fn mean_std(t: &Tensor) -> (f32, f32) {
+    assert!(!t.is_empty(), "mean_std of empty tensor");
+    let n = t.len() as f64;
+    let mean = t.data().iter().map(|&x| x as f64).sum::<f64>() / n;
+    let var = t
+        .data()
+        .iter()
+        .map(|&x| {
+            let d = x as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    (mean as f32, var.sqrt() as f32)
+}
+
+/// The `q`-th percentile (0..=100) of the *absolute values* of the elements,
+/// by linear interpolation between order statistics.
+///
+/// Used for percentile threshold initialization.
+///
+/// # Panics
+///
+/// Panics if the tensor is empty or `q` is outside `[0, 100]`.
+pub fn abs_percentile(t: &Tensor, q: f32) -> f32 {
+    assert!(!t.is_empty(), "percentile of empty tensor");
+    assert!((0.0..=100.0).contains(&q), "percentile {q} out of [0,100]");
+    let mut v: Vec<f32> = t.data().iter().map(|x| x.abs()).collect();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pos = q as f64 / 100.0 * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = (pos - lo as f64) as f32;
+    v[lo] * (1.0 - frac) + v[hi] * frac
+}
+
+/// A fixed-width histogram over `[0, max]` of the absolute values of a data
+/// stream, used by KL-J threshold calibration.
+///
+/// # Examples
+///
+/// ```
+/// use tqt_tensor::{Tensor, stats::Histogram};
+/// let t = Tensor::from_slice(&[0.1, -0.5, 2.0]);
+/// let mut h = Histogram::new(4, 2.0);
+/// h.add(&t);
+/// assert_eq!(h.total(), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bins: Vec<f64>,
+    max: f32,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `nbins` bins spanning `[0, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nbins == 0` or `max` is not positive and finite.
+    pub fn new(nbins: usize, max: f32) -> Self {
+        assert!(nbins > 0, "histogram needs at least one bin");
+        assert!(max > 0.0 && max.is_finite(), "invalid histogram max {max}");
+        Histogram {
+            bins: vec![0.0; nbins],
+            max,
+        }
+    }
+
+    /// Builds a histogram directly from a tensor's absolute values, sizing
+    /// the range to the tensor's absolute maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty. A tensor that is identically zero gets
+    /// a tiny positive range so downstream calibration still works.
+    pub fn from_tensor(t: &Tensor, nbins: usize) -> Self {
+        assert!(!t.is_empty(), "histogram of empty tensor");
+        let max = t.abs_max().max(f32::MIN_POSITIVE);
+        let mut h = Histogram::new(nbins, max);
+        h.add(t);
+        h
+    }
+
+    /// Like [`from_tensor`](Self::from_tensor) but ignoring exact zeros.
+    /// Post-ReLU activations put a large fraction of their mass at exactly
+    /// zero; zero is representable at every scale, so including it only
+    /// distorts threshold calibration (the KL-J merge increasingly smears
+    /// the zero spike as candidate thresholds widen, biasing the optimum
+    /// toward over-tight clipping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty. A tensor with no non-zero values
+    /// degenerates to a single count in the first bin.
+    pub fn from_tensor_nonzero(t: &Tensor, nbins: usize) -> Self {
+        assert!(!t.is_empty(), "histogram of empty tensor");
+        let max = t.abs_max().max(f32::MIN_POSITIVE);
+        let mut h = Histogram::new(nbins, max);
+        let n = h.bins.len();
+        let scale = n as f32 / max;
+        let mut any = false;
+        for &x in t.data() {
+            if x != 0.0 {
+                let b = ((x.abs() * scale) as usize).min(n - 1);
+                h.bins[b] += 1.0;
+                any = true;
+            }
+        }
+        if !any {
+            h.bins[0] += 1.0;
+        }
+        h
+    }
+
+    /// Accumulates the absolute values of `t`. Values above `max` land in
+    /// the last bin (saturating), matching calibration-time clipping.
+    pub fn add(&mut self, t: &Tensor) {
+        let n = self.bins.len();
+        let scale = n as f32 / self.max;
+        for &x in t.data() {
+            let b = ((x.abs() * scale) as usize).min(n - 1);
+            self.bins[b] += 1.0;
+        }
+    }
+
+    /// Number of bins.
+    pub fn nbins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Upper edge of the histogram range.
+    pub fn max(&self) -> f32 {
+        self.max
+    }
+
+    /// Raw bin counts.
+    pub fn bins(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// Total mass (number of accumulated values).
+    pub fn total(&self) -> f64 {
+        self.bins.iter().sum()
+    }
+
+    /// The value at the upper edge of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nbins`.
+    pub fn bin_upper_edge(&self, i: usize) -> f32 {
+        assert!(i < self.bins.len(), "bin {i} out of range");
+        self.max * (i + 1) as f32 / self.bins.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_known_values() {
+        let t = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let (m, s) = mean_std(&t);
+        assert_eq!(m, 2.5);
+        assert!((s - 1.1180339887).abs() < 1e-6);
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let t = Tensor::from_slice(&[-4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(abs_percentile(&t, 0.0), 1.0);
+        assert_eq!(abs_percentile(&t, 100.0), 4.0);
+        assert_eq!(abs_percentile(&t, 50.0), 2.5);
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let t = Tensor::from_slice(&[0.1, 0.6, -0.6, 1.9, 5.0]);
+        let mut h = Histogram::new(4, 2.0); // bins: [0,.5) [.5,1) [1,1.5) [1.5,2]
+        h.add(&t);
+        assert_eq!(h.bins(), &[1.0, 2.0, 0.0, 2.0]); // 5.0 saturates into last
+        assert_eq!(h.total(), 5.0);
+        assert_eq!(h.bin_upper_edge(0), 0.5);
+        assert_eq!(h.bin_upper_edge(3), 2.0);
+    }
+
+    #[test]
+    fn from_tensor_spans_abs_max() {
+        let t = Tensor::from_slice(&[0.5, -3.0]);
+        let h = Histogram::from_tensor(&t, 10);
+        assert_eq!(h.max(), 3.0);
+        assert_eq!(h.total(), 2.0);
+    }
+
+    #[test]
+    fn zero_tensor_histogram_is_safe() {
+        let h = Histogram::from_tensor(&Tensor::zeros([4]), 8);
+        assert_eq!(h.total(), 4.0);
+    }
+}

@@ -1,0 +1,417 @@
+//! The dense `f32` tensor type underlying all computation in this workspace.
+
+use crate::shape::Shape;
+use std::fmt;
+
+/// A dense, contiguous, row-major tensor of `f32` values.
+///
+/// This is the single numeric container used by the whole TQT stack: layer
+/// activations, weights, gradients and calibration statistics are all
+/// `Tensor`s. The layout for image data is NCHW.
+///
+/// # Examples
+///
+/// ```
+/// use tqt_tensor::Tensor;
+/// let t = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(t.at(&[1, 0]), 3.0);
+/// assert_eq!(t.map(|x| x * 2.0).data(), &[2.0, 4.0, 6.0, 8.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Creates a tensor of ones.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// Creates a zero-dimensional tensor holding a single value.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
+    }
+
+    /// Creates a tensor from a shape and flat row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the number of elements implied
+    /// by `shape`.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            shape.numel(),
+            data.len(),
+            "shape {} implies {} elements but {} were provided",
+            shape,
+            shape.numel(),
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// Creates a 1-D tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor {
+            shape: Shape::from(data.len()),
+            data: data.to_vec(),
+        }
+    }
+
+    /// Evenly spaced values over `[start, stop]` inclusive, as a 1-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn linspace(start: f32, stop: f32, n: usize) -> Self {
+        assert!(n >= 2, "linspace requires at least 2 points");
+        let step = (stop - start) / (n - 1) as f32;
+        Tensor::from_vec(n, (0..n).map(|i| start + step * i as f32).collect())
+    }
+
+    /// The shape of this tensor.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Size of dimension `i`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.shape.dim(i)
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.ndim()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major view of the data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of bounds.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.data[self.shape.offset(idx)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of bounds.
+    pub fn set(&mut self, idx: &[usize], value: f32) {
+        let off = self.shape.offset(idx);
+        self.data[off] = value;
+    }
+
+    /// The single value of a one-element tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor does not have exactly one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(
+            self.len(),
+            1,
+            "item() requires a one-element tensor, got shape {}",
+            self.shape
+        );
+        self.data[0]
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape has a different number of elements.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(
+            shape.numel(),
+            self.len(),
+            "cannot reshape {} ({} elements) into {} ({} elements)",
+            self.shape,
+            self.len(),
+            shape,
+            shape.numel()
+        );
+        Tensor {
+            shape,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise with `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert!(
+            self.shape.same_as(&other.shape),
+            "zip_map shape mismatch: {} vs {}",
+            self.shape,
+            other.shape
+        );
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Transposes a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn transpose2(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2, "transpose2 requires a 2-D tensor");
+        let (r, c) = (self.dim(0), self.dim(1));
+        let mut out = Tensor::zeros([c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute element (0.0 for empty tensors).
+    pub fn abs_max(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Whether all elements are finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Maximum absolute difference between two same-shaped tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert!(
+            self.shape.same_as(&other.shape),
+            "max_abs_diff shape mismatch: {} vs {}",
+            self.shape,
+            other.shape
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0f32, |m, (&a, &b)| m.max((a - b).abs()))
+    }
+
+    /// Asserts two tensors are elementwise equal within `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message when any element differs by more
+    /// than `tol`, or when shapes differ.
+    pub fn assert_close(&self, other: &Tensor, tol: f32) {
+        assert!(
+            self.shape.same_as(&other.shape),
+            "assert_close shape mismatch: {} vs {}",
+            self.shape,
+            other.shape
+        );
+        for (i, (&a, &b)) in self.data.iter().zip(&other.data).enumerate() {
+            assert!(
+                (a - b).abs() <= tol,
+                "tensors differ at flat index {i}: {a} vs {b} (tol {tol})"
+            );
+        }
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}", self.shape)?;
+        if self.len() <= 16 {
+            write!(f, ", {:?})", self.data)
+        } else {
+            write!(
+                f,
+                ", [{:?}, {:?}, ..., {:?}])",
+                self.data[0],
+                self.data[1],
+                self.data[self.len() - 1]
+            )
+        }
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::scalar(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.at(&[0, 0]), 1.0);
+        assert_eq!(t.at(&[1, 2]), 6.0);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.ndim(), 2);
+    }
+
+    #[test]
+    fn zeros_ones_full() {
+        assert_eq!(Tensor::zeros([2, 2]).data(), &[0.0; 4]);
+        assert_eq!(Tensor::ones([3]).data(), &[1.0; 3]);
+        assert_eq!(Tensor::full([2], 7.5).data(), &[7.5, 7.5]);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(3.5).item(), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "one-element")]
+    fn item_rejects_multi_element() {
+        Tensor::zeros([2]).item();
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let t = Tensor::linspace(-1.0, 1.0, 5);
+        assert_eq!(t.data(), &[-1.0, -0.5, 0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let r = t.reshape([3, 2]);
+        assert_eq!(r.at(&[2, 1]), 6.0);
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reshape")]
+    fn reshape_element_count_checked() {
+        Tensor::zeros([2, 3]).reshape([4, 2]);
+    }
+
+    #[test]
+    fn map_and_zip_map() {
+        let a = Tensor::from_slice(&[1.0, -2.0]);
+        let b = Tensor::from_slice(&[3.0, 4.0]);
+        assert_eq!(a.map(f32::abs).data(), &[1.0, 2.0]);
+        assert_eq!(a.zip_map(&b, |x, y| x + y).data(), &[4.0, 2.0]);
+    }
+
+    #[test]
+    fn transpose2_roundtrip() {
+        let t = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let tt = t.transpose2();
+        assert_eq!(tt.dims(), &[3, 2]);
+        assert_eq!(tt.at(&[2, 1]), 6.0);
+        assert_eq!(tt.transpose2(), t);
+    }
+
+    #[test]
+    fn abs_max_and_diff() {
+        let a = Tensor::from_slice(&[1.0, -5.0, 2.0]);
+        let b = Tensor::from_slice(&[1.0, -4.0, 2.5]);
+        assert_eq!(a.abs_max(), 5.0);
+        assert_eq!(a.max_abs_diff(&b), 1.0);
+    }
+
+    #[test]
+    fn set_updates_value() {
+        let mut t = Tensor::zeros([2, 2]);
+        t.set(&[1, 1], 9.0);
+        assert_eq!(t.at(&[1, 1]), 9.0);
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut t = Tensor::ones([2]);
+        assert!(t.all_finite());
+        t.data_mut()[0] = f32::NAN;
+        assert!(!t.all_finite());
+    }
+}

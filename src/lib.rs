@@ -1,0 +1,13 @@
+//! Umbrella crate for the TQT reproduction: re-exports every workspace
+//! crate so the repo-level examples and integration tests have one import
+//! root. See the [`tqt`] crate for the experiment harness and README.md /
+//! DESIGN.md for the map of the system.
+
+pub use tqt;
+pub use tqt_data;
+pub use tqt_fixedpoint;
+pub use tqt_graph;
+pub use tqt_models;
+pub use tqt_nn;
+pub use tqt_quant;
+pub use tqt_tensor;

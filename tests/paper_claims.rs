@@ -1,0 +1,130 @@
+//! Fast checks of the paper's analytical claims, spanning the quantizer
+//! and toy-model crates (no network training involved).
+
+use tqt_quant::fakequant::FakeQuant;
+use tqt_quant::toy::{
+    adam_guidelines, find_critical_threshold, grad_log2_t, run_toy, ToyConfig, ToyMethod,
+};
+use tqt_quant::tqt::{quantize, quantize_backward};
+use tqt_quant::QuantSpec;
+use tqt_tensor::{init, Tensor};
+
+/// Section 3.4: the TQT threshold gradient balances range and precision —
+/// a distribution fully inside the clip range produces a positive net
+/// gradient (shrink the range), one with heavy tails a negative one (grow
+/// it).
+#[test]
+fn tqt_gradient_balances_range_and_precision() {
+    let spec = QuantSpec::INT8;
+    let mut rng = init::rng(1);
+    let x = init::normal([20_000], 0.0, 1.0, &mut rng);
+    let star = find_critical_threshold(spec, 1.0, 1);
+    assert!(grad_log2_t(&x, star + 2.0, spec) > 0.0, "too-wide range must shrink");
+    assert!(grad_log2_t(&x, star - 2.0, spec) < 0.0, "too-narrow range must grow");
+}
+
+/// Section 3.5: FakeQuant's clipped gradients can only push thresholds
+/// outward — under the L2 toy loss no in-range element ever contributes,
+/// so a distribution fully inside the range produces exactly zero
+/// threshold gradient (no range-precision trade-off is possible).
+#[test]
+fn fakequant_cannot_shrink_its_range() {
+    let mut rng = init::rng(2);
+    let x = init::normal([20_000], 0.0, 0.05, &mut rng); // tiny vs range
+    let fq = FakeQuant::new(-1.0, 1.0, 8);
+    let q = fq.quantize(&x);
+    let gy = q.zip_map(&x, |a, b| a - b);
+    let g = fq.backward(&x, &gy);
+    assert_eq!(g.dmin, 0.0);
+    assert_eq!(g.dmax, 0.0);
+    // TQT in the same situation *does* shrink.
+    let tq = quantize(&x, 0.0, QuantSpec::INT8);
+    let tgy = tq.zip_map(&x, |a, b| a - b);
+    let tg = quantize_backward(&x, 0.0, QuantSpec::INT8, &tgy);
+    assert!(tg.dlog2_t > 0.0, "TQT should pull the range inward");
+}
+
+/// Appendix B: with identical hyperparameters, Adam on log-thresholds
+/// converges across four orders of magnitude of input scale; raw-SGD's
+/// steps-to-converge varies wildly (no scale invariance).
+#[test]
+fn log_adam_is_scale_invariant_raw_sgd_is_not() {
+    let mut adam_steps = Vec::new();
+    let mut raw_steps = Vec::new();
+    for sigma in [0.01f32, 100.0] {
+        let cfg = ToyConfig::figure8(8, sigma, 3);
+        let star = find_critical_threshold(cfg.spec, sigma, 3);
+        let within = |trace: &tqt_quant::toy::ToyTrace| {
+            trace
+                .log2_t
+                .iter()
+                .position(|&v| (v - star).abs() < 0.75)
+                .unwrap_or(cfg.steps)
+        };
+        adam_steps.push(within(&run_toy(cfg, ToyMethod::LogAdam)));
+        raw_steps.push(within(&run_toy(cfg, ToyMethod::RawSgd)));
+    }
+    let adam_ratio =
+        *adam_steps.iter().max().unwrap() as f32 / (*adam_steps.iter().min().unwrap() as f32).max(1.0);
+    assert!(
+        adam_ratio < 5.0,
+        "Adam steps-to-converge should be stable across scales: {adam_steps:?}"
+    );
+    assert!(
+        raw_steps.iter().all(|&s| s > 10 * adam_steps.iter().max().unwrap()),
+        "raw SGD should be much slower at every scale: raw {raw_steps:?} vs adam {adam_steps:?}"
+    );
+}
+
+/// Table 4's step estimate is the right order of magnitude: convergence at
+/// the recommended settings takes O(1/alpha + 1/(1-beta2)) steps.
+#[test]
+fn convergence_steps_match_guideline_order() {
+    let g = adam_guidelines(8);
+    let mut cfg = ToyConfig::figure8(8, 1.0, 4);
+    cfg.lr = g.alpha_max as f32;
+    cfg.steps = 4 * g.steps_estimate as usize;
+    let star = find_critical_threshold(cfg.spec, 1.0, 4);
+    let trace = run_toy(cfg, ToyMethod::LogAdam);
+    let steps = trace
+        .log2_t
+        .iter()
+        .position(|&v| (v - star).abs() < 0.75)
+        .expect("must converge within 4x the estimate");
+    assert!(
+        (steps as f64) < 3.0 * g.steps_estimate,
+        "convergence took {steps} steps vs estimate {:.0}",
+        g.steps_estimate
+    );
+}
+
+/// Section 3.2: round-half-to-even leaves no systematic bias — quantizing
+/// a symmetric distribution preserves its mean to within noise, while
+/// round-half-up would shift it.
+#[test]
+fn bankers_rounding_is_unbiased() {
+    // Values exactly on ties: k + 0.5 for integer k.
+    let ties: Vec<f32> = (-100..100).map(|k| k as f32 + 0.5).collect();
+    let n = ties.len();
+    let t = Tensor::from_vec(n, ties);
+    let spec = QuantSpec::INT16; // wide enough that nothing clips
+    let q = quantize(&t, 7.0, spec); // s = 2^7/2^15 = 2^-8... scale so ties stay ties
+    let _ = q;
+    // Direct check on the rounding primitive, over one-sided data (e.g.
+    // post-ReLU activations, where round-half-away-from-zero biases every
+    // tie upward while ties-to-even alternates):
+    let sum: f32 = (0..2000)
+        .map(|k| tqt_quant::round_half_even(k as f32 + 0.5) - (k as f32 + 0.5))
+        .sum();
+    assert!(
+        sum.abs() < 1e-3,
+        "round-half-even residuals must cancel, got {sum}"
+    );
+    let biased: f32 = (0..2000)
+        .map(|k| (k as f32 + 0.5).round() - (k as f32 + 0.5))
+        .sum();
+    assert!(
+        biased > 500.0,
+        "round-half-away residuals should accumulate upward, got {biased}"
+    );
+}

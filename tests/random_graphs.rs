@@ -1,0 +1,173 @@
+//! Property-based integration tests: random small conv nets are built,
+//! optimized, quantized, calibrated and lowered — and the pipeline's
+//! invariants must hold for every one of them:
+//!
+//! * graph optimization preserves FP32 inference semantics;
+//! * the quantized graph runs and approximates FP32;
+//! * the integer engine is bit-exact to the baked float graph.
+
+use proptest::prelude::*;
+use tqt_fixedpoint::lower;
+use tqt_graph::{quantize_graph, transforms, Graph, Op, QuantizeOptions, WeightBits};
+use tqt_nn::{BatchNorm, Conv2d, Dense, DepthwiseConv2d, EltwiseAdd, GlobalAvgPool, MaxPool2d, Mode, Relu};
+use tqt_tensor::conv::Conv2dGeom;
+use tqt_tensor::init;
+
+/// A random architecture description.
+#[derive(Debug, Clone)]
+struct NetSpec {
+    blocks: Vec<BlockSpec>,
+    seed: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BlockSpec {
+    Conv { ch: usize, bn: bool, relu6: bool },
+    Depthwise { bn: bool },
+    Residual,
+    MaxPool,
+    Leaky,
+}
+
+fn block_strategy() -> impl Strategy<Value = BlockSpec> {
+    prop_oneof![
+        (2usize..6, any::<bool>(), any::<bool>())
+            .prop_map(|(ch, bn, relu6)| BlockSpec::Conv { ch, bn, relu6 }),
+        any::<bool>().prop_map(|bn| BlockSpec::Depthwise { bn }),
+        Just(BlockSpec::Residual),
+        Just(BlockSpec::MaxPool),
+        Just(BlockSpec::Leaky),
+    ]
+}
+
+fn net_strategy() -> impl Strategy<Value = NetSpec> {
+    (proptest::collection::vec(block_strategy(), 1..5), 0u64..1000)
+        .prop_map(|(blocks, seed)| NetSpec { blocks, seed })
+}
+
+/// Materializes the spec into a graph on 8x8 inputs with 2 input channels.
+fn build(spec: &NetSpec) -> Graph {
+    let mut rng = init::rng(spec.seed);
+    let mut g = Graph::new();
+    let mut x = g.add_input("input");
+    let mut ch = 2usize;
+    let mut size = 8usize;
+    let mut n = 0usize;
+    let mut name = |base: &str, n: &mut usize| {
+        *n += 1;
+        format!("{base}{n}")
+    };
+    for b in &spec.blocks {
+        match *b {
+            BlockSpec::Conv { ch: out, bn, relu6 } => {
+                let nm = name("conv", &mut n);
+                x = g.add(
+                    nm.clone(),
+                    Op::Conv(Conv2d::new(&nm, ch, out, Conv2dGeom::same(3), &mut rng)),
+                    &[x],
+                );
+                if bn {
+                    let bnm = name("bn", &mut n);
+                    x = g.add(bnm.clone(), Op::BatchNorm(BatchNorm::new(&bnm, out, 0.9, 1e-5)), &[x]);
+                }
+                let r = if relu6 { Relu::relu6() } else { Relu::new() };
+                x = g.add(name("relu", &mut n), Op::Relu(r), &[x]);
+                ch = out;
+            }
+            BlockSpec::Depthwise { bn } => {
+                let nm = name("dw", &mut n);
+                x = g.add(
+                    nm.clone(),
+                    Op::Depthwise(DepthwiseConv2d::new(&nm, ch, Conv2dGeom::same(3), &mut rng)),
+                    &[x],
+                );
+                if bn {
+                    let bnm = name("bn", &mut n);
+                    x = g.add(bnm.clone(), Op::BatchNorm(BatchNorm::new(&bnm, ch, 0.9, 1e-5)), &[x]);
+                }
+                x = g.add(name("relu", &mut n), Op::Relu(Relu::new()), &[x]);
+            }
+            BlockSpec::Residual => {
+                let nm = name("resconv", &mut n);
+                let main = g.add(
+                    nm.clone(),
+                    Op::Conv(Conv2d::new(&nm, ch, ch, Conv2dGeom::same(3), &mut rng)),
+                    &[x],
+                );
+                x = g.add(name("add", &mut n), Op::Add(EltwiseAdd::new()), &[main, x]);
+            }
+            BlockSpec::MaxPool => {
+                if size >= 4 {
+                    x = g.add(name("pool", &mut n), Op::MaxPool(MaxPool2d::k2s2()), &[x]);
+                    size /= 2;
+                }
+            }
+            BlockSpec::Leaky => {
+                let nm = name("lconv", &mut n);
+                x = g.add(
+                    nm.clone(),
+                    Op::Conv(Conv2d::new(&nm, ch, ch, Conv2dGeom::same(3), &mut rng)),
+                    &[x],
+                );
+                x = g.add(name("lrelu", &mut n), Op::Relu(Relu::leaky(0.1)), &[x]);
+            }
+        }
+    }
+    let gap = g.add("gap", Op::GlobalAvgPool(GlobalAvgPool::new()), &[x]);
+    let mut rng2 = init::rng(spec.seed + 1);
+    let fc = g.add("fc", Op::Dense(Dense::new("fc", ch, 3, &mut rng2)), &[gap]);
+    g.set_output(fc);
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn optimize_preserves_semantics(spec in net_strategy()) {
+        let mut g = build(&spec);
+        let mut rng = init::rng(spec.seed + 2);
+        let x = init::normal([2, 2, 8, 8], 0.0, 1.0, &mut rng);
+        let before = g.forward(&x, Mode::Eval);
+        transforms::optimize(&mut g, &[1, 2, 8, 8]);
+        let after = g.forward(&x, Mode::Eval);
+        let tol = 1e-3 * (1.0 + before.abs_max());
+        prop_assert!(
+            before.max_abs_diff(&after) < tol,
+            "optimization changed outputs by {}",
+            before.max_abs_diff(&after)
+        );
+    }
+
+    #[test]
+    fn quantized_pipeline_bit_accurate(spec in net_strategy()) {
+        let mut g = build(&spec);
+        transforms::optimize(&mut g, &[1, 2, 8, 8]);
+        quantize_graph(&mut g, QuantizeOptions::retrain_wt_th(WeightBits::Int8));
+        let mut rng = init::rng(spec.seed + 3);
+        let calib = init::normal([4, 2, 8, 8], 0.0, 1.0, &mut rng);
+        g.calibrate(&calib);
+        let ig = lower(&mut g);
+        let x = init::normal([2, 2, 8, 8], 0.0, 1.3, &mut rng);
+        let yf = g.forward(&x, Mode::Eval);
+        let yi = ig.run(&x).dequantize();
+        prop_assert_eq!(yf, yi);
+    }
+
+    #[test]
+    fn quantized_backward_produces_finite_gradients(spec in net_strategy()) {
+        let mut g = build(&spec);
+        transforms::optimize(&mut g, &[1, 2, 8, 8]);
+        quantize_graph(&mut g, QuantizeOptions::retrain_wt_th(WeightBits::Int8));
+        let mut rng = init::rng(spec.seed + 4);
+        let calib = init::normal([4, 2, 8, 8], 0.0, 1.0, &mut rng);
+        g.calibrate(&calib);
+        let x = init::normal([2, 2, 8, 8], 0.0, 1.0, &mut rng);
+        let y = g.forward(&x, Mode::Train);
+        g.zero_grads();
+        g.backward(&y);
+        for p in g.params_mut() {
+            prop_assert!(p.grad.all_finite(), "non-finite gradient in {}", p.name);
+        }
+    }
+}
