@@ -1,42 +1,43 @@
-//! Criterion bench for Figure 4: fused vs unfused quantization kernels,
-//! forward and backward, across tensor sizes.
+//! Bench for Figure 4: fused vs unfused quantization kernels, forward and
+//! backward, across tensor sizes. Runs on the in-repo `tqt_rt::bench`
+//! harness (median/IQR over 20 samples).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tqt_quant::tqt::{quantize, quantize_backward, quantize_unfused};
 use tqt_quant::QuantSpec;
+use tqt_rt::bench::{black_box, Bench};
 use tqt_tensor::init;
 
-fn bench_fused_vs_unfused(c: &mut Criterion) {
-    let mut group = c.benchmark_group("quantizer_forward");
+fn main() {
+    let bench = Bench::with_samples(20);
+
     for &numel in &[1usize << 12, 1 << 16, 1 << 20] {
         let mut rng = init::rng(1);
         let x = init::normal([numel], 0.0, 1.0, &mut rng);
-        group.throughput(Throughput::Elements(numel as u64));
-        group.bench_with_input(BenchmarkId::new("fused", numel), &x, |b, x| {
-            b.iter(|| quantize(x, 0.3, QuantSpec::INT8))
-        });
-        group.bench_with_input(BenchmarkId::new("unfused", numel), &x, |b, x| {
-            b.iter(|| quantize_unfused(x, 0.3, QuantSpec::INT8))
-        });
+        bench.run_with_throughput(
+            &format!("quantizer_forward/fused/{numel}"),
+            numel as u64,
+            || {
+                black_box(quantize(black_box(&x), 0.3, QuantSpec::INT8));
+            },
+        );
+        bench.run_with_throughput(
+            &format!("quantizer_forward/unfused/{numel}"),
+            numel as u64,
+            || {
+                black_box(quantize_unfused(black_box(&x), 0.3, QuantSpec::INT8));
+            },
+        );
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("quantizer_backward");
-    for &numel in &[1usize << 16] {
-        let mut rng = init::rng(2);
-        let x = init::normal([numel], 0.0, 1.0, &mut rng);
-        let gy = x.clone();
-        group.throughput(Throughput::Elements(numel as u64));
-        group.bench_with_input(BenchmarkId::new("fused", numel), &x, |b, x| {
-            b.iter(|| quantize_backward(x, 0.3, QuantSpec::INT8, &gy))
-        });
-    }
-    group.finish();
+    let numel = 1usize << 16;
+    let mut rng = init::rng(2);
+    let x = init::normal([numel], 0.0, 1.0, &mut rng);
+    let gy = x.clone();
+    bench.run_with_throughput(
+        &format!("quantizer_backward/fused/{numel}"),
+        numel as u64,
+        || {
+            black_box(quantize_backward(black_box(&x), 0.3, QuantSpec::INT8, &gy));
+        },
+    );
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_fused_vs_unfused
-}
-criterion_main!(benches);

@@ -1,49 +1,37 @@
-//! Criterion bench for Appendix A: int8 matmul + requantization under the
-//! three schemes (power-of-2 shift, normalized fixed-point multiplier,
-//! affine with zero-point cross-terms).
+//! Bench for Appendix A: int8 matmul + requantization under the three
+//! schemes (power-of-2 shift, normalized fixed-point multiplier, affine
+//! with zero-point cross-terms). Runs on the in-repo `tqt_rt::bench`
+//! harness (median/IQR over 20 samples).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use tqt_fixedpoint::kernels::{
     col_sums, matmul_i8_acc32, requant_buffer_affine, requant_buffer_pow2, requant_buffer_real,
     row_sums,
 };
 use tqt_fixedpoint::requant::NormalizedMultiplier;
+use tqt_rt::bench::{black_box, Bench};
 
-fn bench_requant_cost(c: &mut Criterion) {
+fn main() {
     let (m, k, n) = (64usize, 256, 64);
     let a: Vec<i8> = (0..m * k).map(|i| ((i * 31) % 255) as i8).collect();
     let b: Vec<i8> = (0..k * n).map(|i| ((i * 17) % 251) as i8).collect();
     let acc = matmul_i8_acc32(&a, &b, m, k, n);
     let mult = NormalizedMultiplier::from_f64(0.0037);
 
-    let mut group = c.benchmark_group("requant");
-    group.throughput(Throughput::Elements((m * n) as u64));
-    group.bench_function("pow2_shift_eq16", |bch| {
-        bch.iter(|| requant_buffer_pow2(&acc, 8))
+    let bench = Bench::with_samples(20);
+    let out_elems = (m * n) as u64;
+    bench.run_with_throughput("requant/pow2_shift_eq16", out_elems, || {
+        black_box(requant_buffer_pow2(black_box(&acc), 8));
     });
-    group.bench_function("fixedpoint_mult_eq15", |bch| {
-        bch.iter(|| requant_buffer_real(&acc, mult))
+    bench.run_with_throughput("requant/fixedpoint_mult_eq15", out_elems, || {
+        black_box(requant_buffer_real(black_box(&acc), mult));
     });
-    group.bench_function("affine_zero_points_eq13", |bch| {
-        bch.iter(|| {
-            let a_sums = row_sums(&a, m, k);
-            let b_sums = col_sums(&b, k, n);
-            requant_buffer_affine(&acc, &a_sums, &b_sums, k, 3, -5, 7, mult)
-        })
+    bench.run_with_throughput("requant/affine_zero_points_eq13", out_elems, || {
+        let a_sums = row_sums(black_box(&a), m, k);
+        let b_sums = col_sums(black_box(&b), k, n);
+        black_box(requant_buffer_affine(&acc, &a_sums, &b_sums, k, 3, -5, 7, mult));
     });
-    group.finish();
 
-    let mut group = c.benchmark_group("int_matmul");
-    group.throughput(Throughput::Elements((m * k * n) as u64));
-    group.bench_function("i8_acc32", |bch| {
-        bch.iter(|| matmul_i8_acc32(&a, &b, m, k, n))
+    bench.run_with_throughput("int_matmul/i8_acc32", (m * k * n) as u64, || {
+        black_box(matmul_i8_acc32(black_box(&a), black_box(&b), m, k, n));
     });
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_requant_cost
-}
-criterion_main!(benches);

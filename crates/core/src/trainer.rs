@@ -201,7 +201,7 @@ pub fn train(
             thresh_opt.step(&mut thresholds);
             step += 1;
 
-            if step % hyper.val_every == 0 {
+            if step.is_multiple_of(hyper.val_every) {
                 let (top1, top5, loss) = evaluate(g, val_data, hyper.batch);
                 let point = ValPoint {
                     step,

@@ -1,7 +1,6 @@
 //! Batch iteration and calibration sampling.
 
 use crate::synth::Dataset;
-use rand::seq::SliceRandom;
 use tqt_tensor::{init, Tensor};
 
 /// Iterates a dataset in shuffled mini-batches. Each epoch reshuffles
@@ -31,7 +30,7 @@ impl<'a> BatchIter<'a> {
         );
         let mut order: Vec<usize> = (0..data.len()).collect();
         let mut rng = init::rng(seed ^ epoch.wrapping_mul(0xD134_2543_DE82_EF95));
-        order.shuffle(&mut rng);
+        rng.shuffle(&mut order);
         BatchIter {
             data,
             order,
@@ -85,7 +84,7 @@ pub fn calibration_batch(data: &Dataset, n: usize, seed: u64) -> Tensor {
     assert!(n > 0 && n <= data.len(), "invalid calibration size {n}");
     let mut idx: Vec<usize> = (0..data.len()).collect();
     let mut rng = init::rng(seed);
-    idx.shuffle(&mut rng);
+    rng.shuffle(&mut idx);
     idx.truncate(n);
     data.gather(&idx).0
 }

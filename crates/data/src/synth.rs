@@ -11,8 +11,6 @@
 //! the property quantization-threshold calibration actually interacts
 //! with.
 
-use rand::rngs::StdRng;
-use rand::Rng;
 use tqt_tensor::{init, Tensor};
 
 /// Configuration of the synthetic dataset generator.
@@ -107,9 +105,15 @@ impl Dataset {
     }
 }
 
-fn make_protos(cfg: &SynthConfig, rng: &mut StdRng) -> Vec<ClassProto> {
+fn make_protos(cfg: &SynthConfig) -> Vec<ClassProto> {
     (0..cfg.classes)
         .map(|k| {
+            // Prototypes are a property of the *class*, not of the sampling
+            // seed: each class draws its random detail from its own
+            // class-indexed stream. Datasets generated with different master
+            // seeds (e.g. the train/val split) therefore share identical
+            // class definitions and differ only in per-sample jitter/noise.
+            let mut rng = init::rng(0xC1A5_5000 + k as u64);
             // Deterministic, well-separated orientations plus random detail.
             let theta = std::f32::consts::PI * k as f32 / cfg.classes as f32;
             ClassProto {
@@ -139,7 +143,7 @@ pub fn generate(cfg: &SynthConfig, n: usize) -> Dataset {
     assert!(n > 0, "cannot generate an empty dataset");
     assert!(cfg.classes > 0 && cfg.image_size > 0, "degenerate config");
     let mut rng = init::rng(cfg.seed);
-    let protos = make_protos(cfg, &mut rng);
+    let protos = make_protos(cfg);
     let s = cfg.image_size;
     let mut images = Vec::with_capacity(n * 3 * s * s);
     let mut labels = Vec::with_capacity(n);

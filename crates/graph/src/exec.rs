@@ -300,13 +300,13 @@ pub(crate) fn op_backward(op: &mut Op, gy: &Tensor) -> Vec<Tensor> {
 mod tests {
     use super::*;
     use crate::ir::{ThresholdState, WeightQuant};
-    use tqt_nn::{Conv2d, Dense, Flatten, GlobalAvgPool, Relu};
+    use tqt_nn::{Conv2d, Dense, GlobalAvgPool, Relu};
     use tqt_quant::calib::ThresholdInit;
     use tqt_quant::QuantSpec;
     use tqt_tensor::conv::Conv2dGeom;
     use tqt_tensor::init;
 
-    fn small_net(rng: &mut rand::rngs::StdRng) -> Graph {
+    fn small_net(rng: &mut tqt_tensor::init::Rng) -> Graph {
         let mut g = Graph::new();
         let x = g.add_input("input");
         let c1 = g.add(

@@ -356,7 +356,7 @@ mod tests {
     use super::*;
     use tqt_nn::{Concat, Conv2d, Dense, EltwiseAdd, GlobalAvgPool, Mode, Relu};
     use tqt_tensor::conv::Conv2dGeom;
-    use tqt_tensor::{init, Tensor};
+    use tqt_tensor::init;
 
     fn build_residual_net() -> Graph {
         let mut rng = init::rng(70);

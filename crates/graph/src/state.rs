@@ -4,13 +4,13 @@
 //! of the paper's TF-Slim pre-trained checkpoints.
 
 use crate::ir::{Graph, Op};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::path::Path;
+use tqt_rt::Json;
 use tqt_tensor::Tensor;
 
 /// A serializable snapshot of every stateful tensor in a graph.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct StateDict {
     /// Name → (shape, flat data). A `BTreeMap` keeps the file diff-stable.
     pub tensors: BTreeMap<String, (Vec<usize>, Vec<f32>)>,
@@ -27,24 +27,91 @@ impl StateDict {
         self.tensors.is_empty()
     }
 
+    /// The JSON representation: `{"tensors": {name: [[shape], [data]]}}`.
+    /// f32 values round-trip exactly (they are widened to f64 and printed
+    /// with shortest-roundtrip formatting).
+    pub fn to_json(&self) -> Json {
+        let mut tensors = BTreeMap::new();
+        for (name, (shape, data)) in &self.tensors {
+            let entry = vec![
+                Json::from(shape.iter().map(|&d| Json::from(d)).collect::<Vec<_>>()),
+                Json::from(data.iter().map(|&v| Json::from(v)).collect::<Vec<_>>()),
+            ];
+            tensors.insert(name.clone(), Json::from(entry));
+        }
+        let mut root = BTreeMap::new();
+        root.insert("tensors".to_string(), Json::Obj(tensors));
+        Json::Obj(root)
+    }
+
+    /// Parses the representation produced by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error if the value does not have the expected
+    /// shape.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let tensors = json
+            .get("tensors")
+            .and_then(Json::as_obj)
+            .ok_or("state dict missing \"tensors\" object")?;
+        let mut sd = StateDict::default();
+        for (name, entry) in tensors {
+            let pair = entry
+                .as_arr()
+                .filter(|a| a.len() == 2)
+                .ok_or_else(|| format!("tensor {name}: expected [shape, data] pair"))?;
+            let shape: Vec<usize> = pair[0]
+                .as_arr()
+                .ok_or_else(|| format!("tensor {name}: shape is not an array"))?
+                .iter()
+                .map(|d| {
+                    d.as_f64()
+                        .map(|d| d as usize)
+                        .ok_or_else(|| format!("tensor {name}: non-numeric shape entry"))
+                })
+                .collect::<Result<_, _>>()?;
+            let data: Vec<f32> = pair[1]
+                .as_arr()
+                .ok_or_else(|| format!("tensor {name}: data is not an array"))?
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .map(|v| v as f32)
+                        .ok_or_else(|| format!("tensor {name}: non-numeric data entry"))
+                })
+                .collect::<Result<_, _>>()?;
+            let numel: usize = shape.iter().product();
+            if numel != data.len() {
+                return Err(format!(
+                    "tensor {name}: shape {shape:?} does not match {} values",
+                    data.len()
+                ));
+            }
+            sd.tensors.insert(name.clone(), (shape, data));
+        }
+        Ok(sd)
+    }
+
     /// Writes the snapshot as JSON.
     ///
     /// # Errors
     ///
-    /// Returns any I/O or serialization error.
+    /// Returns any I/O error.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        let json = serde_json::to_vec(self).map_err(std::io::Error::other)?;
-        std::fs::write(path, json)
+        std::fs::write(path, self.to_json().to_string())
     }
 
     /// Reads a snapshot from JSON.
     ///
     /// # Errors
     ///
-    /// Returns any I/O or deserialization error.
+    /// Returns any I/O or parse error.
     pub fn load(path: &Path) -> std::io::Result<Self> {
-        let bytes = std::fs::read(path)?;
-        serde_json::from_slice(&bytes).map_err(std::io::Error::other)
+        let text = std::fs::read_to_string(path)?;
+        let json = Json::parse(&text)
+            .map_err(|e| std::io::Error::other(format!("{path:?}: {e}")))?;
+        StateDict::from_json(&json).map_err(std::io::Error::other)
     }
 }
 

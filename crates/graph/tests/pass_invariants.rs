@@ -2,7 +2,7 @@
 //! insertion-heavy passes, pruning behaviour, determinism of the
 //! quantization pass, and calibration idempotence.
 
-use tqt_graph::{quantize_graph, transforms, Graph, Op, QuantizeOptions, WeightBits};
+use tqt_graph::{quantize_graph, Graph, Op, QuantizeOptions, WeightBits};
 use tqt_nn::{Conv2d, Dense, EltwiseAdd, GlobalAvgPool, Mode, Relu};
 use tqt_tensor::conv::Conv2dGeom;
 use tqt_tensor::init;

@@ -1,6 +1,5 @@
 //! Shared building blocks for the mini model zoo.
 
-use rand::rngs::StdRng;
 use tqt_graph::{Graph, NodeId, Op};
 use tqt_nn::{BatchNorm, Conv2d, Dense, DepthwiseConv2d, MaxPool2d, Relu};
 use tqt_tensor::conv::Conv2dGeom;
@@ -35,7 +34,7 @@ pub struct NetBuilder {
     /// The graph under construction.
     pub g: Graph,
     /// Seeded RNG for weight initialization.
-    pub rng: StdRng,
+    pub rng: tqt_tensor::init::Rng,
     counter: usize,
 }
 

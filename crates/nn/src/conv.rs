@@ -2,7 +2,6 @@
 
 use crate::layer::{single, Layer, Mode};
 use crate::param::{Param, ParamKind};
-use rand::rngs::StdRng;
 use tqt_tensor::conv::{
     conv2d, conv2d_backward, depthwise_conv2d, depthwise_conv2d_backward, Conv2dGeom,
 };
@@ -24,7 +23,7 @@ impl Conv2d {
         in_ch: usize,
         out_ch: usize,
         geom: Conv2dGeom,
-        rng: &mut StdRng,
+        rng: &mut init::Rng,
     ) -> Self {
         let w = init::he_normal([out_ch, in_ch, geom.kh, geom.kw], rng);
         Conv2d {
@@ -138,7 +137,7 @@ pub struct DepthwiseConv2d {
 
 impl DepthwiseConv2d {
     /// Creates a depthwise conv layer with He-normal weights and zero bias.
-    pub fn new(name: &str, channels: usize, geom: Conv2dGeom, rng: &mut StdRng) -> Self {
+    pub fn new(name: &str, channels: usize, geom: Conv2dGeom, rng: &mut init::Rng) -> Self {
         let w = init::he_normal([channels, 1, geom.kh, geom.kw], rng);
         DepthwiseConv2d {
             w: Param::new(format!("{name}/weight"), w, ParamKind::Weight),

@@ -2,7 +2,6 @@
 
 use crate::layer::{single, Layer, Mode};
 use crate::param::{Param, ParamKind};
-use rand::rngs::StdRng;
 use tqt_tensor::{init, matmul, matmul_nt, matmul_tn, ops, Tensor};
 
 /// A dense layer `y = x @ w + b` with `x: [n, in]`, `w: [in, out]`,
@@ -16,7 +15,7 @@ pub struct Dense {
 
 impl Dense {
     /// Creates a dense layer with He-normal weights and zero bias.
-    pub fn new(name: &str, in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+    pub fn new(name: &str, in_dim: usize, out_dim: usize, rng: &mut init::Rng) -> Self {
         let w = init::he_normal([in_dim, out_dim], rng);
         Dense {
             w: Param::new(format!("{name}/weight"), w, ParamKind::Weight),

@@ -50,8 +50,8 @@ pub fn softmax(logits: &Tensor) -> Tensor {
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
         let sum: f32 = exps.iter().sum();
-        for j in 0..k {
-            out.data_mut()[i * k + j] = exps[j] / sum;
+        for (j, &e) in exps.iter().enumerate() {
+            out.data_mut()[i * k + j] = e / sum;
         }
     }
     out

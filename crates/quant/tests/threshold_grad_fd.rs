@@ -1,0 +1,158 @@
+//! Finite-difference validation of the TQT threshold gradient
+//! (paper eqs. 6–8): `d q / d(log2 t)` through the ceil straight-through
+//! estimator, checked separately in each of the three gradient regimes —
+//! clipped elements, in-range elements, and the boundary bins where the
+//! two regimes meet.
+//!
+//! What function do we difference? The STE makes two substitutions in
+//! `q(l) = s(l)·clamp(round(x/s(l)), n, p)` with `s(l) = 2^ceil(l)/2^denom`:
+//! `d ceil(l)/dl := 1` (evaluate at `l0 = ceil(log2 t)`, vary `s`
+//! continuously) and `d round(r)/dr := 1`. The function consistent with
+//! both is the *frozen-code relaxation*: at `l0` each element commits to
+//! its integer decision — clipped elements keep their saturation code
+//! (`q̃(l) = n·s(l)` or `p·s(l)`), in-range elements keep their rounding
+//! residual `e0 = round(x/s0) − x/s0` (`q̃(l) = x + e0·s(l)`). The
+//! derivative of `q̃` is exactly eq. 7's `s·ln2·{n | p | q − r}`, so the
+//! central difference of an L2 loss on `q̃` must match the analytic
+//! gradient from `quantize_backward` to FD truncation error — a tight,
+//! deterministic check, not a statistical one.
+//!
+//! (Differencing the raw staircase instead would NOT reproduce eq. 7
+//! in-range: the L2 loss is continuous across rounding jumps, and its
+//! smooth part carries an `e·r` cross-term the STE deliberately drops.)
+
+use tqt_quant::tqt::{local_grad_log2_t, quantize, quantize_backward};
+use tqt_quant::QuantSpec;
+use tqt_tensor::{init, Tensor};
+
+/// L2 reconstruction loss of the frozen-code (STE) relaxation: integer
+/// decisions are taken at `l0`, only the scale varies with `l`. f64
+/// throughout so the FD itself adds no noise.
+fn relaxed_loss(x: &Tensor, l: f64, l0: f64, spec: QuantSpec) -> f64 {
+    let denom = spec.scale_denom_log2() as f64;
+    let s0 = 2f64.powf(l0 - denom);
+    let s = 2f64.powf(l - denom);
+    let (n, p) = (spec.qmin() as f64, spec.qmax() as f64);
+    x.data()
+        .iter()
+        .map(|&v| {
+            let v = v as f64;
+            let r0 = v / s0;
+            let code = r0.round_ties_even();
+            let q = if code < n {
+                n * s
+            } else if code > p {
+                p * s
+            } else {
+                v + (code - r0) * s
+            };
+            0.5 * (q - v) * (q - v)
+        })
+        .sum()
+}
+
+/// Analytic threshold gradient of the same loss via eq. 7
+/// (`dL/dq = q - x` for the L2 loss).
+fn analytic_dlog2_t(x: &Tensor, log2_t: f32, spec: QuantSpec) -> f32 {
+    let q = quantize(x, log2_t, spec);
+    let gy = q.zip_map(x, |a, b| a - b);
+    quantize_backward(x, log2_t, spec, &gy).dlog2_t
+}
+
+/// Central difference of the frozen-code relaxation at `l0 = ceil(log2 t)`
+/// against the analytic gradient, with an FD-truncation-level tolerance.
+fn assert_fd_matches(x: &Tensor, log2_t: f32, spec: QuantSpec, what: &str) {
+    let analytic = analytic_dlog2_t(x, log2_t, spec) as f64;
+    let l0 = (log2_t as f64).ceil();
+    let eps = 1e-5;
+    let fd = (relaxed_loss(x, l0 + eps, l0, spec) - relaxed_loss(x, l0 - eps, l0, spec))
+        / (2.0 * eps);
+    let rel = (fd - analytic).abs() / (1.0 + fd.abs());
+    assert!(rel < 1e-4, "{what} FD mismatch: fd={fd} analytic={analytic}");
+}
+
+/// Clipped regime: every element saturates, so `q(l) = n·s(l)` or
+/// `p·s(l)` — eq. 7's `s·ln2·n` / `s·ln2·p` branch (here the frozen-code
+/// relaxation coincides with the actual forward, which is already smooth
+/// in the scale for saturated elements).
+#[test]
+fn fd_matches_in_clipped_regime() {
+    let spec = QuantSpec::INT8;
+    let log2_t = 0.5; // ceil = 1, t = 2, s = 2^1 / 2^7 = 1/64
+    // Everything is far outside the clip range |x| <= ~2.
+    let x = Tensor::from_slice(&[30.0, -25.0, 17.5, -40.0, 55.0, -3.5]);
+    assert_fd_matches(&x, log2_t, spec, "clipped-regime");
+}
+
+/// In-range regime: nothing saturates, every element is on the
+/// `s·ln2·(q/s − x/s)` branch — the rounding-residual term the STE
+/// produces by passing unit gradient through `round`.
+#[test]
+fn fd_matches_in_range_regime() {
+    let spec = QuantSpec::INT8;
+    let log2_t = 0.5; // s = 1/64, clip range ~[-2, 2)
+    let mut rng = init::rng(171);
+    let x = init::uniform([4096], -1.6, 1.6, &mut rng);
+    assert_fd_matches(&x, log2_t, spec, "in-range-regime");
+}
+
+/// Mixed regime: a batch straddling both branches — per-element branch
+/// selection in `quantize_backward` must agree with the frozen codes.
+#[test]
+fn fd_matches_in_mixed_regime() {
+    let spec = QuantSpec::INT8;
+    let log2_t = 0.5;
+    let mut rng = init::rng(172);
+    let x = init::normal([4096], 0.0, 2.0, &mut rng); // ~32% clipped at |x|>2
+    assert_fd_matches(&x, log2_t, spec, "mixed-regime");
+}
+
+/// Boundary bins: elements whose rounded level lands exactly on `n` or
+/// `p` take the in-range branch (`q − r`), one rounding cell further out
+/// takes the saturation branch (`n` or `p`). Checked against
+/// hand-computed eq. 7 values for INT4.
+#[test]
+fn boundary_bins_take_correct_branch() {
+    let spec = QuantSpec::INT4; // n = -8, p = 7
+    let log2_t = 0.5; // ceil = 1, s = 2^1 / 2^3 = 0.25
+    let s = spec.scale_for_log2_t(log2_t);
+    assert_eq!(s, 0.25);
+    let ln2 = std::f32::consts::LN_2;
+
+    // r = x/s = 6.8 -> rounds to 7 == p: in-range branch, local = q - r.
+    let g = local_grad_log2_t(1.70, log2_t, spec);
+    assert!((g - s * ln2 * (7.0 - 6.8)).abs() < 1e-6, "upper boundary bin: {g}");
+
+    // r = 7.8 -> rounds to 8 > p: clipped branch, local = p.
+    let g = local_grad_log2_t(1.95, log2_t, spec);
+    assert!((g - s * ln2 * 7.0).abs() < 1e-6, "just past upper clip: {g}");
+
+    // r = -8.2 -> rounds to -8 == n: in-range branch.
+    let g = local_grad_log2_t(-2.05, log2_t, spec);
+    assert!((g - s * ln2 * (-8.0 - -8.2)).abs() < 1e-6, "lower boundary bin: {g}");
+
+    // r = -9.2 -> rounds to -9 < n: clipped branch, local = n.
+    let g = local_grad_log2_t(-2.30, log2_t, spec);
+    assert!((g - s * ln2 * -8.0).abs() < 1e-6, "just past lower clip: {g}");
+}
+
+/// The ceil-STE itself: the analytic gradient depends on `log2 t` only
+/// through `ceil(log2 t)` — anywhere inside a bin the gradient is the
+/// same (the true within-bin derivative of the staircase forward is 0;
+/// the STE deliberately replaces it by the bin-edge relaxation slope).
+#[test]
+fn gradient_constant_within_ceil_bin() {
+    let spec = QuantSpec::INT8;
+    let mut rng = init::rng(173);
+    let x = init::normal([512], 0.0, 1.5, &mut rng);
+    let g_low = analytic_dlog2_t(&x, 0.0001, spec);
+    let g_mid = analytic_dlog2_t(&x, 0.5, spec);
+    let g_high = analytic_dlog2_t(&x, 0.9999, spec);
+    assert_eq!(g_low, g_mid, "gradient must be constant within a ceil bin");
+    assert_eq!(g_mid, g_high, "gradient must be constant within a ceil bin");
+    // And the forward really is constant within the bin (the staircase
+    // the STE bridges):
+    assert_eq!(quantize(&x, 0.0001, spec), quantize(&x, 0.9999, spec));
+    // ...but differs across the bin edge.
+    assert_ne!(quantize(&x, 0.5, spec), quantize(&x, 1.5, spec));
+}

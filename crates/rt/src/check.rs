@@ -1,0 +1,568 @@
+//! A shrinking property-test mini-harness.
+//!
+//! Replaces `proptest` for the workspace. A property is a closure from a
+//! generated value to `Result<(), String>`; the harness runs it over
+//! `cases` values drawn from a [`Gen`] with per-case seeds derived
+//! deterministically from a base seed, and on failure greedily shrinks
+//! the counterexample before panicking with the minimal case and the
+//! seed that produced it.
+//!
+//! Regression pinning: when a run fails, the panic message reports the
+//! failing *case seed*. Add that seed to [`Config::regressions`] (or, for
+//! a fully shrunk value, write an explicit named unit test) and the case
+//! is re-run before any novel cases on every future run — the same
+//! workflow as proptest's `.proptest-regressions` files, but checked into
+//! the test source where reviewers can see it.
+//!
+//! ```
+//! use tqt_rt::check::{self, gen};
+//! check::run(
+//!     "abs_is_nonnegative",
+//!     check::Config::default(),
+//!     gen::f32_in(-100.0, 100.0),
+//!     |&x| {
+//!         tqt_rt::prop_assert!(x.abs() >= 0.0, "abs({x}) was negative");
+//!         Ok(())
+//!     },
+//! );
+//! ```
+
+use crate::rng::{splitmix64, Rng};
+use std::fmt::Debug;
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of novel cases to run.
+    pub cases: u32,
+    /// Base seed; per-case seeds derive from it. Change to explore a
+    /// different part of the input space, keep fixed for reproducibility.
+    pub seed: u64,
+    /// Maximum shrink iterations after a failure.
+    pub max_shrinks: u32,
+    /// Case seeds of past failures, re-run before any novel cases.
+    pub regressions: Vec<u64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            seed: 0x7171_7463_6865_636B, // "qqtcheck"
+            max_shrinks: 2000,
+            regressions: Vec::new(),
+        }
+    }
+}
+
+impl Config {
+    /// Config with a given case count.
+    pub fn cases(n: u32) -> Self {
+        Config {
+            cases: n,
+            ..Config::default()
+        }
+    }
+
+    /// Adds pinned regression seeds.
+    pub fn with_regressions(mut self, seeds: &[u64]) -> Self {
+        self.regressions.extend_from_slice(seeds);
+        self
+    }
+}
+
+/// A value generator paired with a shrinker.
+///
+/// `generate` draws a random value; `shrink` proposes strictly "smaller"
+/// candidate values (the harness keeps any candidate that still fails the
+/// property). Shrink candidates must stay inside the generator's
+/// invariants — e.g. [`gen::f32_in`] never proposes a value outside its
+/// range.
+pub struct Gen<T> {
+    generate: Box<dyn Fn(&mut Rng) -> T>,
+    shrink: Box<Shrinker<T>>,
+}
+
+/// Shrink function: proposes strictly smaller candidates for a value.
+type Shrinker<T> = dyn Fn(&T) -> Vec<T>;
+
+impl<T> Gen<T> {
+    /// Draws a value.
+    pub fn generate(&self, rng: &mut Rng) -> T {
+        (self.generate)(rng)
+    }
+
+    /// Proposes smaller candidates.
+    pub fn shrink(&self, v: &T) -> Vec<T> {
+        (self.shrink)(v)
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// Builds a generator from explicit generate and shrink functions.
+    pub fn new(
+        generate: impl Fn(&mut Rng) -> T + 'static,
+        shrink: impl Fn(&T) -> Vec<T> + 'static,
+    ) -> Self {
+        Gen {
+            generate: Box::new(generate),
+            shrink: Box::new(shrink),
+        }
+    }
+
+    /// Maps the generated value through `f`. The mapped generator does
+    /// not shrink (there is no inverse to shrink through); compose with
+    /// [`Gen::new`] for a custom shrinker when shrinking matters.
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        Gen::new(move |rng| f(self.generate(rng)), |_| Vec::new())
+    }
+}
+
+/// Runs a property over generated cases; panics on failure with the
+/// minimal shrunk counterexample and its case seed.
+///
+/// # Panics
+///
+/// Panics if the property fails for any regression or novel case.
+pub fn check<T, P>(name: &str, cfg: Config, g: Gen<T>, prop: P)
+where
+    T: Debug + 'static,
+    P: Fn(&T) -> Result<(), String>,
+{
+    // Regression seeds first — exactly the proptest replay order.
+    for &seed in &cfg.regressions {
+        run_case(name, seed, &g, &prop, cfg.max_shrinks, true);
+    }
+    let mut base = cfg.seed ^ fnv1a(name.as_bytes());
+    for _ in 0..cfg.cases {
+        let case_seed = splitmix64(&mut base);
+        run_case(name, case_seed, &g, &prop, cfg.max_shrinks, false);
+    }
+}
+
+/// Alias of [`check`] under the name the `rt::check!` macro expands to.
+pub fn run<T, P>(name: &str, cfg: Config, g: Gen<T>, prop: P)
+where
+    T: Debug + 'static,
+    P: Fn(&T) -> Result<(), String>,
+{
+    check(name, cfg, g, prop)
+}
+
+fn run_case<T, P>(name: &str, case_seed: u64, g: &Gen<T>, prop: &P, max_shrinks: u32, pinned: bool)
+where
+    T: Debug,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut rng = Rng::new(case_seed);
+    let value = g.generate(&mut rng);
+    let Err(first_msg) = prop(&value) else {
+        return;
+    };
+    // Greedy shrink: repeatedly adopt the first failing candidate.
+    let mut current = value;
+    let mut msg = first_msg;
+    let mut budget = max_shrinks;
+    'outer: while budget > 0 {
+        for cand in g.shrink(&current) {
+            budget -= 1;
+            if let Err(m) = prop(&cand) {
+                current = cand;
+                msg = m;
+                continue 'outer;
+            }
+            if budget == 0 {
+                break;
+            }
+        }
+        break;
+    }
+    panic!(
+        "property '{name}' failed{}\n  minimal case: {current:?}\n  error: {msg}\n  case seed: {case_seed:#018x}\n  \
+         (pin it: Config::default().with_regressions(&[{case_seed:#018x}]))",
+        if pinned { " (pinned regression seed)" } else { "" }
+    );
+}
+
+/// FNV-1a, used to give every property a distinct default seed stream.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Ready-made generators for the workspace's common case shapes.
+pub mod gen {
+    use super::Gen;
+    use crate::rng::Rng;
+
+    /// Uniform `f32` in `[lo, hi)`. Shrinks toward the in-range value
+    /// closest to zero, then toward simpler (truncated / halved) values.
+    pub fn f32_in(lo: f32, hi: f32) -> Gen<f32> {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let zero = anchor(lo, hi);
+        Gen::new(
+            move |rng| rng.gen_range(lo..hi),
+            move |&v| {
+                let mut cands = Vec::new();
+                // Ordered from most to least aggressive; the trailing ±1
+                // steps let the greedy loop creep up to a pass/fail
+                // boundary instead of stalling at the first plateau.
+                let step = if v > zero { v - 1.0 } else { v + 1.0 };
+                for c in [zero, (v + zero) / 2.0, v.trunc(), step] {
+                    if c != v && c >= lo && c < hi && !cands.contains(&c) {
+                        cands.push(c);
+                    }
+                }
+                cands
+            },
+        )
+    }
+
+    /// The in-range value closest to zero — the natural shrink target.
+    fn anchor(lo: f32, hi: f32) -> f32 {
+        if lo <= 0.0 && 0.0 < hi {
+            0.0
+        } else if lo > 0.0 {
+            lo
+        } else {
+            // Entirely negative range: largest representable value < hi.
+            f32::from_bits(hi.to_bits() + 1)
+        }
+    }
+
+    /// Uniform `usize` in `[lo, hi)`, shrinking toward `lo`.
+    pub fn usize_in(lo: usize, hi: usize) -> Gen<usize> {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        Gen::new(
+            move |rng| rng.gen_range(lo..hi),
+            move |&v| {
+                let mut cands = Vec::new();
+                for c in [lo, lo + (v - lo) / 2, v.saturating_sub(1)] {
+                    if c != v && c >= lo && c < hi && !cands.contains(&c) {
+                        cands.push(c);
+                    }
+                }
+                cands
+            },
+        )
+    }
+
+    /// Uniform `u64` in `[lo, hi)`, shrinking toward `lo`.
+    pub fn u64_in(lo: u64, hi: u64) -> Gen<u64> {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        Gen::new(
+            move |rng| rng.gen_range(lo..hi),
+            move |&v| {
+                let mut cands = Vec::new();
+                for c in [lo, lo + (v - lo) / 2, v.saturating_sub(1).max(lo)] {
+                    if c != v && c >= lo && c < hi && !cands.contains(&c) {
+                        cands.push(c);
+                    }
+                }
+                cands
+            },
+        )
+    }
+
+    /// Fair boolean, shrinking `true → false`.
+    pub fn bool_any() -> Gen<bool> {
+        Gen::new(
+            |rng| rng.gen_bool(),
+            |&v| if v { vec![false] } else { Vec::new() },
+        )
+    }
+
+    /// One of the given values, uniformly; shrinks toward earlier items
+    /// (order choices simplest-first).
+    pub fn choice<T: Clone + PartialEq + 'static>(items: Vec<T>) -> Gen<T> {
+        assert!(!items.is_empty(), "choice over no items");
+        let shrink_items = items.clone();
+        Gen::new(
+            move |rng| items[rng.gen_range(0..items.len())].clone(),
+            move |v| {
+                let idx = shrink_items.iter().position(|i| i == v).unwrap_or(0);
+                shrink_items[..idx].to_vec()
+            },
+        )
+    }
+
+    /// `Vec<f32>` with uniform elements in `[lo, hi)` and length uniform
+    /// in `[min_len, max_len)`. Shrinks by halving the length (keeping
+    /// the prefix), dropping single elements, and shrinking elements
+    /// toward zero.
+    pub fn vec_f32(lo: f32, hi: f32, min_len: usize, max_len: usize) -> Gen<Vec<f32>> {
+        assert!(min_len < max_len, "empty length range");
+        let elem = f32_in(lo, hi);
+        Gen::new(
+            move |rng| {
+                let n = rng.gen_range(min_len..max_len);
+                (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+            },
+            move |v: &Vec<f32>| {
+                let mut cands: Vec<Vec<f32>> = Vec::new();
+                // Halve the length.
+                if v.len() / 2 >= min_len && v.len() / 2 < v.len() {
+                    cands.push(v[..v.len() / 2].to_vec());
+                }
+                // Drop one element (first and last positions).
+                if v.len() > min_len && !v.is_empty() {
+                    cands.push(v[1..].to_vec());
+                    cands.push(v[..v.len() - 1].to_vec());
+                }
+                // Shrink individual elements (bounded fan-out).
+                for i in 0..v.len().min(4) {
+                    for c in elem.shrink(&v[i]) {
+                        let mut w = v.clone();
+                        w[i] = c;
+                        cands.push(w);
+                    }
+                }
+                cands
+            },
+        )
+    }
+
+    /// Pairs two generators; shrinks one component at a time.
+    pub fn zip2<A: Clone + 'static, B: Clone + 'static>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)> {
+        // The two closures share the component generators through an Rc.
+        let pair = std::rc::Rc::new((a, b));
+        let gen_pair = pair.clone();
+        Gen {
+            generate: Box::new(move |rng: &mut Rng| {
+                (gen_pair.0.generate(rng), gen_pair.1.generate(rng))
+            }),
+            shrink: Box::new(move |(va, vb): &(A, B)| {
+                let mut cands = Vec::new();
+                for ca in pair.0.shrink(va) {
+                    cands.push((ca, vb.clone()));
+                }
+                for cb in pair.1.shrink(vb) {
+                    cands.push((va.clone(), cb));
+                }
+                cands
+            }),
+        }
+    }
+
+    /// Triples three generators; shrinks one component at a time.
+    pub fn zip3<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static>(
+        a: Gen<A>,
+        b: Gen<B>,
+        c: Gen<C>,
+    ) -> Gen<(A, B, C)> {
+        let flat = std::rc::Rc::new(zip2(zip2(a, b), c));
+        let gen_flat = flat.clone();
+        Gen {
+            generate: Box::new(move |rng: &mut Rng| {
+                let ((va, vb), vc) = gen_flat.generate(rng);
+                (va, vb, vc)
+            }),
+            shrink: Box::new(move |(va, vb, vc): &(A, B, C)| {
+                flat.shrink(&((va.clone(), vb.clone()), vc.clone()))
+                    .into_iter()
+                    .map(|((a, b), c)| (a, b, c))
+                    .collect()
+            }),
+        }
+    }
+}
+
+/// Asserts a condition inside a property closure, returning `Err` with
+/// location info instead of panicking (so the harness can shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // Bind first: negating `$cond` directly trips clippy's
+        // neg_cmp_op_on_partial_ord on float comparisons at call sites.
+        let ok: bool = $cond;
+        if !ok {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        let ok: bool = $cond;
+        if !ok {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property closure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (va, vb) = (&$a, &$b);
+        if va != vb {
+            return Err(format!(
+                "{} != {} ({:?} vs {:?}) at {}:{}",
+                stringify!($a),
+                stringify!($b),
+                va,
+                vb,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (va, vb) = (&$a, &$b);
+        if va != vb {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Runs a property: `check!(gen, |v| { ... })` with the default config or
+/// `check!(config, gen, |v| { ... })` with an explicit one. The property
+/// name (used for seed derivation and failure messages) is the source
+/// location of the macro invocation.
+#[macro_export]
+macro_rules! check {
+    ($gen:expr, $prop:expr) => {
+        $crate::check::run(
+            concat!(file!(), ":", line!()),
+            $crate::check::Config::default(),
+            $gen,
+            $prop,
+        )
+    };
+    ($cfg:expr, $gen:expr, $prop:expr) => {
+        $crate::check::run(concat!(file!(), ":", line!()), $cfg, $gen, $prop)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::cell::Cell::new(0u32);
+        check(
+            "count",
+            Config::cases(64),
+            gen::f32_in(-1.0, 1.0),
+            |&x| {
+                counter.set(counter.get() + 1);
+                crate::prop_assert!((-1.0..1.0).contains(&x));
+                Ok(())
+            },
+        );
+        assert_eq!(counter.get(), 64);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal_case() {
+        // Property: all values < 50. Counterexamples are v >= 50; the
+        // minimal one reachable by the shrinker should be close to 50.
+        let result = std::panic::catch_unwind(|| {
+            check(
+                "shrinks",
+                Config::cases(256),
+                gen::f32_in(0.0, 100.0),
+                |&x| {
+                    crate::prop_assert!(x < 50.0, "got {x}");
+                    Ok(())
+                },
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("minimal case"), "{msg}");
+        // Extract the shrunk value and confirm it is near the boundary.
+        let v: f32 = msg
+            .split("minimal case: ")
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((50.0..56.0).contains(&v), "poorly shrunk: {v} ({msg})");
+    }
+
+    #[test]
+    fn vec_shrinker_reaches_short_vectors() {
+        let result = std::panic::catch_unwind(|| {
+            check(
+                "vec-shrink",
+                Config::cases(64),
+                gen::vec_f32(-10.0, 10.0, 1, 64),
+                |v| {
+                    crate::prop_assert!(v.iter().all(|&x| x < 5.0), "len {}", v.len());
+                    Ok(())
+                },
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        // A single offending element should survive shrinking.
+        let case = msg.split("minimal case: ").nth(1).unwrap();
+        let n_elems = case.split(']').next().unwrap().matches(',').count() + 1;
+        assert!(n_elems <= 2, "vector not shrunk: {msg}");
+    }
+
+    #[test]
+    fn regression_seeds_replay_first() {
+        // Find a failing seed, then confirm with_regressions replays it.
+        let cfg = Config {
+            cases: 0,
+            ..Config::default()
+        };
+        let seed = 0xDEAD_BEEFu64;
+        let replayed = std::cell::Cell::new(false);
+        check(
+            "replay",
+            cfg.with_regressions(&[seed]),
+            gen::f32_in(0.0, 1.0),
+            |_| {
+                replayed.set(true);
+                Ok(())
+            },
+        );
+        assert!(replayed.get());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let collect = || {
+            let mut vals = Vec::new();
+            // Safe: property records values, never fails.
+            let vals_ref = std::cell::RefCell::new(&mut vals);
+            check(
+                "det",
+                Config::cases(16),
+                gen::f32_in(-3.0, 3.0),
+                |&x| {
+                    vals_ref.borrow_mut().push(x);
+                    Ok(())
+                },
+            );
+            vals
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn zip_shrinks_componentwise() {
+        let g = gen::zip2(gen::f32_in(0.0, 10.0), gen::usize_in(0, 10));
+        let cands = g.shrink(&(8.0, 7));
+        assert!(cands.iter().any(|&(a, b)| a != 8.0 && b == 7));
+        assert!(cands.iter().any(|&(a, b)| a == 8.0 && b != 7));
+    }
+
+    #[test]
+    fn choice_shrinks_toward_front() {
+        let g = gen::choice(vec![1u32, 2, 3]);
+        assert_eq!(g.shrink(&3), vec![1, 2]);
+        assert!(g.shrink(&1).is_empty());
+    }
+}

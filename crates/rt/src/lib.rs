@@ -1,0 +1,32 @@
+//! `tqt-rt` — the zero-dependency runtime substrate of the TQT
+//! reproduction.
+//!
+//! The workspace's north star is a from-scratch, offline-reproducible
+//! system: every substrate the experiments depend on is owned by the repo,
+//! the same self-contained-toolbox philosophy as TensorQuant and AIMET.
+//! This crate replaces the external crates the seed pulled from crates.io:
+//!
+//! * [`rng`] — a deterministic SplitMix64-seeded Xoshiro256++ PRNG with
+//!   `gen_range`/`shuffle`/`fill` APIs (replaces `rand`);
+//! * [`pool`] — a scoped fork-join thread pool built on
+//!   [`std::thread::scope`] with a `serial` feature flag for deterministic
+//!   debugging (replaces `rayon`);
+//! * [`json`] — a minimal JSON value type with serialize/parse (replaces
+//!   `serde_json`);
+//! * [`check`] — a shrinking property-test mini-harness with persisted
+//!   regression seeds (replaces `proptest`);
+//! * [`bench`] — a median/IQR wall-clock bench harness (replaces
+//!   `criterion`).
+//!
+//! Everything here is plain `std`; the crate must never grow an external
+//! dependency.
+
+pub mod bench;
+pub mod check;
+pub mod json;
+pub mod pool;
+pub mod rng;
+
+pub use check::{Config as CheckConfig, Gen};
+pub use json::Json;
+pub use rng::Rng;

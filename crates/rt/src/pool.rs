@@ -1,0 +1,190 @@
+//! Scoped fork-join parallelism on [`std::thread::scope`].
+//!
+//! This replaces `rayon` in the matmul/conv hot paths. The design is
+//! deliberately simple: work is split into contiguous blocks, one scoped
+//! thread per block, joined before return. There is no work stealing —
+//! the tensor kernels that use this have uniform per-item cost, so a
+//! static partition is within noise of a stealing scheduler and keeps the
+//! execution order (and therefore the floating-point results) trivially
+//! deterministic.
+//!
+//! **Bit-identity guarantee:** every `par_*` entry point assigns each
+//! output chunk to exactly one closure invocation and performs no
+//! cross-chunk reduction, so parallel and serial execution produce
+//! bit-identical results. The `serial` cargo feature (or
+//! [`force_serial`] at runtime) collapses everything onto the calling
+//! thread for deterministic debugging; `crates/tensor/tests/parallel_parity.rs`
+//! verifies the guarantee.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static FORCE_SERIAL: AtomicBool = AtomicBool::new(false);
+
+/// Forces (or un-forces) serial execution at runtime. Used by tests to
+/// compare parallel and serial results inside one process; the `serial`
+/// cargo feature is the static equivalent.
+pub fn force_serial(on: bool) {
+    FORCE_SERIAL.store(on, Ordering::SeqCst);
+}
+
+/// Whether `par_*` calls currently run on the calling thread.
+pub fn is_serial() -> bool {
+    cfg!(feature = "serial") || FORCE_SERIAL.load(Ordering::SeqCst)
+}
+
+/// Number of worker threads a parallel region may use.
+pub fn threads() -> usize {
+    if is_serial() {
+        1
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Minimum number of work items before spawning threads is worthwhile.
+const MIN_ITEMS_PER_THREAD: usize = 2;
+
+/// Calls `f(chunk_index, chunk)` for every `chunk_size`-sized chunk of
+/// `data` (last chunk may be shorter), fanning the chunks out across
+/// scoped threads. Equivalent to
+/// `data.par_chunks_mut(chunk_size).enumerate().for_each(...)`.
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_size: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let nchunks = data.len().div_ceil(chunk_size.max(1));
+    let workers = threads().min(nchunks / MIN_ITEMS_PER_THREAD.max(1)).max(1);
+    if workers <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_size).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    // Contiguous block of chunks per worker: worker w handles chunk
+    // indices [w*per, min((w+1)*per, nchunks)).
+    let per = nchunks.div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|s| {
+        for (w, block) in data.chunks_mut(per * chunk_size).enumerate() {
+            s.spawn(move || {
+                for (j, chunk) in block.chunks_mut(chunk_size).enumerate() {
+                    f(w * per + j, chunk);
+                }
+            });
+        }
+    });
+}
+
+/// Row-wise parallel iteration over a `[rows, row_len]` row-major buffer:
+/// calls `f(row_index, row)` for every row. Thin wrapper over
+/// [`par_chunks_mut`] named for the common tensor-kernel case.
+pub fn par_iter_rows<T, F>(data: &mut [T], row_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    par_chunks_mut(data, row_len, f);
+}
+
+/// Computes `(0..n).map(f).collect()` with the index range fanned out
+/// across scoped threads. Equivalent to
+/// `(0..n).into_par_iter().map(f).collect()`.
+pub fn par_map<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = threads().min(n / MIN_ITEMS_PER_THREAD.max(1)).max(1);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let per = n.div_ceil(workers);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let f = &f;
+    std::thread::scope(|s| {
+        for (w, block) in out.chunks_mut(per).enumerate() {
+            s.spawn(move || {
+                for (j, slot) in block.iter_mut().enumerate() {
+                    *slot = Some(f(w * per + j));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("par_map worker left a gap"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_everything_once() {
+        let mut data = vec![0u32; 1003];
+        par_chunks_mut(&mut data, 17, |i, chunk| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (i * 17 + j) as u32 + 1;
+            }
+        });
+        for (k, &v) in data.iter().enumerate() {
+            assert_eq!(v, k as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let par: Vec<usize> = par_map(997, |i| i * i);
+        let ser: Vec<usize> = (0..997).map(|i| i * i).collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn serial_override_gives_identical_results() {
+        let run = || {
+            let mut data = vec![0.0f32; 4096];
+            par_chunks_mut(&mut data, 64, |i, chunk| {
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v = ((i * 64 + j) as f32).sin();
+                }
+            });
+            data
+        };
+        let parallel = run();
+        force_serial(true);
+        let serial = run();
+        force_serial(false);
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let mut data: Vec<u8> = vec![];
+        par_chunks_mut(&mut data, 4, |_, _| panic!("no chunks expected"));
+        let out: Vec<u8> = par_map(0, |_| 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_oversized_chunk() {
+        let mut data = vec![1u8; 5];
+        par_chunks_mut(&mut data, 100, |i, chunk| {
+            assert_eq!(i, 0);
+            assert_eq!(chunk.len(), 5);
+            chunk.fill(2);
+        });
+        assert!(data.iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be positive")]
+    fn zero_chunk_panics() {
+        par_chunks_mut(&mut [0u8; 4], 0, |_, _| {});
+    }
+}

@@ -6,7 +6,7 @@
 //! (channel multiplier 1, as used by MobileNets).
 
 use crate::tensor::Tensor;
-use rayon::prelude::*;
+use tqt_rt::pool;
 
 /// Spatial geometry of a convolution or pooling operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,26 +166,24 @@ pub fn conv2d(x: &Tensor, w: &Tensor, g: Conv2dGeom) -> Tensor {
     let mut out = vec![0.0f32; n * cout * ncols];
     let xd = x.data();
     let wdat = w.data();
-    out.par_chunks_mut(cout * ncols)
-        .enumerate()
-        .for_each(|(ni, ochunk)| {
-            let mut cols = vec![0.0f32; krows * ncols];
-            im2col(&xd[ni * c * h * wd..(ni + 1) * c * h * wd], c, h, wd, g, &mut cols);
-            // ochunk[co, :] = sum_k wdat[co, k] * cols[k, :]
-            for co in 0..cout {
-                let wrow = &wdat[co * krows..(co + 1) * krows];
-                let orow = &mut ochunk[co * ncols..(co + 1) * ncols];
-                for (kk, &wv) in wrow.iter().enumerate() {
-                    if wv == 0.0 {
-                        continue;
-                    }
-                    let crow = &cols[kk * ncols..(kk + 1) * ncols];
-                    for (o, &cv) in orow.iter_mut().zip(crow) {
-                        *o += wv * cv;
-                    }
+    pool::par_chunks_mut(&mut out, cout * ncols, |ni, ochunk| {
+        let mut cols = vec![0.0f32; krows * ncols];
+        im2col(&xd[ni * c * h * wd..(ni + 1) * c * h * wd], c, h, wd, g, &mut cols);
+        // ochunk[co, :] = sum_k wdat[co, k] * cols[k, :]
+        for co in 0..cout {
+            let wrow = &wdat[co * krows..(co + 1) * krows];
+            let orow = &mut ochunk[co * ncols..(co + 1) * ncols];
+            for (kk, &wv) in wrow.iter().enumerate() {
+                if wv == 0.0 {
+                    continue;
+                }
+                let crow = &cols[kk * ncols..(kk + 1) * ncols];
+                for (o, &cv) in orow.iter_mut().zip(crow) {
+                    *o += wv * cv;
                 }
             }
-        });
+        }
+    });
     Tensor::from_vec([n, cout, oh, ow], out)
 }
 
@@ -214,43 +212,42 @@ pub fn conv2d_backward(x: &Tensor, w: &Tensor, gy: &Tensor, g: Conv2dGeom) -> (T
     let wdat = w.data();
     let gyd = gy.data();
 
-    // Per-image partials computed in parallel, then reduced.
-    let results: Vec<(Vec<f32>, Vec<f32>)> = (0..n)
-        .into_par_iter()
-        .map(|ni| {
-            let mut cols = vec![0.0f32; krows * ncols];
-            im2col(&xd[ni * c * h * wd..(ni + 1) * c * h * wd], c, h, wd, g, &mut cols);
-            let gslice = &gyd[ni * cout * ncols..(ni + 1) * cout * ncols];
-            // grad_w[co, k] += gy[co, :] . cols[k, :]
-            let mut gw = vec![0.0f32; cout * krows];
-            for co in 0..cout {
-                let grow = &gslice[co * ncols..(co + 1) * ncols];
-                let gwrow = &mut gw[co * krows..(co + 1) * krows];
-                for (kk, gwv) in gwrow.iter_mut().enumerate() {
-                    let crow = &cols[kk * ncols..(kk + 1) * ncols];
-                    *gwv = grow.iter().zip(crow).map(|(&a, &b)| a * b).sum();
+    // Per-image partials computed in parallel, then reduced serially in
+    // deterministic `ni` order so results are bit-identical to the serial
+    // path.
+    let results: Vec<(Vec<f32>, Vec<f32>)> = pool::par_map(n, |ni| {
+        let mut cols = vec![0.0f32; krows * ncols];
+        im2col(&xd[ni * c * h * wd..(ni + 1) * c * h * wd], c, h, wd, g, &mut cols);
+        let gslice = &gyd[ni * cout * ncols..(ni + 1) * cout * ncols];
+        // grad_w[co, k] += gy[co, :] . cols[k, :]
+        let mut gw = vec![0.0f32; cout * krows];
+        for co in 0..cout {
+            let grow = &gslice[co * ncols..(co + 1) * ncols];
+            let gwrow = &mut gw[co * krows..(co + 1) * krows];
+            for (kk, gwv) in gwrow.iter_mut().enumerate() {
+                let crow = &cols[kk * ncols..(kk + 1) * ncols];
+                *gwv = grow.iter().zip(crow).map(|(&a, &b)| a * b).sum();
+            }
+        }
+        // grad_cols[k, :] = sum_co w[co, k] * gy[co, :]
+        let mut gcols = vec![0.0f32; krows * ncols];
+        for co in 0..cout {
+            let wrow = &wdat[co * krows..(co + 1) * krows];
+            let grow = &gslice[co * ncols..(co + 1) * ncols];
+            for (kk, &wv) in wrow.iter().enumerate() {
+                if wv == 0.0 {
+                    continue;
+                }
+                let gcrow = &mut gcols[kk * ncols..(kk + 1) * ncols];
+                for (gc, &gv) in gcrow.iter_mut().zip(grow) {
+                    *gc += wv * gv;
                 }
             }
-            // grad_cols[k, :] = sum_co w[co, k] * gy[co, :]
-            let mut gcols = vec![0.0f32; krows * ncols];
-            for co in 0..cout {
-                let wrow = &wdat[co * krows..(co + 1) * krows];
-                let grow = &gslice[co * ncols..(co + 1) * ncols];
-                for (kk, &wv) in wrow.iter().enumerate() {
-                    if wv == 0.0 {
-                        continue;
-                    }
-                    let gcrow = &mut gcols[kk * ncols..(kk + 1) * ncols];
-                    for (gc, &gv) in gcrow.iter_mut().zip(grow) {
-                        *gc += wv * gv;
-                    }
-                }
-            }
-            let mut gx = vec![0.0f32; c * h * wd];
-            col2im(&gcols, c, h, wd, g, &mut gx);
-            (gx, gw)
-        })
-        .collect();
+        }
+        let mut gx = vec![0.0f32; c * h * wd];
+        col2im(&gcols, c, h, wd, g, &mut gx);
+        (gx, gw)
+    });
 
     let mut gx_all = vec![0.0f32; n * c * h * wd];
     let mut gw_all = vec![0.0f32; cout * krows];
@@ -281,34 +278,32 @@ pub fn depthwise_conv2d(x: &Tensor, w: &Tensor, g: Conv2dGeom) -> Tensor {
     let xd = x.data();
     let wdat = w.data();
     let mut out = vec![0.0f32; n * c * oh * ow];
-    out.par_chunks_mut(c * oh * ow)
-        .enumerate()
-        .for_each(|(ni, ochunk)| {
-            for ci in 0..c {
-                let img = &xd[(ni * c + ci) * h * wd..(ni * c + ci + 1) * h * wd];
-                let ker = &wdat[ci * g.kh * g.kw..(ci + 1) * g.kh * g.kw];
-                let orow = &mut ochunk[ci * oh * ow..(ci + 1) * oh * ow];
-                for oi in 0..oh {
-                    for oj in 0..ow {
-                        let mut acc = 0.0f32;
-                        for ki in 0..g.kh {
-                            let ii = (oi * g.stride + ki) as isize - g.pad as isize;
-                            if ii < 0 || ii >= h as isize {
-                                continue;
-                            }
-                            for kj in 0..g.kw {
-                                let jj = (oj * g.stride + kj) as isize - g.pad as isize;
-                                if jj >= 0 && jj < wd as isize {
-                                    acc += ker[ki * g.kw + kj]
-                                        * img[ii as usize * wd + jj as usize];
-                                }
+    pool::par_chunks_mut(&mut out, c * oh * ow, |ni, ochunk| {
+        for ci in 0..c {
+            let img = &xd[(ni * c + ci) * h * wd..(ni * c + ci + 1) * h * wd];
+            let ker = &wdat[ci * g.kh * g.kw..(ci + 1) * g.kh * g.kw];
+            let orow = &mut ochunk[ci * oh * ow..(ci + 1) * oh * ow];
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ki in 0..g.kh {
+                        let ii = (oi * g.stride + ki) as isize - g.pad as isize;
+                        if ii < 0 || ii >= h as isize {
+                            continue;
+                        }
+                        for kj in 0..g.kw {
+                            let jj = (oj * g.stride + kj) as isize - g.pad as isize;
+                            if jj >= 0 && jj < wd as isize {
+                                acc += ker[ki * g.kw + kj]
+                                    * img[ii as usize * wd + jj as usize];
                             }
                         }
-                        orow[oi * ow + oj] = acc;
                     }
+                    orow[oi * ow + oj] = acc;
                 }
             }
-        });
+        }
+    });
     Tensor::from_vec([n, c, oh, ow], out)
 }
 
@@ -337,43 +332,40 @@ pub fn depthwise_conv2d_backward(
     let xd = x.data();
     let wdat = w.data();
     let gyd = gy.data();
-    let results: Vec<(Vec<f32>, Vec<f32>)> = (0..n)
-        .into_par_iter()
-        .map(|ni| {
-            let mut gx = vec![0.0f32; c * h * wd];
-            let mut gw = vec![0.0f32; c * g.kh * g.kw];
-            for ci in 0..c {
-                let img = &xd[(ni * c + ci) * h * wd..(ni * c + ci + 1) * h * wd];
-                let ker = &wdat[ci * g.kh * g.kw..(ci + 1) * g.kh * g.kw];
-                let grow = &gyd[(ni * c + ci) * oh * ow..(ni * c + ci + 1) * oh * ow];
-                let gximg = &mut gx[ci * h * wd..(ci + 1) * h * wd];
-                let gwker = &mut gw[ci * g.kh * g.kw..(ci + 1) * g.kh * g.kw];
-                for oi in 0..oh {
-                    for oj in 0..ow {
-                        let gv = grow[oi * ow + oj];
-                        if gv == 0.0 {
+    let results: Vec<(Vec<f32>, Vec<f32>)> = pool::par_map(n, |ni| {
+        let mut gx = vec![0.0f32; c * h * wd];
+        let mut gw = vec![0.0f32; c * g.kh * g.kw];
+        for ci in 0..c {
+            let img = &xd[(ni * c + ci) * h * wd..(ni * c + ci + 1) * h * wd];
+            let ker = &wdat[ci * g.kh * g.kw..(ci + 1) * g.kh * g.kw];
+            let grow = &gyd[(ni * c + ci) * oh * ow..(ni * c + ci + 1) * oh * ow];
+            let gximg = &mut gx[ci * h * wd..(ci + 1) * h * wd];
+            let gwker = &mut gw[ci * g.kh * g.kw..(ci + 1) * g.kh * g.kw];
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let gv = grow[oi * ow + oj];
+                    if gv == 0.0 {
+                        continue;
+                    }
+                    for ki in 0..g.kh {
+                        let ii = (oi * g.stride + ki) as isize - g.pad as isize;
+                        if ii < 0 || ii >= h as isize {
                             continue;
                         }
-                        for ki in 0..g.kh {
-                            let ii = (oi * g.stride + ki) as isize - g.pad as isize;
-                            if ii < 0 || ii >= h as isize {
-                                continue;
-                            }
-                            for kj in 0..g.kw {
-                                let jj = (oj * g.stride + kj) as isize - g.pad as isize;
-                                if jj >= 0 && jj < wd as isize {
-                                    let xoff = ii as usize * wd + jj as usize;
-                                    gximg[xoff] += ker[ki * g.kw + kj] * gv;
-                                    gwker[ki * g.kw + kj] += img[xoff] * gv;
-                                }
+                        for kj in 0..g.kw {
+                            let jj = (oj * g.stride + kj) as isize - g.pad as isize;
+                            if jj >= 0 && jj < wd as isize {
+                                let xoff = ii as usize * wd + jj as usize;
+                                gximg[xoff] += ker[ki * g.kw + kj] * gv;
+                                gwker[ki * g.kw + kj] += img[xoff] * gv;
                             }
                         }
                     }
                 }
             }
-            (gx, gw)
-        })
-        .collect();
+        }
+        (gx, gw)
+    });
     let mut gx_all = vec![0.0f32; n * c * h * wd];
     let mut gw_all = vec![0.0f32; c * g.kh * g.kw];
     for (ni, (gx, gw)) in results.into_iter().enumerate() {

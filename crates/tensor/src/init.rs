@@ -1,25 +1,25 @@
 //! Deterministic random tensor initialization.
 //!
-//! All randomness in the workspace flows through seeded [`StdRng`] instances
-//! so every experiment is exactly reproducible.
+//! All randomness in the workspace flows through seeded [`Rng`] instances
+//! (the in-repo Xoshiro256++ generator from `tqt-rt`) so every experiment
+//! is exactly reproducible on every platform.
 
 use crate::shape::Shape;
 use crate::tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-/// Samples a standard normal variate via the Box–Muller transform (keeps the
-/// workspace free of a `rand_distr` dependency).
-pub fn sample_standard_normal(rng: &mut StdRng) -> f32 {
-    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
+/// The workspace-wide PRNG, re-exported so downstream crates spell it
+/// `init::Rng` and never grow their own randomness substrate.
+pub use tqt_rt::Rng;
+
+/// Samples a standard normal variate via the Box–Muller transform.
+pub fn sample_standard_normal(rng: &mut Rng) -> f32 {
+    rng.normal_f32()
 }
 
-/// Creates a seeded RNG. Thin wrapper so callers don't need a direct `rand`
-/// dependency for the common case.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+/// Creates a seeded RNG. Thin wrapper so callers don't need a direct
+/// `tqt-rt` dependency for the common case.
+pub fn rng(seed: u64) -> Rng {
+    Rng::seed_from_u64(seed)
 }
 
 /// Tensor with i.i.d. uniform entries in `[lo, hi)`.
@@ -27,7 +27,7 @@ pub fn rng(seed: u64) -> StdRng {
 /// # Panics
 ///
 /// Panics if `lo >= hi`.
-pub fn uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut StdRng) -> Tensor {
+pub fn uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut Rng) -> Tensor {
     assert!(lo < hi, "uniform requires lo < hi, got [{lo}, {hi})");
     let shape = shape.into();
     let n = shape.numel();
@@ -40,7 +40,7 @@ pub fn uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut StdRng) -> T
 /// # Panics
 ///
 /// Panics if `std` is negative or not finite.
-pub fn normal(shape: impl Into<Shape>, mean: f32, std: f32, rng: &mut StdRng) -> Tensor {
+pub fn normal(shape: impl Into<Shape>, mean: f32, std: f32, rng: &mut Rng) -> Tensor {
     assert!(std >= 0.0 && std.is_finite(), "invalid std {std}");
     let shape = shape.into();
     let n = shape.numel();
@@ -59,7 +59,7 @@ pub fn normal(shape: impl Into<Shape>, mean: f32, std: f32, rng: &mut StdRng) ->
 /// # Panics
 ///
 /// Panics if the shape is not 2-D or 4-D or has zero fan-in.
-pub fn he_normal(shape: impl Into<Shape>, rng: &mut StdRng) -> Tensor {
+pub fn he_normal(shape: impl Into<Shape>, rng: &mut Rng) -> Tensor {
     let shape = shape.into();
     let fan_in = fan_in(&shape);
     let std = (2.0 / fan_in as f32).sqrt();
@@ -72,7 +72,7 @@ pub fn he_normal(shape: impl Into<Shape>, rng: &mut StdRng) -> Tensor {
 /// # Panics
 ///
 /// Panics if the shape is not 2-D or 4-D or has zero fans.
-pub fn xavier_uniform(shape: impl Into<Shape>, rng: &mut StdRng) -> Tensor {
+pub fn xavier_uniform(shape: impl Into<Shape>, rng: &mut Rng) -> Tensor {
     let shape = shape.into();
     let (fi, fo) = (fan_in(&shape), fan_out(&shape));
     let limit = (6.0 / (fi + fo) as f32).sqrt();

@@ -1,7 +1,8 @@
-//! Dense matrix multiplication, parallelized across output rows with rayon.
+//! Dense matrix multiplication, parallelized across output rows with the
+//! in-repo scoped thread pool (`tqt_rt::pool`).
 
 use crate::tensor::Tensor;
-use rayon::prelude::*;
+use tqt_rt::pool;
 
 /// Minimum number of output rows before parallelism is worth dispatching.
 const PAR_THRESHOLD_ROWS: usize = 8;
@@ -48,7 +49,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         }
     };
     if m >= PAR_THRESHOLD_ROWS && m * n * k > 1 << 14 {
-        out.par_chunks_mut(n).enumerate().for_each(|(i, orow)| row(i, orow));
+        pool::par_chunks_mut(&mut out, n, |i, orow| row(i, orow));
     } else {
         for (i, orow) in out.chunks_mut(n).enumerate() {
             row(i, orow);
@@ -124,7 +125,7 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
         }
     };
     if m >= PAR_THRESHOLD_ROWS && m * n * k > 1 << 14 {
-        out.par_chunks_mut(n).enumerate().for_each(|(i, orow)| row(i, orow));
+        pool::par_chunks_mut(&mut out, n, |i, orow| row(i, orow));
     } else {
         for (i, orow) in out.chunks_mut(n).enumerate() {
             row(i, orow);

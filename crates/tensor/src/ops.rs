@@ -100,9 +100,8 @@ pub fn add_channel_inplace(a: &mut Tensor, bias: &Tensor) {
     let spatial = a.len() / (a.dim(0) * c);
     let (n, data, b) = (a.dim(0), a.data_mut(), bias.data());
     for ni in 0..n {
-        for ci in 0..c {
+        for (ci, &bv) in b.iter().enumerate() {
             let base = (ni * c + ci) * spatial;
-            let bv = b[ci];
             for v in &mut data[base..base + spatial] {
                 *v += bv;
             }
@@ -152,9 +151,9 @@ pub fn sum_over_channel(a: &Tensor) -> Tensor {
     let n = a.dim(0);
     let mut out = vec![0.0f32; c];
     for ni in 0..n {
-        for ci in 0..c {
+        for (ci, o) in out.iter_mut().enumerate() {
             let base = (ni * c + ci) * spatial;
-            out[ci] += a.data()[base..base + spatial].iter().sum::<f32>();
+            *o += a.data()[base..base + spatial].iter().sum::<f32>();
         }
     }
     Tensor::from_vec(c, out)

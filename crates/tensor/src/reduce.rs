@@ -110,10 +110,10 @@ pub fn var_over_channel(t: &Tensor, mean: &Tensor) -> Tensor {
     let n = t.dim(0);
     let mut out = vec![0.0f32; c];
     for ni in 0..n {
-        for ci in 0..c {
+        for (ci, o) in out.iter_mut().enumerate() {
             let base = (ni * c + ci) * spatial;
             let m = mean.data()[ci];
-            out[ci] += t.data()[base..base + spatial]
+            *o += t.data()[base..base + spatial]
                 .iter()
                 .map(|&x| (x - m) * (x - m))
                 .sum::<f32>();

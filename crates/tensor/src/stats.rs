@@ -179,7 +179,7 @@ mod tests {
         let t = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]);
         let (m, s) = mean_std(&t);
         assert_eq!(m, 2.5);
-        assert!((s - 1.1180339887).abs() < 1e-6);
+        assert!((s - 1.118_034).abs() < 1e-6);
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Verifies the thread pool's bit-identity guarantee on the tensor
+//! kernels that use it: on a fixed seed, the parallel path and the
+//! serial path (`tqt_rt::pool::force_serial`, the runtime twin of the
+//! `serial` cargo feature) must produce *bit-identical* outputs — not
+//! merely close ones. This is what makes every experiment in the repo
+//! reproducible regardless of core count.
+//!
+//! All kernels are exercised from a single `#[test]` because the serial
+//! override is process-global state; splitting it across tests would race
+//! with the parallel half of the comparison.
+
+use tqt_rt::pool;
+use tqt_tensor::conv::{
+    conv2d, conv2d_backward, depthwise_conv2d, depthwise_conv2d_backward, Conv2dGeom,
+};
+use tqt_tensor::{init, matmul, matmul_nt, matmul_tn};
+
+#[test]
+fn parallel_kernels_bit_identical_to_serial() {
+    let mut rng = init::rng(0x5EED);
+    // Large enough to cross every parallel dispatch threshold
+    // (matmul: m >= 8 && m*n*k > 2^14; conv: any batch > 1).
+    let a = init::normal([64, 96], 0.0, 1.0, &mut rng);
+    let b = init::normal([96, 80], 0.0, 1.0, &mut rng);
+    let bt = init::normal([80, 96], 0.0, 1.0, &mut rng);
+    let at = init::normal([96, 64], 0.0, 1.0, &mut rng);
+
+    let g = Conv2dGeom::same(3);
+    let x = init::normal([8, 4, 12, 12], 0.0, 1.0, &mut rng);
+    let w = init::normal([6, 4, 3, 3], 0.0, 0.5, &mut rng);
+    let gy = init::normal([8, 6, 12, 12], 0.0, 1.0, &mut rng);
+    let dw_w = init::normal([4, 1, 3, 3], 0.0, 0.5, &mut rng);
+    let dw_gy = init::normal([8, 4, 12, 12], 0.0, 1.0, &mut rng);
+
+    let run = || {
+        let (cgx, cgw) = conv2d_backward(&x, &w, &gy, g);
+        let (dgx, dgw) = depthwise_conv2d_backward(&x, &dw_w, &dw_gy, g);
+        (
+            matmul(&a, &b),
+            matmul_nt(&a, &bt),
+            matmul_tn(&at, &b),
+            conv2d(&x, &w, g),
+            depthwise_conv2d(&x, &dw_w, g),
+            cgx,
+            cgw,
+            dgx,
+            dgw,
+        )
+    };
+
+    assert!(!pool::is_serial(), "test must start on the parallel path");
+    let par = run();
+    pool::force_serial(true);
+    assert!(pool::is_serial());
+    let ser = run();
+    pool::force_serial(false);
+
+    // Tensor equality is exact element-wise f32 equality — bit identity.
+    assert_eq!(par.0, ser.0, "matmul differs");
+    assert_eq!(par.1, ser.1, "matmul_nt differs");
+    assert_eq!(par.2, ser.2, "matmul_tn differs");
+    assert_eq!(par.3, ser.3, "conv2d differs");
+    assert_eq!(par.4, ser.4, "depthwise_conv2d differs");
+    assert_eq!(par.5, ser.5, "conv2d_backward grad_input differs");
+    assert_eq!(par.6, ser.6, "conv2d_backward grad_weight differs");
+    assert_eq!(par.7, ser.7, "depthwise backward grad_input differs");
+    assert_eq!(par.8, ser.8, "depthwise backward grad_weight differs");
+}
+
+/// Determinism across repeated parallel runs (scheduling-independent):
+/// running the same kernel twice on the parallel path is also exact.
+#[test]
+fn parallel_runs_are_self_deterministic() {
+    let mut rng = init::rng(0xF00D);
+    let a = init::normal([64, 96], 0.0, 1.0, &mut rng);
+    let b = init::normal([96, 80], 0.0, 1.0, &mut rng);
+    assert_eq!(matmul(&a, &b), matmul(&a, &b));
+}

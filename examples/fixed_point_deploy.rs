@@ -11,7 +11,7 @@
 use tqt_data::{calibration_batch, generate, SynthConfig};
 use tqt_fixedpoint::lower::{IntOp, LEAKY_ALPHA_FRAC};
 use tqt_fixedpoint::lower;
-use tqt_graph::{quantize_graph, transforms, QuantizeOptions, WeightBits};
+use tqt_graph::{quantize_graph, transforms, QuantizeOptions};
 use tqt_models::{ModelKind, INPUT_DIMS};
 use tqt_nn::Mode;
 

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 gate. Must pass with an EMPTY cargo registry: the workspace has
+# zero external dependencies by policy (see DESIGN.md), so --offline is
+# both a speedup and an enforcement mechanism — any reintroduced
+# crates.io dependency fails the build here before it fails review.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo clippy --offline -- -D warnings
