@@ -1,0 +1,118 @@
+//! GEMM bench: blocked micro-kernel vs the retained naive baseline across
+//! the shapes the TQT models actually hit (square GEMMs, the tall-skinny
+//! dense layers, and im2col-shaped products), plus the transposed
+//! variants that sit on the training backward path.
+//!
+//! With `--json <path>` (as driven by `scripts/bench.sh`) the results are
+//! also written as a machine-readable report.
+
+use tqt_rt::bench::{black_box, Bench, Report};
+use tqt_tensor::gemm::{gemm_nn, gemm_nn_naive, gemm_nt, gemm_tn};
+use tqt_tensor::init;
+
+fn fill(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = init::rng(seed);
+    (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+fn main() {
+    let mut report = Report::from_args("gemm");
+    let bench = if report.smoke() {
+        Bench::smoke()
+    } else {
+        Bench::with_samples(20)
+    };
+
+    // (m, n, k): square sweep incl. the headline 256^3, plus model shapes.
+    let square: &[usize] = if report.smoke() { &[64] } else { &[64, 128, 256, 384] };
+    for &s in square {
+        let (m, n, k) = (s, s, s);
+        let a = fill(m * k, 1);
+        let b = fill(k * n, 2);
+        let flops = 2 * m as u64 * n as u64 * k as u64;
+        let mut c = vec![0.0f32; m * n];
+        report.push(bench.run_with_throughput(
+            &format!("gemm_nn/blocked/{m}x{n}x{k}"),
+            flops,
+            || {
+                c.fill(0.0);
+                gemm_nn(m, n, k, black_box(&a), black_box(&b), &mut c, true);
+                black_box(&c);
+            },
+        ));
+        let mut c = vec![0.0f32; m * n];
+        report.push(bench.run_with_throughput(
+            &format!("gemm_nn/naive/{m}x{n}x{k}"),
+            flops,
+            || {
+                c.fill(0.0);
+                gemm_nn_naive(m, n, k, black_box(&a), black_box(&b), &mut c);
+                black_box(&c);
+            },
+        ));
+    }
+
+    // Transposed variants at one representative shape (weight-gradient and
+    // input-gradient products in dense/conv backward).
+    let (m, n, k) = if report.smoke() {
+        (48, 48, 48)
+    } else {
+        (256, 256, 256)
+    };
+    let flops = 2 * m as u64 * n as u64 * k as u64;
+    let at = fill(k * m, 3);
+    let bt = fill(n * k, 4);
+    let a = fill(m * k, 5);
+    let b = fill(k * n, 6);
+    let mut c = vec![0.0f32; m * n];
+    report.push(bench.run_with_throughput(
+        &format!("gemm_tn/blocked/{m}x{n}x{k}"),
+        flops,
+        || {
+            c.fill(0.0);
+            gemm_tn(m, n, k, black_box(&at), black_box(&b), &mut c, true);
+            black_box(&c);
+        },
+    ));
+    let mut c = vec![0.0f32; m * n];
+    report.push(bench.run_with_throughput(
+        &format!("gemm_nt/blocked/{m}x{n}x{k}"),
+        flops,
+        || {
+            c.fill(0.0);
+            gemm_nt(m, n, k, black_box(&a), black_box(&bt), &mut c, true);
+            black_box(&c);
+        },
+    ));
+
+    // im2col-shaped product: [cout=64, krows=576] x [576, ncols=1024]
+    // (a 3x3 conv over 32x32 with 64 in/out channels, one image).
+    if !report.smoke() {
+        let (m, n, k) = (64, 1024, 576);
+        let flops = 2 * m as u64 * n as u64 * k as u64;
+        let w = fill(m * k, 7);
+        let cols = fill(k * n, 8);
+        let mut c = vec![0.0f32; m * n];
+        report.push(bench.run_with_throughput(
+            &format!("gemm_nn/blocked/im2col_{m}x{n}x{k}"),
+            flops,
+            || {
+                c.fill(0.0);
+                gemm_nn(m, n, k, black_box(&w), black_box(&cols), &mut c, true);
+                black_box(&c);
+            },
+        ));
+        let mut c = vec![0.0f32; m * n];
+        report.push(bench.run_with_throughput(
+            &format!("gemm_nn/naive/im2col_{m}x{n}x{k}"),
+            flops,
+            || {
+                c.fill(0.0);
+                gemm_nn_naive(m, n, k, black_box(&w), black_box(&cols), &mut c);
+                black_box(&c);
+            },
+        ));
+    }
+
+    report.finish();
+}

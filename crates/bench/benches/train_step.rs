@@ -1,0 +1,62 @@
+//! End-to-end bench: one full QAT training step (forward in `Mode::Train`,
+//! softmax cross-entropy, backward, Adam updates for weights and
+//! thresholds) on a quantized zoo model. This is the number the kernel
+//! work exists to improve — every matmul, conv, quantizer and optimizer
+//! kernel is on this path.
+
+use tqt::config::TrainHyper;
+use tqt_data::{train_val, BatchIter, SynthConfig};
+use tqt_graph::{quantize_graph, transforms, QuantizeOptions, WeightBits};
+use tqt_models::{ModelKind, INPUT_DIMS};
+use tqt_nn::loss::softmax_cross_entropy;
+use tqt_nn::optim::{Adam, Optimizer};
+use tqt_nn::{Mode, ParamKind};
+use tqt_rt::bench::{black_box, Bench, Report};
+
+fn main() {
+    let mut report = Report::from_args("train_step");
+    let (bench, batch, model) = if report.smoke() {
+        (Bench::smoke(), 2, ModelKind::ResNet8)
+    } else {
+        (Bench::with_samples(10), 32, ModelKind::ResNet8)
+    };
+
+    // Build, quantize, and calibrate the model exactly as the quickstart
+    // does, so the benched step is the steady-state QAT retraining step.
+    let cfg = SynthConfig::default();
+    let (train_set, _val_set) = train_val(&cfg, batch.max(64), 8);
+    let mut g = model.build(42);
+    transforms::optimize(&mut g, &INPUT_DIMS);
+    quantize_graph(&mut g, QuantizeOptions::retrain_wt_th(WeightBits::Int8));
+    let calib = tqt_data::calibration_batch(&train_set, 16, 7);
+    g.calibrate(&calib);
+
+    let hyper = TrainHyper::retrain(1);
+    let mut weight_opt = Adam::paper(hyper.weight_lr);
+    let mut thresh_opt = Adam::paper(hyper.threshold_lr);
+    let (x, labels) = BatchIter::new(&train_set, batch, 3, 0)
+        .next()
+        .expect("dataset provides at least one batch");
+
+    report.push(bench.run(&format!("train_step/{model:?}/batch{batch}"), || {
+        let logits = g.forward(black_box(&x), Mode::Train);
+        let (_, dlogits) = softmax_cross_entropy(&logits, &labels);
+        g.zero_grads();
+        g.backward(&dlogits);
+        let mut params = g.params_mut();
+        let mut weights = Vec::new();
+        let mut thresholds = Vec::new();
+        for p in params.drain(..) {
+            if p.kind == ParamKind::Threshold {
+                thresholds.push(p);
+            } else {
+                weights.push(p);
+            }
+        }
+        weight_opt.step(&mut weights);
+        thresh_opt.step(&mut thresholds);
+        black_box(&g);
+    }));
+
+    report.finish();
+}

@@ -10,7 +10,10 @@
 //! bench requant/pow2_shift_eq16          median 12.41µs  iqr 0.32µs  (20 samples)  330.1 Melem/s
 //! ```
 
+use crate::json::Json;
+use std::collections::BTreeMap;
 use std::hint::black_box as std_black_box;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier — re-exported so benches do not reach into
@@ -33,12 +36,118 @@ pub struct Stats {
     pub samples: usize,
     /// Calls per sample (auto-calibrated).
     pub iters_per_sample: u64,
+    /// Elements (or flops) per call, when the benchmark declared one via
+    /// [`Bench::run_with_throughput`]; drives the serialized throughput.
+    pub elems_per_call: Option<u64>,
 }
 
 impl Stats {
     /// Elements-per-second throughput for a per-call element count.
     pub fn throughput(&self, elems_per_call: u64) -> f64 {
         elems_per_call as f64 / self.median.as_secs_f64()
+    }
+
+    /// Machine-readable form of this result (durations in nanoseconds,
+    /// throughput in elements/second when declared).
+    pub fn to_json(&self) -> Json {
+        let mut obj = BTreeMap::new();
+        obj.insert("name".to_string(), Json::from(self.name.as_str()));
+        obj.insert(
+            "median_ns".to_string(),
+            Json::from(self.median.as_nanos() as f64),
+        );
+        obj.insert("iqr_ns".to_string(), Json::from(self.iqr.as_nanos() as f64));
+        obj.insert("samples".to_string(), Json::from(self.samples));
+        obj.insert(
+            "iters_per_sample".to_string(),
+            Json::from(self.iters_per_sample as f64),
+        );
+        if let Some(elems) = self.elems_per_call {
+            obj.insert("elems_per_call".to_string(), Json::from(elems as f64));
+            obj.insert(
+                "throughput_per_s".to_string(),
+                Json::from(self.throughput(elems)),
+            );
+        }
+        Json::Obj(obj)
+    }
+}
+
+/// Accumulates [`Stats`] across one bench binary and (optionally) writes
+/// them as a JSON report — the persisted `BENCH_*.json` trajectory files.
+///
+/// [`Report::from_args`] reads the process arguments, so every bench
+/// binary uniformly understands:
+///
+/// * `--json <path>` — write the report to `path` on [`finish`](Self::finish);
+/// * `--smoke` — flag for the binary to shrink shapes/sample counts so CI
+///   can exercise the bench + emission path in milliseconds.
+pub struct Report {
+    name: String,
+    out: Option<PathBuf>,
+    smoke: bool,
+    results: Vec<Stats>,
+}
+
+impl Report {
+    /// Builds a report named `name` from the process's own CLI arguments.
+    pub fn from_args(name: &str) -> Report {
+        let mut out = None;
+        let mut smoke = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--json" => out = args.next().map(PathBuf::from),
+                "--smoke" => smoke = true,
+                // Unknown flags (e.g. libtest's --bench) are ignored so the
+                // binaries still run under plain `cargo bench`.
+                _ => {}
+            }
+        }
+        Report {
+            name: name.to_string(),
+            out,
+            smoke,
+            results: Vec::new(),
+        }
+    }
+
+    /// True when `--smoke` was passed: the binary should use tiny shapes
+    /// and a single sample.
+    pub fn smoke(&self) -> bool {
+        self.smoke
+    }
+
+    /// Records one benchmark result.
+    pub fn push(&mut self, stats: Stats) {
+        self.results.push(stats);
+    }
+
+    /// Serializes the recorded results.
+    pub fn to_json(&self) -> Json {
+        let mut obj = BTreeMap::new();
+        obj.insert("bench".to_string(), Json::from(self.name.as_str()));
+        obj.insert("smoke".to_string(), Json::from(self.smoke));
+        obj.insert(
+            "results".to_string(),
+            Json::Arr(self.results.iter().map(Stats::to_json).collect()),
+        );
+        Json::Obj(obj)
+    }
+
+    /// Writes the report to the `--json` path, if one was given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written — a bench run that silently
+    /// drops its results would poison the persisted trajectory.
+    pub fn finish(self) {
+        if let Some(path) = &self.out {
+            let body = self.to_json().to_string();
+            std::fs::write(path, body + "\n")
+                .unwrap_or_else(|e| panic!("failed to write {}: {e}", path.display()));
+            println!("report {} -> {}", self.name, path.display());
+        }
     }
 }
 
@@ -73,6 +182,17 @@ impl Bench {
         }
     }
 
+    /// A minimal runner for CI smoke runs: one sample, microsecond
+    /// budgets — just enough to prove the bench and its JSON emission
+    /// still work.
+    pub fn smoke() -> Self {
+        Bench {
+            samples: 1,
+            sample_time: Duration::from_micros(100),
+            warmup: Duration::ZERO,
+        }
+    }
+
     /// Times `f`, prints one result line, and returns the stats.
     pub fn run<F: FnMut()>(&self, name: &str, mut f: F) -> Stats {
         let stats = self.measure(name, &mut f);
@@ -89,7 +209,8 @@ impl Bench {
     /// Like [`run`](Self::run) but also reports elements/second computed
     /// from `elems` processed per call.
     pub fn run_with_throughput<F: FnMut()>(&self, name: &str, elems: u64, mut f: F) -> Stats {
-        let stats = self.measure(name, &mut f);
+        let mut stats = self.measure(name, &mut f);
+        stats.elems_per_call = Some(elems);
         println!(
             "bench {:<42} median {:>9}  iqr {:>9}  ({} samples)  {}",
             stats.name,
@@ -133,6 +254,7 @@ impl Bench {
             iqr: Duration::from_secs_f64((q(0.75) - q(0.25)).max(0.0)),
             samples: times.len(),
             iters_per_sample: iters,
+            elems_per_call: None,
         }
     }
 }

@@ -1,24 +1,51 @@
-//! Scoped fork-join parallelism on [`std::thread::scope`].
+//! Fork-join parallelism on a **persistent pool of parked workers**.
 //!
-//! This replaces `rayon` in the matmul/conv hot paths. The design is
-//! deliberately simple: work is split into contiguous blocks, one scoped
-//! thread per block, joined before return. There is no work stealing —
-//! the tensor kernels that use this have uniform per-item cost, so a
-//! static partition is within noise of a stealing scheduler and keeps the
-//! execution order (and therefore the floating-point results) trivially
-//! deterministic.
+//! This replaces `rayon` in the matmul/conv hot paths. Earlier revisions
+//! spawned fresh OS threads per parallel region via [`std::thread::scope`];
+//! at training-loop frequencies (thousands of regions per second) the
+//! spawn/join cost dominated small kernels. The pool here is created
+//! lazily on the first parallel region and lives for the rest of the
+//! process: workers park on a `Condvar` and wake only when a region is
+//! submitted.
+//!
+//! Execution model: a *region* is a fixed number of independent *blocks*.
+//! The submitting thread pushes the region onto a shared queue, wakes the
+//! workers, and then participates itself; every participant claims block
+//! indices from an atomic counter until the region is exhausted, then the
+//! submitter waits for the last in-flight block to finish. Because blocks
+//! are claimed dynamically the pool load-balances across regions of any
+//! shape, and because the submitter always participates, nested regions
+//! (a parallel kernel called from inside a worker) cannot deadlock: the
+//! inner submitter drains its own region even when every other worker is
+//! busy.
 //!
 //! **Bit-identity guarantee:** every `par_*` entry point assigns each
 //! output chunk to exactly one closure invocation and performs no
-//! cross-chunk reduction, so parallel and serial execution produce
-//! bit-identical results. The `serial` cargo feature (or
-//! [`force_serial`] at runtime) collapses everything onto the calling
-//! thread for deterministic debugging; `crates/tensor/tests/parallel_parity.rs`
-//! verifies the guarantee.
+//! cross-chunk reduction, so *which* thread runs a chunk cannot affect the
+//! result: parallel and serial execution are bit-identical. The `serial`
+//! cargo feature (or [`force_serial`] at runtime) collapses everything
+//! onto the calling thread for deterministic debugging;
+//! `crates/tensor/tests/parallel_parity.rs` verifies the guarantee.
+//!
+//! A panic inside a region closure is caught on the worker, forwarded to
+//! the submitting thread, and re-thrown there after every other block of
+//! the region has completed (the closure may borrow the submitter's
+//! stack). Workers survive panics — the pool never wedges
+//! (`crates/rt/tests/pool_stress.rs`).
+//!
+//! Thread count: `TQT_RT_THREADS` in the environment, or [`set_threads`]
+//! at runtime (useful for exercising the parallel paths on single-core
+//! CI machines), or [`std::thread::available_parallelism`].
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 static FORCE_SERIAL: AtomicBool = AtomicBool::new(false);
+
+/// Runtime thread-count override; 0 means "auto" (env, then hardware).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
 /// Forces (or un-forces) serial execution at runtime. Used by tests to
 /// compare parallel and serial results inside one process; the `serial`
@@ -32,51 +59,273 @@ pub fn is_serial() -> bool {
     cfg!(feature = "serial") || FORCE_SERIAL.load(Ordering::SeqCst)
 }
 
-/// Number of worker threads a parallel region may use.
+/// Overrides the number of threads parallel regions may use (`0` restores
+/// the automatic choice). Takes effect on the next region; the pool grows
+/// lazily but never shrinks, so raising and lowering the count is cheap.
+/// Tests use this to exercise real multi-thread schedules on single-core
+/// machines.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// Number of threads a parallel region may use (including the caller).
 pub fn threads() -> usize {
     if is_serial() {
-        1
-    } else {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
+        return 1;
+    }
+    let o = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if o > 0 {
+        return o;
+    }
+    static ENV: OnceLock<usize> = OnceLock::new();
+    let env = *ENV.get_or_init(|| {
+        std::env::var("TQT_RT_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(0)
+    });
+    if env > 0 {
+        return env;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// How many blocks a region is split into per participating thread.
+/// Oversplitting (>1) lets dynamic claiming smooth out per-block cost
+/// variance without shrinking blocks below a useful grain.
+const BLOCKS_PER_THREAD: usize = 4;
+
+/// A type-erased block closure. The raw pointer outlives every
+/// dereference because [`run_region`] does not return until all claimed
+/// blocks have completed.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+// SAFETY: the pointee is `Sync` (shared &-calls from any thread are fine)
+// and `run_region` joins the region before the borrow ends.
+unsafe impl Send for JobPtr {}
+unsafe impl Sync for JobPtr {}
+
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// Completion state of a region, guarded by its mutex.
+struct RegionDone {
+    done: usize,
+    panic: Option<PanicPayload>,
+}
+
+/// One parallel region: `nblocks` independent block indices to hand to
+/// `job`, plus claim/completion bookkeeping.
+struct Region {
+    job: JobPtr,
+    nblocks: usize,
+    next: AtomicUsize,
+    state: Mutex<RegionDone>,
+    finished: Condvar,
+}
+
+impl Region {
+    /// Runs one claimed block, recording a panic instead of unwinding
+    /// through the pool, and signals the submitter on the last block.
+    fn run_block(&self, idx: usize) {
+        // SAFETY: `run_region` keeps the closure alive until `done ==
+        // nblocks`, and this block counts toward `done` only after the
+        // call returns or panics.
+        let job = unsafe { &*self.job.0 };
+        let result = catch_unwind(AssertUnwindSafe(|| job(idx)));
+        let mut st = self.state.lock().unwrap();
+        if let Err(p) = result {
+            st.panic.get_or_insert(p);
+        }
+        st.done += 1;
+        if st.done == self.nblocks {
+            self.finished.notify_all();
+        }
+    }
+
+    /// Claims and runs blocks until the region is exhausted.
+    fn participate(&self) {
+        loop {
+            let idx = self.next.fetch_add(1, Ordering::Relaxed);
+            if idx >= self.nblocks {
+                return;
+            }
+            self.run_block(idx);
+        }
     }
 }
 
-/// Minimum number of work items before spawning threads is worthwhile.
-const MIN_ITEMS_PER_THREAD: usize = 2;
+/// Shared pool state: a FIFO of open regions and the condvar parked
+/// workers wait on.
+struct Shared {
+    queue: Mutex<VecDeque<Arc<Region>>>,
+    work: Condvar,
+    /// Number of worker threads spawned so far (grow-only).
+    spawned: Mutex<usize>,
+}
+
+fn pool() -> &'static Arc<Shared> {
+    static POOL: OnceLock<Arc<Shared>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            spawned: Mutex::new(0),
+        })
+    })
+}
+
+/// Ensures at least `target` parked workers exist (in addition to
+/// whatever thread submits regions).
+fn ensure_workers(shared: &Arc<Shared>, target: usize) {
+    let mut spawned = shared.spawned.lock().unwrap();
+    while *spawned < target {
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name(format!("tqt-rt-worker-{spawned}"))
+            .spawn(move || worker_loop(&shared))
+            .expect("failed to spawn pool worker");
+        *spawned += 1;
+    }
+}
+
+/// Worker main loop: park until a region is queued, then help drain it.
+/// Exhausted regions (all blocks claimed) are popped; completion is
+/// tracked by the region itself, so popping does not wait for in-flight
+/// blocks.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let region = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(front) = q.front() {
+                    if front.next.load(Ordering::Relaxed) < front.nblocks {
+                        break Arc::clone(front);
+                    }
+                    q.pop_front();
+                    continue;
+                }
+                q = shared.work.wait(q).unwrap();
+            }
+        };
+        region.participate();
+    }
+}
+
+/// Executes `job(0..nblocks)` across the pool, submitting thread
+/// included, and returns when every block has completed. Re-throws the
+/// first panic raised by a block.
+fn run_region(nblocks: usize, job: &(dyn Fn(usize) + Sync)) {
+    if nblocks == 0 {
+        return;
+    }
+    let helpers = threads().saturating_sub(1);
+    if helpers == 0 || nblocks == 1 {
+        for i in 0..nblocks {
+            job(i);
+        }
+        return;
+    }
+    let shared = pool();
+    ensure_workers(shared, helpers);
+    /// Erases the borrow lifetime of a region closure so it can cross
+    /// into the pool's `'static` worker threads.
+    fn erase<'a>(
+        job: &'a (dyn Fn(usize) + Sync + 'a),
+    ) -> *const (dyn Fn(usize) + Sync + 'static) {
+        // SAFETY: fat-pointer layout is lifetime-independent. The pointer
+        // is only dereferenced by blocks counted in `done`, and
+        // `run_region` does not return until `done == nblocks`, so the
+        // borrow outlives every dereference.
+        unsafe { std::mem::transmute(job) }
+    }
+    let region = Arc::new(Region {
+        job: JobPtr(erase(job)),
+        nblocks,
+        next: AtomicUsize::new(0),
+        state: Mutex::new(RegionDone {
+            done: 0,
+            panic: None,
+        }),
+        finished: Condvar::new(),
+    });
+    shared.queue.lock().unwrap().push_back(Arc::clone(&region));
+    shared.work.notify_all();
+    region.participate();
+    let mut st = region.state.lock().unwrap();
+    while st.done < nblocks {
+        st = region.finished.wait(st).unwrap();
+    }
+    if let Some(p) = st.panic.take() {
+        drop(st);
+        resume_unwind(p);
+    }
+}
+
+/// A `Send`/`Sync` raw-pointer wrapper for handing a buffer base address
+/// to region closures that carve disjoint sub-slices out of it.
+struct SendPtr<T>(*mut T);
+// Manual Copy/Clone: the derived impls would demand `T: Copy`, but the
+// wrapper copies only the pointer.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    /// Accessor used inside region closures: going through a method makes
+    /// the closure capture the `Sync` wrapper rather than (via precise
+    /// field capture) the raw pointer itself.
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+// SAFETY: every user derives disjoint slices per block index, and the
+// region joins before the underlying borrow ends.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 /// Calls `f(chunk_index, chunk)` for every `chunk_size`-sized chunk of
-/// `data` (last chunk may be shorter), fanning the chunks out across
-/// scoped threads. Equivalent to
+/// `data` (last chunk may be shorter), fanning the chunks out across the
+/// worker pool. Equivalent to
 /// `data.par_chunks_mut(chunk_size).enumerate().for_each(...)`.
 ///
 /// # Panics
 ///
-/// Panics if `chunk_size == 0`.
+/// Panics if `chunk_size == 0`, or re-throws the first panic raised by
+/// `f` (after all other chunks have completed).
 pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_size: usize, f: F)
 where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
     assert!(chunk_size > 0, "chunk_size must be positive");
-    let nchunks = data.len().div_ceil(chunk_size.max(1));
-    let workers = threads().min(nchunks / MIN_ITEMS_PER_THREAD.max(1)).max(1);
-    if workers <= 1 {
+    let len = data.len();
+    let nchunks = len.div_ceil(chunk_size);
+    let workers = threads();
+    if workers <= 1 || nchunks < 2 {
         for (i, chunk) in data.chunks_mut(chunk_size).enumerate() {
             f(i, chunk);
         }
         return;
     }
-    // Contiguous block of chunks per worker: worker w handles chunk
-    // indices [w*per, min((w+1)*per, nchunks)).
-    let per = nchunks.div_ceil(workers);
-    let f = &f;
-    std::thread::scope(|s| {
-        for (w, block) in data.chunks_mut(per * chunk_size).enumerate() {
-            s.spawn(move || {
-                for (j, chunk) in block.chunks_mut(chunk_size).enumerate() {
-                    f(w * per + j, chunk);
-                }
-            });
+    // Contiguous runs of chunks per block, oversplit for load balance.
+    let per = nchunks.div_ceil(workers * BLOCKS_PER_THREAD).max(1);
+    let nblocks = nchunks.div_ceil(per);
+    let base = SendPtr(data.as_mut_ptr());
+    run_region(nblocks, &|b| {
+        let first = b * per;
+        let last = (first + per).min(nchunks);
+        for ci in first..last {
+            let start = ci * chunk_size;
+            let end = (start + chunk_size).min(len);
+            // SAFETY: chunk `ci` covers `[start, end)`; chunk indices are
+            // partitioned over blocks, each run by exactly one closure
+            // invocation, so the sub-slices are disjoint. The region
+            // joins before `data`'s borrow ends.
+            let chunk =
+                unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+            f(ci, chunk);
         }
     });
 }
@@ -93,32 +342,41 @@ where
 }
 
 /// Computes `(0..n).map(f).collect()` with the index range fanned out
-/// across scoped threads. Equivalent to
+/// across the worker pool. Equivalent to
 /// `(0..n).into_par_iter().map(f).collect()`.
 pub fn par_map<R, F>(n: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let workers = threads().min(n / MIN_ITEMS_PER_THREAD.max(1)).max(1);
-    if workers <= 1 {
+    let workers = threads();
+    if workers <= 1 || n < 2 {
         return (0..n).map(f).collect();
     }
-    let per = n.div_ceil(workers);
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let f = &f;
-    std::thread::scope(|s| {
-        for (w, block) in out.chunks_mut(per).enumerate() {
-            s.spawn(move || {
-                for (j, slot) in block.iter_mut().enumerate() {
-                    *slot = Some(f(w * per + j));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|o| o.expect("par_map worker left a gap"))
-        .collect()
+    let per = n.div_ceil(workers * BLOCKS_PER_THREAD).max(1);
+    let nblocks = n.div_ceil(per);
+    // Each block collects its contiguous index range into its own Vec;
+    // the parts are stitched in order afterwards. (No per-item
+    // `Option<R>` round-trip: the only post-processing is `append`.)
+    let mut parts: Vec<Vec<R>> = (0..nblocks).map(|_| Vec::new()).collect();
+    {
+        let base = SendPtr(parts.as_mut_ptr());
+        let f = &f;
+        run_region(nblocks, &|b| {
+            let lo = b * per;
+            let hi = (lo + per).min(n);
+            let out: Vec<R> = (lo..hi).map(f).collect();
+            // SAFETY: slot `b` is written by exactly one block; the old
+            // value is a valid (empty) Vec, so plain assignment drops it
+            // correctly. The region joins before `parts` is read.
+            unsafe { *base.get().add(b) = out };
+        });
+    }
+    let mut out = Vec::with_capacity(n);
+    for part in &mut parts {
+        out.append(part);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -186,5 +444,13 @@ mod tests {
     #[should_panic(expected = "chunk_size must be positive")]
     fn zero_chunk_panics() {
         par_chunks_mut(&mut [0u8; 4], 0, |_, _| {});
+    }
+
+    #[test]
+    fn par_map_with_non_default_type() {
+        // R without Default/Clone: ensure no construction tricks needed.
+        struct Opaque(#[allow(dead_code)] String);
+        let out = par_map(37, |i| Opaque(format!("v{i}")));
+        assert_eq!(out.len(), 37);
     }
 }

@@ -4,7 +4,14 @@
 //! Weight layout is `[out_channels, in_channels, kh, kw]` for standard
 //! convolution and `[channels, 1, kh, kw]` for depthwise convolution
 //! (channel multiplier 1, as used by MobileNets).
+//!
+//! The im2col products go through the blocked [`crate::gemm`] kernel
+//! (serial, since the per-image loop is already parallel), and the column
+//! matrices live in the thread-local [`Scratch`] arena so they are reused
+//! across layers and training steps rather than reallocated per image.
 
+use crate::gemm;
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 use tqt_rt::pool;
 
@@ -167,22 +174,12 @@ pub fn conv2d(x: &Tensor, w: &Tensor, g: Conv2dGeom) -> Tensor {
     let xd = x.data();
     let wdat = w.data();
     pool::par_chunks_mut(&mut out, cout * ncols, |ni, ochunk| {
-        let mut cols = vec![0.0f32; krows * ncols];
+        // im2col writes every element, so the scratch can stay dirty.
+        let mut cols = Scratch::uninit(krows * ncols);
         im2col(&xd[ni * c * h * wd..(ni + 1) * c * h * wd], c, h, wd, g, &mut cols);
-        // ochunk[co, :] = sum_k wdat[co, k] * cols[k, :]
-        for co in 0..cout {
-            let wrow = &wdat[co * krows..(co + 1) * krows];
-            let orow = &mut ochunk[co * ncols..(co + 1) * ncols];
-            for (kk, &wv) in wrow.iter().enumerate() {
-                if wv == 0.0 {
-                    continue;
-                }
-                let crow = &cols[kk * ncols..(kk + 1) * ncols];
-                for (o, &cv) in orow.iter_mut().zip(crow) {
-                    *o += wv * cv;
-                }
-            }
-        }
+        // ochunk[co, :] = W[cout, krows] @ cols[krows, ncols]; serial GEMM —
+        // this closure already runs inside the per-image parallel region.
+        gemm::gemm_nn(cout, ncols, krows, wdat, &cols, ochunk, false);
     });
     Tensor::from_vec([n, cout, oh, ow], out)
 }
@@ -216,34 +213,18 @@ pub fn conv2d_backward(x: &Tensor, w: &Tensor, gy: &Tensor, g: Conv2dGeom) -> (T
     // deterministic `ni` order so results are bit-identical to the serial
     // path.
     let results: Vec<(Vec<f32>, Vec<f32>)> = pool::par_map(n, |ni| {
-        let mut cols = vec![0.0f32; krows * ncols];
+        // im2col writes every element, so the scratch can stay dirty.
+        let mut cols = Scratch::uninit(krows * ncols);
         im2col(&xd[ni * c * h * wd..(ni + 1) * c * h * wd], c, h, wd, g, &mut cols);
         let gslice = &gyd[ni * cout * ncols..(ni + 1) * cout * ncols];
-        // grad_w[co, k] += gy[co, :] . cols[k, :]
+        // grad_w = gy[cout, ncols] @ cols[krows, ncols]^T. The per-image
+        // partials escape the closure, so they are plain Vecs, not scratch.
         let mut gw = vec![0.0f32; cout * krows];
-        for co in 0..cout {
-            let grow = &gslice[co * ncols..(co + 1) * ncols];
-            let gwrow = &mut gw[co * krows..(co + 1) * krows];
-            for (kk, gwv) in gwrow.iter_mut().enumerate() {
-                let crow = &cols[kk * ncols..(kk + 1) * ncols];
-                *gwv = grow.iter().zip(crow).map(|(&a, &b)| a * b).sum();
-            }
-        }
-        // grad_cols[k, :] = sum_co w[co, k] * gy[co, :]
-        let mut gcols = vec![0.0f32; krows * ncols];
-        for co in 0..cout {
-            let wrow = &wdat[co * krows..(co + 1) * krows];
-            let grow = &gslice[co * ncols..(co + 1) * ncols];
-            for (kk, &wv) in wrow.iter().enumerate() {
-                if wv == 0.0 {
-                    continue;
-                }
-                let gcrow = &mut gcols[kk * ncols..(kk + 1) * ncols];
-                for (gc, &gv) in gcrow.iter_mut().zip(grow) {
-                    *gc += wv * gv;
-                }
-            }
-        }
+        gemm::gemm_nt(cout, krows, ncols, gslice, &cols, &mut gw, false);
+        // grad_cols = W[cout, krows]^T @ gy[cout, ncols]; GEMM accumulates
+        // (`C += A·B`), so this scratch must start zeroed.
+        let mut gcols = Scratch::zeroed(krows * ncols);
+        gemm::gemm_tn(krows, ncols, cout, wdat, gslice, &mut gcols, false);
         let mut gx = vec![0.0f32; c * h * wd];
         col2im(&gcols, c, h, wd, g, &mut gx);
         (gx, gw)

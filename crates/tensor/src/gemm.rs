@@ -1,0 +1,411 @@
+//! Cache-blocked single-precision GEMM: the one micro-kernel behind
+//! `matmul`/`matmul_tn`/`matmul_nt` and the im2col convolution products.
+//!
+//! Structure is the classic three-level blocking (GotoBLAS/BLIS):
+//!
+//! * the **k** dimension is split into [`KC`]-deep slabs;
+//! * per slab, B columns are packed into [`NR`]-wide panels (`bpack`,
+//!   streamed from L1/L2 by every row block);
+//! * per row block of [`MC`] rows, A is packed into [`MR`]-tall panels
+//!   (`apack`) and an `MR×NR` register-tiled micro-kernel accumulates
+//!   `C += A·B` with all `MR*NR` partial sums held in registers.
+//!
+//! Packing gives the micro-kernel unit-stride, zero-padded operands, so
+//! the same code path (and the same floating-point result) serves every
+//! shape, including edge tiles smaller than one register tile and inputs
+//! accessed through transposed strides (`tn`/`nt` — no transpose is ever
+//! materialized).
+//!
+//! **Determinism.** Each output element `c[i,j]` is accumulated in a
+//! fixed order: KC-slabs in ascending `k`, and within a slab a single
+//! ascending-`k` chain in the micro-kernel. Parallelism only ever splits
+//! the `MC` row-block loop, and every element belongs to exactly one row
+//! block, so the summation order — and therefore the f32 result — is
+//! independent of the thread count. The block constants are compile-time
+//! fixed and are part of that contract: changing [`KC`] changes rounding
+//! (within the documented `~1e-6` relative band of any other order).
+//!
+//! Workspace comes from the thread-local [`Scratch`] arena — packing
+//! buffers are reused across calls, layers, and training steps.
+
+use crate::scratch::Scratch;
+use tqt_rt::pool;
+
+/// Register-tile rows (A micro-panel height).
+pub const MR: usize = 6;
+/// Register-tile columns (B micro-panel width): two 8-lane AVX2 vectors
+/// per accumulator row. The 6×16 tile holds `6×2 = 12` ymm accumulators
+/// plus two B vectors and one A broadcast — 15 of the 16 ymm registers.
+pub const NR: usize = 16;
+/// Rows of A per cache block: 10 MR-panels; one `apack` is 60 KiB (L2).
+const MC: usize = 60;
+/// Depth of one k-slab. Fixed: part of the summation-order contract.
+const KC: usize = 256;
+/// Columns of B per cache block (`bpack` is at most `KC*NC` = 512 KiB).
+const NC: usize = 512;
+
+/// `c += a @ b` for row-major `a: [m, k]`, `b: [k, n]`, `c: [m, n]`.
+///
+/// # Panics
+///
+/// Panics (via debug assertions / slice indexing) if the buffers are
+/// shorter than the shapes imply.
+pub fn gemm_nn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32], parallel: bool) {
+    gemm_strided(m, n, k, a, k, 1, b, n, 1, c, parallel);
+}
+
+/// `c += a^T @ b` for `a: [k, m]`, `b: [k, n]`, `c: [m, n]`, reading `a`
+/// through transposed strides (no materialized transpose).
+pub fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32], parallel: bool) {
+    gemm_strided(m, n, k, a, 1, m, b, n, 1, c, parallel);
+}
+
+/// `c += a @ b^T` for `a: [m, k]`, `b: [n, k]`, `c: [m, n]`, reading `b`
+/// through transposed strides (no materialized transpose).
+pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32], parallel: bool) {
+    gemm_strided(m, n, k, a, k, 1, b, 1, k, c, parallel);
+}
+
+/// Reference kernel: the naive row-axpy loop the blocked kernel replaced.
+/// Kept on purpose as (a) the oracle for the GEMM property tests and
+/// (b) the baseline the `gemm_kernels` bench measures speedups against.
+pub fn gemm_nn_naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Blocked `c += A·B` over arbitrary strides: `A[i, kk] = a[i*a_rs +
+/// kk*a_cs]`, `B[kk, j] = b[kk*b_rs + j*b_cs]`, `c` row-major `[m, n]`
+/// contiguous. `parallel` fans the `MC` row-block loop out over the
+/// worker pool (set it `false` when the caller is already inside a
+/// parallel region with one GEMM per worker, as the conv kernels are).
+#[allow(clippy::too_many_arguments)]
+fn gemm_strided(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    a_rs: usize,
+    a_cs: usize,
+    b: &[f32],
+    b_rs: usize,
+    b_cs: usize,
+    c: &mut [f32],
+    parallel: bool,
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    debug_assert!(c.len() >= m * n, "C buffer too small");
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        let npanels = nc.div_ceil(NR);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let mut bpack = Scratch::uninit(npanels * NR * kc);
+            pack_b(b, b_rs, b_cs, pc, jc, kc, nc, &mut bpack);
+            let block = |ic0: usize, cblock: &mut [f32]| {
+                let mc = MC.min(m - ic0);
+                let mut apack = Scratch::uninit(mc.div_ceil(MR) * MR * kc);
+                pack_a(a, a_rs, a_cs, ic0, pc, mc, kc, &mut apack);
+                mul_block(&apack, &bpack, mc, kc, n, jc, nc, cblock);
+            };
+            // One chunk per MC rows of C; identical block boundaries on
+            // both paths, so this is purely a scheduling choice.
+            if parallel && m > MC && pool::threads() > 1 {
+                pool::par_chunks_mut(c, MC * n, |bi, cblock| block(bi * MC, cblock));
+            } else {
+                for (bi, cblock) in c.chunks_mut(MC * n).enumerate() {
+                    block(bi * MC, cblock);
+                }
+            }
+        }
+    }
+}
+
+/// Multiplies one packed `mc×kc` A block by the packed `kc×nc` B panel
+/// set, accumulating into `cblock` (the `mc` full-width rows of C that
+/// the block owns; only columns `[jc, jc+nc)` are touched).
+#[allow(clippy::too_many_arguments)]
+fn mul_block(
+    apack: &[f32],
+    bpack: &[f32],
+    mc: usize,
+    kc: usize,
+    n: usize,
+    jc: usize,
+    nc: usize,
+    cblock: &mut [f32],
+) {
+    let mpanels = mc.div_ceil(MR);
+    let npanels = nc.div_ceil(NR);
+    let avx = has_avx2_fma();
+    for q in 0..npanels {
+        let bpanel = &bpack[q * NR * kc..(q + 1) * NR * kc];
+        let nr = NR.min(nc - q * NR);
+        for p in 0..mpanels {
+            let apanel = &apack[p * MR * kc..(p + 1) * MR * kc];
+            let mut acc = [[0.0f32; NR]; MR];
+            microkernel(kc, apanel, bpanel, &mut acc, avx);
+            let mr = MR.min(mc - p * MR);
+            for (r, acc_row) in acc.iter().enumerate().take(mr) {
+                let row0 = (p * MR + r) * n + jc + q * NR;
+                for (cv, &av) in cblock[row0..row0 + nr].iter_mut().zip(acc_row) {
+                    *cv += av;
+                }
+            }
+        }
+    }
+}
+
+/// True when the AVX2+FMA micro-kernel can run on this CPU. The
+/// detection macro caches its answer, so this is a relaxed atomic load
+/// per call — negligible next to a `kc`-deep micro-tile.
+#[inline]
+fn has_avx2_fma() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The register-tiled inner kernel: `acc[r][s] = sum_kk ap[kk,r] *
+/// bp[kk,s]` over one packed A panel (`kc×MR`, k-major) and one packed B
+/// panel (`kc×NR`, k-major). Dispatches to the AVX2+FMA kernel when the
+/// CPU has it, else to a portable scalar loop. Both accumulate in the
+/// same fixed ascending-`k` order; results are deterministic per machine
+/// (the FMA path rounds once per multiply-add, so cross-ISA results
+/// differ within the usual f32 tolerance).
+#[inline(always)]
+fn microkernel(kc: usize, apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR], avx: bool) {
+    debug_assert!(apanel.len() >= kc * MR && bpanel.len() >= kc * NR);
+    #[cfg(target_arch = "x86_64")]
+    if avx {
+        // SAFETY: `avx` is only true when has_avx2_fma() confirmed the
+        // features; panel lengths are checked above.
+        unsafe { microkernel_avx2(kc, apanel.as_ptr(), bpanel.as_ptr(), acc) };
+        return;
+    }
+    let _ = avx;
+    for kk in 0..kc {
+        let av: &[f32; MR] = apanel[kk * MR..].first_chunk().unwrap();
+        let bv: &[f32; NR] = bpanel[kk * NR..].first_chunk().unwrap();
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let a = av[r];
+            for (s, sum) in acc_row.iter_mut().enumerate() {
+                *sum += a * bv[s];
+            }
+        }
+    }
+}
+
+/// AVX2+FMA 6×16 micro-kernel: 12 ymm accumulators live across the whole
+/// `kc` loop, two B loads and six broadcast-FMAs per `kk` step.
+///
+/// # Safety
+///
+/// Caller must guarantee the CPU supports `avx2` and `fma`, and that
+/// `apanel`/`bpanel` point at `kc*MR` / `kc*NR` readable f32s.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn microkernel_avx2(
+    kc: usize,
+    apanel: *const f32,
+    bpanel: *const f32,
+    acc: &mut [[f32; NR]; MR],
+) {
+    use std::arch::x86_64::*;
+    let mut c: [[__m256; 2]; MR] = [[_mm256_setzero_ps(); 2]; MR];
+    for kk in 0..kc {
+        let b0 = _mm256_loadu_ps(bpanel.add(kk * NR));
+        let b1 = _mm256_loadu_ps(bpanel.add(kk * NR + 8));
+        for (r, cr) in c.iter_mut().enumerate() {
+            let a = _mm256_broadcast_ss(&*apanel.add(kk * MR + r));
+            cr[0] = _mm256_fmadd_ps(a, b0, cr[0]);
+            cr[1] = _mm256_fmadd_ps(a, b1, cr[1]);
+        }
+    }
+    for (r, cr) in c.iter().enumerate() {
+        _mm256_storeu_ps(acc[r].as_mut_ptr(), cr[0]);
+        _mm256_storeu_ps(acc[r].as_mut_ptr().add(8), cr[1]);
+    }
+}
+
+/// Packs `mc×kc` of A (strided) into MR-tall, k-major panels, zero-
+/// padding the ragged last panel so the micro-kernel is branch-free.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    a: &[f32],
+    a_rs: usize,
+    a_cs: usize,
+    i0: usize,
+    k0: usize,
+    mc: usize,
+    kc: usize,
+    dst: &mut [f32],
+) {
+    for p in 0..mc.div_ceil(MR) {
+        let panel = &mut dst[p * MR * kc..(p + 1) * MR * kc];
+        let rows = MR.min(mc - p * MR);
+        for kk in 0..kc {
+            let col = &mut panel[kk * MR..(kk + 1) * MR];
+            for (r, slot) in col.iter_mut().take(rows).enumerate() {
+                *slot = a[(i0 + p * MR + r) * a_rs + (k0 + kk) * a_cs];
+            }
+            col[rows..].fill(0.0);
+        }
+    }
+}
+
+/// Packs `kc×nc` of B (strided) into NR-wide, k-major panels, zero-
+/// padding the ragged last panel.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    b: &[f32],
+    b_rs: usize,
+    b_cs: usize,
+    k0: usize,
+    j0: usize,
+    kc: usize,
+    nc: usize,
+    dst: &mut [f32],
+) {
+    for q in 0..nc.div_ceil(NR) {
+        let panel = &mut dst[q * NR * kc..(q + 1) * NR * kc];
+        let cols = NR.min(nc - q * NR);
+        for kk in 0..kc {
+            let row = &mut panel[kk * NR..(kk + 1) * NR];
+            let src0 = (k0 + kk) * b_rs + (j0 + q * NR) * b_cs;
+            if b_cs == 1 {
+                row[..cols].copy_from_slice(&b[src0..src0 + cols]);
+            } else {
+                for (s, slot) in row.iter_mut().take(cols).enumerate() {
+                    *slot = b[src0 + s * b_cs];
+                }
+            }
+            row[cols..].fill(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Strided oracle covering all three layout variants.
+    #[allow(clippy::too_many_arguments)]
+    fn oracle(
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        a_rs: usize,
+        a_cs: usize,
+        b: &[f32],
+        b_rs: usize,
+        b_cs: usize,
+    ) -> Vec<f32> {
+        let mut c = vec![0.0f64; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for kk in 0..k {
+                    c[i * n + j] +=
+                        a[i * a_rs + kk * a_cs] as f64 * b[kk * b_rs + j * b_cs] as f64;
+                }
+            }
+        }
+        c.into_iter().map(|v| v as f32).collect()
+    }
+
+    fn fill(len: usize, seed: u64) -> Vec<f32> {
+        let mut rng = tqt_rt::Rng::new(seed);
+        (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    #[test]
+    fn edge_tile_grid_matches_oracle() {
+        // Shapes straddling every tile boundary: below MR/NR, exact
+        // multiples, one past, and (for k) across the KC slab boundary.
+        let dims = [1usize, 2, 3, MR, MR + 1, NR - 1, NR, NR + 1, 17];
+        let ks = [1usize, 2, 7, KC - 1, KC, KC + 1];
+        for &m in &dims {
+            for &n in &dims {
+                for &k in &ks {
+                    let a = fill(m * k, 1 + (m * 31 + n * 7 + k) as u64);
+                    let b = fill(k * n, 2 + (m + n * 13 + k * 3) as u64);
+                    let mut c = vec![0.0f32; m * n];
+                    gemm_nn(m, n, k, &a, &b, &mut c, false);
+                    let want = oracle(m, n, k, &a, k, 1, &b, n, 1);
+                    for (idx, (&got, &exp)) in c.iter().zip(&want).enumerate() {
+                        assert!(
+                            (got - exp).abs() <= 1e-4 * exp.abs().max(1.0),
+                            "[{m}x{n}x{k}] c[{idx}] = {got}, oracle {exp}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tn_and_nt_match_strided_oracle() {
+        let (m, n, k) = (13, 21, 37);
+        let at = fill(k * m, 11); // stored [k, m]
+        let bt = fill(n * k, 12); // stored [n, k]
+        let b = fill(k * n, 13);
+        let a = fill(m * k, 14);
+
+        let mut c = vec![0.0f32; m * n];
+        gemm_tn(m, n, k, &at, &b, &mut c, false);
+        let want = oracle(m, n, k, &at, 1, m, &b, n, 1);
+        for (got, exp) in c.iter().zip(&want) {
+            assert!((got - exp).abs() <= 1e-4 * exp.abs().max(1.0));
+        }
+
+        let mut c = vec![0.0f32; m * n];
+        gemm_nt(m, n, k, &a, &bt, &mut c, false);
+        let want = oracle(m, n, k, &a, k, 1, &bt, 1, k);
+        for (got, exp) in c.iter().zip(&want) {
+            assert!((got - exp).abs() <= 1e-4 * exp.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn accumulates_into_c() {
+        // gemm semantics are C += A·B: a pre-loaded C survives.
+        let a = vec![1.0f32; 4];
+        let b = vec![1.0f32; 4];
+        let mut c = vec![10.0f32; 4];
+        gemm_nn(2, 2, 2, &a, &b, &mut c, false);
+        assert_eq!(c, vec![12.0; 4]);
+    }
+
+    #[test]
+    fn parallel_split_is_bit_identical() {
+        tqt_rt::pool::set_threads(4);
+        let (m, n, k) = (3 * MC + 5, 97, KC + 3);
+        let a = fill(m * k, 77);
+        let b = fill(k * n, 78);
+        let mut cp = vec![0.0f32; m * n];
+        gemm_nn(m, n, k, &a, &b, &mut cp, true);
+        let mut cs = vec![0.0f32; m * n];
+        gemm_nn(m, n, k, &a, &b, &mut cs, false);
+        tqt_rt::pool::set_threads(0);
+        assert_eq!(cp, cs, "thread split changed the f32 result");
+    }
+}

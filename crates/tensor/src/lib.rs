@@ -23,8 +23,10 @@
 //! ```
 
 pub mod conv;
+pub mod gemm;
 pub mod init;
 pub mod matmul;
+pub mod scratch;
 pub mod ops;
 pub mod reduce;
 pub mod shape;

@@ -1,11 +1,11 @@
-//! Dense matrix multiplication, parallelized across output rows with the
-//! in-repo scoped thread pool (`tqt_rt::pool`).
+//! Dense matrix multiplication. All three layout variants are thin
+//! shape-checking wrappers over the blocked, register-tiled kernel in
+//! [`crate::gemm`], which parallelizes across output row blocks on the
+//! persistent `tqt_rt::pool` with a thread-count-independent summation
+//! order (see the `gemm` module docs for the determinism argument).
 
+use crate::gemm;
 use crate::tensor::Tensor;
-use tqt_rt::pool;
-
-/// Minimum number of output rows before parallelism is worth dispatching.
-const PAR_THRESHOLD_ROWS: usize = 8;
 
 /// Matrix product `a @ b` of a `[m, k]` tensor with a `[k, n]` tensor.
 ///
@@ -34,27 +34,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         b.shape()
     );
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    let row = |i: usize, orow: &mut [f32]| {
-        let arow = &ad[i * k..(i + 1) * k];
-        for (kk, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[kk * n..(kk + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    };
-    if m >= PAR_THRESHOLD_ROWS && m * n * k > 1 << 14 {
-        pool::par_chunks_mut(&mut out, n, |i, orow| row(i, orow));
-    } else {
-        for (i, orow) in out.chunks_mut(n).enumerate() {
-            row(i, orow);
-        }
-    }
+    gemm::gemm_nn(m, n, k, a.data(), b.data(), &mut out, true);
     Tensor::from_vec([m, n], out)
 }
 
@@ -77,22 +57,7 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
         b.shape()
     );
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    // out[i, j] = sum_k a[k, i] * b[k, j]
-    for kk in 0..k {
-        let arow = &ad[kk * m..(kk + 1) * m];
-        let brow = &bd[kk * n..(kk + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    }
+    gemm::gemm_tn(m, n, k, a.data(), b.data(), &mut out, true);
     Tensor::from_vec([m, n], out)
 }
 
@@ -115,22 +80,7 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
         b.shape()
     );
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    let row = |i: usize, orow: &mut [f32]| {
-        let arow = &ad[i * k..(i + 1) * k];
-        for (j, o) in orow.iter_mut().enumerate() {
-            let brow = &bd[j * k..(j + 1) * k];
-            *o = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
-        }
-    };
-    if m >= PAR_THRESHOLD_ROWS && m * n * k > 1 << 14 {
-        pool::par_chunks_mut(&mut out, n, |i, orow| row(i, orow));
-    } else {
-        for (i, orow) in out.chunks_mut(n).enumerate() {
-            row(i, orow);
-        }
-    }
+    gemm::gemm_nt(m, n, k, a.data(), b.data(), &mut out, true);
     Tensor::from_vec([m, n], out)
 }
 

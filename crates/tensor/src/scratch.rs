@@ -1,0 +1,132 @@
+//! Thread-local, grow-only scratch arena for kernel workspace buffers.
+//!
+//! The im2col column matrices and GEMM packing panels used to be
+//! `vec![0.0; ...]` per image per call — at training-loop frequencies
+//! that is thousands of multi-hundred-KB allocations (and page faults)
+//! per second. The arena keeps a per-thread free stack of `Vec<f32>`
+//! buffers: [`Scratch::uninit`]/[`Scratch::zeroed`] pop one (LIFO, so a
+//! steady loop re-pairs each call site with the buffer it used last
+//! time), grow it if needed, and the guard's `Drop` pushes it back.
+//! Capacity is never given back — across layers and training steps the
+//! arena converges to the high-water mark of each nesting level and
+//! allocation disappears from the hot path.
+//!
+//! Buffers are per *OS thread* (`thread_local!`). The `tqt_rt` worker
+//! pool is persistent, so worker arenas are reused across parallel
+//! regions exactly like the main thread's. Nested takes are fine; the
+//! only rule is the usual RAII one: a guard frees its buffer when
+//! dropped, not before.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+
+thread_local! {
+    /// Free stack of retired buffers, most recently dropped on top.
+    static FREE: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard over a borrowed scratch buffer; derefs to `[f32]` of the
+/// requested length.
+pub struct Scratch {
+    buf: Vec<f32>,
+    len: usize,
+}
+
+impl Scratch {
+    /// Takes a buffer of `len` floats with **unspecified contents**
+    /// (whatever a previous user left behind). Use when the kernel fully
+    /// overwrites the buffer — im2col and GEMM packing do.
+    pub fn uninit(len: usize) -> Scratch {
+        let mut buf = FREE
+            .with(|f| f.borrow_mut().pop())
+            .unwrap_or_default();
+        if buf.len() < len {
+            // Grow-only: reserves the high-water mark, zero-fills just
+            // the newly exposed tail (f32 has no invalid bit patterns,
+            // but uninitialized memory is still off the table).
+            buf.resize(len, 0.0);
+        }
+        Scratch { buf, len }
+    }
+
+    /// Takes a buffer of `len` floats cleared to `0.0`. Use for
+    /// accumulation workspaces (e.g. the col2im gradient columns).
+    pub fn zeroed(len: usize) -> Scratch {
+        let mut s = Scratch::uninit(len);
+        s.fill(0.0);
+        s
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        // try_with: during thread teardown the TLS slot may already be
+        // destroyed; then the buffer just deallocates normally.
+        let _ = FREE.try_with(|f| f.borrow_mut().push(buf));
+    }
+}
+
+impl Deref for Scratch {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        &self.buf[..self.len]
+    }
+}
+
+impl DerefMut for Scratch {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.buf[..self.len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_zero_even_after_dirty_reuse() {
+        {
+            let mut a = Scratch::uninit(128);
+            a.fill(7.0);
+        }
+        let b = Scratch::zeroed(64);
+        assert!(b.iter().all(|&v| v == 0.0));
+        assert_eq!(b.len(), 64);
+    }
+
+    #[test]
+    fn reuses_capacity_lifo() {
+        let p0 = {
+            let s = Scratch::uninit(1000);
+            s.as_ptr() as usize
+        };
+        let p1 = {
+            let s = Scratch::uninit(500);
+            s.as_ptr() as usize
+        };
+        // Same allocation both times: the 1000-float buffer was reused
+        // (500 <= existing length, no realloc).
+        assert_eq!(p0, p1);
+    }
+
+    #[test]
+    fn nested_takes_are_distinct() {
+        let mut a = Scratch::uninit(16);
+        let mut b = Scratch::uninit(16);
+        a.fill(1.0);
+        b.fill(2.0);
+        assert!(a.iter().all(|&v| v == 1.0));
+        assert!(b.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn length_is_exact() {
+        {
+            let _big = Scratch::uninit(4096);
+        }
+        let small = Scratch::uninit(3);
+        assert_eq!(small.len(), 3);
+        assert_eq!(small.iter().count(), 3);
+    }
+}

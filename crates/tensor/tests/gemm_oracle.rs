@@ -1,0 +1,147 @@
+//! Property tests: the blocked, register-tiled GEMM agrees with a naive
+//! triple-loop oracle within 1e-4 relative across random shapes — with
+//! the shape distribution deliberately weighted toward tile-boundary
+//! edge cases (m/n/k below one register tile, exact multiples, one past,
+//! and k crossing the KC slab boundary where block accumulation
+//! reassociates the sum).
+
+use tqt_rt::check::gen;
+use tqt_rt::{check, prop_assert, Gen};
+use tqt_tensor::gemm::{gemm_nn, gemm_nn_naive, gemm_nt, gemm_tn, MR, NR};
+use tqt_tensor::{matmul, matmul_nt, matmul_tn, Tensor};
+
+/// f64 oracle for `a[m,k] @ b[k,n]` (no blocking, no SIMD).
+fn oracle_nn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut c = vec![0.0f64; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            for kk in 0..k {
+                c[i * n + j] += a[i * k + kk] as f64 * b[kk * n + j] as f64;
+            }
+        }
+    }
+    c.into_iter().map(|v| v as f32).collect()
+}
+
+fn fill(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = tqt_rt::Rng::new(seed);
+    (0..len).map(|_| rng.gen_range(-2.0f32..2.0)).collect()
+}
+
+/// Dimension generator biased toward register-tile boundaries.
+fn dim() -> Gen<usize> {
+    gen::choice(vec![
+        1,
+        2,
+        3,
+        MR - 1,
+        MR,
+        MR + 1,
+        NR - 1,
+        NR,
+        NR + 1,
+        2 * NR + 3,
+        61,
+        64,
+        67,
+    ])
+}
+
+/// Inner-dimension generator: small values plus the KC = 256 slab edge.
+fn kdim() -> Gen<usize> {
+    gen::choice(vec![1, 2, 5, 31, 32, 255, 256, 257, 300])
+}
+
+fn close(got: &[f32], want: &[f32], what: &str) -> Result<(), String> {
+    for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+        if (g - w).abs() > 1e-4 * w.abs().max(1.0) {
+            return Err(format!("{what}[{i}]: got {g}, oracle {w}"));
+        }
+    }
+    Ok(())
+}
+
+/// Blocked NN kernel vs the f64 oracle and the retained naive kernel.
+#[test]
+fn blocked_nn_matches_oracle() {
+    check!(
+        gen::zip3(dim(), dim(), kdim()),
+        |&(m, n, k): &(usize, usize, usize)| {
+            let a = fill(m * k, (m * 1_000_003 + n * 101 + k) as u64);
+            let b = fill(k * n, (k * 999_983 + m * 17 + n) as u64);
+            let mut c = vec![0.0f32; m * n];
+            gemm_nn(m, n, k, &a, &b, &mut c, false);
+            close(&c, &oracle_nn(m, n, k, &a, &b), "blocked_nn")?;
+            let mut cn = vec![0.0f32; m * n];
+            gemm_nn_naive(m, n, k, &a, &b, &mut cn);
+            close(&c, &cn, "blocked_vs_naive")?;
+            prop_assert!(true);
+            Ok(())
+        }
+    );
+}
+
+/// The transposed variants agree with an explicitly transposed NN call.
+#[test]
+fn blocked_tn_nt_match_transposed_oracle() {
+    check!(
+        gen::zip3(dim(), dim(), kdim()),
+        |&(m, n, k): &(usize, usize, usize)| {
+            // TN: a stored [k, m]; logical A = a^T.
+            let at = fill(k * m, (m * 31 + k) as u64);
+            let b = fill(k * n, (n * 37 + k) as u64);
+            let mut a = vec![0.0f32; m * k];
+            for kk in 0..k {
+                for i in 0..m {
+                    a[i * k + kk] = at[kk * m + i];
+                }
+            }
+            let mut c = vec![0.0f32; m * n];
+            gemm_tn(m, n, k, &at, &b, &mut c, false);
+            close(&c, &oracle_nn(m, n, k, &a, &b), "blocked_tn")?;
+
+            // NT: b stored [n, k]; logical B = b^T.
+            let bt = fill(n * k, (n * 41 + k) as u64);
+            let mut bb = vec![0.0f32; k * n];
+            for j in 0..n {
+                for kk in 0..k {
+                    bb[kk * n + j] = bt[j * k + kk];
+                }
+            }
+            let mut c = vec![0.0f32; m * n];
+            gemm_nt(m, n, k, &a, &bt, &mut c, false);
+            close(&c, &oracle_nn(m, n, k, &a, &bb), "blocked_nt")?;
+            prop_assert!(true);
+            Ok(())
+        }
+    );
+}
+
+/// The tensor-level wrappers route through the same kernel and agree
+/// with the oracle too (guards the wiring, not just the kernel).
+#[test]
+fn matmul_wrappers_match_oracle() {
+    check!(
+        gen::zip3(dim(), dim(), kdim()),
+        |&(m, n, k): &(usize, usize, usize)| {
+            let a = fill(m * k, (m * 7 + n * 11 + k * 13) as u64);
+            let b = fill(k * n, (m * 3 + n * 5 + k * 19) as u64);
+            let want = oracle_nn(m, n, k, &a, &b);
+            let ta = Tensor::from_vec([m, k], a.clone());
+            let tb = Tensor::from_vec([k, n], b.clone());
+            close(matmul(&ta, &tb).data(), &want, "matmul")?;
+            close(
+                matmul_tn(&ta.transpose2(), &tb).data(),
+                &want,
+                "matmul_tn"
+            )?;
+            close(
+                matmul_nt(&ta, &tb.transpose2()).data(),
+                &want,
+                "matmul_nt"
+            )?;
+            prop_assert!(true);
+            Ok(())
+        }
+    );
+}

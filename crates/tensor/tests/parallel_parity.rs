@@ -17,13 +17,17 @@ use tqt_tensor::{init, matmul, matmul_nt, matmul_tn};
 
 #[test]
 fn parallel_kernels_bit_identical_to_serial() {
+    // Force a multi-worker schedule even on single-core CI hosts: the
+    // guarantee under test is thread-count *independence*, so exercise
+    // it with more workers than the host may have.
+    pool::set_threads(4);
     let mut rng = init::rng(0x5EED);
     // Large enough to cross every parallel dispatch threshold
-    // (matmul: m >= 8 && m*n*k > 2^14; conv: any batch > 1).
-    let a = init::normal([64, 96], 0.0, 1.0, &mut rng);
+    // (matmul: more rows than one GEMM row block; conv: any batch > 1).
+    let a = init::normal([150, 96], 0.0, 1.0, &mut rng);
     let b = init::normal([96, 80], 0.0, 1.0, &mut rng);
     let bt = init::normal([80, 96], 0.0, 1.0, &mut rng);
-    let at = init::normal([96, 64], 0.0, 1.0, &mut rng);
+    let at = init::normal([96, 150], 0.0, 1.0, &mut rng);
 
     let g = Conv2dGeom::same(3);
     let x = init::normal([8, 4, 12, 12], 0.0, 1.0, &mut rng);
@@ -65,6 +69,13 @@ fn parallel_kernels_bit_identical_to_serial() {
     assert_eq!(par.6, ser.6, "conv2d_backward grad_weight differs");
     assert_eq!(par.7, ser.7, "depthwise backward grad_input differs");
     assert_eq!(par.8, ser.8, "depthwise backward grad_weight differs");
+
+    // A different worker count must also give the same bytes.
+    pool::set_threads(3);
+    let three = run();
+    pool::set_threads(0);
+    assert_eq!(par.0, three.0, "matmul differs across thread counts");
+    assert_eq!(par.5, three.5, "conv2d_backward differs across thread counts");
 }
 
 /// Determinism across repeated parallel runs (scheduling-independent):

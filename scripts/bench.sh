@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs the kernel and training-step benches and persists machine-readable
+# results. Full runs write the repo-root trajectory files that every perf
+# PR is measured against:
+#
+#   BENCH_gemm.json        blocked GEMM vs retained naive baseline
+#   BENCH_conv.json        conv2d forward/backward + depthwise
+#   BENCH_train_step.json  one full QAT training step on a zoo model
+#
+# `--smoke` is the CI mode: one sample, tiny shapes, and output under
+# target/bench-smoke/ so the committed baselines are never overwritten by
+# a throwaway run. It exists to keep the bench binaries and their JSON
+# emission compiling and running — not to produce meaningful timings.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Absolute output dir: cargo runs bench binaries from the package
+# directory, so relative --json paths would land in crates/bench/.
+SMOKE=""
+OUTDIR="$(pwd)"
+if [[ "${1:-}" == "--smoke" ]]; then
+  SMOKE="--smoke"
+  OUTDIR="$(pwd)/target/bench-smoke"
+  mkdir -p "$OUTDIR"
+elif [[ -n "${1:-}" ]]; then
+  echo "usage: $0 [--smoke]" >&2
+  exit 2
+fi
+
+declare -A OUT=(
+  [gemm_kernels]="BENCH_gemm.json"
+  [conv_kernels]="BENCH_conv.json"
+  [train_step]="BENCH_train_step.json"
+)
+
+for bench in gemm_kernels conv_kernels train_step; do
+  out="$OUTDIR/${OUT[$bench]}"
+  # shellcheck disable=SC2086  # $SMOKE is intentionally word-split ('' or '--smoke')
+  cargo bench --offline -p tqt-bench --bench "$bench" -- --json "$out" $SMOKE
+  [[ -s "$out" ]] || { echo "bench $bench produced no $out" >&2; exit 1; }
+done
+
+echo "bench results written to $OUTDIR/{BENCH_gemm,BENCH_conv,BENCH_train_step}.json"

@@ -9,3 +9,6 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline
 cargo clippy --offline -- -D warnings
+# Smoke-run the bench binaries (1 sample, tiny shapes, output under
+# target/) so JSON emission and the bench harness can never rot.
+scripts/bench.sh --smoke
