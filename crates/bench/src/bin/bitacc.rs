@@ -33,7 +33,7 @@ fn main() {
                 let yi = ig.run(&x).dequantize();
                 max_diff = max_diff.max(yf.max_abs_diff(&yi));
             }
-            let ok = max_diff == 0.0;
+            let ok = max_diff == 0.0; // tqt:allow(float-eq): bit-exactness means exactly zero deviation
             sink.row(&[
                 model.name().to_string(),
                 label.to_string(),

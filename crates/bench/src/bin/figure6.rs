@@ -17,6 +17,8 @@ fn main() {
     let scale: f32 = args.get_or("scale", 0.5);
     let mut env = ExpEnv::standard(tqt_bench::zoo_dir(), scale);
     env.pretrain_epochs = args.get_or("pretrain-epochs", 8);
+    tqt_bench::guard_knob("scale", scale, 0.5);
+    tqt_bench::guard_knob("pretrain-epochs", env.pretrain_epochs, 8);
     env.retrain_epochs = args.get_or("retrain-epochs", 3);
     let models = select_models(&args);
 

@@ -12,6 +12,7 @@ use tqt_quant::toy::{
 fn main() {
     let args = Args::parse();
     let steps: usize = args.get_or("steps", 2000);
+    tqt_bench::guard_knob("steps", steps, 2000usize);
     let stride: usize = args.get_or("stride", 10);
     let mut sink = Sink::new("figure8");
     sink.row_str(&["bits", "sigma", "method", "step", "log2_t"]);

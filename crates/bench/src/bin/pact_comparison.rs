@@ -15,6 +15,7 @@ use tqt_tensor::init;
 fn main() {
     let args = Args::parse();
     let steps: usize = args.get_or("steps", 1500);
+    tqt_bench::guard_knob("steps", steps, 1500usize);
     let mut sink = Sink::new("pact_comparison");
     sink.row_str(&["method", "bits", "lambda", "final_clip", "distribution_p999"]);
     let sigma = 1.0f32;

@@ -28,6 +28,8 @@ fn main() {
     let scale: f32 = args.get_or("scale", 0.25);
     let mut env = ExpEnv::standard(tqt_bench::zoo_dir(), scale);
     env.pretrain_epochs = args.get_or("pretrain-epochs", 6);
+    tqt_bench::guard_knob("scale", scale, 0.25);
+    tqt_bench::guard_knob("pretrain-epochs", env.pretrain_epochs, 6);
     let model = ModelKind::DarkNet;
     let mut g = env.pretrained(model);
 

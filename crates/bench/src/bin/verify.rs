@@ -1,0 +1,122 @@
+//! Zoo-wide static verification gate: builds every zoo model, drives it
+//! through the transform/quantize/calibrate pipeline at every supported
+//! weight bit-width, and runs the full `tqt-verify` analysis suite at each
+//! stage:
+//!
+//! 1. structure + shapes + lints on the float graph (`TQT-V001`…`V010`);
+//! 2. transform invariant checking with a semantic probe (`TQT-V014`);
+//! 3. one smoke QAT step with the float-exec NaN/Inf sanitizer;
+//! 4. lowering, then the interval/bit-width dataflow proving i64
+//!    accumulators cannot overflow and shifts are legal (`V011`…`V013`);
+//! 5. an instrumented integer run cross-checked against the proofs
+//!    (observed ⊆ proven, `TQT-V015`).
+//!
+//! Exits non-zero if any model at any bit-width produces a finding —
+//! this binary is a tier-1 CI gate (`scripts/ci.sh`).
+
+use tqt_bench::{select_models, Args};
+use tqt_graph::{quantize_graph, QuantizeOptions, WeightBits};
+use tqt_nn::loss::softmax_cross_entropy;
+use tqt_nn::Mode;
+use tqt_tensor::init;
+use tqt_verify::{analyze, check_containment, checked_optimize, verify, Report, Stage};
+
+fn main() {
+    let args = Args::parse();
+    let models = select_models(&args);
+    let bits: Vec<WeightBits> = match args.get("bits") {
+        None => WeightBits::all().to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                WeightBits::parse(s).unwrap_or_else(|| panic!("unsupported bit-width {s}"))
+            })
+            .collect(),
+    };
+    let batch: usize = args.get_or("batch", 4);
+    let seed: u64 = args.get_or("seed", 1);
+
+    let mut failures = 0usize;
+    for &model in &models {
+        for &wb in &bits {
+            let mut report = Report::new();
+            check_model(model, wb, batch, seed, &mut report);
+            if report.is_clean() {
+                println!("verify {:<16} w{:<2} ... ok", model.name(), wb.bits());
+            } else {
+                failures += report.diags.len();
+                println!(
+                    "verify {:<16} w{:<2} ... {} finding(s)",
+                    model.name(),
+                    wb.bits(),
+                    report.diags.len()
+                );
+                for line in report.render().lines() {
+                    println!("    {line}");
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("verify: {failures} finding(s) across the zoo");
+        std::process::exit(1);
+    }
+    println!("verify: zoo clean across {} model(s) x {} bit-width(s)", models.len(), bits.len());
+}
+
+fn check_model(
+    model: tqt_models::ModelKind,
+    wb: WeightBits,
+    batch: usize,
+    seed: u64,
+    report: &mut Report,
+) {
+    let mut dims = model.input_dims().to_vec();
+    dims[0] = batch;
+    let mut g = model.build(seed);
+
+    report.merge(verify(&g, &dims, Stage::Built));
+    report.merge(checked_optimize(&mut g, &dims));
+    report.merge(verify(&g, &dims, Stage::Optimized));
+
+    quantize_graph(&mut g, QuantizeOptions::retrain_wt_th(wb));
+    report.merge(verify(&g, &dims, Stage::Quantized));
+
+    let mut rng = init::rng(seed ^ 0x5eed);
+    let calib = init::normal(dims.clone(), 0.0, 1.0, &mut rng);
+    g.calibrate(&calib);
+    report.merge(verify(&g, &dims, Stage::Calibrated));
+    if !report.is_clean() {
+        return; // lowering would panic on a graph the lints rejected
+    }
+
+    // Smoke QAT step with the float-exec sanitizer: forward in train mode,
+    // NaN/Inf counters must stay zero, then one backward pass.
+    let x = init::normal(dims.clone(), 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..batch).map(|i| i % tqt_models::NUM_CLASSES).collect();
+    let logits = g.forward(&x, Mode::Train);
+    let (nan, inf) = g.nonfinite_counts();
+    if nan != 0 || inf != 0 {
+        report.push_global(
+            tqt_verify::Code::SanitizerViolation,
+            format!("QAT smoke step produced {nan} NaN / {inf} Inf activations"),
+        );
+        return;
+    }
+    let (_, dlogits) = softmax_cross_entropy(&logits, &labels);
+    g.zero_grads();
+    g.backward(&dlogits);
+
+    // Lower and prove: overflow-freedom, legal shifts, merged formats.
+    let ig = tqt_fixedpoint::lower(&mut g);
+    let proven = analyze(&ig, &dims);
+    report.merge(proven.report.clone());
+    if !proven.proven() {
+        return;
+    }
+
+    // Instrumented run on a fresh batch: observed ⊆ proven.
+    let probe = init::normal(dims, 0.0, 2.0, &mut rng);
+    let (_, stats) = ig.run_with_stats(&probe);
+    report.merge(check_containment(&ig, &proven, &stats));
+}

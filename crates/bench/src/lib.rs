@@ -5,6 +5,36 @@
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set once any fidelity knob is below its recorded-full value; steers
+/// every [`Sink`] of this process into `results/local/`.
+static REDUCED_RUN: AtomicBool = AtomicBool::new(false);
+
+/// Marks this process as a reduced-fidelity (smoke/debug) run. All result
+/// sinks created afterwards write under `results/local/` (gitignored)
+/// instead of `results/`, so a quick local invocation can never overwrite
+/// the recorded full-fidelity CSVs.
+pub fn mark_reduced_run(reason: &str) {
+    if !REDUCED_RUN.swap(true, Ordering::SeqCst) {
+        eprintln!("[reduced run] {reason}; results diverted to results/local/");
+    }
+}
+
+/// Whether any fidelity guard fired in this process.
+pub fn is_reduced_run() -> bool {
+    REDUCED_RUN.load(Ordering::SeqCst)
+}
+
+/// Guards one fidelity knob (scale, epochs, steps, …): if the effective
+/// value is below the value the recorded results were produced with, the
+/// run is marked reduced. Call once per knob, before creating any
+/// [`Sink`].
+pub fn guard_knob<T: PartialOrd + std::fmt::Display>(name: &str, effective: T, full: T) {
+    if effective < full {
+        mark_reduced_run(&format!("--{name} {effective} below recorded-full {full}"));
+    }
+}
 
 /// Minimal `--key value` / `--flag` argument parser.
 #[derive(Debug, Clone, Default)]
@@ -78,14 +108,21 @@ pub struct Sink {
 }
 
 impl Sink {
-    /// Creates `results/<name>.csv` (directory created on demand).
+    /// Creates `results/<name>.csv` (directory created on demand). For a
+    /// reduced-fidelity run (see [`guard_knob`]) without an explicit
+    /// `TQT_RESULTS_DIR`, the file lands in `results/local/` instead so
+    /// recorded experiment outputs are never clobbered by smoke runs.
     ///
     /// # Panics
     ///
     /// Panics on I/O errors — an experiment that cannot record results
     /// should fail loudly.
     pub fn new(name: &str) -> Self {
-        let dir = results_dir();
+        let dir = if is_reduced_run() && std::env::var_os("TQT_RESULTS_DIR").is_none() {
+            workspace_root().join("results/local")
+        } else {
+            results_dir()
+        };
         std::fs::create_dir_all(&dir).expect("cannot create results dir");
         let path = dir.join(format!("{name}.csv"));
         let file = std::fs::File::create(&path).expect("cannot create results file");

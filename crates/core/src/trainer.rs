@@ -161,6 +161,17 @@ pub fn train(
                 bn_frozen = true;
             }
             let logits = g.forward(&x, Mode::Train);
+            // Float-exec runtime sanitizer (debug builds): a NaN/Inf in any
+            // retained activation means diverged thresholds or a broken
+            // transform, and would poison every later step silently.
+            #[cfg(debug_assertions)]
+            {
+                let (nan, inf) = g.nonfinite_counts();
+                assert!(
+                    nan == 0 && inf == 0,
+                    "non-finite activations at step {step}: {nan} NaN, {inf} Inf"
+                );
+            }
             let (_, dlogits) = softmax_cross_entropy(&logits, &labels);
             g.zero_grads();
             g.backward(&dlogits);

@@ -16,5 +16,5 @@ pub mod lower;
 pub mod qtensor;
 pub mod requant;
 
-pub use lower::{lower, IntGraph};
+pub use lower::{lower, IntGraph, NodeStats, RunStats};
 pub use qtensor::{QFormat, QTensor};

@@ -117,23 +117,70 @@ pub struct IntGraph {
 }
 
 impl IntGraph {
+    /// Assembles an integer graph from raw parts. [`lower`] is the
+    /// production constructor; this one exists so tests and static-analysis
+    /// harnesses can hand-build (possibly deliberately malformed) graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is out of range or an edge references a
+    /// non-existent or later node.
+    pub fn from_parts(nodes: Vec<IntNode>, output: usize) -> Self {
+        assert!(output < nodes.len(), "output node {output} does not exist");
+        for (id, node) in nodes.iter().enumerate() {
+            for &i in &node.inputs {
+                assert!(i < id, "node {id} input {i} is not an earlier node");
+            }
+        }
+        IntGraph { nodes, output }
+    }
+
     /// The nodes in topological order.
     pub fn nodes(&self) -> &[IntNode] {
         &self.nodes
     }
 
+    /// The output node index.
+    pub fn output_id(&self) -> usize {
+        self.output
+    }
+
     /// Runs integer inference on a float input batch, returning the final
     /// quantized tensor (dequantize for comparison with the float graph).
     ///
+    /// With the `sanitize` feature enabled this additionally asserts that
+    /// no i64 accumulator wrapped during the run (the debug sanitizer the
+    /// static interval analysis in `tqt-verify` is validated against).
+    ///
     /// # Panics
     ///
-    /// Panics on shape mismatches, format mismatches at adds/concats, or
-    /// accumulator overflow beyond i64 — all of which indicate lowering
-    /// bugs, not data errors.
+    /// Panics on shape mismatches or format mismatches at adds/concats —
+    /// all of which indicate lowering bugs, not data errors.
     pub fn run(&self, x: &Tensor) -> QTensor {
+        let (y, stats) = self.run_with_stats(x);
+        #[cfg(feature = "sanitize")]
+        for (node, st) in self.nodes.iter().zip(&stats.nodes) {
+            assert_eq!(
+                st.overflowed, 0,
+                "sanitize: i64 accumulator wrapped in node {}",
+                node.name
+            );
+        }
+        let _ = stats;
+        y
+    }
+
+    /// Instrumented integer inference: runs like [`run`](Self::run) and
+    /// additionally records, per node, the observed output range, the
+    /// number of saturated (clamped) elements at requantization sites, and
+    /// the number of wrapped i64 accumulators. `tqt-verify` asserts these
+    /// observations are contained in its statically proven intervals.
+    pub fn run_with_stats(&self, x: &Tensor) -> (QTensor, RunStats) {
+        let mut stats = RunStats::new(self.nodes.len());
         let mut acts: Vec<Option<QTensor>> = vec![None; self.nodes.len()];
         let mut float_input: Option<&Tensor> = Some(x);
         for (id, node) in self.nodes.iter().enumerate() {
+            let st = &mut stats.nodes[id];
             let out = match &node.op {
                 IntOp::Input => {
                     // Represent the raw input as a dummy; its consumer is
@@ -141,12 +188,14 @@ impl IntGraph {
                     QTensor::from_ints([1], vec![0], QFormat::new(0, 8, true))
                 }
                 IntOp::QuantF32 { format } => {
-                    let xin = float_input.take().expect("input consumed twice");
-                    QTensor::quantize(xin, *format)
+                    let xin = float_input.take().expect("input consumed twice"); // tqt:allow(expect): exactly one QuantF32 reads the float input
+                    let (q, sat) = quantize_counting(xin, *format);
+                    st.saturated += sat;
+                    q
                 }
                 IntOp::Requant { format } => {
-                    let a = acts[node.inputs[0]].as_ref().expect("missing input");
-                    requant(a, *format)
+                    let a = act(&acts, node.inputs[0]);
+                    requant(a, *format, &mut st.saturated)
                 }
                 IntOp::Conv {
                     w,
@@ -156,13 +205,14 @@ impl IntGraph {
                     depthwise,
                     w_frac,
                 } => int_conv(
-                    acts[node.inputs[0]].as_ref().expect("missing input"),
+                    act(&acts, node.inputs[0]),
                     w,
                     *wdims,
                     bias.as_deref(),
                     *geom,
                     *depthwise,
                     *w_frac,
+                    &mut st.overflowed,
                 ),
                 IntOp::Dense {
                     w,
@@ -171,15 +221,16 @@ impl IntGraph {
                     bias,
                     w_frac,
                 } => int_dense(
-                    acts[node.inputs[0]].as_ref().expect("missing input"),
+                    act(&acts, node.inputs[0]),
                     w,
                     *in_dim,
                     *out_dim,
                     bias.as_deref(),
                     *w_frac,
+                    &mut st.overflowed,
                 ),
                 IntOp::Relu { cap_q } => {
-                    let a = acts[node.inputs[0]].as_ref().expect("missing input");
+                    let a = act(&acts, node.inputs[0]);
                     let data = a
                         .data()
                         .iter()
@@ -194,26 +245,31 @@ impl IntGraph {
                     QTensor::from_ints(a.shape().clone(), data, a.format)
                 }
                 IntOp::LeakyRelu { alpha_q } => {
-                    let a = acts[node.inputs[0]].as_ref().expect("missing input");
+                    let a = act(&acts, node.inputs[0]);
                     let f = a.format;
                     let out_format = QFormat::new(f.frac + LEAKY_ALPHA_FRAC, 64, true);
                     let data = a
                         .data()
                         .iter()
-                        .map(|&v| (v << LEAKY_ALPHA_FRAC).max(v * alpha_q))
+                        .map(|&v| {
+                            let wide = (i128::from(v) << LEAKY_ALPHA_FRAC)
+                                .max(i128::from(v) * i128::from(*alpha_q));
+                            narrow(wide, &mut st.overflowed)
+                        })
                         .collect();
                     QTensor::from_ints(a.shape().clone(), data, out_format)
                 }
                 IntOp::MaxPool { geom } => int_maxpool(
-                    acts[node.inputs[0]].as_ref().expect("missing input"),
+                    act(&acts, node.inputs[0]),
                     *geom,
                 ),
-                IntOp::GlobalAvgPool => {
-                    int_gap(acts[node.inputs[0]].as_ref().expect("missing input"))
-                }
+                IntOp::GlobalAvgPool => int_gap(
+                    act(&acts, node.inputs[0]),
+                    &mut st.overflowed,
+                ),
                 IntOp::Add => {
-                    let a = acts[node.inputs[0]].as_ref().expect("missing input");
-                    let b = acts[node.inputs[1]].as_ref().expect("missing input");
+                    let a = act(&acts, node.inputs[0]);
+                    let b = act(&acts, node.inputs[1]);
                     assert_eq!(
                         a.format, b.format,
                         "eltwise-add formats must match (scale merging)"
@@ -223,7 +279,9 @@ impl IntGraph {
                         .data()
                         .iter()
                         .zip(b.data())
-                        .map(|(&x, &y)| x + y)
+                        .map(|(&x, &y)| {
+                            narrow(i128::from(x) + i128::from(y), &mut st.overflowed)
+                        })
                         .collect();
                     QTensor::from_ints(a.shape().clone(), data, wide)
                 }
@@ -231,32 +289,133 @@ impl IntGraph {
                     &node
                         .inputs
                         .iter()
-                        .map(|&i| acts[i].as_ref().expect("missing input"))
+                        .map(|&i| act(&acts, i))
                         .collect::<Vec<_>>(),
                 ),
                 IntOp::Flatten => {
-                    let a = acts[node.inputs[0]].as_ref().expect("missing input");
+                    let a = act(&acts, node.inputs[0]);
                     let n = a.dims()[0];
                     let feat = a.len() / n;
                     QTensor::from_ints([n, feat], a.data().to_vec(), a.format)
                 }
             };
+            if !matches!(node.op, IntOp::Input) {
+                st.observe(out.data());
+            }
             acts[id] = Some(out);
         }
-        acts[self.output].take().expect("output not computed")
+        let y = acts[self.output].take().expect("output not computed"); // tqt:allow(expect): from_parts/lower check the output id
+        (y, stats)
     }
 }
 
-fn requant(a: &QTensor, format: QFormat) -> QTensor {
+/// Per-node observations from an instrumented integer inference run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Smallest output value observed (`0` if the node never ran).
+    pub lo: i64,
+    /// Largest output value observed (`0` if the node never ran).
+    pub hi: i64,
+    /// Elements clamped by saturation at this node (requant sites only).
+    pub saturated: u64,
+    /// i64 accumulators that wrapped at this node. Always a lowering bug;
+    /// [`IntGraph::run`] asserts zero under the `sanitize` feature.
+    pub overflowed: u64,
+}
+
+impl NodeStats {
+    fn new() -> Self {
+        NodeStats {
+            lo: 0,
+            hi: 0,
+            saturated: 0,
+            overflowed: 0,
+        }
+    }
+
+    fn observe(&mut self, data: &[i64]) {
+        for &v in data {
+            self.lo = self.lo.min(v);
+            self.hi = self.hi.max(v);
+        }
+    }
+}
+
+/// Observations for every node of one [`IntGraph::run_with_stats`] call,
+/// indexed like [`IntGraph::nodes`].
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Per-node observations.
+    pub nodes: Vec<NodeStats>,
+}
+
+impl RunStats {
+    fn new(n: usize) -> Self {
+        RunStats {
+            nodes: vec![NodeStats::new(); n],
+        }
+    }
+
+    /// Total saturated elements across all nodes.
+    pub fn total_saturated(&self) -> u64 {
+        self.nodes.iter().map(|s| s.saturated).sum()
+    }
+
+    /// Total wrapped accumulators across all nodes.
+    pub fn total_overflowed(&self) -> u64 {
+        self.nodes.iter().map(|s| s.overflowed).sum()
+    }
+}
+
+/// The already-computed activation of node `i`. Node ids are topological,
+/// so a node's producers have always run by the time it executes.
+fn act(acts: &[Option<QTensor>], i: usize) -> &QTensor {
+    acts[i].as_ref().expect("producer not computed") // tqt:allow(expect): topological order guarantees this
+}
+
+/// Truncates an exact i128 accumulator to the i64 the engine stores,
+/// counting values outside the i64 range (truncation equals two's
+/// complement wrapping, so the stored bits match what a pure-i64 engine
+/// computes in release mode).
+fn narrow(acc: i128, overflowed: &mut u64) -> i64 {
+    if acc > i128::from(i64::MAX) || acc < i128::from(i64::MIN) {
+        *overflowed += 1;
+    }
+    acc as i64
+}
+
+fn quantize_counting(t: &Tensor, format: QFormat) -> (QTensor, u64) {
+    let q = QTensor::quantize(t, format);
+    let s = format.scale();
+    let sat = t
+        .data()
+        .iter()
+        .filter(|&&v| {
+            let raw = round_half_even(v / s) as i64;
+            raw < format.qmin() || raw > format.qmax()
+        })
+        .count() as u64;
+    (q, sat)
+}
+
+fn requant(a: &QTensor, format: QFormat, sat: &mut u64) -> QTensor {
     let shift = a.format.frac - format.frac;
     let data = a
         .data()
         .iter()
-        .map(|&v| shift_round(v, shift).clamp(format.qmin(), format.qmax()))
+        .map(|&v| {
+            let r = shift_round(v, shift);
+            let c = r.clamp(format.qmin(), format.qmax());
+            if c != r {
+                *sat += 1;
+            }
+            c
+        })
         .collect();
     QTensor::from_ints(a.shape().clone(), data, format)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn int_conv(
     x: &QTensor,
     w: &[i64],
@@ -265,6 +424,7 @@ fn int_conv(
     geom: Conv2dGeom,
     depthwise: bool,
     w_frac: i32,
+    overflowed: &mut u64,
 ) -> QTensor {
     let (n, c, h, wd) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
     let (oh, ow) = geom.out_size(h, wd);
@@ -276,7 +436,7 @@ fn int_conv(
         for co in 0..cout {
             for oi in 0..oh {
                 for oj in 0..ow {
-                    let mut acc = 0i64;
+                    let mut acc = 0i128;
                     let cin_range: Box<dyn Iterator<Item = usize>> = if depthwise {
                         Box::new(std::iter::once(co))
                     } else {
@@ -298,14 +458,14 @@ fn int_conv(
                                     + jj as usize];
                                 let wv = w[((co * wdims[1] + wci) * geom.kh + ki) * geom.kw
                                     + kj];
-                                acc += xv * wv;
+                                acc += i128::from(xv) * i128::from(wv);
                             }
                         }
                     }
                     if let Some(b) = bias {
-                        acc += b[co];
+                        acc += i128::from(b[co]);
                     }
-                    out[((ni * cout + co) * oh + oi) * ow + oj] = acc;
+                    out[((ni * cout + co) * oh + oi) * ow + oj] = narrow(acc, overflowed);
                 }
             }
         }
@@ -320,6 +480,7 @@ fn int_dense(
     out_dim: usize,
     bias: Option<&[i64]>,
     w_frac: i32,
+    overflowed: &mut u64,
 ) -> QTensor {
     let n = x.dims()[0];
     assert_eq!(x.dims()[1], in_dim, "dense input feature mismatch");
@@ -327,14 +488,14 @@ fn int_dense(
     let mut out = vec![0i64; n * out_dim];
     for ni in 0..n {
         for o in 0..out_dim {
-            let mut acc = 0i64;
+            let mut acc = 0i128;
             for i in 0..in_dim {
-                acc += x.data()[ni * in_dim + i] * w[i * out_dim + o];
+                acc += i128::from(x.data()[ni * in_dim + i]) * i128::from(w[i * out_dim + o]);
             }
             if let Some(b) = bias {
-                acc += b[o];
+                acc += i128::from(b[o]);
             }
-            out[ni * out_dim + o] = acc;
+            out[ni * out_dim + o] = narrow(acc, overflowed);
         }
     }
     QTensor::from_ints([n, out_dim], out, acc_format)
@@ -371,7 +532,7 @@ fn int_maxpool(x: &QTensor, geom: Conv2dGeom) -> QTensor {
     QTensor::from_ints([n, c, oh, ow], out, x.format)
 }
 
-fn int_gap(x: &QTensor) -> QTensor {
+fn int_gap(x: &QTensor, overflowed: &mut u64) -> QTensor {
     let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
     let hw = h * w;
     assert!(
@@ -385,7 +546,11 @@ fn int_gap(x: &QTensor) -> QTensor {
     for ni in 0..n {
         for ci in 0..c {
             let base = (ni * c + ci) * hw;
-            out[ni * c + ci] = x.data()[base..base + hw].iter().sum();
+            let acc: i128 = x.data()[base..base + hw]
+                .iter()
+                .map(|&v| i128::from(v))
+                .sum();
+            out[ni * c + ci] = narrow(acc, overflowed);
         }
     }
     QTensor::from_ints([n, c], out, out_format)
@@ -677,10 +842,12 @@ mod tests {
     #[test]
     fn requant_shifts_between_formats() {
         let a = QTensor::from_ints([3], vec![100, -100, 3], QFormat::new(6, 16, true));
-        let r = requant(&a, QFormat::new(4, 8, true));
+        let mut sat = 0;
+        let r = requant(&a, QFormat::new(4, 8, true), &mut sat);
         assert_eq!(r.data(), &[25, -25, 1]); // 3/4 = 0.75 -> 1
-        let l = requant(&a, QFormat::new(8, 16, true));
+        let l = requant(&a, QFormat::new(8, 16, true), &mut sat);
         assert_eq!(l.data(), &[400, -400, 12]); // exact left shift
+        assert_eq!(sat, 0, "no value saturates in either direction");
     }
 
     #[test]

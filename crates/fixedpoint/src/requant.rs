@@ -78,7 +78,7 @@ impl NormalizedMultiplier {
             n -= 1;
         }
         NormalizedMultiplier {
-            s0_q15: (s0 * (1 << 15) as f64).round() as i32,
+            s0_q15: (s0 * (1 << 15) as f64).round() as i32, // tqt:allow(narrowing-cast): s0 in [0.5, 1) so the product fits 16 bits
             n,
         }
     }

@@ -220,6 +220,26 @@ impl Graph {
         self.acts.clear();
     }
 
+    /// Float-exec runtime sanitizer: `(nan, inf)` element counts over the
+    /// per-node activations retained by the most recent training-mode
+    /// forward pass (both zero when no activations are retained). A
+    /// healthy QAT step observes `(0, 0)`; the trainer asserts this in
+    /// debug builds.
+    pub fn nonfinite_counts(&self) -> (usize, usize) {
+        let mut nan = 0;
+        let mut inf = 0;
+        for t in &self.acts {
+            for &v in t.data() {
+                if v.is_nan() {
+                    nan += 1;
+                } else if v.is_infinite() {
+                    inf += 1;
+                }
+            }
+        }
+        (nan, inf)
+    }
+
     /// Per-node output shapes for a given input shape, via a dry run with a
     /// zero batch. Useful for transforms that need channel counts.
     pub fn infer_shapes(&mut self, input_dims: &[usize]) -> Vec<Vec<usize>> {

@@ -147,6 +147,15 @@ pub struct WeightQuant {
     pub(crate) saved_w: Option<Tensor>,
 }
 
+impl WeightQuant {
+    /// Creates a weight quantizer referencing `tid`. Used by harnesses that
+    /// assemble (possibly deliberately malformed) graphs by hand; the normal
+    /// path is `quantize_graph`.
+    pub fn new(tid: ThresholdId) -> Self {
+        WeightQuant { tid, saved_w: None }
+    }
+}
+
 /// A graph node: an op plus its input edges and optional weight quantizer.
 #[derive(Debug)]
 pub struct Node {
@@ -247,6 +256,18 @@ impl Graph {
     /// Panics if no output was set.
     pub fn output_id(&self) -> NodeId {
         self.output.expect("graph has no output")
+    }
+
+    /// The input node id, or `None` for a graph without an input
+    /// placeholder. Non-panicking variant for analyses that must diagnose
+    /// malformed graphs rather than crash on them.
+    pub fn try_input_id(&self) -> Option<NodeId> {
+        self.input
+    }
+
+    /// The output node id, or `None` if no output was set.
+    pub fn try_output_id(&self) -> Option<NodeId> {
+        self.output
     }
 
     /// Number of nodes (including spliced-out identities until compaction).
@@ -409,6 +430,20 @@ pub fn op_params_mut(op: &mut Op) -> Vec<&mut Param> {
         Op::Depthwise(l) => l.params_mut(),
         Op::Dense(l) => l.params_mut(),
         Op::BatchNorm(l) => l.params_mut(),
+        _ => Vec::new(),
+    }
+}
+
+/// Immutable view of an op's trainable parameters (empty for stateless
+/// ops). Static analyses use this to read weight dims without taking a
+/// mutable borrow of the graph.
+pub fn op_params(op: &Op) -> Vec<&Param> {
+    use tqt_nn::Layer;
+    match op {
+        Op::Conv(l) => l.params(),
+        Op::Depthwise(l) => l.params(),
+        Op::Dense(l) => l.params(),
+        Op::BatchNorm(l) => l.params(),
         _ => Vec::new(),
     }
 }

@@ -27,6 +27,10 @@ pub enum WeightBits {
     Int8,
     /// 4-bit weights (activations stay 8-bit).
     Int4,
+    /// 16-bit weights (high-precision mode; activations stay 8-bit). Not a
+    /// paper configuration, but exercised by the static verifier to prove
+    /// accumulator headroom at the widest supported weight grid.
+    Int16,
 }
 
 impl WeightBits {
@@ -34,7 +38,28 @@ impl WeightBits {
         match self {
             WeightBits::Int8 => QuantSpec::INT8,
             WeightBits::Int4 => QuantSpec::INT4,
+            WeightBits::Int16 => QuantSpec::INT16,
         }
+    }
+
+    /// The weight bit-width.
+    pub fn bits(self) -> u32 {
+        self.spec().bits()
+    }
+
+    /// Parses `4`, `8` or `16`.
+    pub fn parse(s: &str) -> Option<WeightBits> {
+        match s.trim() {
+            "4" => Some(WeightBits::Int4),
+            "8" => Some(WeightBits::Int8),
+            "16" => Some(WeightBits::Int16),
+            _ => None,
+        }
+    }
+
+    /// Every supported weight bit-width, narrowest first.
+    pub fn all() -> &'static [WeightBits] {
+        &[WeightBits::Int4, WeightBits::Int8, WeightBits::Int16]
     }
 }
 
@@ -162,7 +187,7 @@ pub fn quantize_graph(g: &mut Graph, opts: QuantizeOptions) {
                 let consumers = g.consumers(id);
                 let delay_to = if consumers.len() == 1 {
                     match &g.node(consumers[0]).op {
-                        Op::Relu(r) => Some((consumers[0], r.negative_slope() == 0.0)),
+                        Op::Relu(r) => Some((consumers[0], r.negative_slope() == 0.0)), // tqt:allow(float-eq): 0.0 is the exact non-leaky sentinel
                         _ => None,
                     }
                 } else {
@@ -197,7 +222,7 @@ pub fn quantize_graph(g: &mut Graph, opts: QuantizeOptions) {
                     let consumers = g.consumers(id);
                     let delay_to = if consumers.len() == 1 {
                         match &g.node(consumers[0]).op {
-                            Op::Relu(r) => Some((consumers[0], r.negative_slope() == 0.0)),
+                            Op::Relu(r) => Some((consumers[0], r.negative_slope() == 0.0)), // tqt:allow(float-eq): 0.0 is the exact non-leaky sentinel
                             _ => None,
                         }
                     } else {

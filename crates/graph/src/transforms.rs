@@ -234,14 +234,32 @@ pub fn avgpool_to_depthwise(g: &mut Graph, input_dims: &[usize]) -> usize {
     count
 }
 
+/// A named pre-quantization pass with the unified signature the transform
+/// invariant checker (`tqt-verify`) drives: every pass takes the graph and
+/// the model input dims (passes that do not need dims ignore them) and
+/// reports how many rewrites it performed.
+pub type Pass = (&'static str, fn(&mut Graph, &[usize]) -> usize);
+
+/// The optimization pipeline as named passes, in the order [`optimize`]
+/// applies them. Harnesses that want to re-verify graph invariants after
+/// every individual pass (localizing a transform bug to the pass that
+/// introduced it) iterate this instead of calling [`optimize`].
+pub fn pipeline() -> [Pass; 4] {
+    [
+        ("splice_identities", |g, _| splice_identities(g)),
+        ("collapse_concat_of_concat", |g, _| collapse_concat_of_concat(g)),
+        ("fold_batch_norm", |g, _| fold_batch_norm(g)),
+        ("avgpool_to_depthwise", avgpool_to_depthwise),
+    ]
+}
+
 /// Runs the full pre-quantization optimization pipeline:
 /// identity splicing, concat collapsing, batch-norm folding, and
 /// avgpool → depthwise conversion.
 pub fn optimize(g: &mut Graph, input_dims: &[usize]) {
-    splice_identities(g);
-    collapse_concat_of_concat(g);
-    fold_batch_norm(g);
-    avgpool_to_depthwise(g, input_dims);
+    for (_, pass) in pipeline() {
+        pass(g, input_dims);
+    }
 }
 
 #[cfg(test)]

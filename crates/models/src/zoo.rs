@@ -99,6 +99,13 @@ impl ModelKind {
         ModelKind::all().iter().copied().find(|m| m.name() == s)
     }
 
+    /// Input dims `[n, c, h, w]` the model is built for (`n = 1`); all zoo
+    /// models share [`INPUT_DIMS`], but analyses should go through this
+    /// accessor rather than the constant.
+    pub fn input_dims(&self) -> [usize; 4] {
+        INPUT_DIMS
+    }
+
     /// Builds the model with weights initialized from `seed`.
     pub fn build(&self, seed: u64) -> Graph {
         match self {

@@ -51,7 +51,7 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [&mut Param]) {
         for p in params.iter_mut().filter(|p| p.trainable) {
-            if self.momentum == 0.0 {
+            if self.momentum == 0.0 { // tqt:allow(float-eq): exact sentinel for plain SGD
                 let lr = self.lr;
                 for (v, &g) in p.value.data_mut().iter_mut().zip(p.grad.data()) {
                     *v -= lr * g;

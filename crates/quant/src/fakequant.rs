@@ -161,7 +161,7 @@ pub fn quantize_per_channel_symmetric(w: &Tensor, bits: u32) -> Tensor {
     for ci in 0..c {
         let slice = &mut out.data_mut()[ci * chunk..(ci + 1) * chunk];
         let amax = slice.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
-        if amax == 0.0 {
+        if amax == 0.0 { // tqt:allow(float-eq): exact-zero tensor has no scale
             continue;
         }
         let s = amax / p;
@@ -183,7 +183,7 @@ pub fn quantize_per_tensor_symmetric_real(w: &Tensor, bits: u32) -> Tensor {
     assert!(bits >= 2, "needs at least 2 bits");
     let p = ((1u32 << (bits - 1)) - 1) as f32;
     let amax = w.abs_max();
-    if amax == 0.0 {
+    if amax == 0.0 { // tqt:allow(float-eq): exact-zero tensor has no scale
         return w.clone();
     }
     let s = amax / p;

@@ -241,7 +241,7 @@ impl Bench {
             }
             times.push(t0.elapsed().as_secs_f64() / iters as f64);
         }
-        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap()); // tqt:allow(unwrap): durations are finite
         let q = |p: f64| -> f64 {
             let idx = p * (times.len() - 1) as f64;
             let (lo, hi) = (idx.floor() as usize, idx.ceil() as usize);

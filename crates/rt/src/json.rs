@@ -320,7 +320,7 @@ impl<'a> Parser<'a> {
                     // are valid UTF-8 and char boundaries are safe).
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().unwrap();
+                    let c = s.chars().next().unwrap(); // tqt:allow(unwrap): guarded by is_empty above
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -363,7 +363,7 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap(); // tqt:allow(unwrap): lexer only accepts ASCII here
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| ParseError {

@@ -132,7 +132,7 @@ impl Region {
         // call returns or panics.
         let job = unsafe { &*self.job.0 };
         let result = catch_unwind(AssertUnwindSafe(|| job(idx)));
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock().unwrap(); // tqt:allow(unwrap): a poisoned lock means a worker already panicked
         if let Err(p) = result {
             st.panic.get_or_insert(p);
         }
@@ -177,13 +177,13 @@ fn pool() -> &'static Arc<Shared> {
 /// Ensures at least `target` parked workers exist (in addition to
 /// whatever thread submits regions).
 fn ensure_workers(shared: &Arc<Shared>, target: usize) {
-    let mut spawned = shared.spawned.lock().unwrap();
+    let mut spawned = shared.spawned.lock().unwrap(); // tqt:allow(unwrap): a poisoned lock means a worker already panicked
     while *spawned < target {
         let shared = Arc::clone(shared);
         std::thread::Builder::new()
             .name(format!("tqt-rt-worker-{spawned}"))
             .spawn(move || worker_loop(&shared))
-            .expect("failed to spawn pool worker");
+            .expect("failed to spawn pool worker"); // tqt:allow(expect): thread spawn failure is unrecoverable at startup
         *spawned += 1;
     }
 }
@@ -195,7 +195,7 @@ fn ensure_workers(shared: &Arc<Shared>, target: usize) {
 fn worker_loop(shared: &Shared) {
     loop {
         let region = {
-            let mut q = shared.queue.lock().unwrap();
+            let mut q = shared.queue.lock().unwrap(); // tqt:allow(unwrap): a poisoned lock means a worker already panicked
             loop {
                 if let Some(front) = q.front() {
                     if front.next.load(Ordering::Relaxed) < front.nblocks {
@@ -204,7 +204,7 @@ fn worker_loop(shared: &Shared) {
                     q.pop_front();
                     continue;
                 }
-                q = shared.work.wait(q).unwrap();
+                q = shared.work.wait(q).unwrap(); // tqt:allow(unwrap): condvar wait only fails on poisoning
             }
         };
         region.participate();
@@ -248,12 +248,12 @@ fn run_region(nblocks: usize, job: &(dyn Fn(usize) + Sync)) {
         }),
         finished: Condvar::new(),
     });
-    shared.queue.lock().unwrap().push_back(Arc::clone(&region));
+    shared.queue.lock().unwrap().push_back(Arc::clone(&region)); // tqt:allow(unwrap): a poisoned lock means a worker already panicked
     shared.work.notify_all();
     region.participate();
-    let mut st = region.state.lock().unwrap();
+    let mut st = region.state.lock().unwrap(); // tqt:allow(unwrap): a poisoned lock means a worker already panicked
     while st.done < nblocks {
-        st = region.finished.wait(st).unwrap();
+        st = region.finished.wait(st).unwrap(); // tqt:allow(unwrap): condvar wait only fails on poisoning
     }
     if let Some(p) = st.panic.take() {
         drop(st);

@@ -325,7 +325,7 @@ pub fn depthwise_conv2d_backward(
             for oi in 0..oh {
                 for oj in 0..ow {
                     let gv = grow[oi * ow + oj];
-                    if gv == 0.0 {
+                    if gv == 0.0 { // tqt:allow(float-eq): exact-zero skip is an optimization, not a tolerance
                         continue;
                     }
                     for ki in 0..g.kh {

@@ -74,7 +74,7 @@ pub fn gemm_nn_naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut
         let arow = &a[i * k..(i + 1) * k];
         let crow = &mut c[i * n..(i + 1) * n];
         for (kk, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
+            if av == 0.0 { // tqt:allow(float-eq): exact-zero skip is an optimization, not a tolerance
                 continue;
             }
             let brow = &b[kk * n..(kk + 1) * n];
@@ -203,8 +203,8 @@ fn microkernel(kc: usize, apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; 
     }
     let _ = avx;
     for kk in 0..kc {
-        let av: &[f32; MR] = apanel[kk * MR..].first_chunk().unwrap();
-        let bv: &[f32; NR] = bpanel[kk * NR..].first_chunk().unwrap();
+        let av: &[f32; MR] = apanel[kk * MR..].first_chunk().unwrap(); // tqt:allow(unwrap): panel length is a multiple of MR
+        let bv: &[f32; NR] = bpanel[kk * NR..].first_chunk().unwrap(); // tqt:allow(unwrap): panel length is a multiple of NR
         for (r, acc_row) in acc.iter_mut().enumerate() {
             let a = av[r];
             for (s, sum) in acc_row.iter_mut().enumerate() {

@@ -41,7 +41,7 @@ pub fn abs_percentile(t: &Tensor, q: f32) -> f32 {
     assert!(!t.is_empty(), "percentile of empty tensor");
     assert!((0.0..=100.0).contains(&q), "percentile {q} out of [0,100]");
     let mut v: Vec<f32> = t.data().iter().map(|x| x.abs()).collect();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // tqt:allow(unwrap): histogram inputs are finite
     let pos = q as f64 / 100.0 * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

@@ -1,0 +1,246 @@
+//! Diagnostics: stable error codes, per-node findings, and reports.
+//!
+//! Every analysis in this crate reports through [`Report`] rather than
+//! panicking, so callers can batch-lint a whole model zoo and CI can print
+//! every finding in one run. Codes are stable identifiers (`TQT-V001` …)
+//! documented in `DESIGN.md`; tests assert on codes, never on message
+//! text.
+
+use std::fmt;
+
+/// A stable diagnostic code. The numeric part never changes meaning once
+/// released; retired codes are left as gaps rather than reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Code {
+    /// `TQT-V001` — structural violation: missing input/output, bad arity,
+    /// forward edge, dangling threshold reference.
+    Structure,
+    /// `TQT-V002` — shape or dtype inference failure: rank/channel/feature
+    /// mismatch between a node and its inputs or weights.
+    Shape,
+    /// `TQT-V003` — a compute op consumes an edge that is not on a
+    /// quantized grid (missing activation quantizer).
+    UnquantizedEdge,
+    /// `TQT-V004` — a compute op has no weight quantizer attached.
+    MissingWeightQuant,
+    /// `TQT-V005` — a threshold in the side table is referenced by no
+    /// quant node and no weight quantizer (dead threshold).
+    DeadThreshold,
+    /// `TQT-V006` — a referenced threshold was never calibrated.
+    Uncalibrated,
+    /// `TQT-V007` — a threshold yields a degenerate scale: non-finite
+    /// `log2 t` or a fractional length outside the shiftable range.
+    DegenerateScale,
+    /// `TQT-V008` — a batch-norm survives where the graph is expected to
+    /// be folded.
+    UnfoldedBatchNorm,
+    /// `TQT-V009` — an average pool survives where the graph is expected
+    /// to be converted to depthwise form.
+    UnconvertedAvgPool,
+    /// `TQT-V010` — merge-node inputs disagree on quantization: an
+    /// add/concat whose operands are on different grids (unmerged scales).
+    MergeMismatch,
+    /// `TQT-V011` — an i64 accumulator can overflow: the proven value
+    /// interval of a node escapes the i64 range.
+    Overflow,
+    /// `TQT-V012` — a requantization shift is outside the legal range.
+    IllegalShift,
+    /// `TQT-V013` — fixed-point format violation: e.g. a global average
+    /// pool over a non-power-of-two spatial size, or a malformed Q-format.
+    FormatViolation,
+    /// `TQT-V014` — a graph transform broke an invariant: the graph fails
+    /// re-verification or changes semantics after a pass.
+    TransformInvariant,
+    /// `TQT-V015` — runtime sanitizer contradiction: observed behavior
+    /// escapes the statically proven envelope (observed ⊄ proven).
+    SanitizerViolation,
+}
+
+impl Code {
+    /// The stable identifier, e.g. `"TQT-V011"`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Code::Structure => "TQT-V001",
+            Code::Shape => "TQT-V002",
+            Code::UnquantizedEdge => "TQT-V003",
+            Code::MissingWeightQuant => "TQT-V004",
+            Code::DeadThreshold => "TQT-V005",
+            Code::Uncalibrated => "TQT-V006",
+            Code::DegenerateScale => "TQT-V007",
+            Code::UnfoldedBatchNorm => "TQT-V008",
+            Code::UnconvertedAvgPool => "TQT-V009",
+            Code::MergeMismatch => "TQT-V010",
+            Code::Overflow => "TQT-V011",
+            Code::IllegalShift => "TQT-V012",
+            Code::FormatViolation => "TQT-V013",
+            Code::TransformInvariant => "TQT-V014",
+            Code::SanitizerViolation => "TQT-V015",
+        }
+    }
+
+    /// One-line description of what the code means.
+    pub fn title(self) -> &'static str {
+        match self {
+            Code::Structure => "structural violation",
+            Code::Shape => "shape/dtype inference failure",
+            Code::UnquantizedEdge => "unquantized compute edge",
+            Code::MissingWeightQuant => "missing weight quantizer",
+            Code::DeadThreshold => "dead threshold",
+            Code::Uncalibrated => "uncalibrated threshold",
+            Code::DegenerateScale => "degenerate scale",
+            Code::UnfoldedBatchNorm => "unfolded batch norm",
+            Code::UnconvertedAvgPool => "unconverted average pool",
+            Code::MergeMismatch => "merge-node quantization mismatch",
+            Code::Overflow => "accumulator overflow",
+            Code::IllegalShift => "illegal requantization shift",
+            Code::FormatViolation => "fixed-point format violation",
+            Code::TransformInvariant => "transform invariant violation",
+            Code::SanitizerViolation => "runtime sanitizer violation",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// A single finding: code, the node it anchors to (if any), and detail.
+#[derive(Debug, Clone)]
+pub struct Diag {
+    /// The stable code.
+    pub code: Code,
+    /// Name of the offending node, when the finding is node-local.
+    pub node: Option<String>,
+    /// Human-readable specifics: what was found, and for refutations the
+    /// counterexample (shape, interval, node path).
+    pub detail: String,
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.node {
+            Some(n) => write!(f, "{} [{}] at `{n}`: {}", self.code, self.code.title(), self.detail),
+            None => write!(f, "{} [{}]: {}", self.code, self.code.title(), self.detail),
+        }
+    }
+}
+
+/// An ordered collection of findings from one or more analyses.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// The findings, in discovery order.
+    pub diags: Vec<Diag>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Records a finding anchored to a node.
+    pub fn push(&mut self, code: Code, node: impl Into<String>, detail: impl Into<String>) {
+        self.diags.push(Diag {
+            code,
+            node: Some(node.into()),
+            detail: detail.into(),
+        });
+    }
+
+    /// Records a graph-level finding.
+    pub fn push_global(&mut self, code: Code, detail: impl Into<String>) {
+        self.diags.push(Diag {
+            code,
+            node: None,
+            detail: detail.into(),
+        });
+    }
+
+    /// Whether no analysis found anything.
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Appends all findings of `other`.
+    pub fn merge(&mut self, other: Report) {
+        self.diags.extend(other.diags);
+    }
+
+    /// Whether any finding carries `code`.
+    pub fn has(&self, code: Code) -> bool {
+        self.diags.iter().any(|d| d.code == code)
+    }
+
+    /// The distinct codes present, sorted.
+    pub fn codes(&self) -> Vec<Code> {
+        let mut v: Vec<Code> = self.diags.iter().map(|d| d.code).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Renders every finding, one per line.
+    pub fn render(&self) -> String {
+        self.diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let all = [
+            Code::Structure,
+            Code::Shape,
+            Code::UnquantizedEdge,
+            Code::MissingWeightQuant,
+            Code::DeadThreshold,
+            Code::Uncalibrated,
+            Code::DegenerateScale,
+            Code::UnfoldedBatchNorm,
+            Code::UnconvertedAvgPool,
+            Code::MergeMismatch,
+            Code::Overflow,
+            Code::IllegalShift,
+            Code::FormatViolation,
+            Code::TransformInvariant,
+            Code::SanitizerViolation,
+        ];
+        let mut ids: Vec<&str> = all.iter().map(|c| c.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len(), "duplicate code ids");
+        for c in all {
+            assert!(c.id().starts_with("TQT-V"), "unexpected id scheme {}", c.id());
+        }
+    }
+
+    #[test]
+    fn report_collects_and_renders() {
+        let mut r = Report::new();
+        assert!(r.is_clean());
+        r.push(Code::Overflow, "conv1", "interval [0, 2^70] escapes i64");
+        r.push_global(Code::Structure, "no output set");
+        assert!(!r.is_clean());
+        assert!(r.has(Code::Overflow));
+        assert!(!r.has(Code::Shape));
+        assert_eq!(r.codes(), vec![Code::Structure, Code::Overflow]);
+        let text = r.render();
+        assert!(text.contains("TQT-V011"));
+        assert!(text.contains("conv1"));
+    }
+}

@@ -1,0 +1,528 @@
+//! Interval and bit-width dataflow over the lowered [`IntGraph`]: proves
+//! that no i64 accumulator can overflow for *any* input (or refutes with a
+//! counterexample), and that every requantization shift is legal.
+//!
+//! The analysis is an abstract interpretation in `i128`: each node gets a
+//! sound value interval `[lo, hi]` containing every element the node can
+//! ever produce. Compute bounds are *exact per output channel* — they use
+//! the actual baked weights, not worst-case magnitudes — so the proof is
+//! tight enough to hold 16-bit weights against 8-bit activations while
+//! still refuting genuinely unsafe graphs.
+//!
+//! Soundness of the overflow check for convolutions: an accumulator's
+//! partial sum after any prefix of taps lies in `[Σ min(term_i), Σ
+//! max(term_i)]` over the full tap set, because every remaining term's
+//! minimum contribution is ≤ 0 in the lower bound and ≥ 0 in the upper
+//! bound (padding is modeled by including 0 in each tap's term interval).
+//! Hence if the final-sum interval (including bias, both with and without)
+//! fits i64, no intermediate i64 accumulation can wrap either.
+
+use crate::diag::{Code, Report};
+use tqt_fixedpoint::lower::{IntGraph, IntNode, IntOp, LEAKY_ALPHA_FRAC};
+use tqt_fixedpoint::QFormat;
+
+/// Legal magnitude for a requantization shift: `shift_round` shifts an
+/// `i64` by `|shift|` bits, so anything past 63 is undefined.
+pub const MAX_SHIFT: i32 = 63;
+
+const I64_LO: i128 = i64::MIN as i128;
+const I64_HI: i128 = i64::MAX as i128;
+
+/// Proven facts about one node's output.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeFacts {
+    /// Sound lower bound on any output element.
+    pub lo: i128,
+    /// Sound upper bound on any output element.
+    pub hi: i128,
+    /// Whether a requantization at this node can clamp (pre-saturation
+    /// interval escapes the target format). `false` proves the runtime
+    /// saturation counter stays 0.
+    pub can_saturate: bool,
+    /// The Q-format the node's output is declared in, when it has one.
+    pub format: Option<QFormat>,
+}
+
+/// Result of the dataflow: per-node facts plus findings.
+#[derive(Debug)]
+pub struct IntervalReport {
+    /// Facts per node, indexed like [`IntGraph::nodes`].
+    pub nodes: Vec<NodeFacts>,
+    /// `TQT-V010`–`TQT-V013` findings.
+    pub report: Report,
+}
+
+impl IntervalReport {
+    /// Whether the overflow/shift proofs all went through.
+    pub fn proven(&self) -> bool {
+        self.report.is_clean()
+    }
+}
+
+/// The producer chain of `id` (following first inputs back to the graph
+/// input), rendered for counterexample messages.
+fn path_to(nodes: &[IntNode], id: usize) -> String {
+    let mut chain = Vec::new();
+    let mut cur = id;
+    loop {
+        chain.push(nodes[cur].name.as_str());
+        match nodes[cur].inputs.first() {
+            Some(&p) => cur = p,
+            None => break,
+        }
+    }
+    chain.reverse();
+    chain.join(" -> ")
+}
+
+fn term_bounds(w: i128, lo: i128, hi: i128, include_zero: bool) -> (i128, i128) {
+    let a = w * lo;
+    let b = w * hi;
+    let (mut tlo, mut thi) = (a.min(b), a.max(b));
+    if include_zero {
+        tlo = tlo.min(0);
+        thi = thi.max(0);
+    }
+    (tlo, thi)
+}
+
+/// Runs the interval/bit-width dataflow. `input_dims` is the `[n, c, h,
+/// w]` the graph executes on (needed to resolve pooling spatial sizes).
+pub fn analyze(ig: &IntGraph, input_dims: &[usize]) -> IntervalReport {
+    let nodes = ig.nodes();
+    let mut r = Report::new();
+    let mut facts: Vec<NodeFacts> = Vec::with_capacity(nodes.len());
+    let mut shapes: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+
+    for (id, node) in nodes.iter().enumerate() {
+        let fin = node.inputs.first().map(|&i| facts[i]);
+        let sin: Vec<&[usize]> = node.inputs.iter().map(|&i| shapes[i].as_slice()).collect();
+        let mut fact = NodeFacts {
+            lo: 0,
+            hi: 0,
+            can_saturate: false,
+            format: None,
+        };
+        let mut shape: Vec<usize> = sin.first().map(|s| s.to_vec()).unwrap_or_default();
+        match &node.op {
+            IntOp::Input => {
+                shape = input_dims.to_vec();
+            }
+            IntOp::QuantF32 { format } => {
+                // The float input is arbitrary; quantization saturates it
+                // into the representable range, which may clamp.
+                fact.lo = i128::from(format.qmin());
+                fact.hi = i128::from(format.qmax());
+                fact.can_saturate = true;
+                fact.format = Some(*format);
+            }
+            IntOp::Requant { format } => {
+                let fi = fin.expect("requant has an input");
+                let in_frac = fi.format.map(|f| f.frac).unwrap_or(0);
+                let shift = in_frac - format.frac;
+                if shift.abs() > MAX_SHIFT {
+                    r.push(
+                        Code::IllegalShift,
+                        node.name.clone(),
+                        format!(
+                            "requant shift {shift} (frac {in_frac} -> {}) exceeds \
+                             the legal |shift| <= {MAX_SHIFT}",
+                            format.frac
+                        ),
+                    );
+                }
+                // shift_round is monotone; round-half-even moves a value by
+                // at most half an output ulp, covered by widening one.
+                let (plo, phi) = if shift <= 0 {
+                    let f = 1i128 << i128::from(-shift).min(126);
+                    (fi.lo.saturating_mul(f), fi.hi.saturating_mul(f))
+                } else {
+                    let half = 1i128 << (shift - 1).min(126);
+                    ((fi.lo - half) >> shift, (fi.hi + half) >> shift)
+                };
+                let (qlo, qhi) = (i128::from(format.qmin()), i128::from(format.qmax()));
+                fact.can_saturate = plo < qlo || phi > qhi;
+                fact.lo = plo.max(qlo);
+                fact.hi = phi.min(qhi);
+                fact.format = Some(*format);
+            }
+            IntOp::Conv {
+                w,
+                wdims,
+                bias,
+                geom,
+                w_frac,
+                ..
+            } => {
+                let fi = fin.expect("conv has an input");
+                let (xlo, xhi) = (fi.lo, fi.hi);
+                let [co_n, ci_n, kh, kw] = *wdims;
+                let taps = ci_n * kh * kw;
+                let mut lo = i128::MAX;
+                let mut hi = i128::MIN;
+                // Padding can drop any tap, so each term interval includes 0.
+                let padded = geom.pad > 0;
+                for co in 0..co_n {
+                    let mut pos = 0i128;
+                    let mut neg = 0i128;
+                    for t in 0..taps {
+                        let (tlo, thi) =
+                            term_bounds(i128::from(w[co * taps + t]), xlo, xhi, padded);
+                        neg += tlo;
+                        pos += thi;
+                    }
+                    let b = bias.as_ref().map(|b| i128::from(b[co])).unwrap_or(0);
+                    // Bias lands after the taps; bound both the biased final
+                    // value and the unbiased partial sums.
+                    lo = lo.min((neg + b).min(neg));
+                    hi = hi.max((pos + b).max(pos));
+                }
+                if lo < I64_LO || hi > I64_HI {
+                    r.push(
+                        Code::Overflow,
+                        node.name.clone(),
+                        overflow_detail(nodes, id, lo, hi, input_dims),
+                    );
+                }
+                fact.lo = lo;
+                fact.hi = hi;
+                let in_frac = fi.format.map(|f| f.frac).unwrap_or(0);
+                fact.format = Some(QFormat::new(in_frac + w_frac, 64, true));
+                if sin[0].len() == 4 {
+                    let (oh, ow) = geom.out_size(sin[0][2], sin[0][3]);
+                    shape = vec![sin[0][0], co_n, oh, ow];
+                }
+            }
+            IntOp::Dense {
+                w,
+                in_dim,
+                out_dim,
+                bias,
+                w_frac,
+            } => {
+                let fi = fin.expect("dense has an input");
+                let mut lo = i128::MAX;
+                let mut hi = i128::MIN;
+                for o in 0..*out_dim {
+                    let mut pos = 0i128;
+                    let mut neg = 0i128;
+                    for i in 0..*in_dim {
+                        let (tlo, thi) =
+                            term_bounds(i128::from(w[i * out_dim + o]), fi.lo, fi.hi, false);
+                        neg += tlo;
+                        pos += thi;
+                    }
+                    let b = bias.as_ref().map(|b| i128::from(b[o])).unwrap_or(0);
+                    lo = lo.min((neg + b).min(neg));
+                    hi = hi.max((pos + b).max(pos));
+                }
+                if lo < I64_LO || hi > I64_HI {
+                    r.push(
+                        Code::Overflow,
+                        node.name.clone(),
+                        overflow_detail(nodes, id, lo, hi, input_dims),
+                    );
+                }
+                fact.lo = lo;
+                fact.hi = hi;
+                let in_frac = fi.format.map(|f| f.frac).unwrap_or(0);
+                fact.format = Some(QFormat::new(in_frac + w_frac, 64, true));
+                shape = vec![sin[0].first().copied().unwrap_or(1), *out_dim];
+            }
+            IntOp::Relu { cap_q } => {
+                let fi = fin.expect("relu has an input");
+                let cap = cap_q.map(i128::from).unwrap_or(i128::MAX);
+                fact.lo = fi.lo.max(0).min(cap);
+                fact.hi = fi.hi.max(0).min(cap);
+                fact.format = fi.format;
+            }
+            IntOp::LeakyRelu { alpha_q } => {
+                let fi = fin.expect("leaky relu has an input");
+                let a = i128::from(*alpha_q);
+                let f = |v: i128| (v << LEAKY_ALPHA_FRAC).max(v * a);
+                // Monotone for alpha >= 0; take the envelope otherwise.
+                let cands = [f(fi.lo), f(fi.hi)];
+                fact.lo = *cands.iter().min().expect("nonempty");
+                fact.hi = *cands.iter().max().expect("nonempty");
+                if fact.lo < I64_LO || fact.hi > I64_HI {
+                    r.push(
+                        Code::Overflow,
+                        node.name.clone(),
+                        overflow_detail(nodes, id, fact.lo, fact.hi, input_dims),
+                    );
+                }
+                fact.format = fi
+                    .format
+                    .map(|f| QFormat::new(f.frac + LEAKY_ALPHA_FRAC, 64, true));
+            }
+            IntOp::MaxPool { geom } => {
+                let fi = fin.expect("maxpool has an input");
+                fact = fi;
+                fact.can_saturate = false;
+                if sin[0].len() == 4 {
+                    let (oh, ow) = geom.out_size(sin[0][2], sin[0][3]);
+                    shape = vec![sin[0][0], sin[0][1], oh, ow];
+                }
+            }
+            IntOp::GlobalAvgPool => {
+                let fi = fin.expect("gap has an input");
+                if sin[0].len() != 4 {
+                    r.push(
+                        Code::FormatViolation,
+                        node.name.clone(),
+                        format!("global avg pool needs a 4-D input, got {:?}", sin[0]),
+                    );
+                } else {
+                    let hw = sin[0][2] * sin[0][3];
+                    if !hw.is_power_of_two() {
+                        r.push(
+                            Code::FormatViolation,
+                            node.name.clone(),
+                            format!(
+                                "global avg pool over non-power-of-two spatial size \
+                                 {}x{}; exact fixed-point division needs 2^k elements",
+                                sin[0][2], sin[0][3]
+                            ),
+                        );
+                    } else {
+                        let hw = hw as i128;
+                        fact.lo = fi.lo.saturating_mul(hw).min(0);
+                        fact.hi = fi.hi.saturating_mul(hw).max(0);
+                        if fact.lo < I64_LO || fact.hi > I64_HI {
+                            r.push(
+                                Code::Overflow,
+                                node.name.clone(),
+                                overflow_detail(nodes, id, fact.lo, fact.hi, input_dims),
+                            );
+                        }
+                        fact.format = fi.format.map(|f| {
+                            QFormat::new(f.frac + (sin[0][2] * sin[0][3]).trailing_zeros() as i32, 64, true)
+                        });
+                        shape = vec![sin[0][0], sin[0][1]];
+                    }
+                }
+            }
+            IntOp::Add => {
+                let a = facts[node.inputs[0]];
+                let b = facts[node.inputs[1]];
+                if a.format != b.format {
+                    r.push(
+                        Code::MergeMismatch,
+                        node.name.clone(),
+                        format!(
+                            "add operands are in different formats ({:?} vs {:?}); \
+                             scales must be merged before lowering",
+                            a.format, b.format
+                        ),
+                    );
+                }
+                fact.lo = a.lo + b.lo;
+                fact.hi = a.hi + b.hi;
+                if fact.lo < I64_LO || fact.hi > I64_HI {
+                    r.push(
+                        Code::Overflow,
+                        node.name.clone(),
+                        overflow_detail(nodes, id, fact.lo, fact.hi, input_dims),
+                    );
+                }
+                fact.format = a.format.map(|f| QFormat::new(f.frac, 64, true));
+            }
+            IntOp::Concat => {
+                let ins: Vec<NodeFacts> = node.inputs.iter().map(|&i| facts[i]).collect();
+                let first = ins[0];
+                for (slot, fi) in ins.iter().enumerate().skip(1) {
+                    if fi.format != first.format {
+                        r.push(
+                            Code::MergeMismatch,
+                            node.name.clone(),
+                            format!(
+                                "concat input {slot} format {:?} differs from input 0 \
+                                 format {:?}",
+                                fi.format, first.format
+                            ),
+                        );
+                    }
+                }
+                fact.lo = ins.iter().map(|f| f.lo).min().expect("nonempty");
+                fact.hi = ins.iter().map(|f| f.hi).max().expect("nonempty");
+                fact.format = first.format;
+                if sin.iter().all(|s| s.len() >= 2) {
+                    let mut out = sin[0].to_vec();
+                    out[1] = sin.iter().map(|s| s[1]).sum();
+                    shape = out;
+                }
+            }
+            IntOp::Flatten => {
+                let fi = fin.expect("flatten has an input");
+                fact = fi;
+                fact.can_saturate = false;
+                if !sin[0].is_empty() {
+                    shape = vec![sin[0][0], sin[0][1..].iter().product::<usize>().max(1)];
+                }
+            }
+        }
+        facts.push(fact);
+        shapes[id] = shape;
+    }
+
+    IntervalReport {
+        nodes: facts,
+        report: r,
+    }
+}
+
+fn overflow_detail(
+    nodes: &[IntNode],
+    id: usize,
+    lo: i128,
+    hi: i128,
+    input_dims: &[usize],
+) -> String {
+    format!(
+        "proven interval [{lo}, {hi}] escapes i64 [{}, {}]; \
+         counterexample: input shape {:?}, path {}",
+        i64::MIN,
+        i64::MAX,
+        input_dims,
+        path_to(nodes, id)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqt_fixedpoint::lower::IntNode;
+
+    /// QuantF32(32-bit) -> Dense with 16-bit-scale weights over a huge
+    /// inner dim: the final accumulator provably escapes i64.
+    fn overflowing_dense() -> IntGraph {
+        let in_dim = 8;
+        // |w| = 2^45 each; |x| <= 2^31; 8 taps -> ~2^79 >> i64.
+        let w = vec![1i64 << 45; in_dim];
+        let nodes = vec![
+            IntNode {
+                name: "input".into(),
+                op: IntOp::Input,
+                inputs: vec![],
+            },
+            IntNode {
+                name: "qin".into(),
+                op: IntOp::QuantF32 {
+                    format: QFormat::new(0, 32, true),
+                },
+                inputs: vec![0],
+            },
+            IntNode {
+                name: "fc".into(),
+                op: IntOp::Dense {
+                    w,
+                    in_dim,
+                    out_dim: 1,
+                    bias: None,
+                    w_frac: 0,
+                },
+                inputs: vec![1],
+            },
+        ];
+        IntGraph::from_parts(nodes, 2)
+    }
+
+    #[test]
+    fn refutes_overflowing_dense_with_path() {
+        let ig = overflowing_dense();
+        let ir = analyze(&ig, &[1, 8]);
+        assert!(ir.report.has(Code::Overflow), "{}", ir.report);
+        let d = &ir.report.diags[0];
+        assert!(d.detail.contains("input -> qin -> fc"), "{}", d.detail);
+    }
+
+    #[test]
+    fn proves_small_dense_safe() {
+        let nodes = vec![
+            IntNode {
+                name: "input".into(),
+                op: IntOp::Input,
+                inputs: vec![],
+            },
+            IntNode {
+                name: "qin".into(),
+                op: IntOp::QuantF32 {
+                    format: QFormat::new(4, 8, true),
+                },
+                inputs: vec![0],
+            },
+            IntNode {
+                name: "fc".into(),
+                op: IntOp::Dense {
+                    w: vec![3, -2, 5, 7],
+                    in_dim: 2,
+                    out_dim: 2,
+                    bias: Some(vec![10, -10]),
+                    w_frac: 4,
+                },
+                inputs: vec![1],
+            },
+        ];
+        let ig = IntGraph::from_parts(nodes, 2);
+        let ir = analyze(&ig, &[1, 2]);
+        assert!(ir.proven(), "{}", ir.report);
+        // Exact per-channel bound: x in [-128,127], col0 w = [3, 5]:
+        // pos = 127*3 + 127*5 = 1016, neg = -128*3 + -128*5 = -1024.
+        let f = ir.nodes[2];
+        assert!(f.lo <= -1024 - 10 && f.hi >= 1016 + 10, "{f:?}");
+    }
+
+    #[test]
+    fn flags_illegal_requant_shift() {
+        let nodes = vec![
+            IntNode {
+                name: "input".into(),
+                op: IntOp::Input,
+                inputs: vec![],
+            },
+            IntNode {
+                name: "qin".into(),
+                op: IntOp::QuantF32 {
+                    format: QFormat::new(70, 8, true),
+                },
+                inputs: vec![0],
+            },
+            IntNode {
+                name: "rq".into(),
+                op: IntOp::Requant {
+                    format: QFormat::new(0, 8, true),
+                },
+                inputs: vec![1],
+            },
+        ];
+        let ig = IntGraph::from_parts(nodes, 2);
+        let ir = analyze(&ig, &[1, 4]);
+        assert!(ir.report.has(Code::IllegalShift), "{}", ir.report);
+    }
+
+    #[test]
+    fn flags_non_pow2_gap() {
+        let nodes = vec![
+            IntNode {
+                name: "input".into(),
+                op: IntOp::Input,
+                inputs: vec![],
+            },
+            IntNode {
+                name: "qin".into(),
+                op: IntOp::QuantF32 {
+                    format: QFormat::new(4, 8, true),
+                },
+                inputs: vec![0],
+            },
+            IntNode {
+                name: "gap".into(),
+                op: IntOp::GlobalAvgPool,
+                inputs: vec![1],
+            },
+        ];
+        let ig = IntGraph::from_parts(nodes, 2);
+        let ir = analyze(&ig, &[1, 2, 3, 3]);
+        assert!(ir.report.has(Code::FormatViolation), "{}", ir.report);
+    }
+}

@@ -1,0 +1,105 @@
+//! # tqt-verify
+//!
+//! Static analysis for TQT graphs: a pass framework that *proves* the
+//! properties the rest of the stack otherwise discovers at runtime (or
+//! never).
+//!
+//! * [`diag`] — stable error codes (`TQT-V001` …) and batched reports;
+//! * [`shape`] — structural checks and symbolic shape/dtype inference over
+//!   the float [`Graph`];
+//! * [`lint`] — the quantization lint set (unquantized compute edges, dead
+//!   thresholds, degenerate scales, unfolded batch norms, unmerged scales
+//!   at add/concat);
+//! * [`interval`] — interval/bit-width dataflow over the lowered
+//!   [`IntGraph`](tqt_fixedpoint::IntGraph): proves i64 accumulators
+//!   cannot overflow (or refutes with a counterexample path) and that
+//!   every requantization shift is legal;
+//! * [`passes`] — transform invariant checking: re-verifies after every
+//!   pass of the optimization pipeline;
+//! * [`sanitize`] — cross-checks the runtime sanitizer counters against
+//!   the static proofs (observed ⊆ proven).
+//!
+//! The float-graph entry point is [`verify`]; lowered graphs go through
+//! [`interval::analyze`]. Both return a [`Report`] instead of panicking,
+//! so one run over a model zoo surfaces every finding at once.
+
+pub mod diag;
+pub mod interval;
+pub mod lint;
+pub mod passes;
+pub mod sanitize;
+pub mod shape;
+
+pub use diag::{Code, Diag, Report};
+pub use interval::{analyze, IntervalReport};
+pub use passes::{checked_optimize, checked_pipeline};
+pub use sanitize::check_containment;
+pub use shape::{check_structure, infer_shapes, ShapeReport};
+
+use tqt_graph::Graph;
+
+/// How far along the build/optimize/quantize/calibrate pipeline a graph
+/// is. Later stages enable stricter lints: an un-folded batch norm is fine
+/// in a freshly built graph but a `TQT-V008` after the transform pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Freshly constructed, before the transform pipeline.
+    Built,
+    /// After `transforms::optimize`: no batch norms or average pools.
+    Optimized,
+    /// After `quantize_graph`: every compute edge quantized.
+    Quantized,
+    /// After calibration: every threshold has a value.
+    Calibrated,
+}
+
+/// Verifies a float graph at `stage`: structure, shapes, and the full lint
+/// set. Returns every finding (clean report = verified).
+pub fn verify(g: &Graph, input_dims: &[usize], stage: Stage) -> Report {
+    let mut r = check_structure(g);
+    if !r.is_clean() {
+        // Shape inference and lints index by edges the structural pass just
+        // rejected; run them only on structurally sound graphs.
+        return r;
+    }
+    r.merge(infer_shapes(g, input_dims).report);
+    r.merge(lint::lint(g, stage));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqt_graph::{quantize_graph, transforms, QuantizeOptions, Op};
+    use tqt_nn::{Conv2d, Dense, GlobalAvgPool, Relu};
+    use tqt_tensor::conv::Conv2dGeom;
+    use tqt_tensor::init;
+
+    #[test]
+    fn full_pipeline_verifies_at_every_stage() {
+        let mut rng = init::rng(17);
+        let mut g = Graph::new();
+        let x = g.add_input("input");
+        let c1 = g.add(
+            "conv1",
+            Op::Conv(Conv2d::new("conv1", 2, 4, Conv2dGeom::same(3), &mut rng)),
+            &[x],
+        );
+        let r1 = g.add("relu1", Op::Relu(Relu::relu6()), &[c1]);
+        let gap = g.add("gap", Op::GlobalAvgPool(GlobalAvgPool::new()), &[r1]);
+        let fc = g.add("fc", Op::Dense(Dense::new("fc", 4, 3, &mut rng)), &[gap]);
+        g.set_output(fc);
+        let dims = [1, 2, 8, 8];
+
+        assert!(verify(&g, &dims, Stage::Built).is_clean());
+        transforms::optimize(&mut g, &dims);
+        assert!(verify(&g, &dims, Stage::Optimized).is_clean());
+        quantize_graph(&mut g, QuantizeOptions::static_int8());
+        let r = verify(&g, &dims, Stage::Quantized);
+        assert!(r.is_clean(), "{r}");
+        let calib = init::normal([4, 2, 8, 8], 0.0, 1.0, &mut rng);
+        g.calibrate(&calib);
+        let r = verify(&g, &dims, Stage::Calibrated);
+        assert!(r.is_clean(), "{r}");
+    }
+}

@@ -1,0 +1,264 @@
+//! Quantization lints over the float graph.
+//!
+//! Mirrors the grid-propagation logic of `tqt_fixedpoint::lower` — which
+//! enforces the same invariants dynamically with panics — but statically
+//! and exhaustively: one pass reports *every* violation, annotated with a
+//! stable code, instead of dying on the first.
+
+use crate::diag::{Code, Report};
+use crate::Stage;
+use tqt_graph::{Graph, Op, ThresholdId};
+
+/// Largest fractional length a threshold may imply: beyond this, the
+/// requantization shifts the grid difference compiles to stop being legal
+/// i64 shifts (see `TQT-V012`).
+pub const MAX_FRAC: i32 = 62;
+
+/// Quantization grid a float node's output lives on, as far as static
+/// analysis can tell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Grid {
+    /// Raw float (no quantizer between this node and the input).
+    Float,
+    /// Quantized: fractional length plus the threshold that produced the
+    /// grid (accumulator grids carry the *weight* threshold of the
+    /// producing compute op).
+    Fixed { frac: i32, tid: ThresholdId },
+}
+
+/// Runs the lint set appropriate to `stage`. See [`Code`] for the catalog;
+/// this pass owns `TQT-V003` … `TQT-V010`.
+pub fn lint(g: &Graph, stage: Stage) -> Report {
+    let mut r = Report::new();
+
+    // --- Threshold-table lints -------------------------------------------
+    let mut referenced = vec![false; g.thresholds().len()];
+    for (_, node) in g.iter() {
+        if let Op::Quant { tid } = node.op {
+            if let Some(slot) = referenced.get_mut(tid) {
+                *slot = true;
+            }
+        }
+        if let Some(wq) = &node.wq {
+            if let Some(slot) = referenced.get_mut(wq.tid) {
+                *slot = true;
+            }
+        }
+    }
+    for (tid, ts) in g.thresholds().iter().enumerate() {
+        if !referenced[tid] {
+            r.push_global(
+                Code::DeadThreshold,
+                format!("threshold {tid} (`{}`) is referenced by no node", ts.param.name),
+            );
+            continue;
+        }
+        if stage >= Stage::Calibrated && !ts.calibrated {
+            r.push_global(
+                Code::Uncalibrated,
+                format!("threshold {tid} (`{}`) was never calibrated", ts.param.name),
+            );
+        }
+        if ts.calibrated {
+            let l = ts.log2_t();
+            let frac = ts.spec.fractional_length(l);
+            if !l.is_finite() {
+                r.push_global(
+                    Code::DegenerateScale,
+                    format!("threshold {tid} (`{}`) has non-finite log2 t = {l}", ts.param.name),
+                );
+            } else if frac.abs() > MAX_FRAC {
+                r.push_global(
+                    Code::DegenerateScale,
+                    format!(
+                        "threshold {tid} (`{}`) implies fractional length {frac} \
+                         (|frac| > {MAX_FRAC}); scale 2^{} is out of shiftable range",
+                        ts.param.name, -frac
+                    ),
+                );
+            }
+        }
+    }
+
+    // --- Stage-gated structural lints ------------------------------------
+    for (_, node) in g.iter() {
+        match &node.op {
+            Op::BatchNorm(_) if stage >= Stage::Optimized => {
+                r.push(
+                    Code::UnfoldedBatchNorm,
+                    node.name.clone(),
+                    "batch norm survives after the transform pipeline; fold before quantizing",
+                );
+            }
+            Op::AvgPool(_) if stage >= Stage::Optimized => {
+                r.push(
+                    Code::UnconvertedAvgPool,
+                    node.name.clone(),
+                    "average pool survives after the transform pipeline; convert to depthwise",
+                );
+            }
+            _ => {}
+        }
+    }
+
+    if stage < Stage::Quantized {
+        return r;
+    }
+
+    // --- Grid propagation (mirrors lower.rs frac propagation) ------------
+    let mut grids: Vec<Grid> = vec![Grid::Float; g.len()];
+    for (id, node) in g.iter() {
+        if node.inputs.iter().any(|&i| i >= id) {
+            continue; // structural failure, reported by check_structure
+        }
+        let gin = node.inputs.first().map(|&i| grids[i]);
+        grids[id] = match &node.op {
+            Op::Input => Grid::Float,
+            Op::Quant { tid } => {
+                if let Some(ts) = g.thresholds().get(*tid) {
+                    if ts.calibrated {
+                        Grid::Fixed {
+                            frac: ts.spec.fractional_length(ts.log2_t()),
+                            tid: *tid,
+                        }
+                    } else {
+                        // Uncalibrated already reported; frac unknown, but
+                        // the edge *is* quantized — use a placeholder so
+                        // V003 does not fire spuriously.
+                        Grid::Fixed { frac: 0, tid: *tid }
+                    }
+                } else {
+                    Grid::Float
+                }
+            }
+            Op::Conv(_) | Op::Depthwise(_) | Op::Dense(_) => {
+                if gin == Some(Grid::Float) {
+                    r.push(
+                        Code::UnquantizedEdge,
+                        node.name.clone(),
+                        "compute op consumes a float edge; insert an activation quantizer",
+                    );
+                }
+                match &node.wq {
+                    None => {
+                        r.push(
+                            Code::MissingWeightQuant,
+                            node.name.clone(),
+                            "compute op has no weight quantizer attached",
+                        );
+                        Grid::Float
+                    }
+                    Some(wq) => match (gin, g.thresholds().get(wq.tid)) {
+                        (Some(Grid::Fixed { frac: fx, .. }), Some(ts)) if ts.calibrated => {
+                            Grid::Fixed {
+                                frac: fx + ts.spec.fractional_length(ts.log2_t()),
+                                tid: wq.tid,
+                            }
+                        }
+                        _ => Grid::Float,
+                    },
+                }
+            }
+            Op::Relu(rl) => match gin {
+                Some(Grid::Fixed { frac, tid }) if rl.negative_slope() > 0.0 => Grid::Fixed {
+                    frac: frac + tqt_fixedpoint::lower::LEAKY_ALPHA_FRAC,
+                    tid,
+                },
+                Some(gi) => gi,
+                None => Grid::Float,
+            },
+            Op::GlobalAvgPool(_) => {
+                // frac grows by log2(hw), resolved with shapes; the grid is
+                // still the producer's threshold for merge purposes.
+                gin.unwrap_or(Grid::Float)
+            }
+            Op::Add(_) | Op::Concat(_) => {
+                let in_grids: Vec<Grid> = node.inputs.iter().map(|&i| grids[i]).collect();
+                let first = in_grids[0];
+                for (slot, gi) in in_grids.iter().enumerate().skip(1) {
+                    if *gi != first {
+                        r.push(
+                            Code::MergeMismatch,
+                            node.name.clone(),
+                            format!(
+                                "merge input {slot} is on grid {gi:?} but input 0 is on \
+                                 {first:?}; merge inputs must share one scale (paper §4.3)"
+                            ),
+                        );
+                    }
+                }
+                first
+            }
+            Op::Identity | Op::MaxPool(_) | Op::AvgPool(_) | Op::Flatten(_) | Op::BatchNorm(_) => {
+                gin.unwrap_or(Grid::Float)
+            }
+        };
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqt_graph::{quantize_graph, transforms, QuantizeOptions};
+    use tqt_nn::{Conv2d, Relu};
+    use tqt_tensor::conv::Conv2dGeom;
+    use tqt_tensor::init;
+
+    fn quantized_toy() -> Graph {
+        let mut rng = init::rng(11);
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        let c = g.add(
+            "c1",
+            Op::Conv(Conv2d::new("c1", 2, 4, Conv2dGeom::same(3), &mut rng)),
+            &[x],
+        );
+        let r = g.add("r1", Op::Relu(Relu::new()), &[c]);
+        g.set_output(r);
+        transforms::optimize(&mut g, &[1, 2, 8, 8]);
+        quantize_graph(&mut g, QuantizeOptions::static_int8());
+        let calib = init::normal([2, 2, 8, 8], 0.0, 1.0, &mut rng);
+        g.calibrate(&calib);
+        g
+    }
+
+    #[test]
+    fn quantized_calibrated_graph_is_clean() {
+        let g = quantized_toy();
+        let r = lint(&g, Stage::Calibrated);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn unquantized_compute_is_v003_v004() {
+        let mut rng = init::rng(5);
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        let c = g.add(
+            "c1",
+            Op::Conv(Conv2d::new("c1", 2, 4, Conv2dGeom::same(3), &mut rng)),
+            &[x],
+        );
+        g.set_output(c);
+        let r = lint(&g, Stage::Quantized);
+        assert!(r.has(Code::UnquantizedEdge), "{r}");
+        assert!(r.has(Code::MissingWeightQuant), "{r}");
+    }
+
+    #[test]
+    fn uncalibrated_is_v006_only_at_calibrated_stage() {
+        let mut rng = init::rng(6);
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        let c = g.add(
+            "c1",
+            Op::Conv(Conv2d::new("c1", 2, 4, Conv2dGeom::same(3), &mut rng)),
+            &[x],
+        );
+        g.set_output(c);
+        quantize_graph(&mut g, QuantizeOptions::static_int8());
+        assert!(!lint(&g, Stage::Quantized).has(Code::Uncalibrated));
+        assert!(lint(&g, Stage::Calibrated).has(Code::Uncalibrated));
+    }
+}

@@ -1,0 +1,120 @@
+//! Transform invariant checking: re-verifies the graph after every pass of
+//! the optimization pipeline and probes that each pass preserved inference
+//! semantics.
+//!
+//! `TQT-V014` findings are attributed to the pass that introduced them, so
+//! a broken rewrite is named directly instead of surfacing later as an
+//! unrelated shape or lowering failure.
+
+use crate::diag::{Code, Report};
+use crate::shape::{check_structure, infer_shapes};
+use tqt_graph::{transforms, Graph};
+use tqt_nn::Mode;
+use tqt_tensor::{init, Tensor};
+
+/// Absolute tolerance of the semantic probe.
+const PROBE_ATOL: f32 = 1e-4;
+/// Relative tolerance of the semantic probe (batch-norm folding reorders
+/// float arithmetic, so bit-equality is not expected).
+const PROBE_RTOL: f32 = 1e-3;
+
+fn max_deviation(a: &Tensor, b: &Tensor) -> f32 {
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| (x - y).abs() / (PROBE_ATOL + PROBE_RTOL * y.abs()).max(f32::MIN_POSITIVE))
+        .fold(0.0f32, f32::max)
+}
+
+/// Runs the full transform pipeline like `transforms::optimize`, but
+/// re-verifies structure and shapes after every pass and compares a probe
+/// forward pass against the pre-pipeline output. Every violation is
+/// reported as `TQT-V014` naming the offending pass (the underlying
+/// finding is kept in the message).
+pub fn checked_optimize(g: &mut Graph, input_dims: &[usize]) -> Report {
+    checked_pipeline(g, input_dims, &transforms::pipeline())
+}
+
+/// [`checked_optimize`] over an explicit pass list. Exposed so tests can
+/// feed a deliberately broken pass and assert it is caught and attributed.
+pub fn checked_pipeline(g: &mut Graph, input_dims: &[usize], passes: &[transforms::Pass]) -> Report {
+    let mut report = Report::new();
+    let mut rng = init::rng(0x7177_7665);
+    let probe = init::normal(input_dims.to_vec(), 0.0, 1.0, &mut rng);
+    let before = g.forward(&probe, Mode::Eval);
+
+    for &(pass_name, pass) in passes {
+        pass(g, input_dims);
+
+        let mut after_pass = check_structure(g);
+        after_pass.merge(infer_shapes(g, input_dims).report);
+        for d in after_pass.diags {
+            report.push_global(
+                Code::TransformInvariant,
+                format!(
+                    "pass `{pass_name}` left the graph invalid: {} {} ({})",
+                    d.code,
+                    d.node.as_deref().unwrap_or("<graph>"),
+                    d.detail
+                ),
+            );
+        }
+
+        let after = g.forward(&probe, Mode::Eval);
+        if after.dims() != before.dims() {
+            report.push_global(
+                Code::TransformInvariant,
+                format!(
+                    "pass `{pass_name}` changed the output shape {:?} -> {:?}",
+                    before.dims(),
+                    after.dims()
+                ),
+            );
+        } else {
+            let dev = max_deviation(&after, &before);
+            if dev > 1.0 {
+                report.push_global(
+                    Code::TransformInvariant,
+                    format!(
+                        "pass `{pass_name}` changed inference semantics: max probe \
+                         deviation {dev:.1}x tolerance (atol {PROBE_ATOL}, rtol {PROBE_RTOL})"
+                    ),
+                );
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqt_graph::Op;
+    use tqt_nn::{BatchNorm, Conv2d, Relu};
+    use tqt_tensor::conv::Conv2dGeom;
+
+    #[test]
+    fn pipeline_preserves_semantics_on_conv_bn_relu() {
+        let mut rng = init::rng(42);
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        let c = g.add(
+            "c1",
+            Op::Conv(Conv2d::new("c1", 2, 4, Conv2dGeom::same(3), &mut rng)),
+            &[x],
+        );
+        let b = g.add("bn1", Op::BatchNorm(BatchNorm::new("bn1", 4, 0.9, 1e-5)), &[c]);
+        let r = g.add("r1", Op::Relu(Relu::new()), &[b]);
+        g.set_output(r);
+        // Give the BN non-trivial running stats so folding actually rewrites.
+        let warm = init::normal([4, 2, 8, 8], 0.5, 2.0, &mut rng);
+        g.forward(&warm, Mode::Train);
+
+        let report = checked_optimize(&mut g, &[1, 2, 8, 8]);
+        assert!(report.is_clean(), "{report}");
+        assert!(
+            !g.iter().any(|(_, n)| matches!(n.op, Op::BatchNorm(_))),
+            "pipeline should fold the batch norm"
+        );
+    }
+}

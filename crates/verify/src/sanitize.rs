@@ -1,0 +1,154 @@
+//! Cross-checking the runtime sanitizer against the static proofs:
+//! everything the instrumented interpreter *observed* must be contained in
+//! what the interval analysis *proved* (observed ⊆ proven).
+//!
+//! A violation here (`TQT-V015`) means the static analysis is unsound —
+//! the most serious class of verifier bug — so the property test in
+//! `tests/verify_soundness.rs` hammers this check with random graphs.
+
+use crate::diag::{Code, Report};
+use crate::interval::IntervalReport;
+use tqt_fixedpoint::lower::RunStats;
+use tqt_fixedpoint::IntGraph;
+
+/// Checks one instrumented run against the proven envelope. Reports
+/// `TQT-V015` for every containment violation:
+///
+/// * an observed output value outside the proven interval;
+/// * saturation observed at a node proven saturation-free;
+/// * any wrapped i64 accumulator at a node the overflow proof covered.
+pub fn check_containment(ig: &IntGraph, proven: &IntervalReport, observed: &RunStats) -> Report {
+    let mut r = Report::new();
+    if proven.nodes.len() != observed.nodes.len() {
+        r.push_global(
+            Code::SanitizerViolation,
+            format!(
+                "proven facts cover {} nodes but the run observed {}",
+                proven.nodes.len(),
+                observed.nodes.len()
+            ),
+        );
+        return r;
+    }
+    for ((node, facts), obs) in ig
+        .nodes()
+        .iter()
+        .zip(&proven.nodes)
+        .zip(&observed.nodes)
+    {
+        let (olo, ohi) = (i128::from(obs.lo), i128::from(obs.hi));
+        if olo < facts.lo || ohi > facts.hi {
+            r.push(
+                Code::SanitizerViolation,
+                node.name.clone(),
+                format!(
+                    "observed range [{}, {}] escapes proven interval [{}, {}]",
+                    obs.lo, obs.hi, facts.lo, facts.hi
+                ),
+            );
+        }
+        if obs.saturated > 0 && !facts.can_saturate {
+            r.push(
+                Code::SanitizerViolation,
+                node.name.clone(),
+                format!(
+                    "{} elements saturated at a node proven saturation-free",
+                    obs.saturated
+                ),
+            );
+        }
+        if obs.overflowed > 0 {
+            r.push(
+                Code::SanitizerViolation,
+                node.name.clone(),
+                format!(
+                    "{} i64 accumulators wrapped at runtime (overflow proof violated)",
+                    obs.overflowed
+                ),
+            );
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::analyze;
+    use tqt_fixedpoint::lower::{IntNode, IntOp};
+    use tqt_fixedpoint::QFormat;
+    use tqt_tensor::init;
+
+    #[test]
+    fn observed_is_contained_in_proven_for_a_real_run() {
+        let nodes = vec![
+            IntNode {
+                name: "input".into(),
+                op: IntOp::Input,
+                inputs: vec![],
+            },
+            IntNode {
+                name: "qin".into(),
+                op: IntOp::QuantF32 {
+                    format: QFormat::new(4, 8, true),
+                },
+                inputs: vec![0],
+            },
+            IntNode {
+                name: "fc".into(),
+                op: IntOp::Dense {
+                    w: vec![3, -2, 5, 7],
+                    in_dim: 2,
+                    out_dim: 2,
+                    bias: Some(vec![10, -10]),
+                    w_frac: 4,
+                },
+                inputs: vec![1],
+            },
+            IntNode {
+                name: "relu".into(),
+                op: IntOp::Relu { cap_q: None },
+                inputs: vec![2],
+            },
+        ];
+        let ig = IntGraph::from_parts(nodes, 3);
+        let proven = analyze(&ig, &[3, 2]);
+        assert!(proven.proven(), "{}", proven.report);
+
+        let mut rng = init::rng(9);
+        let x = init::normal([3, 2], 0.0, 20.0, &mut rng);
+        let (_, stats) = ig.run_with_stats(&x);
+        let r = check_containment(&ig, &proven, &stats);
+        assert!(r.is_clean(), "{r}");
+        // The wide normal input does saturate the 8-bit quantizer, and the
+        // analysis predicted that it could.
+        assert!(proven.nodes[1].can_saturate);
+    }
+
+    #[test]
+    fn escaping_observation_is_v015() {
+        let nodes = vec![
+            IntNode {
+                name: "input".into(),
+                op: IntOp::Input,
+                inputs: vec![],
+            },
+            IntNode {
+                name: "qin".into(),
+                op: IntOp::QuantF32 {
+                    format: QFormat::new(0, 8, true),
+                },
+                inputs: vec![0],
+            },
+        ];
+        let ig = IntGraph::from_parts(nodes, 1);
+        let proven = analyze(&ig, &[1, 4]);
+        let mut rng = init::rng(2);
+        let x = init::normal([1, 4], 0.0, 1.0, &mut rng);
+        let (_, mut stats) = ig.run_with_stats(&x);
+        // Forge an observation outside the proven envelope.
+        stats.nodes[1].hi = i64::from(i32::MAX);
+        let r = check_containment(&ig, &proven, &stats);
+        assert!(r.has(Code::SanitizerViolation), "{r}");
+    }
+}

@@ -1,0 +1,412 @@
+//! Negative tests: one hand-built malformed graph per diagnostic code.
+//!
+//! Every `TQT-V*` code documented in `DESIGN.md` gets a graph constructed
+//! to violate exactly that invariant, and the suite asserts the verifier
+//! rejects it *with that code* (never by matching message text). This
+//! pins the code catalog: renumbering or silently dropping a check breaks
+//! a test here by name.
+
+use tqt_fixedpoint::lower::{IntNode, IntOp};
+use tqt_fixedpoint::{IntGraph, QFormat};
+use tqt_graph::{
+    quantize_graph, transforms, Graph, Op, QuantizeOptions, ThresholdMode, ThresholdState,
+    WeightQuant,
+};
+use tqt_nn::{AvgPool2d, BatchNorm, Conv2d, Dense, EltwiseAdd, GlobalAvgPool, Relu};
+use tqt_quant::calib::ThresholdInit;
+use tqt_quant::QuantSpec;
+use tqt_tensor::conv::Conv2dGeom;
+use tqt_tensor::init;
+use tqt_verify::{analyze, check_containment, check_structure, checked_pipeline, infer_shapes};
+use tqt_verify::{Code, Stage};
+
+fn int8_threshold(g: &mut Graph, name: &str, log2_t: f32) -> usize {
+    let tid = g.add_threshold(ThresholdState::new(
+        name,
+        QuantSpec::INT8,
+        ThresholdInit::Max,
+        ThresholdMode::Fixed,
+    ));
+    g.thresholds_mut()[tid].set_log2_t(log2_t);
+    tid
+}
+
+/// `TQT-V001`: a graph with no output set.
+#[test]
+fn v001_missing_output() {
+    let mut rng = init::rng(1);
+    let mut g = Graph::new();
+    let x = g.add_input("x");
+    g.add("fc", Op::Dense(Dense::new("fc", 4, 2, &mut rng)), &[x]);
+    let r = check_structure(&g);
+    assert!(r.has(Code::Structure), "{r}");
+}
+
+/// `TQT-V001`: a quant node referencing a threshold the side table does
+/// not have, and a weight quantizer on a non-compute op.
+#[test]
+fn v001_dangling_threshold_and_misplaced_wq() {
+    let mut g = Graph::new();
+    let x = g.add_input("x");
+    let q = g.add("q", Op::Quant { tid: 99 }, &[x]);
+    let rl = g.add("relu", Op::Relu(Relu::new()), &[q]);
+    g.node_mut(rl).wq = Some(WeightQuant::new(98));
+    g.set_output(rl);
+    let r = check_structure(&g);
+    let hits = r.diags.iter().filter(|d| d.code == Code::Structure).count();
+    assert!(hits >= 3, "expected dangling tid x2 + misplaced wq, got:\n{r}");
+}
+
+/// `TQT-V002`: a conv built for 3 input channels fed a 5-channel tensor.
+#[test]
+fn v002_channel_mismatch() {
+    let mut rng = init::rng(2);
+    let mut g = Graph::new();
+    let x = g.add_input("x");
+    let c = g.add(
+        "c1",
+        Op::Conv(Conv2d::new("c1", 3, 8, Conv2dGeom::same(3), &mut rng)),
+        &[x],
+    );
+    g.set_output(c);
+    let sr = infer_shapes(&g, &[1, 5, 16, 16]);
+    assert!(sr.report.has(Code::Shape), "{}", sr.report);
+}
+
+/// `TQT-V002`: dense weight does not accept the incoming feature count.
+#[test]
+fn v002_dense_feature_mismatch() {
+    let mut rng = init::rng(3);
+    let mut g = Graph::new();
+    let x = g.add_input("x");
+    let gap = g.add("gap", Op::GlobalAvgPool(GlobalAvgPool::new()), &[x]);
+    let fc = g.add("fc", Op::Dense(Dense::new("fc", 7, 2, &mut rng)), &[gap]);
+    g.set_output(fc);
+    // GAP of [1, 4, 8, 8] yields 4 features; the dense wants 7.
+    let sr = infer_shapes(&g, &[1, 4, 8, 8]);
+    assert!(sr.report.has(Code::Shape), "{}", sr.report);
+}
+
+/// `TQT-V003`: a compute op with a weight quantizer but no activation
+/// quantizer on its data edge.
+#[test]
+fn v003_unquantized_compute_edge() {
+    let mut rng = init::rng(4);
+    let mut g = Graph::new();
+    let x = g.add_input("x");
+    let c = g.add(
+        "c1",
+        Op::Conv(Conv2d::new("c1", 2, 4, Conv2dGeom::same(3), &mut rng)),
+        &[x],
+    );
+    g.set_output(c);
+    let tid = int8_threshold(&mut g, "c1.w.t", 0.0);
+    g.node_mut(c).wq = Some(WeightQuant::new(tid));
+    let r = tqt_verify::lint::lint(&g, Stage::Quantized);
+    assert!(r.has(Code::UnquantizedEdge), "{r}");
+    assert!(!r.has(Code::MissingWeightQuant), "{r}");
+}
+
+/// `TQT-V004`: a compute op whose input is quantized but which has no
+/// weight quantizer.
+#[test]
+fn v004_missing_weight_quant() {
+    let mut rng = init::rng(5);
+    let mut g = Graph::new();
+    let x = g.add_input("x");
+    let tid = int8_threshold(&mut g, "act.t", 2.0);
+    let q = g.add("q", Op::Quant { tid }, &[x]);
+    let c = g.add(
+        "c1",
+        Op::Conv(Conv2d::new("c1", 2, 4, Conv2dGeom::same(3), &mut rng)),
+        &[q],
+    );
+    g.set_output(c);
+    let r = tqt_verify::lint::lint(&g, Stage::Quantized);
+    assert!(r.has(Code::MissingWeightQuant), "{r}");
+    assert!(!r.has(Code::UnquantizedEdge), "{r}");
+}
+
+/// `TQT-V005`: a threshold in the side table that nothing references.
+#[test]
+fn v005_dead_threshold() {
+    let mut rng = init::rng(6);
+    let mut g = Graph::new();
+    let x = g.add_input("x");
+    let fc = g.add("fc", Op::Dense(Dense::new("fc", 4, 2, &mut rng)), &[x]);
+    g.set_output(fc);
+    int8_threshold(&mut g, "orphan.t", 1.0);
+    let r = tqt_verify::lint::lint(&g, Stage::Built);
+    assert!(r.has(Code::DeadThreshold), "{r}");
+}
+
+/// `TQT-V006`: a referenced threshold that was never calibrated, at the
+/// calibrated stage.
+#[test]
+fn v006_uncalibrated_threshold() {
+    let mut rng = init::rng(7);
+    let mut g = Graph::new();
+    let x = g.add_input("x");
+    let c = g.add(
+        "c1",
+        Op::Conv(Conv2d::new("c1", 2, 4, Conv2dGeom::same(3), &mut rng)),
+        &[x],
+    );
+    g.set_output(c);
+    quantize_graph(&mut g, QuantizeOptions::static_int8());
+    // No g.calibrate() call.
+    let r = tqt_verify::lint::lint(&g, Stage::Calibrated);
+    assert!(r.has(Code::Uncalibrated), "{r}");
+    assert!(!tqt_verify::lint::lint(&g, Stage::Quantized).has(Code::Uncalibrated));
+}
+
+/// `TQT-V007`: calibration produced a non-finite `log2 t`, and separately a
+/// threshold so small its fractional length leaves the shiftable range.
+#[test]
+fn v007_degenerate_scale() {
+    let mut rng = init::rng(8);
+    let mut g = Graph::new();
+    let x = g.add_input("x");
+    let c = g.add(
+        "c1",
+        Op::Conv(Conv2d::new("c1", 2, 4, Conv2dGeom::same(3), &mut rng)),
+        &[x],
+    );
+    g.set_output(c);
+    quantize_graph(&mut g, QuantizeOptions::static_int8());
+    let calib = init::normal([2, 2, 8, 8], 0.0, 1.0, &mut rng);
+    g.calibrate(&calib);
+    assert!(tqt_verify::lint::lint(&g, Stage::Calibrated).is_clean());
+
+    g.thresholds_mut()[0].set_log2_t(f32::NAN);
+    assert!(tqt_verify::lint::lint(&g, Stage::Calibrated).has(Code::DegenerateScale));
+
+    g.thresholds_mut()[0].set_log2_t(-100.0); // frac ~ 107 >> 62
+    assert!(tqt_verify::lint::lint(&g, Stage::Calibrated).has(Code::DegenerateScale));
+}
+
+/// `TQT-V008`: a batch norm that survives past the transform pipeline.
+#[test]
+fn v008_unfolded_batch_norm() {
+    let mut rng = init::rng(9);
+    let mut g = Graph::new();
+    let x = g.add_input("x");
+    let c = g.add(
+        "c1",
+        Op::Conv(Conv2d::new("c1", 2, 4, Conv2dGeom::same(3), &mut rng)),
+        &[x],
+    );
+    let b = g.add("bn", Op::BatchNorm(BatchNorm::new("bn", 4, 0.9, 1e-5)), &[c]);
+    g.set_output(b);
+    assert!(!tqt_verify::lint::lint(&g, Stage::Built).has(Code::UnfoldedBatchNorm));
+    assert!(tqt_verify::lint::lint(&g, Stage::Optimized).has(Code::UnfoldedBatchNorm));
+}
+
+/// `TQT-V009`: an average pool that survives past the transform pipeline.
+#[test]
+fn v009_unconverted_avg_pool() {
+    let mut g = Graph::new();
+    let x = g.add_input("x");
+    let p = g.add(
+        "ap",
+        Op::AvgPool(AvgPool2d::new(Conv2dGeom::new(2, 2, 0))),
+        &[x],
+    );
+    g.set_output(p);
+    assert!(!tqt_verify::lint::lint(&g, Stage::Built).has(Code::UnconvertedAvgPool));
+    assert!(tqt_verify::lint::lint(&g, Stage::Optimized).has(Code::UnconvertedAvgPool));
+}
+
+/// `TQT-V010`: an eltwise add whose operands sit on different grids.
+#[test]
+fn v010_merge_mismatch() {
+    let mut g = Graph::new();
+    let x = g.add_input("x");
+    let t0 = int8_threshold(&mut g, "a.t", 0.0);
+    let t1 = int8_threshold(&mut g, "b.t", 3.0);
+    let qa = g.add("qa", Op::Quant { tid: t0 }, &[x]);
+    let qb = g.add("qb", Op::Quant { tid: t1 }, &[x]);
+    let add = g.add("add", Op::Add(EltwiseAdd::new()), &[qa, qb]);
+    g.set_output(add);
+    let r = tqt_verify::lint::lint(&g, Stage::Quantized);
+    assert!(r.has(Code::MergeMismatch), "{r}");
+}
+
+/// `TQT-V011`: 2^45-scale weights against a 32-bit input provably wrap an
+/// i64 accumulator; the refutation names the producer path.
+#[test]
+fn v011_accumulator_overflow() {
+    let in_dim = 8;
+    let nodes = vec![
+        IntNode {
+            name: "input".into(),
+            op: IntOp::Input,
+            inputs: vec![],
+        },
+        IntNode {
+            name: "qin".into(),
+            op: IntOp::QuantF32 {
+                format: QFormat::new(0, 32, true),
+            },
+            inputs: vec![0],
+        },
+        IntNode {
+            name: "fc".into(),
+            op: IntOp::Dense {
+                w: vec![1i64 << 45; in_dim],
+                in_dim,
+                out_dim: 1,
+                bias: None,
+                w_frac: 0,
+            },
+            inputs: vec![1],
+        },
+    ];
+    let ig = IntGraph::from_parts(nodes, 2);
+    let ir = analyze(&ig, &[1, in_dim]);
+    assert!(ir.report.has(Code::Overflow), "{}", ir.report);
+    let d = ir
+        .report
+        .diags
+        .iter()
+        .find(|d| d.code == Code::Overflow)
+        .unwrap();
+    assert!(d.detail.contains("input -> qin -> fc"), "{}", d.detail);
+}
+
+/// `TQT-V012`: a requantization between fractional lengths 70 and 0 needs
+/// an i64 shift by 70 bits, which is not a legal shift.
+#[test]
+fn v012_illegal_requant_shift() {
+    let nodes = vec![
+        IntNode {
+            name: "input".into(),
+            op: IntOp::Input,
+            inputs: vec![],
+        },
+        IntNode {
+            name: "qin".into(),
+            op: IntOp::QuantF32 {
+                format: QFormat::new(70, 8, true),
+            },
+            inputs: vec![0],
+        },
+        IntNode {
+            name: "rq".into(),
+            op: IntOp::Requant {
+                format: QFormat::new(0, 8, true),
+            },
+            inputs: vec![1],
+        },
+    ];
+    let ig = IntGraph::from_parts(nodes, 2);
+    let ir = analyze(&ig, &[1, 4]);
+    assert!(ir.report.has(Code::IllegalShift), "{}", ir.report);
+}
+
+/// `TQT-V013`: a global average pool over a 3x3 spatial extent cannot be
+/// divided exactly in fixed point.
+#[test]
+fn v013_non_pow2_global_avg_pool() {
+    let nodes = vec![
+        IntNode {
+            name: "input".into(),
+            op: IntOp::Input,
+            inputs: vec![],
+        },
+        IntNode {
+            name: "qin".into(),
+            op: IntOp::QuantF32 {
+                format: QFormat::new(4, 8, true),
+            },
+            inputs: vec![0],
+        },
+        IntNode {
+            name: "gap".into(),
+            op: IntOp::GlobalAvgPool,
+            inputs: vec![1],
+        },
+    ];
+    let ig = IntGraph::from_parts(nodes, 2);
+    let ir = analyze(&ig, &[1, 2, 3, 3]);
+    assert!(ir.report.has(Code::FormatViolation), "{}", ir.report);
+}
+
+/// `TQT-V014`: a transform pass that rewires the output is caught by the
+/// invariant checker and attributed to the pass by name.
+#[test]
+fn v014_broken_pass_is_attributed() {
+    let mut rng = init::rng(14);
+    let mut g = Graph::new();
+    let x = g.add_input("x");
+    let c = g.add(
+        "c1",
+        Op::Conv(Conv2d::new("c1", 2, 4, Conv2dGeom::same(3), &mut rng)),
+        &[x],
+    );
+    let gap = g.add("gap", Op::GlobalAvgPool(GlobalAvgPool::new()), &[c]);
+    let fc = g.add("fc", Op::Dense(Dense::new("fc", 4, 3, &mut rng)), &[gap]);
+    g.set_output(fc);
+
+    let passes: Vec<transforms::Pass> = vec![(
+        "evil_rewire_output",
+        |g: &mut Graph, _: &[usize]| {
+            let inp = g.try_input_id().expect("graph has an input");
+            g.set_output(inp);
+            1
+        },
+    )];
+    let r = checked_pipeline(&mut g, &[1, 2, 8, 8], &passes);
+    assert!(r.has(Code::TransformInvariant), "{r}");
+    assert!(
+        r.diags.iter().any(|d| d.detail.contains("evil_rewire_output")),
+        "finding should name the broken pass:\n{r}"
+    );
+}
+
+/// Control for V014: the real pipeline over the same net is clean.
+#[test]
+fn v014_real_pipeline_is_clean() {
+    let mut rng = init::rng(15);
+    let mut g = Graph::new();
+    let x = g.add_input("x");
+    let c = g.add(
+        "c1",
+        Op::Conv(Conv2d::new("c1", 2, 4, Conv2dGeom::same(3), &mut rng)),
+        &[x],
+    );
+    let gap = g.add("gap", Op::GlobalAvgPool(GlobalAvgPool::new()), &[c]);
+    let fc = g.add("fc", Op::Dense(Dense::new("fc", 4, 3, &mut rng)), &[gap]);
+    g.set_output(fc);
+    let r = tqt_verify::checked_optimize(&mut g, &[1, 2, 8, 8]);
+    assert!(r.is_clean(), "{r}");
+}
+
+/// `TQT-V015`: an observation outside the proven envelope (forged here —
+/// a real one would mean the static analysis is unsound).
+#[test]
+fn v015_observed_escapes_proven() {
+    let nodes = vec![
+        IntNode {
+            name: "input".into(),
+            op: IntOp::Input,
+            inputs: vec![],
+        },
+        IntNode {
+            name: "qin".into(),
+            op: IntOp::QuantF32 {
+                format: QFormat::new(0, 8, true),
+            },
+            inputs: vec![0],
+        },
+    ];
+    let ig = IntGraph::from_parts(nodes, 1);
+    let proven = analyze(&ig, &[1, 4]);
+    assert!(proven.proven(), "{}", proven.report);
+    let mut rng = init::rng(16);
+    let x = init::normal([1, 4], 0.0, 1.0, &mut rng);
+    let (_, mut stats) = ig.run_with_stats(&x);
+    stats.nodes[1].hi = i64::from(i32::MAX);
+    let r = check_containment(&ig, &proven, &stats);
+    assert!(r.has(Code::SanitizerViolation), "{r}");
+}

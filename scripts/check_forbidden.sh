@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Forbidden-pattern gate (tier-1, invoked from scripts/ci.sh).
+#
+# Rules, scoped to NON-TEST code (everything before the first `#[cfg(test)]`
+# in a file):
+#
+#   unwrap          .unwrap()            in crates/{tensor,fixedpoint,rt}
+#   expect          .expect("...")       in crates/{tensor,fixedpoint,rt}
+#   narrowing-cast  `as i32`             in crates/fixedpoint/src/requant.rs
+#   float-eq        `== <float literal>` anywhere in crates/*/src
+#
+# A hit is allowed only when its line carries an inline annotation naming
+# the rule and a justification:
+#
+#     foo.unwrap() // tqt:allow(unwrap): <why this cannot fail>
+#
+# Uses ripgrep when available, plain grep otherwise (the gate must run in
+# minimal containers).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if command -v rg >/dev/null 2>&1; then
+  match() { rg --no-config -e "$1" || true; }
+else
+  match() { grep -E "$1" || true; }
+fi
+
+fail=0
+
+# scan <rule> <pattern> <file...>
+scan() {
+  local rule="$1" pattern="$2"
+  shift 2
+  local f hits
+  for f in "$@"; do
+    hits=$(awk '/#\[cfg\(test\)\]/{exit} {print FILENAME":"NR": "$0}' "$f" \
+      | match "$pattern" | grep -Fv "tqt:allow($rule)" || true)
+    if [[ -n "$hits" ]]; then
+      echo "forbidden pattern [$rule]:"
+      echo "$hits" | sed 's/^/  /'
+      fail=1
+    fi
+  done
+}
+
+panic_scope=$(find crates/tensor/src crates/fixedpoint/src crates/rt/src -name '*.rs' | sort)
+all_src=$(find crates/*/src -name '*.rs' | sort)
+
+# shellcheck disable=SC2086  # word-splitting the file lists is intended
+scan unwrap '\.unwrap\(\)' $panic_scope
+# shellcheck disable=SC2086
+scan expect '\.expect\("' $panic_scope
+scan narrowing-cast ' as i32' crates/fixedpoint/src/requant.rs
+# shellcheck disable=SC2086
+scan float-eq '==[[:space:]]*-?[0-9]+\.[0-9]|[0-9]\.[0-9]+(f32|f64)?[[:space:]]*==' $all_src
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "check_forbidden: FAILED (annotate justified sites with tqt:allow(<rule>): <reason>)"
+  exit 1
+fi
+echo "check_forbidden: clean"

@@ -9,6 +9,13 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline
 cargo clippy --offline -- -D warnings
+# Forbidden-pattern gate: unwrap/expect in the numeric substrates,
+# narrowing casts in requant, float equality outside tests.
+scripts/check_forbidden.sh
+# Static verification gate: every zoo model at every supported weight
+# bit-width must pass the full tqt-verify analysis suite (shape inference,
+# quantization lints, overflow proof, observed-vs-proven cross-check).
+cargo run --release --offline -q -p tqt-bench --bin verify
 # Smoke-run the bench binaries (1 sample, tiny shapes, output under
 # target/) so JSON emission and the bench harness can never rot.
 scripts/bench.sh --smoke

@@ -8,156 +8,19 @@
 //!   random architecture (not just the fixed model in
 //!   `tests/bit_accuracy.rs`), and that parity is itself independent of
 //!   whether the tensor kernels run serial or parallel.
+//!
+//! The random-net generator lives in `tests/common/mod.rs`, shared with
+//! the static-analysis soundness suite in `tests/verify_soundness.rs`.
 
+mod common;
+
+use common::{build, net_gen, NetSpec};
 use tqt_fixedpoint::lower;
-use tqt_graph::{quantize_graph, transforms, Graph, Op, QuantizeOptions, WeightBits};
-use tqt_nn::{
-    BatchNorm, Conv2d, Dense, DepthwiseConv2d, EltwiseAdd, GlobalAvgPool, MaxPool2d, Mode, Relu,
-};
+use tqt_graph::{quantize_graph, transforms, QuantizeOptions, WeightBits};
+use tqt_nn::Mode;
 use tqt_rt::check::Config;
-use tqt_rt::{check, prop_assert, prop_assert_eq, Gen, Rng};
-use tqt_tensor::conv::Conv2dGeom;
+use tqt_rt::{check, prop_assert, prop_assert_eq};
 use tqt_tensor::init;
-
-/// A random architecture description.
-#[derive(Debug, Clone)]
-struct NetSpec {
-    blocks: Vec<BlockSpec>,
-    seed: u64,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum BlockSpec {
-    Conv { ch: usize, bn: bool, relu6: bool },
-    Depthwise { bn: bool },
-    Residual,
-    MaxPool,
-    Leaky,
-}
-
-fn random_block(rng: &mut Rng) -> BlockSpec {
-    match rng.gen_range(0..5u32) {
-        0 => BlockSpec::Conv {
-            ch: rng.gen_range(2usize..6),
-            bn: rng.gen_bool(),
-            relu6: rng.gen_bool(),
-        },
-        1 => BlockSpec::Depthwise { bn: rng.gen_bool() },
-        2 => BlockSpec::Residual,
-        3 => BlockSpec::MaxPool,
-        _ => BlockSpec::Leaky,
-    }
-}
-
-/// Generates a 1–4 block architecture with a weight seed. Shrinks by
-/// dropping blocks (one at a time, then the whole tail) and zeroing the
-/// seed, so failures reduce toward the smallest offending net.
-fn net_gen() -> Gen<NetSpec> {
-    Gen::new(
-        |rng| {
-            let n = rng.gen_range(1usize..5);
-            NetSpec {
-                blocks: (0..n).map(|_| random_block(rng)).collect(),
-                seed: rng.gen_range(0u64..1000),
-            }
-        },
-        |spec: &NetSpec| {
-            let mut cands = Vec::new();
-            for i in 0..spec.blocks.len() {
-                if spec.blocks.len() > 1 {
-                    let mut blocks = spec.blocks.clone();
-                    blocks.remove(i);
-                    cands.push(NetSpec {
-                        blocks,
-                        seed: spec.seed,
-                    });
-                }
-            }
-            if spec.seed != 0 {
-                cands.push(NetSpec {
-                    blocks: spec.blocks.clone(),
-                    seed: 0,
-                });
-            }
-            cands
-        },
-    )
-}
-
-/// Materializes the spec into a graph on 8x8 inputs with 2 input channels.
-fn build(spec: &NetSpec) -> Graph {
-    let mut rng = init::rng(spec.seed);
-    let mut g = Graph::new();
-    let mut x = g.add_input("input");
-    let mut ch = 2usize;
-    let mut size = 8usize;
-    let mut n = 0usize;
-    let name = |base: &str, n: &mut usize| {
-        *n += 1;
-        format!("{base}{n}")
-    };
-    for b in &spec.blocks {
-        match *b {
-            BlockSpec::Conv { ch: out, bn, relu6 } => {
-                let nm = name("conv", &mut n);
-                x = g.add(
-                    nm.clone(),
-                    Op::Conv(Conv2d::new(&nm, ch, out, Conv2dGeom::same(3), &mut rng)),
-                    &[x],
-                );
-                if bn {
-                    let bnm = name("bn", &mut n);
-                    x = g.add(bnm.clone(), Op::BatchNorm(BatchNorm::new(&bnm, out, 0.9, 1e-5)), &[x]);
-                }
-                let r = if relu6 { Relu::relu6() } else { Relu::new() };
-                x = g.add(name("relu", &mut n), Op::Relu(r), &[x]);
-                ch = out;
-            }
-            BlockSpec::Depthwise { bn } => {
-                let nm = name("dw", &mut n);
-                x = g.add(
-                    nm.clone(),
-                    Op::Depthwise(DepthwiseConv2d::new(&nm, ch, Conv2dGeom::same(3), &mut rng)),
-                    &[x],
-                );
-                if bn {
-                    let bnm = name("bn", &mut n);
-                    x = g.add(bnm.clone(), Op::BatchNorm(BatchNorm::new(&bnm, ch, 0.9, 1e-5)), &[x]);
-                }
-                x = g.add(name("relu", &mut n), Op::Relu(Relu::new()), &[x]);
-            }
-            BlockSpec::Residual => {
-                let nm = name("resconv", &mut n);
-                let main = g.add(
-                    nm.clone(),
-                    Op::Conv(Conv2d::new(&nm, ch, ch, Conv2dGeom::same(3), &mut rng)),
-                    &[x],
-                );
-                x = g.add(name("add", &mut n), Op::Add(EltwiseAdd::new()), &[main, x]);
-            }
-            BlockSpec::MaxPool => {
-                if size >= 4 {
-                    x = g.add(name("pool", &mut n), Op::MaxPool(MaxPool2d::k2s2()), &[x]);
-                    size /= 2;
-                }
-            }
-            BlockSpec::Leaky => {
-                let nm = name("lconv", &mut n);
-                x = g.add(
-                    nm.clone(),
-                    Op::Conv(Conv2d::new(&nm, ch, ch, Conv2dGeom::same(3), &mut rng)),
-                    &[x],
-                );
-                x = g.add(name("lrelu", &mut n), Op::Relu(Relu::leaky(0.1)), &[x]);
-            }
-        }
-    }
-    let gap = g.add("gap", Op::GlobalAvgPool(GlobalAvgPool::new()), &[x]);
-    let mut rng2 = init::rng(spec.seed + 1);
-    let fc = g.add("fc", Op::Dense(Dense::new("fc", ch, 3, &mut rng2)), &[gap]);
-    g.set_output(fc);
-    g
-}
 
 #[test]
 fn optimize_preserves_semantics() {

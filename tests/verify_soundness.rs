@@ -1,0 +1,64 @@
+//! Property test for the static analyzer itself: on random quantized
+//! graphs, the verifier must accept every stage the real pipeline
+//! produces, the interval analysis must prove the lowered graph safe, and
+//! everything the instrumented interpreter then *observes* must be
+//! contained in that proven envelope (observed ⊆ proven).
+//!
+//! A containment failure means `tqt_verify::interval` is unsound — the
+//! worst class of verifier bug — so this is deliberately hammered with
+//! the same random-net generator (`tests/common/mod.rs`) the pipeline
+//! bit-accuracy suite uses, including a wide-tailed input that forces
+//! real saturation at the activation quantizers.
+
+mod common;
+
+use common::{build, net_gen, NetSpec};
+use tqt_fixedpoint::lower;
+use tqt_graph::{quantize_graph, QuantizeOptions, WeightBits};
+use tqt_rt::check::Config;
+use tqt_rt::{check, prop_assert};
+use tqt_tensor::init;
+use tqt_verify::{analyze, check_containment, checked_optimize, verify, Stage};
+
+const DIMS: [usize; 4] = [2, 2, 8, 8];
+
+#[test]
+fn random_quantized_graphs_observed_within_proven() {
+    check!(Config::cases(12), net_gen(), |spec: &NetSpec| {
+        // The verifier accepts every stage the real pipeline produces...
+        let mut g = build(spec);
+        let r = verify(&g, &DIMS, Stage::Built);
+        prop_assert!(r.is_clean(), "built stage:\n{r}");
+
+        let r = checked_optimize(&mut g, &DIMS);
+        prop_assert!(r.is_clean(), "transform invariants:\n{r}");
+        let r = verify(&g, &DIMS, Stage::Optimized);
+        prop_assert!(r.is_clean(), "optimized stage:\n{r}");
+
+        quantize_graph(&mut g, QuantizeOptions::retrain_wt_th(WeightBits::Int8));
+        let r = verify(&g, &DIMS, Stage::Quantized);
+        prop_assert!(r.is_clean(), "quantized stage:\n{r}");
+
+        let mut rng = init::rng(spec.seed + 3);
+        let calib = init::normal([4, 2, 8, 8], 0.0, 1.0, &mut rng);
+        g.calibrate(&calib);
+        let r = verify(&g, &DIMS, Stage::Calibrated);
+        prop_assert!(r.is_clean(), "calibrated stage:\n{r}");
+
+        // ...the overflow/shift proof goes through on the lowered graph...
+        let ig = lower(&mut g);
+        let proven = analyze(&ig, &DIMS);
+        prop_assert!(proven.proven(), "interval analysis:\n{}", proven.report);
+
+        // ...and the instrumented run stays inside the proven envelope,
+        // both on nominal inputs and on wide ones that actually saturate
+        // the 8-bit quantizers.
+        for sigma in [1.0f32, 4.0] {
+            let x = init::normal(DIMS.to_vec(), 0.0, sigma, &mut rng);
+            let (_, stats) = ig.run_with_stats(&x);
+            let r = check_containment(&ig, &proven, &stats);
+            prop_assert!(r.is_clean(), "containment at sigma {sigma}:\n{r}");
+        }
+        Ok(())
+    });
+}
