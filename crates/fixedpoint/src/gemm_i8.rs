@@ -1,0 +1,456 @@
+//! Cache-blocked `i8 × i8 → i32` GEMM with a **fused requantization
+//! epilogue** — the deployment-path integer kernel (gemmlowp/QNNPACK
+//! lineage, Appendix A cost model).
+//!
+//! Structure mirrors the f32 kernel in `tqt-tensor::gemm` (packed
+//! operands, `MR×NR` register micro-tile, row-block parallelism over the
+//! `tqt-rt` pool) with two integer-specific twists:
+//!
+//! * **k-pair packing.** Operands are packed in pairs along `k`: the A
+//!   panel stores each row's `(a[2p], a[2p+1])` sign-extended to `i16`
+//!   inside one `i32`, the B panel interleaves the two matching rows
+//!   byte-wise. The AVX2 micro-kernel then runs one
+//!   `_mm256_madd_epi16` per 8 columns per k-pair — an exact
+//!   `i16×i16 + i16×i16 → i32` multiply-accumulate (products are at most
+//!   `2·127²`, far from the `madd` saturation edge, so unlike the
+//!   `maddubs` u8-path it can never saturate). The portable scalar
+//!   fallback consumes the same packed layout.
+//! * **No KC slabs; the epilogue is fused.** The whole `k` depth is
+//!   packed at once, so the `MR×NR` i32 accumulator tile is complete the
+//!   moment the micro-kernel returns and bias add, zero-point
+//!   corrections, and requantization are applied to the register-resident
+//!   tile before it is stored as `i8` — the intermediate `[m, n]` i32
+//!   buffer of the naive pipeline (`kernels::matmul_i8_acc32` followed by
+//!   `kernels::requant_buffer_*`) never exists. Panels are at most a few
+//!   KiB per 256-deep k at these tile sizes, so the L1 residency that KC
+//!   slabbing buys the f32 kernel is retained.
+//!
+//! **Determinism.** Integer addition (including two's-complement
+//! wrapping) is associative and commutative, so the accumulated tile is
+//! independent of summation order — and of the thread count: parallelism
+//! only splits the row-block loop and every output element belongs to
+//! exactly one row block. Serial and parallel runs, and the AVX2 and
+//! scalar kernels, are bit-identical (the property tests in
+//! `crates/fixedpoint/tests/gemm_i8_oracle.rs` check all of this against
+//! an i64 scalar oracle).
+//!
+//! Contract: `k·127² < 2³¹` (i.e. `k ≤ 133 000`) keeps raw accumulators
+//! exact in i32; beyond that both kernels wrap identically in release
+//! mode. Workspace comes from the typed thread-local scratch arenas.
+
+use crate::requant::{requant_affine, requant_pow2, requant_real, NormalizedMultiplier};
+use tqt_rt::pool;
+use tqt_tensor::scratch::{ScratchI32, ScratchI8};
+
+/// Register-tile rows (A micro-panel height), as in the f32 kernel.
+pub const MR: usize = 6;
+/// Register-tile columns: two 8-lane i32 AVX2 vectors per accumulator
+/// row; the 6×16 tile holds 12 ymm accumulators plus the two
+/// sign-extended B vectors and one A broadcast.
+pub const NR: usize = 16;
+/// Rows of C per parallel row block.
+const MC: usize = 96;
+
+/// How the fused epilogue converts a finished i32 accumulator tile to
+/// `i8` output — the three Appendix A requantization schemes.
+#[derive(Debug, Clone, Copy)]
+pub enum RequantMode<'a> {
+    /// Power-of-2 shift with round-half-to-even (eq. 16).
+    Pow2 {
+        /// Right-shift amount.
+        shift: i32,
+    },
+    /// Normalized fixed-point multiplier (eq. 15).
+    Real {
+        /// The Q15 multiplier.
+        m: NormalizedMultiplier,
+    },
+    /// Affine with zero-points (eq. 13): the per-row/per-column
+    /// cross-term correction is applied inside the epilogue.
+    Affine {
+        /// Row sums `Σ_k a[i,k]` (length `m`).
+        a_sums: &'a [i32],
+        /// Column sums `Σ_k b[k,j]` (length `n`).
+        b_sums: &'a [i32],
+        /// LHS zero-point.
+        z1: i32,
+        /// RHS zero-point.
+        z2: i32,
+        /// Output zero-point.
+        z3: i32,
+        /// The Q15 multiplier.
+        m: NormalizedMultiplier,
+    },
+}
+
+/// Blocked, pool-parallel `out[m,n] = requant(a[m,k] · b[k,n] + bias)`
+/// writing `i8` directly: bias add (per output row, on the accumulator
+/// grid), zero-point corrections, and requantization are fused into the
+/// accumulator-tile epilogue. With [`RequantMode::Affine`], `bias` is
+/// added to the raw `Σ q1·q2` *before* the cross-term correction.
+///
+/// Overwrites `out` (no `C +=` semantics — a fused requantizing GEMM has
+/// no meaningful accumulate-into form).
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_i8_fused(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    b: &[i8],
+    bias: Option<&[i32]>,
+    mode: RequantMode,
+    out: &mut [i8],
+    parallel: bool,
+) {
+    assert_eq!(a.len(), m * k, "lhs length mismatch");
+    assert_eq!(b.len(), k * n, "rhs length mismatch");
+    assert_eq!(out.len(), m * n, "output length mismatch");
+    if let Some(bv) = bias {
+        assert_eq!(bv.len(), m, "bias length mismatch (one per output row)");
+    }
+    if let RequantMode::Affine { a_sums, b_sums, .. } = mode {
+        assert_eq!(a_sums.len(), m, "row-sum length mismatch");
+        assert_eq!(b_sums.len(), n, "column-sum length mismatch");
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    let kpairs = k.div_ceil(2);
+    let npanels = n.div_ceil(NR);
+    let mut bpack = ScratchI8::uninit(npanels * kpairs * 2 * NR);
+    pack_b(b, k, n, kpairs, &mut bpack);
+    let bpack = &*bpack;
+    let avx = has_avx2();
+    let run_block = |row0: usize, ochunk: &mut [i8]| {
+        let rows = ochunk.len() / n;
+        let mut apack = ScratchI32::uninit(kpairs * MR);
+        for p in 0..rows.div_ceil(MR) {
+            let r0 = row0 + p * MR;
+            let mr = MR.min(rows - p * MR);
+            pack_a(a, k, kpairs, r0, mr, &mut apack);
+            for q in 0..npanels {
+                let nr = NR.min(n - q * NR);
+                let mut acc = [0i32; MR * NR];
+                microkernel(kpairs, &apack, &bpack[q * kpairs * 2 * NR..], &mut acc, avx);
+                for r in 0..mr {
+                    let gi = r0 + r;
+                    let orow = (p * MR + r) * n + q * NR;
+                    for j in 0..nr {
+                        let gj = q * NR + j;
+                        let mut v = acc[r * NR + j];
+                        if let Some(bv) = bias {
+                            v = v.wrapping_add(bv[gi]);
+                        }
+                        let v = i64::from(v);
+                        ochunk[orow + j] = match mode {
+                            RequantMode::Pow2 { shift } => {
+                                requant_pow2(v, shift, -128, 127) as i8
+                            }
+                            RequantMode::Real { m } => requant_real(v, m, -128, 127) as i8,
+                            RequantMode::Affine {
+                                a_sums,
+                                b_sums,
+                                z1,
+                                z2,
+                                z3,
+                                m,
+                            } => requant_affine(
+                                v,
+                                i64::from(a_sums[gi]),
+                                i64::from(b_sums[gj]),
+                                k as i64,
+                                i64::from(z1),
+                                i64::from(z2),
+                                i64::from(z3),
+                                m,
+                                -128,
+                                127,
+                            ) as i8,
+                        };
+                    }
+                }
+            }
+        }
+    };
+    if parallel && m > MC && pool::threads() > 1 {
+        pool::par_chunks_mut(out, MC * n, |bi, chunk| run_block(bi * MC, chunk));
+    } else {
+        for (bi, chunk) in out.chunks_mut(MC * n).enumerate() {
+            run_block(bi * MC, chunk);
+        }
+    }
+}
+
+/// Blocked, pool-parallel raw-accumulator entry point:
+/// `out[m,n] = a[m,k] · b[k,n]` in i32, overwriting `out`. The blocked
+/// counterpart of [`crate::kernels::matmul_i8_acc32`] for callers that
+/// need the accumulators themselves (benches, oracles, custom
+/// epilogues).
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the dimensions.
+pub fn gemm_i8_acc32(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    b: &[i8],
+    out: &mut [i32],
+    parallel: bool,
+) {
+    assert_eq!(a.len(), m * k, "lhs length mismatch");
+    assert_eq!(b.len(), k * n, "rhs length mismatch");
+    assert_eq!(out.len(), m * n, "output length mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    let kpairs = k.div_ceil(2);
+    let npanels = n.div_ceil(NR);
+    let mut bpack = ScratchI8::uninit(npanels * kpairs * 2 * NR);
+    pack_b(b, k, n, kpairs, &mut bpack);
+    let bpack = &*bpack;
+    let avx = has_avx2();
+    let run_block = |row0: usize, ochunk: &mut [i32]| {
+        let rows = ochunk.len() / n;
+        let mut apack = ScratchI32::uninit(kpairs * MR);
+        for p in 0..rows.div_ceil(MR) {
+            let r0 = row0 + p * MR;
+            let mr = MR.min(rows - p * MR);
+            pack_a(a, k, kpairs, r0, mr, &mut apack);
+            for q in 0..npanels {
+                let nr = NR.min(n - q * NR);
+                let mut acc = [0i32; MR * NR];
+                microkernel(kpairs, &apack, &bpack[q * kpairs * 2 * NR..], &mut acc, avx);
+                for r in 0..mr {
+                    let orow = (p * MR + r) * n + q * NR;
+                    ochunk[orow..orow + nr].copy_from_slice(&acc[r * NR..r * NR + nr]);
+                }
+            }
+        }
+    };
+    if parallel && m > MC && pool::threads() > 1 {
+        pool::par_chunks_mut(out, MC * n, |bi, chunk| run_block(bi * MC, chunk));
+    } else {
+        for (bi, chunk) in out.chunks_mut(MC * n).enumerate() {
+            run_block(bi * MC, chunk);
+        }
+    }
+}
+
+/// True when the AVX2 integer micro-kernel can run on this CPU. The
+/// detection macro caches its answer (one relaxed atomic load per call).
+#[inline]
+fn has_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Packs rows `[r0, r0+mr)` of `a: [·, k]` into one MR-tall k-pair-major
+/// panel: element `p*MR + r` holds `(a[r0+r, 2p], a[r0+r, 2p+1])`
+/// sign-extended to i16 and packed little-endian into an i32 (the exact
+/// operand shape `_mm256_madd_epi16` wants broadcast). Rows past `mr`
+/// and the odd-`k` tail are zero.
+fn pack_a(a: &[i8], k: usize, kpairs: usize, r0: usize, mr: usize, dst: &mut [i32]) {
+    for p in 0..kpairs {
+        let col = &mut dst[p * MR..(p + 1) * MR];
+        for (r, slot) in col.iter_mut().enumerate() {
+            *slot = if r < mr {
+                let row = &a[(r0 + r) * k..(r0 + r + 1) * k];
+                let a0 = row.get(2 * p).copied().unwrap_or(0);
+                let a1 = row.get(2 * p + 1).copied().unwrap_or(0);
+                pack_pair(a0, a1)
+            } else {
+                0
+            };
+        }
+    }
+}
+
+/// Two i8s, sign-extended to i16, packed little-endian into one i32.
+#[inline(always)]
+fn pack_pair(a0: i8, a1: i8) -> i32 {
+    let lo = u32::from(a0 as i16 as u16);
+    let hi = u32::from(a1 as i16 as u16);
+    (lo | (hi << 16)) as i32 // tqt:allow(narrowing-cast): bit-for-bit reinterpretation, both halves already masked to 16 bits
+}
+
+/// Packs all of `b: [k, n]` into NR-wide k-pair-major panels: panel `q`,
+/// pair `p` stores the 32 bytes
+/// `[b(2p, j), b(2p+1, j)]` for `j` in `[q·NR, q·NR+NR)` — the
+/// interleave that lines up with the packed-A i16 pairs after
+/// `_mm256_cvtepi8_epi16`. Columns past `n` and the odd-`k` tail are
+/// zero.
+fn pack_b(b: &[i8], k: usize, n: usize, kpairs: usize, dst: &mut [i8]) {
+    let npanels = n.div_ceil(NR);
+    for q in 0..npanels {
+        let panel = &mut dst[q * kpairs * 2 * NR..(q + 1) * kpairs * 2 * NR];
+        let cols = NR.min(n - q * NR);
+        for p in 0..kpairs {
+            let row = &mut panel[p * 2 * NR..(p + 1) * 2 * NR];
+            let (k0, k1) = (2 * p, 2 * p + 1);
+            for j in 0..NR {
+                let (b0, b1) = if j < cols {
+                    let jj = q * NR + j;
+                    (
+                        b[k0 * n + jj],
+                        if k1 < k { b[k1 * n + jj] } else { 0 },
+                    )
+                } else {
+                    (0, 0)
+                };
+                row[2 * j] = b0;
+                row[2 * j + 1] = b1;
+            }
+        }
+    }
+}
+
+/// The register-tiled inner kernel over packed panels:
+/// `acc[r, j] = Σ_p a0(p,r)·b(2p,j) + a1(p,r)·b(2p+1,j)`. Dispatches to
+/// the AVX2 `madd_epi16` kernel when available, else to a portable
+/// scalar loop over the same packed layout. Both paths accumulate each
+/// element in the same ascending-`k` order with wrapping i32 adds, so
+/// they are bit-identical (exact for `k ≤ 133 000`).
+#[inline(always)]
+fn microkernel(kpairs: usize, apanel: &[i32], bpanel: &[i8], acc: &mut [i32; MR * NR], avx: bool) {
+    debug_assert!(apanel.len() >= kpairs * MR && bpanel.len() >= kpairs * 2 * NR);
+    #[cfg(target_arch = "x86_64")]
+    if avx {
+        // SAFETY: `avx` is only true when has_avx2() confirmed the
+        // feature; panel lengths are checked above.
+        unsafe { microkernel_avx2(kpairs, apanel.as_ptr(), bpanel.as_ptr(), acc) }; // tqt:allow(unsafe): AVX2 dispatch guarded by runtime feature detection; panel bounds debug-asserted above
+        return;
+    }
+    let _ = avx;
+    for p in 0..kpairs {
+        for r in 0..MR {
+            let packed = apanel[p * MR + r];
+            if packed == 0 {
+                continue;
+            }
+            let a0 = i32::from(packed as i16);
+            let a1 = i32::from((packed >> 16) as i16);
+            let brow = &bpanel[p * 2 * NR..(p + 1) * 2 * NR];
+            let arow = &mut acc[r * NR..(r + 1) * NR];
+            for (j, sum) in arow.iter_mut().enumerate() {
+                let prod = a0 * i32::from(brow[2 * j]) + a1 * i32::from(brow[2 * j + 1]);
+                *sum = sum.wrapping_add(prod);
+            }
+        }
+    }
+}
+
+/// AVX2 6×16 integer micro-kernel: 12 ymm i32 accumulators live across
+/// the whole k loop; per k-pair, one 32-byte B load, two sign-extends,
+/// and six broadcast + `madd_epi16` + `add_epi32` chains.
+///
+/// # Safety
+///
+/// Caller must guarantee the CPU supports `avx2` and that
+/// `apanel`/`bpanel` point at `kpairs*MR` i32s / `kpairs*2*NR` i8s.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn microkernel_avx2(
+    kpairs: usize,
+    apanel: *const i32,
+    bpanel: *const i8,
+    acc: &mut [i32; MR * NR],
+) {
+    use std::arch::x86_64::*;
+    let mut c: [[__m256i; 2]; MR] = [[_mm256_setzero_si256(); 2]; MR];
+    for p in 0..kpairs {
+        // 32 interleaved bytes: (k0,k1) pairs for 16 columns.
+        let bv = _mm256_loadu_si256(bpanel.add(p * 2 * NR).cast());
+        // Sign-extend to i16: columns 0..8 and 8..16, still pair-interleaved —
+        // exactly the operand layout madd_epi16 pairs up.
+        let b_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(bv));
+        let b_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256::<1>(bv));
+        for (r, cr) in c.iter_mut().enumerate() {
+            // Broadcast the packed (a0, a1) i16 pair to all lanes;
+            // madd computes a0*b(k0,j) + a1*b(k1,j) exactly in i32.
+            let av = _mm256_set1_epi32(*apanel.add(p * MR + r));
+            cr[0] = _mm256_add_epi32(cr[0], _mm256_madd_epi16(av, b_lo));
+            cr[1] = _mm256_add_epi32(cr[1], _mm256_madd_epi16(av, b_hi));
+        }
+    }
+    for (r, cr) in c.iter().enumerate() {
+        _mm256_storeu_si256(acc.as_mut_ptr().add(r * NR).cast(), cr[0]);
+        _mm256_storeu_si256(acc.as_mut_ptr().add(r * NR + 8).cast(), cr[1]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+
+    #[test]
+    fn blocked_acc_matches_naive_small() {
+        let (m, k, n) = (7, 13, 19);
+        let a: Vec<i8> = (0..m * k).map(|v| ((v * 37 + 11) % 255) as i8).collect();
+        let b: Vec<i8> = (0..k * n).map(|v| ((v * 53 + 5) % 255) as i8).collect();
+        let naive = kernels::matmul_i8_acc32(&a, &b, m, k, n);
+        let mut blocked = vec![0i32; m * n];
+        gemm_i8_acc32(m, n, k, &a, &b, &mut blocked, false);
+        assert_eq!(naive, blocked);
+    }
+
+    #[test]
+    fn pack_pair_roundtrips_sign() {
+        for &(a0, a1) in &[(-128i8, 127i8), (0, -1), (-1, 0), (5, -7)] {
+            let packed = pack_pair(a0, a1);
+            assert_eq!(packed as i16, i16::from(a0));
+            assert_eq!((packed >> 16) as i16, i16::from(a1));
+        }
+    }
+
+    #[test]
+    fn fused_pow2_matches_two_pass() {
+        let (m, k, n) = (9, 31, 17);
+        let a: Vec<i8> = (0..m * k).map(|v| ((v * 41 + 3) % 251) as i8).collect();
+        let b: Vec<i8> = (0..k * n).map(|v| ((v * 59 + 7) % 253) as i8).collect();
+        let bias: Vec<i32> = (0..m).map(|v| (v as i32 - 4) * 9).collect();
+        let mut acc = kernels::matmul_i8_acc32(&a, &b, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                acc[i * n + j] += bias[i];
+            }
+        }
+        let expected = kernels::requant_buffer_pow2(&acc, 5);
+        let mut got = vec![0i8; m * n];
+        gemm_i8_fused(
+            m,
+            n,
+            k,
+            &a,
+            &b,
+            Some(&bias),
+            RequantMode::Pow2 { shift: 5 },
+            &mut got,
+            false,
+        );
+        assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn odd_k_and_single_row_edge() {
+        let (m, k, n) = (1, 1, 1);
+        let a = vec![-128i8];
+        let b = vec![-128i8];
+        let mut out = vec![0i32; 1];
+        gemm_i8_acc32(m, n, k, &a, &b, &mut out, false);
+        assert_eq!(out[0], 16384);
+    }
+}

@@ -1,0 +1,185 @@
+//! Blocked, pool-parallel `i64 × i64` GEMM with **exact i128
+//! accumulation** — the compute core of the reference [`crate::lower`]
+//! engine's conv/dense fast path.
+//!
+//! The reference engine stores activations as `i64` and must count, per
+//! output element, whether the exact accumulator escaped the i64 range
+//! (`narrow` semantics: truncation equals two's-complement wrapping, so
+//! the stored bits match a pure-i64 engine while the count feeds the
+//! `sanitize` feature and the tqt-verify containment check). That rules
+//! out the narrow `i8` deployment kernel here; instead this is the same
+//! register-blocking idea applied to wide integers: `MRB×NCB` i128
+//! accumulator tiles held on the stack, B rows streamed once per row
+//! tile, and the row-block loop fanned out over the `tqt-rt` pool.
+//!
+//! **Determinism.** Every output element is accumulated in ascending-`k`
+//! order by exactly one closure invocation, and integer addition is
+//! associative, so serial and parallel runs are bit-identical — including
+//! the overflow *count*, which depends only on each element's exact i128
+//! value. Per-block counts are merged into one `AtomicU64` (a sum of
+//! non-negative integers, order-independent).
+
+use crate::lower::narrow;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tqt_rt::pool;
+
+/// Accumulator-tile rows.
+const MRB: usize = 4;
+/// Accumulator-tile columns (the tile is `4×64` i128 = 4 KiB of stack).
+const NCB: usize = 64;
+/// Rows of C per parallel row block.
+const ROWS_PER_BLOCK: usize = 16;
+
+/// `out[m,n] = narrow(a[m,k] · b[k,n] + bias)` with exact i128
+/// accumulation per element; values escaping the i64 range are counted
+/// into `overflowed` and stored wrapped (the reference-engine contract).
+/// `bias_row` adds one value per output row (conv channel bias),
+/// `bias_col` one per output column (dense feature bias).
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_i64_narrow(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i64],
+    b: &[i64],
+    bias_row: Option<&[i64]>,
+    bias_col: Option<&[i64]>,
+    out: &mut [i64],
+    overflowed: &AtomicU64,
+    parallel: bool,
+) {
+    assert_eq!(a.len(), m * k, "lhs length mismatch");
+    assert_eq!(b.len(), k * n, "rhs length mismatch");
+    assert_eq!(out.len(), m * n, "output length mismatch");
+    if let Some(br) = bias_row {
+        assert_eq!(br.len(), m, "row-bias length mismatch");
+    }
+    if let Some(bc) = bias_col {
+        assert_eq!(bc.len(), n, "column-bias length mismatch");
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    let run_block = |row0: usize, ochunk: &mut [i64]| {
+        let rows = ochunk.len() / n;
+        let mut local_ovf = 0u64;
+        for jc in (0..n).step_by(NCB) {
+            let nc = NCB.min(n - jc);
+            for rb in (0..rows).step_by(MRB) {
+                let mr = MRB.min(rows - rb);
+                let mut acc = [[0i128; NCB]; MRB];
+                for kk in 0..k {
+                    let brow = &b[kk * n + jc..kk * n + jc + nc];
+                    for (r, arow) in acc.iter_mut().enumerate().take(mr) {
+                        let av = a[(row0 + rb + r) * k + kk];
+                        if av == 0 {
+                            continue;
+                        }
+                        let av = i128::from(av);
+                        for (sum, &bv) in arow.iter_mut().zip(brow) {
+                            *sum += av * i128::from(bv);
+                        }
+                    }
+                }
+                for (r, arow) in acc.iter().enumerate().take(mr) {
+                    let gi = row0 + rb + r;
+                    let orow = (rb + r) * n + jc;
+                    for (j, slot) in ochunk[orow..orow + nc].iter_mut().enumerate() {
+                        let mut v = arow[j];
+                        if let Some(br) = bias_row {
+                            v += i128::from(br[gi]);
+                        }
+                        if let Some(bc) = bias_col {
+                            v += i128::from(bc[jc + j]);
+                        }
+                        *slot = narrow(v, &mut local_ovf);
+                    }
+                }
+            }
+        }
+        if local_ovf > 0 {
+            overflowed.fetch_add(local_ovf, Ordering::Relaxed);
+        }
+    };
+    if parallel && m > ROWS_PER_BLOCK && pool::threads() > 1 {
+        pool::par_chunks_mut(out, ROWS_PER_BLOCK * n, |bi, chunk| {
+            run_block(bi * ROWS_PER_BLOCK, chunk)
+        });
+    } else {
+        for (bi, chunk) in out.chunks_mut(ROWS_PER_BLOCK * n).enumerate() {
+            run_block(bi * ROWS_PER_BLOCK, chunk);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle(m: usize, n: usize, k: usize, a: &[i64], b: &[i64]) -> (Vec<i64>, u64) {
+        let mut out = vec![0i64; m * n];
+        let mut ovf = 0u64;
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i128;
+                for kk in 0..k {
+                    acc += i128::from(a[i * k + kk]) * i128::from(b[kk * n + j]);
+                }
+                out[i * n + j] = narrow(acc, &mut ovf);
+            }
+        }
+        (out, ovf)
+    }
+
+    #[test]
+    fn matches_oracle_including_ragged_tiles() {
+        for &(m, n, k) in &[(1, 1, 1), (5, 67, 9), (33, 130, 17), (4, 3, 0)] {
+            let a: Vec<i64> = (0..m * k).map(|v| (v as i64 * 37 % 1001) - 500).collect();
+            let b: Vec<i64> = (0..k * n).map(|v| (v as i64 * 53 % 997) - 498).collect();
+            let (want, _) = oracle(m, n, k, &a, &b);
+            let mut got = vec![0i64; m * n];
+            let ovf = AtomicU64::new(0);
+            gemm_i64_narrow(m, n, k, &a, &b, None, None, &mut got, &ovf, false);
+            assert_eq!(want, got, "shape ({m},{n},{k})");
+            assert_eq!(ovf.load(Ordering::Relaxed), 0);
+        }
+    }
+
+    #[test]
+    fn counts_overflow_and_wraps() {
+        // 2 * (2^62 * 2) = 2^64 wraps to 0 in i64 and must be counted.
+        let a = vec![1i64 << 62, 1 << 62];
+        let b = vec![2i64, 2];
+        let mut got = vec![0i64; 1];
+        let ovf = AtomicU64::new(0);
+        gemm_i64_narrow(1, 1, 2, &a, &b, None, None, &mut got, &ovf, false);
+        assert_eq!(got[0], 0);
+        assert_eq!(ovf.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn biases_apply_before_narrow() {
+        let a = vec![2i64, 3];
+        let b = vec![10i64, 100, 1000, 10000];
+        // [2,3] @ [[10,100],[1000,10000]] = [3020, 30200]
+        let mut got = vec![0i64; 2];
+        let ovf = AtomicU64::new(0);
+        gemm_i64_narrow(
+            1,
+            2,
+            2,
+            &a,
+            &b,
+            Some(&[7]),
+            Some(&[1, 2]),
+            &mut got,
+            &ovf,
+            false,
+        );
+        assert_eq!(got, vec![3020 + 7 + 1, 30200 + 7 + 2]);
+    }
+}

@@ -1,20 +1,28 @@
 //! Narrow integer kernels for the Appendix A cost study: an `i8 × i8 → i32`
 //! matrix multiply with three output requantization schemes (power-of-2
 //! shift, normalized fixed-point multiplier, affine with zero-points).
-//! These are the kernels the Criterion benches time against each other;
-//! the reference bit-accuracy engine lives in [`crate::lower`](mod@crate::lower).
+//!
+//! The naive triple-loop matmul here is the **oracle and baseline**: the
+//! blocked, packed, SIMD-dispatched production kernel in
+//! [`crate::gemm_i8`] is property-tested against it and benchmarked
+//! relative to it. The `*_into` variants write into caller-provided
+//! buffers (no per-call allocation — callers hold scratch or reuse
+//! outputs across iterations); the allocating forms are thin wrappers
+//! kept for tests and one-shot use.
 
 use crate::requant::{requant_affine, requant_pow2, requant_real, NormalizedMultiplier};
 
-/// Integer matmul `c[m,n] = Σ_k a[m,k] * b[k,n]` with `i32` accumulators.
+/// Integer matmul `c[m,n] = Σ_k a[m,k] * b[k,n]` with `i32` accumulators,
+/// written into `out` (fully overwritten).
 ///
 /// # Panics
 ///
 /// Panics if slice lengths disagree with the dimensions.
-pub fn matmul_i8_acc32(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Vec<i32> {
+pub fn matmul_i8_acc32_into(a: &[i8], b: &[i8], m: usize, k: usize, n: usize, out: &mut [i32]) {
     assert_eq!(a.len(), m * k, "lhs length mismatch");
     assert_eq!(b.len(), k * n, "rhs length mismatch");
-    let mut out = vec![0i32; m * n];
+    assert_eq!(out.len(), m * n, "output length mismatch");
+    out.fill(0);
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         let orow = &mut out[i * n..(i + 1) * n];
@@ -29,28 +37,96 @@ pub fn matmul_i8_acc32(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Vec<
             }
         }
     }
+}
+
+/// Allocating wrapper around [`matmul_i8_acc32_into`].
+pub fn matmul_i8_acc32(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Vec<i32> {
+    let mut out = vec![0i32; m * n];
+    matmul_i8_acc32_into(a, b, m, k, n, &mut out);
     out
 }
 
 /// Requantizes an `i32` accumulator buffer to `i8` by power-of-2 shift
-/// (the TQT deployment path, eq. 16).
+/// (the TQT deployment path, eq. 16), into `out`.
+///
+/// # Panics
+///
+/// Panics if `out.len() != acc.len()`.
+pub fn requant_buffer_pow2_into(acc: &[i32], shift: i32, out: &mut [i8]) {
+    assert_eq!(acc.len(), out.len(), "output length mismatch");
+    for (o, &v) in out.iter_mut().zip(acc) {
+        *o = requant_pow2(v as i64, shift, -128, 127) as i8;
+    }
+}
+
+/// Allocating wrapper around [`requant_buffer_pow2_into`].
 pub fn requant_buffer_pow2(acc: &[i32], shift: i32) -> Vec<i8> {
-    acc.iter()
-        .map(|&v| requant_pow2(v as i64, shift, -128, 127) as i8)
-        .collect()
+    let mut out = vec![0i8; acc.len()];
+    requant_buffer_pow2_into(acc, shift, &mut out);
+    out
 }
 
-/// Requantizes by normalized fixed-point multiplier (eq. 15).
+/// Requantizes by normalized fixed-point multiplier (eq. 15), into `out`.
+///
+/// # Panics
+///
+/// Panics if `out.len() != acc.len()`.
+pub fn requant_buffer_real_into(acc: &[i32], m: NormalizedMultiplier, out: &mut [i8]) {
+    assert_eq!(acc.len(), out.len(), "output length mismatch");
+    for (o, &v) in out.iter_mut().zip(acc) {
+        *o = requant_real(v as i64, m, -128, 127) as i8;
+    }
+}
+
+/// Allocating wrapper around [`requant_buffer_real_into`].
 pub fn requant_buffer_real(acc: &[i32], m: NormalizedMultiplier) -> Vec<i8> {
-    acc.iter()
-        .map(|&v| requant_real(v as i64, m, -128, 127) as i8)
-        .collect()
+    let mut out = vec![0i8; acc.len()];
+    requant_buffer_real_into(acc, m, &mut out);
+    out
 }
 
-/// Requantizes an affine accumulator buffer (eq. 13): applies the
-/// per-row/per-column zero-point cross-term correction, then the
+/// Requantizes an affine accumulator buffer (eq. 13) into `out`: applies
+/// the per-row/per-column zero-point cross-term correction, then the
 /// fixed-point multiplier and the output zero-point. `a_sums[i]` is
 /// `Σ_k a[i,k]`, `b_sums[j]` is `Σ_k b[k,j]`.
+///
+/// # Panics
+///
+/// Panics if buffer lengths disagree.
+#[allow(clippy::too_many_arguments)]
+pub fn requant_buffer_affine_into(
+    acc: &[i32],
+    a_sums: &[i32],
+    b_sums: &[i32],
+    k: usize,
+    z1: i32,
+    z2: i32,
+    z3: i32,
+    m: NormalizedMultiplier,
+    out: &mut [i8],
+) {
+    let n = b_sums.len();
+    assert_eq!(acc.len(), a_sums.len() * n, "accumulator length mismatch");
+    assert_eq!(out.len(), acc.len(), "output length mismatch");
+    for (i, &asum) in a_sums.iter().enumerate() {
+        for (j, &bsum) in b_sums.iter().enumerate() {
+            out[i * n + j] = requant_affine(
+                acc[i * n + j] as i64,
+                asum as i64,
+                bsum as i64,
+                k as i64,
+                z1 as i64,
+                z2 as i64,
+                z3 as i64,
+                m,
+                -128,
+                127,
+            ) as i8;
+        }
+    }
+}
+
+/// Allocating wrapper around [`requant_buffer_affine_into`].
 #[allow(clippy::too_many_arguments)]
 pub fn requant_buffer_affine(
     acc: &[i32],
@@ -62,45 +138,53 @@ pub fn requant_buffer_affine(
     z3: i32,
     m: NormalizedMultiplier,
 ) -> Vec<i8> {
-    let n = b_sums.len();
-    assert_eq!(acc.len(), a_sums.len() * n, "accumulator length mismatch");
-    let mut out = Vec::with_capacity(acc.len());
-    for (i, &asum) in a_sums.iter().enumerate() {
-        for (j, &bsum) in b_sums.iter().enumerate() {
-            out.push(requant_affine(
-                acc[i * n + j] as i64,
-                asum as i64,
-                bsum as i64,
-                k as i64,
-                z1 as i64,
-                z2 as i64,
-                z3 as i64,
-                m,
-                -128,
-                127,
-            ) as i8);
-        }
-    }
+    let mut out = vec![0i8; acc.len()];
+    requant_buffer_affine_into(acc, a_sums, b_sums, k, z1, z2, z3, m, &mut out);
     out
 }
 
-/// Row sums of an `[m, k]` i8 matrix (affine correction input).
-pub fn row_sums(a: &[i8], m: usize, k: usize) -> Vec<i32> {
+/// Row sums of an `[m, k]` i8 matrix (affine correction input), into
+/// `out` (one per row).
+///
+/// # Panics
+///
+/// Panics if buffer lengths disagree.
+pub fn row_sums_into(a: &[i8], m: usize, k: usize, out: &mut [i32]) {
     assert_eq!(a.len(), m * k);
-    (0..m)
-        .map(|i| a[i * k..(i + 1) * k].iter().map(|&v| v as i32).sum())
-        .collect()
+    assert_eq!(out.len(), m, "output length mismatch");
+    for (o, row) in out.iter_mut().zip(a.chunks_exact(k)) {
+        *o = row.iter().map(|&v| v as i32).sum();
+    }
 }
 
-/// Column sums of a `[k, n]` i8 matrix (affine correction input).
-pub fn col_sums(b: &[i8], k: usize, n: usize) -> Vec<i32> {
+/// Allocating wrapper around [`row_sums_into`].
+pub fn row_sums(a: &[i8], m: usize, k: usize) -> Vec<i32> {
+    let mut out = vec![0i32; m];
+    row_sums_into(a, m, k, &mut out);
+    out
+}
+
+/// Column sums of a `[k, n]` i8 matrix (affine correction input), into
+/// `out` (one per column, fully overwritten).
+///
+/// # Panics
+///
+/// Panics if buffer lengths disagree.
+pub fn col_sums_into(b: &[i8], k: usize, n: usize, out: &mut [i32]) {
     assert_eq!(b.len(), k * n);
-    let mut out = vec![0i32; n];
+    assert_eq!(out.len(), n, "output length mismatch");
+    out.fill(0);
     for kk in 0..k {
         for (o, &v) in out.iter_mut().zip(&b[kk * n..(kk + 1) * n]) {
             *o += v as i32;
         }
     }
+}
+
+/// Allocating wrapper around [`col_sums_into`].
+pub fn col_sums(b: &[i8], k: usize, n: usize) -> Vec<i32> {
+    let mut out = vec![0i32; n];
+    col_sums_into(b, k, n, &mut out);
     out
 }
 
@@ -122,6 +206,24 @@ mod tests {
                 assert_eq!(c[i * 4 + j], acc);
             }
         }
+    }
+
+    #[test]
+    fn into_variants_overwrite_stale_buffers() {
+        let a: Vec<i8> = (0..6).map(|v| v - 3).collect();
+        let b: Vec<i8> = (0..12).map(|v| 2 * v - 11).collect();
+        let mut acc = vec![i32::MAX; 8];
+        matmul_i8_acc32_into(&a, &b, 2, 3, 4, &mut acc);
+        assert_eq!(acc, matmul_i8_acc32(&a, &b, 2, 3, 4));
+        let mut q = vec![77i8; 8];
+        requant_buffer_pow2_into(&acc, 2, &mut q);
+        assert_eq!(q, requant_buffer_pow2(&acc, 2));
+        let mut cs = vec![i32::MIN; 4];
+        col_sums_into(&b, 3, 4, &mut cs);
+        assert_eq!(cs, col_sums(&b, 3, 4));
+        let mut rs = vec![i32::MIN; 2];
+        row_sums_into(&a, 2, 3, &mut rs);
+        assert_eq!(rs, row_sums(&a, 2, 3));
     }
 
     #[test]

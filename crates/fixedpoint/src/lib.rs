@@ -6,15 +6,26 @@
 //! * [`requant`] — the three requantization schemes of Appendix A
 //!   (power-of-2 shift, normalized fixed-point multiplier, affine with
 //!   zero-point cross-terms);
-//! * [`kernels`] — narrow `i8` kernels for the Appendix A cost benches;
+//! * [`kernels`] — naive narrow `i8` kernels (the oracle/baseline);
+//! * [`gemm_i8`] — the blocked, packed, SIMD-dispatched `i8` GEMM whose
+//!   epilogue fuses bias, zero-point corrections, and requantization;
+//! * [`intgemm`] — the blocked exact-i128 `i64` GEMM behind the
+//!   reference engine's conv/dense path;
+//! * [`mod@plan`] — static execution plans and the buffer-reusing
+//!   [`IntExecutor`] for repeated integer inference;
 //! * [`mod@lower`] with the [`lower()`](lower::lower) entry point — lowering a quantized float graph to an [`IntGraph`]
 //!   that is bit-exact to the baked float inference graph (the paper's
 //!   Section 4.2 property).
 
+pub mod gemm_i8;
+pub mod intgemm;
 pub mod kernels;
 pub mod lower;
+pub mod plan;
 pub mod qtensor;
 pub mod requant;
 
+pub use gemm_i8::{gemm_i8_acc32, gemm_i8_fused, RequantMode};
 pub use lower::{lower, IntGraph, NodeStats, RunStats};
+pub use plan::{IntExecutor, IntPlan};
 pub use qtensor::{QFormat, QTensor};

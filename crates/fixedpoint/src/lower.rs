@@ -15,7 +15,6 @@
 //! than 16 bits so the float emulation stays exact in f32 arithmetic.
 
 use crate::qtensor::{QFormat, QTensor};
-use crate::requant::shift_round;
 use tqt_graph::{Graph, Op};
 use tqt_nn::{ParamKind, Relu};
 use tqt_quant::round_half_even;
@@ -175,137 +174,12 @@ impl IntGraph {
     /// number of saturated (clamped) elements at requantization sites, and
     /// the number of wrapped i64 accumulators. `tqt-verify` asserts these
     /// observations are contained in its statically proven intervals.
+    ///
+    /// This is a convenience wrapper that plans, allocates, and runs in
+    /// one shot; for repeated inference build an
+    /// [`IntExecutor`](crate::plan::IntExecutor) once and reuse it.
     pub fn run_with_stats(&self, x: &Tensor) -> (QTensor, RunStats) {
-        let mut stats = RunStats::new(self.nodes.len());
-        let mut acts: Vec<Option<QTensor>> = vec![None; self.nodes.len()];
-        let mut float_input: Option<&Tensor> = Some(x);
-        for (id, node) in self.nodes.iter().enumerate() {
-            let st = &mut stats.nodes[id];
-            let out = match &node.op {
-                IntOp::Input => {
-                    // Represent the raw input as a dummy; its consumer is
-                    // always QuantF32 which reads `float_input`.
-                    QTensor::from_ints([1], vec![0], QFormat::new(0, 8, true))
-                }
-                IntOp::QuantF32 { format } => {
-                    let xin = float_input.take().expect("input consumed twice"); // tqt:allow(expect): exactly one QuantF32 reads the float input
-                    let (q, sat) = quantize_counting(xin, *format);
-                    st.saturated += sat;
-                    q
-                }
-                IntOp::Requant { format } => {
-                    let a = act(&acts, node.inputs[0]);
-                    requant(a, *format, &mut st.saturated)
-                }
-                IntOp::Conv {
-                    w,
-                    wdims,
-                    bias,
-                    geom,
-                    depthwise,
-                    w_frac,
-                } => int_conv(
-                    act(&acts, node.inputs[0]),
-                    w,
-                    *wdims,
-                    bias.as_deref(),
-                    *geom,
-                    *depthwise,
-                    *w_frac,
-                    &mut st.overflowed,
-                ),
-                IntOp::Dense {
-                    w,
-                    in_dim,
-                    out_dim,
-                    bias,
-                    w_frac,
-                } => int_dense(
-                    act(&acts, node.inputs[0]),
-                    w,
-                    *in_dim,
-                    *out_dim,
-                    bias.as_deref(),
-                    *w_frac,
-                    &mut st.overflowed,
-                ),
-                IntOp::Relu { cap_q } => {
-                    let a = act(&acts, node.inputs[0]);
-                    let data = a
-                        .data()
-                        .iter()
-                        .map(|&v| {
-                            let mut y = v.max(0);
-                            if let Some(c) = cap_q {
-                                y = y.min(*c);
-                            }
-                            y
-                        })
-                        .collect();
-                    QTensor::from_ints(a.shape().clone(), data, a.format)
-                }
-                IntOp::LeakyRelu { alpha_q } => {
-                    let a = act(&acts, node.inputs[0]);
-                    let f = a.format;
-                    let out_format = QFormat::new(f.frac + LEAKY_ALPHA_FRAC, 64, true);
-                    let data = a
-                        .data()
-                        .iter()
-                        .map(|&v| {
-                            let wide = (i128::from(v) << LEAKY_ALPHA_FRAC)
-                                .max(i128::from(v) * i128::from(*alpha_q));
-                            narrow(wide, &mut st.overflowed)
-                        })
-                        .collect();
-                    QTensor::from_ints(a.shape().clone(), data, out_format)
-                }
-                IntOp::MaxPool { geom } => int_maxpool(
-                    act(&acts, node.inputs[0]),
-                    *geom,
-                ),
-                IntOp::GlobalAvgPool => int_gap(
-                    act(&acts, node.inputs[0]),
-                    &mut st.overflowed,
-                ),
-                IntOp::Add => {
-                    let a = act(&acts, node.inputs[0]);
-                    let b = act(&acts, node.inputs[1]);
-                    assert_eq!(
-                        a.format, b.format,
-                        "eltwise-add formats must match (scale merging)"
-                    );
-                    let wide = QFormat::new(a.format.frac, 64, true);
-                    let data = a
-                        .data()
-                        .iter()
-                        .zip(b.data())
-                        .map(|(&x, &y)| {
-                            narrow(i128::from(x) + i128::from(y), &mut st.overflowed)
-                        })
-                        .collect();
-                    QTensor::from_ints(a.shape().clone(), data, wide)
-                }
-                IntOp::Concat => int_concat(
-                    &node
-                        .inputs
-                        .iter()
-                        .map(|&i| act(&acts, i))
-                        .collect::<Vec<_>>(),
-                ),
-                IntOp::Flatten => {
-                    let a = act(&acts, node.inputs[0]);
-                    let n = a.dims()[0];
-                    let feat = a.len() / n;
-                    QTensor::from_ints([n, feat], a.data().to_vec(), a.format)
-                }
-            };
-            if !matches!(node.op, IntOp::Input) {
-                st.observe(out.data());
-            }
-            acts[id] = Some(out);
-        }
-        let y = acts[self.output].take().expect("output not computed"); // tqt:allow(expect): from_parts/lower check the output id
-        (y, stats)
+        crate::plan::IntExecutor::new(self, x.dims()).run_with_stats(x)
     }
 }
 
@@ -324,7 +198,7 @@ pub struct NodeStats {
 }
 
 impl NodeStats {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         NodeStats {
             lo: 0,
             hi: 0,
@@ -333,7 +207,7 @@ impl NodeStats {
         }
     }
 
-    fn observe(&mut self, data: &[i64]) {
+    pub(crate) fn observe(&mut self, data: &[i64]) {
         for &v in data {
             self.lo = self.lo.min(v);
             self.hi = self.hi.max(v);
@@ -350,7 +224,7 @@ pub struct RunStats {
 }
 
 impl RunStats {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         RunStats {
             nodes: vec![NodeStats::new(); n],
         }
@@ -367,218 +241,15 @@ impl RunStats {
     }
 }
 
-/// The already-computed activation of node `i`. Node ids are topological,
-/// so a node's producers have always run by the time it executes.
-fn act(acts: &[Option<QTensor>], i: usize) -> &QTensor {
-    acts[i].as_ref().expect("producer not computed") // tqt:allow(expect): topological order guarantees this
-}
-
 /// Truncates an exact i128 accumulator to the i64 the engine stores,
 /// counting values outside the i64 range (truncation equals two's
 /// complement wrapping, so the stored bits match what a pure-i64 engine
 /// computes in release mode).
-fn narrow(acc: i128, overflowed: &mut u64) -> i64 {
+pub(crate) fn narrow(acc: i128, overflowed: &mut u64) -> i64 {
     if acc > i128::from(i64::MAX) || acc < i128::from(i64::MIN) {
         *overflowed += 1;
     }
     acc as i64
-}
-
-fn quantize_counting(t: &Tensor, format: QFormat) -> (QTensor, u64) {
-    let q = QTensor::quantize(t, format);
-    let s = format.scale();
-    let sat = t
-        .data()
-        .iter()
-        .filter(|&&v| {
-            let raw = round_half_even(v / s) as i64;
-            raw < format.qmin() || raw > format.qmax()
-        })
-        .count() as u64;
-    (q, sat)
-}
-
-fn requant(a: &QTensor, format: QFormat, sat: &mut u64) -> QTensor {
-    let shift = a.format.frac - format.frac;
-    let data = a
-        .data()
-        .iter()
-        .map(|&v| {
-            let r = shift_round(v, shift);
-            let c = r.clamp(format.qmin(), format.qmax());
-            if c != r {
-                *sat += 1;
-            }
-            c
-        })
-        .collect();
-    QTensor::from_ints(a.shape().clone(), data, format)
-}
-
-#[allow(clippy::too_many_arguments)]
-fn int_conv(
-    x: &QTensor,
-    w: &[i64],
-    wdims: [usize; 4],
-    bias: Option<&[i64]>,
-    geom: Conv2dGeom,
-    depthwise: bool,
-    w_frac: i32,
-    overflowed: &mut u64,
-) -> QTensor {
-    let (n, c, h, wd) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
-    let (oh, ow) = geom.out_size(h, wd);
-    let cout = wdims[0];
-    let acc_format = QFormat::new(x.format.frac + w_frac, 64, true);
-    let mut out = vec![0i64; n * cout * oh * ow];
-    let xd = x.data();
-    for ni in 0..n {
-        for co in 0..cout {
-            for oi in 0..oh {
-                for oj in 0..ow {
-                    let mut acc = 0i128;
-                    let cin_range: Box<dyn Iterator<Item = usize>> = if depthwise {
-                        Box::new(std::iter::once(co))
-                    } else {
-                        Box::new(0..c)
-                    };
-                    for ci in cin_range {
-                        let wci = if depthwise { 0 } else { ci };
-                        for ki in 0..geom.kh {
-                            let ii = (oi * geom.stride + ki) as isize - geom.pad as isize;
-                            if ii < 0 || ii >= h as isize {
-                                continue;
-                            }
-                            for kj in 0..geom.kw {
-                                let jj = (oj * geom.stride + kj) as isize - geom.pad as isize;
-                                if jj < 0 || jj >= wd as isize {
-                                    continue;
-                                }
-                                let xv = xd[((ni * c + ci) * h + ii as usize) * wd
-                                    + jj as usize];
-                                let wv = w[((co * wdims[1] + wci) * geom.kh + ki) * geom.kw
-                                    + kj];
-                                acc += i128::from(xv) * i128::from(wv);
-                            }
-                        }
-                    }
-                    if let Some(b) = bias {
-                        acc += i128::from(b[co]);
-                    }
-                    out[((ni * cout + co) * oh + oi) * ow + oj] = narrow(acc, overflowed);
-                }
-            }
-        }
-    }
-    QTensor::from_ints([n, cout, oh, ow], out, acc_format)
-}
-
-fn int_dense(
-    x: &QTensor,
-    w: &[i64],
-    in_dim: usize,
-    out_dim: usize,
-    bias: Option<&[i64]>,
-    w_frac: i32,
-    overflowed: &mut u64,
-) -> QTensor {
-    let n = x.dims()[0];
-    assert_eq!(x.dims()[1], in_dim, "dense input feature mismatch");
-    let acc_format = QFormat::new(x.format.frac + w_frac, 64, true);
-    let mut out = vec![0i64; n * out_dim];
-    for ni in 0..n {
-        for o in 0..out_dim {
-            let mut acc = 0i128;
-            for i in 0..in_dim {
-                acc += i128::from(x.data()[ni * in_dim + i]) * i128::from(w[i * out_dim + o]);
-            }
-            if let Some(b) = bias {
-                acc += i128::from(b[o]);
-            }
-            out[ni * out_dim + o] = narrow(acc, overflowed);
-        }
-    }
-    QTensor::from_ints([n, out_dim], out, acc_format)
-}
-
-fn int_maxpool(x: &QTensor, geom: Conv2dGeom) -> QTensor {
-    let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
-    let (oh, ow) = geom.out_size(h, w);
-    let mut out = vec![i64::MIN; n * c * oh * ow];
-    for ni in 0..n {
-        for ci in 0..c {
-            for oi in 0..oh {
-                for oj in 0..ow {
-                    let mut best = i64::MIN;
-                    for ki in 0..geom.kh {
-                        let ii = (oi * geom.stride + ki) as isize - geom.pad as isize;
-                        if ii < 0 || ii >= h as isize {
-                            continue;
-                        }
-                        for kj in 0..geom.kw {
-                            let jj = (oj * geom.stride + kj) as isize - geom.pad as isize;
-                            if jj < 0 || jj >= w as isize {
-                                continue;
-                            }
-                            best = best
-                                .max(x.data()[((ni * c + ci) * h + ii as usize) * w + jj as usize]);
-                        }
-                    }
-                    out[((ni * c + ci) * oh + oi) * ow + oj] = best;
-                }
-            }
-        }
-    }
-    QTensor::from_ints([n, c, oh, ow], out, x.format)
-}
-
-fn int_gap(x: &QTensor, overflowed: &mut u64) -> QTensor {
-    let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
-    let hw = h * w;
-    assert!(
-        hw.is_power_of_two(),
-        "global average pool needs power-of-two spatial size for exact \
-         fixed-point division, got {h}x{w}"
-    );
-    let log2hw = hw.trailing_zeros() as i32;
-    let out_format = QFormat::new(x.format.frac + log2hw, 64, true);
-    let mut out = vec![0i64; n * c];
-    for ni in 0..n {
-        for ci in 0..c {
-            let base = (ni * c + ci) * hw;
-            let acc: i128 = x.data()[base..base + hw]
-                .iter()
-                .map(|&v| i128::from(v))
-                .sum();
-            out[ni * c + ci] = narrow(acc, overflowed);
-        }
-    }
-    QTensor::from_ints([n, c], out, out_format)
-}
-
-fn int_concat(inputs: &[&QTensor]) -> QTensor {
-    let f = inputs[0].format;
-    for t in inputs {
-        assert_eq!(t.format, f, "concat formats must match (scale merging)");
-    }
-    let n = inputs[0].dims()[0];
-    let spatial: Vec<usize> = inputs[0].dims()[2..].to_vec();
-    let spatial_len: usize = spatial.iter().product::<usize>().max(1);
-    let c_out: usize = inputs.iter().map(|t| t.dims()[1]).sum();
-    let mut dims = vec![n, c_out];
-    dims.extend(&spatial);
-    let mut out = vec![0i64; n * c_out * spatial_len];
-    for ni in 0..n {
-        let mut c_off = 0;
-        for t in inputs {
-            let c = t.dims()[1];
-            let src = &t.data()[ni * c * spatial_len..(ni + 1) * c * spatial_len];
-            let dst = (ni * c_out + c_off) * spatial_len;
-            out[dst..dst + c * spatial_len].copy_from_slice(src);
-            c_off += c;
-        }
-    }
-    QTensor::from_ints(dims, out, f)
 }
 
 /// Lowers a calibrated, quantized float graph into an [`IntGraph`] and
@@ -837,17 +508,6 @@ mod tests {
             let y_int = ig.run(&x).dequantize();
             assert_eq!(y_float, y_int);
         }
-    }
-
-    #[test]
-    fn requant_shifts_between_formats() {
-        let a = QTensor::from_ints([3], vec![100, -100, 3], QFormat::new(6, 16, true));
-        let mut sat = 0;
-        let r = requant(&a, QFormat::new(4, 8, true), &mut sat);
-        assert_eq!(r.data(), &[25, -25, 1]); // 3/4 = 0.75 -> 1
-        let l = requant(&a, QFormat::new(8, 16, true), &mut sat);
-        assert_eq!(l.data(), &[400, -400, 12]); // exact left shift
-        assert_eq!(sat, 0, "no value saturates in either direction");
     }
 
     #[test]

@@ -1,0 +1,848 @@
+//! Execution planning and the buffer-reusing executor for [`IntGraph`].
+//!
+//! [`IntGraph::run_with_stats`] used to allocate a fresh `QTensor` per
+//! node per run. For repeated inference (benchmarks, the verify gate's
+//! probe runs, deployment-style serving loops) that is pure overhead: the
+//! graph is static, so every node's output shape, Q-format, and lifetime
+//! are known before the first run. [`IntPlan`] computes exactly that —
+//! shapes and formats by static inference (mirroring the runtime rules
+//! one-to-one), then a liveness pass that assigns nodes to a small set of
+//! reusable buffer *slots*: a node's buffer is recycled as soon as its
+//! last consumer has executed. [`IntExecutor`] owns one allocation per
+//! slot and reuses it across nodes *and* across runs.
+//!
+//! The op kernels here are the engine's hot path and are parallelized
+//! over the `tqt-rt` pool with **fixed-size blocks**, so the work
+//! partition — and therefore every i128 accumulation order and every
+//! saturation/overflow count — is independent of the thread count.
+//! Serial and parallel runs are bit-identical; counters are merged
+//! through `AtomicU64` sums, which are order-independent.
+
+use crate::intgemm::gemm_i64_narrow;
+use crate::lower::{narrow, IntGraph, IntOp, RunStats, LEAKY_ALPHA_FRAC};
+use crate::qtensor::{QFormat, QTensor};
+use crate::requant::shift_round;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tqt_quant::round_half_even;
+use tqt_rt::pool;
+use tqt_tensor::conv::{im2col_into, Conv2dGeom};
+use tqt_tensor::scratch::ScratchI64;
+use tqt_tensor::Tensor;
+
+/// Fixed block size for parallel elementwise kernels. Constant (never
+/// derived from the thread count) so chunk boundaries — and with them
+/// every per-chunk counter — are the same in serial and parallel runs.
+const ELEM_BLOCK: usize = 4096;
+
+/// A static execution plan for one [`IntGraph`] at one input shape:
+/// per-node output shapes and Q-formats, plus a liveness-based assignment
+/// of nodes to reusable buffer slots.
+#[derive(Debug)]
+pub struct IntPlan {
+    input_dims: Vec<usize>,
+    shapes: Vec<Vec<usize>>,
+    formats: Vec<QFormat>,
+    lens: Vec<usize>,
+    slot: Vec<usize>,
+    slot_lens: Vec<usize>,
+}
+
+impl IntPlan {
+    /// Plans `g` for inputs of shape `input_dims`.
+    ///
+    /// # Panics
+    ///
+    /// Panics where the runtime would: dense feature mismatches, add or
+    /// concat format mismatches, non-power-of-two global average pools.
+    pub fn new(g: &IntGraph, input_dims: &[usize]) -> Self {
+        let nodes = g.nodes();
+        let n = nodes.len();
+        let mut shapes: Vec<Vec<usize>> = Vec::with_capacity(n);
+        let mut formats: Vec<QFormat> = Vec::with_capacity(n);
+        for node in nodes {
+            let i0 = node.inputs.first().copied();
+            let (shape, format) = match &node.op {
+                // The raw float input placeholder owns no integer buffer;
+                // its consumer (QuantF32) reads the float tensor directly.
+                IntOp::Input => (vec![0], QFormat::new(0, 8, true)),
+                IntOp::QuantF32 { format } => (input_dims.to_vec(), *format),
+                IntOp::Requant { format } => {
+                    let i0 = i0.expect("requant needs an input"); // tqt:allow(expect): from_parts guarantees arity for lowered graphs
+                    (shapes[i0].clone(), *format)
+                }
+                IntOp::Conv {
+                    wdims,
+                    geom,
+                    w_frac,
+                    ..
+                } => {
+                    let i0 = i0.expect("conv needs an input"); // tqt:allow(expect): from_parts guarantees arity for lowered graphs
+                    let ish = &shapes[i0];
+                    let (oh, ow) = geom.out_size(ish[2], ish[3]);
+                    (
+                        vec![ish[0], wdims[0], oh, ow],
+                        QFormat::new(formats[i0].frac + w_frac, 64, true),
+                    )
+                }
+                IntOp::Dense {
+                    in_dim,
+                    out_dim,
+                    w_frac,
+                    ..
+                } => {
+                    let i0 = i0.expect("dense needs an input"); // tqt:allow(expect): from_parts guarantees arity for lowered graphs
+                    let ish = &shapes[i0];
+                    assert_eq!(ish[1], *in_dim, "dense input feature mismatch");
+                    (
+                        vec![ish[0], *out_dim],
+                        QFormat::new(formats[i0].frac + w_frac, 64, true),
+                    )
+                }
+                IntOp::Relu { .. } => {
+                    let i0 = i0.expect("relu needs an input"); // tqt:allow(expect): from_parts guarantees arity for lowered graphs
+                    (shapes[i0].clone(), formats[i0])
+                }
+                IntOp::LeakyRelu { .. } => {
+                    let i0 = i0.expect("leaky relu needs an input"); // tqt:allow(expect): from_parts guarantees arity for lowered graphs
+                    (
+                        shapes[i0].clone(),
+                        QFormat::new(formats[i0].frac + LEAKY_ALPHA_FRAC, 64, true),
+                    )
+                }
+                IntOp::MaxPool { geom } => {
+                    let i0 = i0.expect("maxpool needs an input"); // tqt:allow(expect): from_parts guarantees arity for lowered graphs
+                    let ish = &shapes[i0];
+                    let (oh, ow) = geom.out_size(ish[2], ish[3]);
+                    (vec![ish[0], ish[1], oh, ow], formats[i0])
+                }
+                IntOp::GlobalAvgPool => {
+                    let i0 = i0.expect("gap needs an input"); // tqt:allow(expect): from_parts guarantees arity for lowered graphs
+                    let ish = &shapes[i0];
+                    let hw = ish[2] * ish[3];
+                    assert!(
+                        hw.is_power_of_two(),
+                        "global average pool needs power-of-two spatial size for exact \
+                         fixed-point division, got {}x{}",
+                        ish[2],
+                        ish[3]
+                    );
+                    (
+                        vec![ish[0], ish[1]],
+                        QFormat::new(formats[i0].frac + hw.trailing_zeros() as i32, 64, true),
+                    )
+                }
+                IntOp::Add => {
+                    let (a, b) = (node.inputs[0], node.inputs[1]);
+                    assert_eq!(
+                        formats[a], formats[b],
+                        "eltwise-add formats must match (scale merging)"
+                    );
+                    assert_eq!(
+                        shapes[a].iter().product::<usize>(),
+                        shapes[b].iter().product::<usize>(),
+                        "eltwise-add operand sizes must match"
+                    );
+                    (shapes[a].clone(), QFormat::new(formats[a].frac, 64, true))
+                }
+                IntOp::Concat => {
+                    let f = formats[node.inputs[0]];
+                    for &i in &node.inputs {
+                        assert_eq!(formats[i], f, "concat formats must match (scale merging)");
+                    }
+                    let ish = &shapes[node.inputs[0]];
+                    let c_out: usize = node.inputs.iter().map(|&i| shapes[i][1]).sum();
+                    let mut dims = vec![ish[0], c_out];
+                    dims.extend(&ish[2..]);
+                    (dims, f)
+                }
+                IntOp::Flatten => {
+                    let i0 = i0.expect("flatten needs an input"); // tqt:allow(expect): from_parts guarantees arity for lowered graphs
+                    let ish = &shapes[i0];
+                    let feat: usize = ish.iter().product::<usize>() / ish[0];
+                    (vec![ish[0], feat], formats[i0])
+                }
+            };
+            shapes.push(shape);
+            formats.push(format);
+        }
+        let lens: Vec<usize> = shapes.iter().map(|s| s.iter().product()).collect();
+
+        // Liveness-based slot assignment. A node's slot is recyclable once
+        // every consumer has executed; the output node is pinned live.
+        // Crucially, a node's own slot is picked *before* its inputs are
+        // released, so an op never writes into a buffer it is reading.
+        let mut uses = vec![0usize; n];
+        for node in nodes {
+            for &i in &node.inputs {
+                uses[i] += 1;
+            }
+        }
+        uses[g.output_id()] += 1;
+        let mut slot = vec![0usize; n];
+        let mut slot_lens: Vec<usize> = Vec::new();
+        let mut free: Vec<usize> = Vec::new();
+        for id in 0..n {
+            let need = lens[id];
+            // Best fit: smallest free slot that already fits; otherwise
+            // grow the largest free slot; otherwise open a new slot.
+            let mut best: Option<usize> = None;
+            for (fi, &s) in free.iter().enumerate() {
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        let (bl, l) = (slot_lens[free[b]], slot_lens[s]);
+                        if l >= need {
+                            bl < need || l < bl
+                        } else {
+                            bl < need && l > bl
+                        }
+                    }
+                };
+                if better {
+                    best = Some(fi);
+                }
+            }
+            let s = match best {
+                Some(fi) => free.swap_remove(fi),
+                None => {
+                    slot_lens.push(0);
+                    slot_lens.len() - 1
+                }
+            };
+            slot[id] = s;
+            slot_lens[s] = slot_lens[s].max(need);
+            for &i in &nodes[id].inputs {
+                uses[i] -= 1;
+                if uses[i] == 0 {
+                    free.push(slot[i]);
+                }
+            }
+            if uses[id] == 0 {
+                // Dead node (no consumers, not the output): recyclable
+                // right after it runs.
+                free.push(s);
+            }
+        }
+        IntPlan {
+            input_dims: input_dims.to_vec(),
+            shapes,
+            formats,
+            lens,
+            slot,
+            slot_lens,
+        }
+    }
+
+    /// Output shape of node `id`.
+    pub fn shape(&self, id: usize) -> &[usize] {
+        &self.shapes[id]
+    }
+
+    /// Output Q-format of node `id`.
+    pub fn format(&self, id: usize) -> QFormat {
+        self.formats[id]
+    }
+
+    /// Number of physical activation buffers the executor allocates.
+    pub fn num_slots(&self) -> usize {
+        self.slot_lens.len()
+    }
+
+    /// Total elements across the reusable slot buffers.
+    pub fn total_buffer_elems(&self) -> usize {
+        self.slot_lens.iter().sum()
+    }
+
+    /// Total elements a per-node allocation scheme would hold live (what
+    /// the executor saves against).
+    pub fn activation_elems(&self) -> usize {
+        self.lens.iter().sum()
+    }
+}
+
+/// A reusable integer-inference engine: one [`IntPlan`] plus one owned
+/// buffer per plan slot, reused across nodes and across runs. Build once
+/// per (graph, input shape) and call [`run`](Self::run) in a loop — no
+/// per-run activation allocation happens after construction.
+pub struct IntExecutor<'g> {
+    graph: &'g IntGraph,
+    plan: IntPlan,
+    bufs: Vec<Vec<i64>>,
+}
+
+impl IntGraph {
+    /// Plans this graph for inputs of shape `input_dims`.
+    pub fn plan(&self, input_dims: &[usize]) -> IntPlan {
+        IntPlan::new(self, input_dims)
+    }
+
+    /// Builds a reusable executor for inputs of shape `input_dims`.
+    pub fn executor(&self, input_dims: &[usize]) -> IntExecutor<'_> {
+        IntExecutor::new(self, input_dims)
+    }
+}
+
+fn input_slice<'a>(bufs: &'a [Vec<i64>], plan: &IntPlan, i: usize) -> &'a [i64] {
+    &bufs[plan.slot[i]][..plan.lens[i]]
+}
+
+impl<'g> IntExecutor<'g> {
+    /// Creates an executor with freshly planned, zeroed slot buffers.
+    pub fn new(graph: &'g IntGraph, input_dims: &[usize]) -> Self {
+        let plan = IntPlan::new(graph, input_dims);
+        let bufs = plan.slot_lens.iter().map(|&l| vec![0i64; l]).collect();
+        IntExecutor { graph, plan, bufs }
+    }
+
+    /// The plan this executor runs.
+    pub fn plan(&self) -> &IntPlan {
+        &self.plan
+    }
+
+    /// Runs integer inference, skipping the per-node range observation
+    /// pass (the cheap saturation/overflow counters still run). With the
+    /// `sanitize` feature enabled, asserts no i64 accumulator wrapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` does not have the planned input shape.
+    pub fn run(&mut self, x: &Tensor) -> QTensor {
+        let (y, stats) = self.run_inner(x, false);
+        #[cfg(feature = "sanitize")]
+        for (node, st) in self.graph.nodes().iter().zip(&stats.nodes) {
+            assert_eq!(
+                st.overflowed, 0,
+                "sanitize: i64 accumulator wrapped in node {}",
+                node.name
+            );
+        }
+        let _ = stats;
+        y
+    }
+
+    /// Instrumented run: like [`run`](Self::run) but additionally records
+    /// each node's observed output range (see
+    /// [`IntGraph::run_with_stats`]).
+    pub fn run_with_stats(&mut self, x: &Tensor) -> (QTensor, RunStats) {
+        self.run_inner(x, true)
+    }
+
+    fn run_inner(&mut self, x: &Tensor, observe: bool) -> (QTensor, RunStats) {
+        assert_eq!(
+            x.dims(),
+            &self.plan.input_dims[..],
+            "executor planned for different input dims"
+        );
+        let n = self.graph.nodes().len();
+        let mut stats = RunStats::new(n);
+        let mut float_consumed = false;
+        for (id, node) in self.graph.nodes().iter().enumerate() {
+            let slot_id = self.plan.slot[id];
+            let len = self.plan.lens[id];
+            let mut outbuf = std::mem::take(&mut self.bufs[slot_id]);
+            {
+                let plan = &self.plan;
+                let bufs = &self.bufs;
+                let out = &mut outbuf[..len];
+                let st = &mut stats.nodes[id];
+                match &node.op {
+                    IntOp::Input => {}
+                    IntOp::QuantF32 { format } => {
+                        assert!(!float_consumed, "input consumed twice");
+                        float_consumed = true;
+                        st.saturated += quantf32_into(x.data(), *format, out);
+                    }
+                    IntOp::Requant { format } => {
+                        let i0 = node.inputs[0];
+                        st.saturated += requant_into(
+                            input_slice(bufs, plan, i0),
+                            plan.formats[i0].frac,
+                            *format,
+                            out,
+                        );
+                    }
+                    IntOp::Conv {
+                        w,
+                        wdims,
+                        bias,
+                        geom,
+                        depthwise,
+                        ..
+                    } => {
+                        let i0 = node.inputs[0];
+                        let a = input_slice(bufs, plan, i0);
+                        let ish = &plan.shapes[i0];
+                        st.overflowed += if *depthwise {
+                            depthwise_into(a, ish, w, *geom, bias.as_deref(), out)
+                        } else {
+                            conv_into(a, ish, w, *wdims, *geom, bias.as_deref(), out)
+                        };
+                    }
+                    IntOp::Dense {
+                        w,
+                        in_dim,
+                        out_dim,
+                        bias,
+                        ..
+                    } => {
+                        let i0 = node.inputs[0];
+                        let a = input_slice(bufs, plan, i0);
+                        let ovf = AtomicU64::new(0);
+                        gemm_i64_narrow(
+                            plan.shapes[i0][0],
+                            *out_dim,
+                            *in_dim,
+                            a,
+                            w,
+                            None,
+                            bias.as_deref(),
+                            out,
+                            &ovf,
+                            true,
+                        );
+                        st.overflowed += ovf.load(Ordering::Relaxed);
+                    }
+                    IntOp::Relu { cap_q } => {
+                        let a = input_slice(bufs, plan, node.inputs[0]);
+                        let cap = *cap_q;
+                        pool::par_chunks_mut(out, ELEM_BLOCK, |ci, chunk| {
+                            let base = ci * ELEM_BLOCK;
+                            let end = base + chunk.len();
+                            for (o, &v) in chunk.iter_mut().zip(&a[base..end]) {
+                                let mut y = v.max(0);
+                                if let Some(c) = cap {
+                                    y = y.min(c);
+                                }
+                                *o = y;
+                            }
+                        });
+                    }
+                    IntOp::LeakyRelu { alpha_q } => {
+                        let a = input_slice(bufs, plan, node.inputs[0]);
+                        let alpha = *alpha_q;
+                        let ovf = AtomicU64::new(0);
+                        pool::par_chunks_mut(out, ELEM_BLOCK, |ci, chunk| {
+                            let base = ci * ELEM_BLOCK;
+                            let mut local = 0u64;
+                            let end = base + chunk.len();
+                            for (o, &v) in chunk.iter_mut().zip(&a[base..end]) {
+                                let wide = (i128::from(v) << LEAKY_ALPHA_FRAC)
+                                    .max(i128::from(v) * i128::from(alpha));
+                                *o = narrow(wide, &mut local);
+                            }
+                            if local > 0 {
+                                ovf.fetch_add(local, Ordering::Relaxed);
+                            }
+                        });
+                        st.overflowed += ovf.load(Ordering::Relaxed);
+                    }
+                    IntOp::MaxPool { geom } => {
+                        let i0 = node.inputs[0];
+                        maxpool_into(input_slice(bufs, plan, i0), &plan.shapes[i0], *geom, out);
+                    }
+                    IntOp::GlobalAvgPool => {
+                        let i0 = node.inputs[0];
+                        gap_into(
+                            input_slice(bufs, plan, i0),
+                            &plan.shapes[i0],
+                            out,
+                            &mut st.overflowed,
+                        );
+                    }
+                    IntOp::Add => {
+                        let a = input_slice(bufs, plan, node.inputs[0]);
+                        let b = input_slice(bufs, plan, node.inputs[1]);
+                        let ovf = AtomicU64::new(0);
+                        pool::par_chunks_mut(out, ELEM_BLOCK, |ci, chunk| {
+                            let base = ci * ELEM_BLOCK;
+                            let mut local = 0u64;
+                            for (j, o) in chunk.iter_mut().enumerate() {
+                                *o = narrow(
+                                    i128::from(a[base + j]) + i128::from(b[base + j]),
+                                    &mut local,
+                                );
+                            }
+                            if local > 0 {
+                                ovf.fetch_add(local, Ordering::Relaxed);
+                            }
+                        });
+                        st.overflowed += ovf.load(Ordering::Relaxed);
+                    }
+                    IntOp::Concat => {
+                        let ins: Vec<(&[i64], &[usize])> = node
+                            .inputs
+                            .iter()
+                            .map(|&i| (input_slice(bufs, plan, i), plan.shapes[i].as_slice()))
+                            .collect();
+                        concat_into(&ins, out);
+                    }
+                    IntOp::Flatten => {
+                        out.copy_from_slice(input_slice(bufs, plan, node.inputs[0]));
+                    }
+                }
+            }
+            if !matches!(node.op, IntOp::Input) {
+                if observe {
+                    stats.nodes[id].observe(&outbuf[..len]);
+                }
+                // Mirror the width check QTensor::from_ints used to apply
+                // at every node (debug builds only — the hot path trusts
+                // the plan's format inference, which tests validate).
+                #[cfg(debug_assertions)]
+                {
+                    let f = self.plan.formats[id];
+                    for &v in &outbuf[..len] {
+                        debug_assert!(
+                            v >= f.qmin() && v <= f.qmax(),
+                            "value {v} overflows {f:?} in node {}",
+                            node.name
+                        );
+                    }
+                }
+            }
+            self.bufs[slot_id] = outbuf;
+        }
+        let out_id = self.graph.output_id();
+        let y = QTensor::from_ints(
+            self.plan.shapes[out_id].clone(),
+            input_slice(&self.bufs, &self.plan, out_id).to_vec(),
+            self.plan.formats[out_id],
+        );
+        (y, stats)
+    }
+}
+
+/// Quantizes a float slice into `format` (round-half-even, saturating),
+/// returning the number of clamped elements. Bit-identical to
+/// [`QTensor::quantize`] plus the legacy saturation count.
+fn quantf32_into(xd: &[f32], format: QFormat, out: &mut [i64]) -> u64 {
+    assert_eq!(xd.len(), out.len(), "quantize length mismatch");
+    let s = format.scale();
+    let (qmin, qmax) = (format.qmin(), format.qmax());
+    let sat = AtomicU64::new(0);
+    pool::par_chunks_mut(out, ELEM_BLOCK, |ci, chunk| {
+        let base = ci * ELEM_BLOCK;
+        let mut local = 0u64;
+        let end = base + chunk.len();
+        for (o, &v) in chunk.iter_mut().zip(&xd[base..end]) {
+            let raw = round_half_even(v / s) as i64;
+            let c = raw.clamp(qmin, qmax);
+            if c != raw {
+                local += 1;
+            }
+            *o = c;
+        }
+        if local > 0 {
+            sat.fetch_add(local, Ordering::Relaxed);
+        }
+    });
+    sat.load(Ordering::Relaxed)
+}
+
+/// Requantizes from `in_frac` into `format` by round-half-even bit-shift
+/// with saturation (eq. 16), returning the number of clamped elements.
+fn requant_into(a: &[i64], in_frac: i32, format: QFormat, out: &mut [i64]) -> u64 {
+    assert_eq!(a.len(), out.len(), "requant length mismatch");
+    let shift = in_frac - format.frac;
+    let (qmin, qmax) = (format.qmin(), format.qmax());
+    let sat = AtomicU64::new(0);
+    pool::par_chunks_mut(out, ELEM_BLOCK, |ci, chunk| {
+        let base = ci * ELEM_BLOCK;
+        let mut local = 0u64;
+        let end = base + chunk.len();
+        for (o, &v) in chunk.iter_mut().zip(&a[base..end]) {
+            let r = shift_round(v, shift);
+            let c = r.clamp(qmin, qmax);
+            if c != r {
+                local += 1;
+            }
+            *o = c;
+        }
+        if local > 0 {
+            sat.fetch_add(local, Ordering::Relaxed);
+        }
+    });
+    sat.load(Ordering::Relaxed)
+}
+
+/// Standard convolution: per-image i64 im2col into the thread-local
+/// scratch arena, then the blocked exact GEMM (parallel over output-row
+/// blocks). Returns the wrapped-accumulator count.
+fn conv_into(
+    x: &[i64],
+    ish: &[usize],
+    w: &[i64],
+    wdims: [usize; 4],
+    geom: Conv2dGeom,
+    bias: Option<&[i64]>,
+    out: &mut [i64],
+) -> u64 {
+    let (nb, c, h, wd) = (ish[0], ish[1], ish[2], ish[3]);
+    let (oh, ow) = geom.out_size(h, wd);
+    let cout = wdims[0];
+    let krows = c * geom.kh * geom.kw;
+    let ncols = oh * ow;
+    let ovf = AtomicU64::new(0);
+    for ni in 0..nb {
+        let mut cols = ScratchI64::uninit(krows * ncols);
+        im2col_into(
+            &x[ni * c * h * wd..(ni + 1) * c * h * wd],
+            0i64,
+            c,
+            h,
+            wd,
+            geom,
+            &mut cols,
+        );
+        let oimg = &mut out[ni * cout * ncols..(ni + 1) * cout * ncols];
+        gemm_i64_narrow(cout, ncols, krows, w, &cols, bias, None, oimg, &ovf, true);
+    }
+    ovf.load(Ordering::Relaxed)
+}
+
+/// Depthwise convolution, parallel over `(image, channel)` planes with
+/// exact i128 per-pixel accumulation. Returns the wrapped count.
+fn depthwise_into(
+    x: &[i64],
+    ish: &[usize],
+    w: &[i64],
+    geom: Conv2dGeom,
+    bias: Option<&[i64]>,
+    out: &mut [i64],
+) -> u64 {
+    let (nb, c, h, wd) = (ish[0], ish[1], ish[2], ish[3]);
+    let (oh, ow) = geom.out_size(h, wd);
+    let ncols = oh * ow;
+    assert_eq!(out.len(), nb * c * ncols, "depthwise output length mismatch");
+    let ovf = AtomicU64::new(0);
+    pool::par_chunks_mut(out, ncols, |img, ochunk| {
+        let co = img % c;
+        let xim = &x[img * h * wd..(img + 1) * h * wd];
+        let wk = &w[co * geom.kh * geom.kw..(co + 1) * geom.kh * geom.kw];
+        let mut local = 0u64;
+        for oi in 0..oh {
+            for oj in 0..ow {
+                let mut acc = 0i128;
+                for ki in 0..geom.kh {
+                    let ii = (oi * geom.stride + ki) as isize - geom.pad as isize;
+                    if ii < 0 || ii >= h as isize {
+                        continue;
+                    }
+                    for kj in 0..geom.kw {
+                        let jj = (oj * geom.stride + kj) as isize - geom.pad as isize;
+                        if jj < 0 || jj >= wd as isize {
+                            continue;
+                        }
+                        acc += i128::from(xim[ii as usize * wd + jj as usize])
+                            * i128::from(wk[ki * geom.kw + kj]);
+                    }
+                }
+                if let Some(b) = bias {
+                    acc += i128::from(b[co]);
+                }
+                ochunk[oi * ow + oj] = narrow(acc, &mut local);
+            }
+        }
+        if local > 0 {
+            ovf.fetch_add(local, Ordering::Relaxed);
+        }
+    });
+    ovf.load(Ordering::Relaxed)
+}
+
+/// Max pooling, parallel over `(image, channel)` planes. Padding
+/// positions are skipped (never compared), exactly like the reference.
+fn maxpool_into(x: &[i64], ish: &[usize], geom: Conv2dGeom, out: &mut [i64]) {
+    let (nb, c, h, wd) = (ish[0], ish[1], ish[2], ish[3]);
+    let (oh, ow) = geom.out_size(h, wd);
+    let ncols = oh * ow;
+    assert_eq!(out.len(), nb * c * ncols, "maxpool output length mismatch");
+    pool::par_chunks_mut(out, ncols, |img, ochunk| {
+        let xim = &x[img * h * wd..(img + 1) * h * wd];
+        for oi in 0..oh {
+            for oj in 0..ow {
+                let mut best = i64::MIN;
+                for ki in 0..geom.kh {
+                    let ii = (oi * geom.stride + ki) as isize - geom.pad as isize;
+                    if ii < 0 || ii >= h as isize {
+                        continue;
+                    }
+                    for kj in 0..geom.kw {
+                        let jj = (oj * geom.stride + kj) as isize - geom.pad as isize;
+                        if jj < 0 || jj >= wd as isize {
+                            continue;
+                        }
+                        best = best.max(xim[ii as usize * wd + jj as usize]);
+                    }
+                }
+                ochunk[oi * ow + oj] = best;
+            }
+        }
+    });
+}
+
+/// Global average pool: exact channel sums (division is the `frac +=
+/// log2(hw)` format change, applied by the plan).
+fn gap_into(x: &[i64], ish: &[usize], out: &mut [i64], overflowed: &mut u64) {
+    let hw = ish[2] * ish[3];
+    assert_eq!(out.len(), ish[0] * ish[1], "gap output length mismatch");
+    for (i, o) in out.iter_mut().enumerate() {
+        let acc: i128 = x[i * hw..(i + 1) * hw].iter().map(|&v| i128::from(v)).sum();
+        *o = narrow(acc, overflowed);
+    }
+}
+
+/// Channel concat of `(data, shape)` pairs (formats pre-checked by the
+/// plan).
+fn concat_into(inputs: &[(&[i64], &[usize])], out: &mut [i64]) {
+    let ish0 = inputs[0].1;
+    let nb = ish0[0];
+    let spatial_len: usize = ish0[2..].iter().product::<usize>().max(1);
+    let c_out: usize = inputs.iter().map(|(_, s)| s[1]).sum();
+    for ni in 0..nb {
+        let mut c_off = 0;
+        for (data, sh) in inputs {
+            let c = sh[1];
+            let src = &data[ni * c * spatial_len..(ni + 1) * c * spatial_len];
+            let dst = (ni * c_out + c_off) * spatial_len;
+            out[dst..dst + c * spatial_len].copy_from_slice(src);
+            c_off += c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::IntNode;
+
+    fn chain(ops: Vec<IntOp>) -> IntGraph {
+        let nodes = ops
+            .into_iter()
+            .enumerate()
+            .map(|(i, op)| IntNode {
+                name: format!("n{i}"),
+                op,
+                inputs: if i == 0 { vec![] } else { vec![i - 1] },
+            })
+            .collect::<Vec<_>>();
+        let out = nodes.len() - 1;
+        IntGraph::from_parts(nodes, out)
+    }
+
+    #[test]
+    fn requant_into_shifts_between_formats() {
+        let a = [100i64, -100, 3];
+        let mut r = [0i64; 3];
+        let sat = requant_into(&a, 6, QFormat::new(4, 8, true), &mut r);
+        assert_eq!(r, [25, -25, 1]); // 3/4 = 0.75 -> 1
+        let mut l = [0i64; 3];
+        let sat2 = requant_into(&a, 6, QFormat::new(8, 16, true), &mut l);
+        assert_eq!(l, [400, -400, 12]); // exact left shift
+        assert_eq!(sat + sat2, 0, "no value saturates in either direction");
+    }
+
+    #[test]
+    fn chain_reuses_slots() {
+        let g = chain(vec![
+            IntOp::Input,
+            IntOp::QuantF32 {
+                format: QFormat::new(4, 8, true),
+            },
+            IntOp::Relu { cap_q: None },
+            IntOp::Requant {
+                format: QFormat::new(4, 8, true),
+            },
+            IntOp::Relu { cap_q: Some(100) },
+        ]);
+        let plan = g.plan(&[2, 8]);
+        // A straight-line chain only ever needs two live buffers (plus the
+        // zero-length input placeholder slot).
+        assert!(
+            plan.num_slots() <= 3,
+            "expected ping-pong buffering, got {} slots",
+            plan.num_slots()
+        );
+        assert!(plan.total_buffer_elems() < plan.activation_elems());
+    }
+
+    #[test]
+    fn executor_is_reusable_and_matches_one_shot_run() {
+        let g = chain(vec![
+            IntOp::Input,
+            IntOp::QuantF32 {
+                format: QFormat::new(4, 8, true),
+            },
+            IntOp::Relu { cap_q: Some(90) },
+            IntOp::Requant {
+                format: QFormat::new(2, 8, true),
+            },
+        ]);
+        let mut rng = tqt_tensor::init::rng(7);
+        let mut ex = g.executor(&[3, 16]);
+        for _ in 0..3 {
+            let x = tqt_tensor::init::normal([3, 16], 0.0, 4.0, &mut rng);
+            let (y1, s1) = g.run_with_stats(&x);
+            let (y2, s2) = ex.run_with_stats(&x);
+            assert_eq!(y1, y2);
+            assert_eq!(s1.nodes, s2.nodes);
+            assert_eq!(ex.run(&x), y1, "uninstrumented run must agree");
+        }
+    }
+
+    #[test]
+    fn output_slot_is_never_an_input_slot() {
+        // Diamond: q -> (relu, requant) -> add; the add must not write
+        // into either operand's buffer.
+        let nodes = vec![
+            IntNode {
+                name: "in".into(),
+                op: IntOp::Input,
+                inputs: vec![],
+            },
+            IntNode {
+                name: "q".into(),
+                op: IntOp::QuantF32 {
+                    format: QFormat::new(4, 8, true),
+                },
+                inputs: vec![0],
+            },
+            IntNode {
+                name: "relu".into(),
+                op: IntOp::Relu { cap_q: None },
+                inputs: vec![1],
+            },
+            IntNode {
+                name: "rq".into(),
+                op: IntOp::Requant {
+                    format: QFormat::new(4, 8, true),
+                },
+                inputs: vec![1],
+            },
+            IntNode {
+                name: "add".into(),
+                op: IntOp::Add,
+                inputs: vec![2, 3],
+            },
+        ];
+        let g = IntGraph::from_parts(nodes, 4);
+        let plan = g.plan(&[1, 32]);
+        for (id, node) in g.nodes().iter().enumerate() {
+            for &i in &node.inputs {
+                if plan.lens[i] > 0 {
+                    assert_ne!(
+                        plan.slot[id], plan.slot[i],
+                        "node {id} writes the slot of its live input {i}"
+                    );
+                }
+            }
+        }
+        let mut rng = tqt_tensor::init::rng(11);
+        let x = tqt_tensor::init::normal([1, 32], 0.0, 3.0, &mut rng);
+        let (y, _) = g.run_with_stats(&x);
+        // add of relu(q) + q on the same grid: spot-check one element.
+        let q = QTensor::quantize(&x, QFormat::new(4, 8, true));
+        let expect: Vec<i64> = q.data().iter().map(|&v| v.max(0) + v).collect();
+        assert_eq!(y.data(), &expect[..]);
+    }
+}

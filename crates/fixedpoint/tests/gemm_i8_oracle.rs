@@ -1,0 +1,233 @@
+//! Property tests for the blocked, packed, fused i8 GEMM: against an
+//! exact i64-index scalar oracle over random shapes (including the
+//! ragged tile edges the blocking must handle), all three requant
+//! epilogues, zero-point edge cases at ±127, and serial/parallel plus
+//! scalar/AVX2 bit-identity (the parallel path runs the same packed
+//! kernels, so equality with the oracle on both settings covers it).
+
+use tqt_fixedpoint::kernels;
+use tqt_fixedpoint::requant::{requant_affine, requant_pow2, requant_real, NormalizedMultiplier};
+use tqt_fixedpoint::{gemm_i8_acc32, gemm_i8_fused, RequantMode};
+use tqt_rt::check::{self, Config, Gen};
+use tqt_rt::{prop_assert, Rng};
+
+/// One generated GEMM case. Operand data is derived from `seed` so the
+/// case shrinks through its shape alone.
+#[derive(Debug, Clone)]
+struct Case {
+    m: usize,
+    n: usize,
+    k: usize,
+    seed: u64,
+    /// 0 = pow2, 1 = real, 2 = affine.
+    mode: u8,
+    with_bias: bool,
+    /// Zero-points; the generator pins these to the ±127 extremes in a
+    /// third of cases.
+    z1: i32,
+    z2: i32,
+    z3: i32,
+}
+
+fn gen_case() -> Gen<Case> {
+    Gen::new(
+        |rng: &mut Rng| {
+            let zp = |rng: &mut Rng| match rng.gen_range(0u32..4) {
+                0 => -127,
+                1 => 127,
+                2 => 0,
+                _ => rng.gen_range(-100i32..101),
+            };
+            Case {
+                // Crosses the MR=6 / NR=16 / MC=96 tile edges and odd k.
+                m: rng.gen_range(1usize..140),
+                n: rng.gen_range(1usize..40),
+                k: rng.gen_range(1usize..70),
+                seed: rng.gen_range(0u64..1 << 32),
+                mode: rng.gen_range(0u32..3) as u8,
+                with_bias: rng.gen_bool(),
+                z1: zp(rng),
+                z2: zp(rng),
+                z3: rng.gen_range(-128i32..128),
+            }
+        },
+        |c: &Case| {
+            let mut cands = Vec::new();
+            if c.m > 1 {
+                cands.push(Case { m: c.m / 2, ..c.clone() });
+            }
+            if c.n > 1 {
+                cands.push(Case { n: c.n / 2, ..c.clone() });
+            }
+            if c.k > 1 {
+                cands.push(Case { k: c.k / 2, ..c.clone() });
+            }
+            if c.seed != 0 {
+                cands.push(Case { seed: 0, ..c.clone() });
+            }
+            cands
+        },
+    )
+}
+
+fn fill_i8(len: usize, rng: &mut Rng) -> Vec<i8> {
+    (0..len).map(|_| rng.gen_range(-128i32..128) as i8).collect()
+}
+
+/// Exact scalar oracle mirroring the fused-kernel contract: i32 wrapping
+/// accumulation, wrapping bias add, then the i64 requant from
+/// `tqt_fixedpoint::requant` per element.
+#[allow(clippy::too_many_arguments)]
+fn oracle(c: &Case, a: &[i8], b: &[i8], bias: Option<&[i32]>, mult: NormalizedMultiplier) -> Vec<i8> {
+    let (m, n, k) = (c.m, c.n, c.k);
+    let asums = kernels::row_sums(a, m, k);
+    let bsums = kernels::col_sums(b, k, n);
+    let mut out = vec![0i8; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0i32;
+            for kk in 0..k {
+                acc = acc.wrapping_add(i32::from(a[i * k + kk]) * i32::from(b[kk * n + j]));
+            }
+            if let Some(bv) = bias {
+                acc = acc.wrapping_add(bv[i]);
+            }
+            let v = i64::from(acc);
+            out[i * n + j] = match c.mode {
+                0 => requant_pow2(v, 7, -128, 127) as i8,
+                1 => requant_real(v, mult, -128, 127) as i8,
+                _ => requant_affine(
+                    v,
+                    i64::from(asums[i]),
+                    i64::from(bsums[j]),
+                    k as i64,
+                    i64::from(c.z1),
+                    i64::from(c.z2),
+                    i64::from(c.z3),
+                    mult,
+                    -128,
+                    127,
+                ) as i8,
+            };
+        }
+    }
+    out
+}
+
+#[test]
+fn fused_gemm_matches_i64_oracle_all_modes() {
+    check::run(
+        "fused_gemm_matches_i64_oracle",
+        Config::cases(120),
+        gen_case(),
+        |c: &Case| {
+            let mut rng = Rng::new(c.seed ^ 0x9e37_79b9);
+            let a = fill_i8(c.m * c.k, &mut rng);
+            let b = fill_i8(c.k * c.n, &mut rng);
+            let bias: Option<Vec<i32>> = c
+                .with_bias
+                .then(|| (0..c.m).map(|_| rng.gen_range(-5000i32..5000)).collect());
+            let mult = NormalizedMultiplier::from_f64(0.003 + (c.seed % 97) as f64 * 1e-4);
+            let asums = kernels::row_sums(&a, c.m, c.k);
+            let bsums = kernels::col_sums(&b, c.k, c.n);
+            let mode = match c.mode {
+                0 => RequantMode::Pow2 { shift: 7 },
+                1 => RequantMode::Real { m: mult },
+                _ => RequantMode::Affine {
+                    a_sums: &asums,
+                    b_sums: &bsums,
+                    z1: c.z1,
+                    z2: c.z2,
+                    z3: c.z3,
+                    m: mult,
+                },
+            };
+            let expected = oracle(c, &a, &b, bias.as_deref(), mult);
+            for parallel in [false, true] {
+                let mut got = vec![0i8; c.m * c.n];
+                gemm_i8_fused(
+                    c.m,
+                    c.n,
+                    c.k,
+                    &a,
+                    &b,
+                    bias.as_deref(),
+                    mode,
+                    &mut got,
+                    parallel,
+                );
+                prop_assert!(
+                    got == expected,
+                    "fused (parallel={parallel}) disagrees with oracle on {c:?}"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn raw_accumulator_gemm_matches_naive() {
+    check::run(
+        "raw_acc_gemm_matches_naive",
+        Config::cases(80),
+        gen_case(),
+        |c: &Case| {
+            let mut rng = Rng::new(c.seed ^ 0x51_7cc1);
+            let a = fill_i8(c.m * c.k, &mut rng);
+            let b = fill_i8(c.k * c.n, &mut rng);
+            let expected = kernels::matmul_i8_acc32(&a, &b, c.m, c.k, c.n);
+            for parallel in [false, true] {
+                let mut got = vec![0i32; c.m * c.n];
+                gemm_i8_acc32(c.m, c.n, c.k, &a, &b, &mut got, parallel);
+                prop_assert!(
+                    got == expected,
+                    "blocked acc (parallel={parallel}) disagrees with naive on {c:?}"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn saturating_extremes_round_trip() {
+    // All-(-128) operands maximize |acc|; shift 0 forces saturation at
+    // both clamp edges through every mode.
+    let (m, n, k) = (17, 9, 33);
+    let a = vec![-128i8; m * k];
+    let mut b = vec![-128i8; k * n];
+    for (i, v) in b.iter_mut().enumerate() {
+        if i % 2 == 0 {
+            *v = 127;
+        }
+    }
+    let asums = kernels::row_sums(&a, m, k);
+    let bsums = kernels::col_sums(&b, k, n);
+    let mult = NormalizedMultiplier::from_f64(0.9999);
+    let modes = [
+        RequantMode::Pow2 { shift: 0 },
+        RequantMode::Real { m: mult },
+        RequantMode::Affine {
+            a_sums: &asums,
+            b_sums: &bsums,
+            z1: -127,
+            z2: 127,
+            z3: 0,
+            m: mult,
+        },
+    ];
+    for mode in modes {
+        let mut fused = vec![0i8; m * n];
+        gemm_i8_fused(m, n, k, &a, &b, None, mode, &mut fused, false);
+        let acc = kernels::matmul_i8_acc32(&a, &b, m, k, n);
+        let expected = match mode {
+            RequantMode::Pow2 { shift } => kernels::requant_buffer_pow2(&acc, shift),
+            RequantMode::Real { m } => kernels::requant_buffer_real(&acc, m),
+            RequantMode::Affine {
+                z1, z2, z3, m: mm, ..
+            } => kernels::requant_buffer_affine(&acc, &asums, &bsums, k, z1, z2, z3, mm),
+        };
+        assert_eq!(fused, expected);
+    }
+}

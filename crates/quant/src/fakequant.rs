@@ -12,6 +12,8 @@
 //! distribution), strictly favoring range over precision. This is exactly
 //! the behaviour the TQT gradient corrects.
 
+use crate::tqt::PAR_BLOCK;
+use tqt_rt::pool;
 use tqt_tensor::Tensor;
 
 /// Parameters of a FakeQuant quantizer: real-valued clip limits and
@@ -83,12 +85,21 @@ impl FakeQuant {
     }
 
     /// Forward pass (eq. 11): clip, snap to the uniform grid, de-quantize.
+    /// Pool-parallel over fixed-size blocks (bit-identical to a serial
+    /// run — the kernel is elementwise).
     pub fn quantize(&self, x: &Tensor) -> Tensor {
         let (lo, hi, s) = self.params();
-        x.map(|v| {
-            let c = v.clamp(lo, hi);
-            ((c - lo) / s).round_ties_even() * s + lo
-        })
+        let mut y = Tensor::zeros(x.shape().clone());
+        let xd = x.data();
+        pool::par_chunks_mut(y.data_mut(), PAR_BLOCK, |ci, chunk| {
+            let base = ci * PAR_BLOCK;
+            let end = base + chunk.len();
+            for (o, &v) in chunk.iter_mut().zip(&xd[base..end]) {
+                let c = v.clamp(lo, hi);
+                *o = ((c - lo) / s).round_ties_even() * s + lo;
+            }
+        });
+        y
     }
 
     /// Backward pass with TensorFlow's clipped gradients: the round is
@@ -97,6 +108,7 @@ impl FakeQuant {
     /// # Panics
     ///
     /// Panics if `gy` has a different shape than `x`.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must take the else branch, as in the serial chain
     pub fn backward(&self, x: &Tensor, gy: &Tensor) -> FakeQuantGrads {
         assert!(
             x.shape().same_as(gy.shape()),
@@ -106,17 +118,35 @@ impl FakeQuant {
         );
         let (lo, hi) = self.nudged_limits();
         let mut dx = Tensor::zeros(x.shape().clone());
-        let (mut dmin, mut dmax) = (0.0f64, 0.0f64);
-        let dxd = dx.data_mut();
-        for (i, (&v, &g)) in x.data().iter().zip(gy.data()).enumerate() {
-            if v < lo {
-                dmin += g as f64;
-            } else if v > hi {
-                dmax += g as f64;
-            } else {
-                dxd[i] = g;
+        let xd = x.data();
+        let gyd = gy.data();
+        pool::par_chunks_mut(dx.data_mut(), PAR_BLOCK, |ci, chunk| {
+            let base = ci * PAR_BLOCK;
+            for (j, o) in chunk.iter_mut().enumerate() {
+                let v = xd[base + j];
+                // Negated comparisons so NaN falls through to the pass-
+                // through branch, exactly like the serial if/else chain.
+                if !(v < lo) && !(v > hi) {
+                    *o = gyd[base + j];
+                }
             }
-        }
+        });
+        // Deterministic tree reduction: in-index-order partials per fixed
+        // block, folded serially in block order (thread-count independent).
+        let partials = pool::par_fold_blocks(xd.len(), PAR_BLOCK, |_, range| {
+            let (mut dmin, mut dmax) = (0.0f64, 0.0f64);
+            for i in range {
+                if xd[i] < lo {
+                    dmin += f64::from(gyd[i]);
+                } else if xd[i] > hi {
+                    dmax += f64::from(gyd[i]);
+                }
+            }
+            (dmin, dmax)
+        });
+        let (dmin, dmax) = partials
+            .iter()
+            .fold((0.0f64, 0.0f64), |(a, b), &(c, d)| (a + c, b + d));
         FakeQuantGrads {
             dx,
             dmin: dmin as f32,

@@ -9,7 +9,14 @@
 //! growing the range.
 
 use crate::spec::{round_half_even, QuantSpec};
+use tqt_rt::pool;
 use tqt_tensor::Tensor;
+
+/// Fixed block size for the pool-parallel quantizer loops. Constant
+/// (never derived from the thread count) so the work partition — and the
+/// block order of the deterministic threshold-gradient reduction — is
+/// identical in serial and parallel runs.
+pub(crate) const PAR_BLOCK: usize = 8192;
 
 /// Fused forward pass of the TQT quantizer (eq. 4):
 ///
@@ -28,7 +35,16 @@ use tqt_tensor::Tensor;
 pub fn quantize(x: &Tensor, log2_t: f32, spec: QuantSpec) -> Tensor {
     let s = spec.scale_for_log2_t(log2_t);
     let (n, p) = (spec.qmin(), spec.qmax());
-    x.map(|v| round_half_even(v / s).clamp(n, p) * s)
+    let mut y = Tensor::zeros(x.shape().clone());
+    let xd = x.data();
+    pool::par_chunks_mut(y.data_mut(), PAR_BLOCK, |ci, chunk| {
+        let base = ci * PAR_BLOCK;
+        let end = base + chunk.len();
+        for (o, &v) in chunk.iter_mut().zip(&xd[base..end]) {
+            *o = round_half_even(v / s).clamp(n, p) * s;
+        }
+    });
+    y
 }
 
 /// Gradients produced by [`quantize_backward`].
@@ -58,11 +74,16 @@ pub struct TqtGrads {
 /// The gradient is accumulated in `f64` — a per-tensor threshold gradient
 /// sums millions of terms whose cancellation (positive inside the clip
 /// range, negative outside) is exactly the paper's range–precision
-/// trade-off, so accumulation error matters.
+/// trade-off, so accumulation error matters. The reduction is a
+/// deterministic two-level tree: per-element terms are summed in index
+/// order within fixed-size blocks (in parallel over the `tqt-rt` pool),
+/// then the block partials are folded serially in block order — the
+/// result is bitwise independent of the thread count.
 ///
 /// # Panics
 ///
 /// Panics if `gy` has a different shape than `x`.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must take the else branch, as in the serial chain
 pub fn quantize_backward(x: &Tensor, log2_t: f32, spec: QuantSpec, gy: &Tensor) -> TqtGrads {
     assert!(
         x.shape().same_as(gy.shape()),
@@ -74,21 +95,36 @@ pub fn quantize_backward(x: &Tensor, log2_t: f32, spec: QuantSpec, gy: &Tensor) 
     let (n, p) = (spec.qmin(), spec.qmax());
     let ln2 = std::f32::consts::LN_2;
     let mut dx = Tensor::zeros(x.shape().clone());
-    let mut dlog2_t = 0.0f64;
-    let dxd = dx.data_mut();
-    for (i, (&v, &g)) in x.data().iter().zip(gy.data()).enumerate() {
-        let r = v / s;
-        let q = round_half_even(r);
-        let local = if q < n {
-            n
-        } else if q > p {
-            p
-        } else {
-            dxd[i] = g;
-            q - r
-        };
-        dlog2_t += (g * s * ln2 * local) as f64;
-    }
+    let xd = x.data();
+    let gyd = gy.data();
+    pool::par_chunks_mut(dx.data_mut(), PAR_BLOCK, |ci, chunk| {
+        let base = ci * PAR_BLOCK;
+        for (j, o) in chunk.iter_mut().enumerate() {
+            let q = round_half_even(xd[base + j] / s);
+            // Negated comparisons so NaN falls through to the pass-through
+            // branch, exactly like the serial if/else chain.
+            if !(q < n) && !(q > p) {
+                *o = gyd[base + j];
+            }
+        }
+    });
+    let partials = pool::par_fold_blocks(xd.len(), PAR_BLOCK, |_, range| {
+        let mut acc = 0.0f64;
+        for i in range {
+            let r = xd[i] / s;
+            let q = round_half_even(r);
+            let local = if q < n {
+                n
+            } else if q > p {
+                p
+            } else {
+                q - r
+            };
+            acc += (gyd[i] * s * ln2 * local) as f64;
+        }
+        acc
+    });
+    let dlog2_t: f64 = partials.iter().sum();
     TqtGrads {
         dx,
         dlog2_t: dlog2_t as f32,

@@ -379,6 +379,35 @@ where
     out
 }
 
+/// Deterministic block-structured reduction: splits `0..len` into
+/// consecutive `block`-sized index ranges (the last may be shorter),
+/// computes `f(block_index, range)` for each — fanned out across the
+/// worker pool — and returns the partials **in block order**.
+///
+/// The caller picks a *fixed* block size (never derived from the thread
+/// count), so the partition — and therefore any order-sensitive
+/// reduction built on the partials, e.g. a floating-point sum folded
+/// serially over the returned Vec — is identical no matter how many
+/// threads participate. This is the "deterministic tree reduction"
+/// primitive behind the parallel quantizer gradients.
+///
+/// # Panics
+///
+/// Panics if `block == 0`.
+pub fn par_fold_blocks<R, F>(len: usize, block: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, std::ops::Range<usize>) -> R + Sync,
+{
+    assert!(block > 0, "block size must be positive");
+    let nblocks = len.div_ceil(block);
+    par_map(nblocks, |b| {
+        let lo = b * block;
+        let hi = (lo + block).min(len);
+        f(b, lo..hi)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,6 +473,30 @@ mod tests {
     #[should_panic(expected = "chunk_size must be positive")]
     fn zero_chunk_panics() {
         par_chunks_mut(&mut [0u8; 4], 0, |_, _| {});
+    }
+
+    #[test]
+    fn fold_blocks_partition_is_thread_count_independent() {
+        let data: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+        let sum = |parts: Vec<f64>| parts.iter().fold(0.0, |a, &b| a + b);
+        let run = || {
+            sum(par_fold_blocks(data.len(), 1024, |_, r| {
+                data[r].iter().fold(0.0, |a, &b| a + b)
+            }))
+        };
+        let parallel = run();
+        force_serial(true);
+        let serial = run();
+        force_serial(false);
+        // Bit-identical, not merely close: same partition, same order.
+        assert_eq!(parallel.to_bits(), serial.to_bits());
+    }
+
+    #[test]
+    fn fold_blocks_covers_ragged_tail() {
+        let parts = par_fold_blocks(10, 4, |b, r| (b, r.len()));
+        assert_eq!(parts, vec![(0, 4), (1, 4), (2, 2)]);
+        assert!(par_fold_blocks(0, 4, |_, _| 0u8).is_empty());
     }
 
     #[test]

@@ -67,8 +67,26 @@ impl Conv2dGeom {
 }
 
 /// Unfolds one image `[c, h, w]` (a slice of length `c*h*w`) into a column
-/// matrix `[c*kh*kw, oh*ow]` stored row-major in `cols`.
-fn im2col(img: &[f32], c: usize, h: usize, w: usize, g: Conv2dGeom, cols: &mut [f32]) {
+/// matrix `[c*kh*kw, oh*ow]` stored row-major in `cols`. Out-of-bounds
+/// (padding) positions are filled with `zero`.
+///
+/// Generic over the element type so the float trainer and the
+/// fixed-point inference engine (`i64` ints) share one unfold
+/// implementation.
+///
+/// # Panics
+///
+/// Panics (debug) if `cols` does not have exactly `c*kh*kw*oh*ow`
+/// elements, and if the kernel does not fit the padded input.
+pub fn im2col_into<T: Copy>(
+    img: &[T],
+    zero: T,
+    c: usize,
+    h: usize,
+    w: usize,
+    g: Conv2dGeom,
+    cols: &mut [T],
+) {
     let (oh, ow) = g.out_size(h, w);
     let ncols = oh * ow;
     debug_assert_eq!(cols.len(), c * g.kh * g.kw * ncols);
@@ -80,14 +98,14 @@ fn im2col(img: &[f32], c: usize, h: usize, w: usize, g: Conv2dGeom, cols: &mut [
                     let ii = (oi * g.stride + ki) as isize - g.pad as isize;
                     let base = row + oi * ow;
                     if ii < 0 || ii >= h as isize {
-                        cols[base..base + ow].fill(0.0);
+                        cols[base..base + ow].fill(zero);
                         continue;
                     }
                     let irow = (ci * h + ii as usize) * w;
                     for oj in 0..ow {
                         let jj = (oj * g.stride + kj) as isize - g.pad as isize;
                         cols[base + oj] = if jj < 0 || jj >= w as isize {
-                            0.0
+                            zero
                         } else {
                             img[irow + jj as usize]
                         };
@@ -96,6 +114,11 @@ fn im2col(img: &[f32], c: usize, h: usize, w: usize, g: Conv2dGeom, cols: &mut [
             }
         }
     }
+}
+
+/// Unfolds one `f32` image (see [`im2col_into`]).
+fn im2col(img: &[f32], c: usize, h: usize, w: usize, g: Conv2dGeom, cols: &mut [f32]) {
+    im2col_into(img, 0.0, c, h, w, g, cols);
 }
 
 /// Folds a column matrix back into an image, accumulating overlaps

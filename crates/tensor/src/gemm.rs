@@ -198,7 +198,7 @@ fn microkernel(kc: usize, apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; 
     if avx {
         // SAFETY: `avx` is only true when has_avx2_fma() confirmed the
         // features; panel lengths are checked above.
-        unsafe { microkernel_avx2(kc, apanel.as_ptr(), bpanel.as_ptr(), acc) };
+        unsafe { microkernel_avx2(kc, apanel.as_ptr(), bpanel.as_ptr(), acc) }; // tqt:allow(unsafe): AVX2+FMA dispatch guarded by runtime feature detection; panel bounds debug-asserted above
         return;
     }
     let _ = avx;

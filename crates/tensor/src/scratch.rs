@@ -1,84 +1,135 @@
-//! Thread-local, grow-only scratch arena for kernel workspace buffers.
+//! Thread-local, grow-only scratch arenas for kernel workspace buffers.
 //!
 //! The im2col column matrices and GEMM packing panels used to be
 //! `vec![0.0; ...]` per image per call — at training-loop frequencies
 //! that is thousands of multi-hundred-KB allocations (and page faults)
-//! per second. The arena keeps a per-thread free stack of `Vec<f32>`
-//! buffers: [`Scratch::uninit`]/[`Scratch::zeroed`] pop one (LIFO, so a
-//! steady loop re-pairs each call site with the buffer it used last
-//! time), grow it if needed, and the guard's `Drop` pushes it back.
-//! Capacity is never given back — across layers and training steps the
-//! arena converges to the high-water mark of each nesting level and
-//! allocation disappears from the hot path.
+//! per second. Each arena keeps a per-thread free stack of `Vec<T>`
+//! buffers: `uninit`/`zeroed` pop one (LIFO, so a steady loop re-pairs
+//! each call site with the buffer it used last time), grow it if
+//! needed, and the guard's `Drop` pushes it back. Capacity is never
+//! given back — across layers and training steps the arena converges to
+//! the high-water mark of each nesting level and allocation disappears
+//! from the hot path.
 //!
 //! Buffers are per *OS thread* (`thread_local!`). The `tqt_rt` worker
 //! pool is persistent, so worker arenas are reused across parallel
 //! regions exactly like the main thread's. Nested takes are fine; the
 //! only rule is the usual RAII one: a guard frees its buffer when
 //! dropped, not before.
+//!
+//! One arena exists per element type — [`Scratch`] (`f32`) for the
+//! float path, [`ScratchI8`]/[`ScratchI32`]/[`ScratchI64`] for the
+//! fixed-point kernels. The free stacks are independent, so integer
+//! inference never evicts the float trainer's buffers (or vice versa).
 
 use std::cell::RefCell;
 use std::ops::{Deref, DerefMut};
 
-thread_local! {
-    /// Free stack of retired buffers, most recently dropped on top.
-    static FREE: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
-}
-
-/// RAII guard over a borrowed scratch buffer; derefs to `[f32]` of the
-/// requested length.
-pub struct Scratch {
-    buf: Vec<f32>,
-    len: usize,
-}
-
-impl Scratch {
-    /// Takes a buffer of `len` floats with **unspecified contents**
-    /// (whatever a previous user left behind). Use when the kernel fully
-    /// overwrites the buffer — im2col and GEMM packing do.
-    pub fn uninit(len: usize) -> Scratch {
-        let mut buf = FREE
-            .with(|f| f.borrow_mut().pop())
-            .unwrap_or_default();
-        if buf.len() < len {
-            // Grow-only: reserves the high-water mark, zero-fills just
-            // the newly exposed tail (f32 has no invalid bit patterns,
-            // but uninitialized memory is still off the table).
-            buf.resize(len, 0.0);
+macro_rules! scratch_arena {
+    ($(#[$doc:meta])* $name:ident, $ty:ty, $zero:expr, $free:ident) => {
+        thread_local! {
+            /// Free stack of retired buffers, most recently dropped on
+            /// top.
+            static $free: RefCell<Vec<Vec<$ty>>> =
+                const { RefCell::new(Vec::new()) };
         }
-        Scratch { buf, len }
-    }
 
-    /// Takes a buffer of `len` floats cleared to `0.0`. Use for
-    /// accumulation workspaces (e.g. the col2im gradient columns).
-    pub fn zeroed(len: usize) -> Scratch {
-        let mut s = Scratch::uninit(len);
-        s.fill(0.0);
-        s
-    }
+        $(#[$doc])*
+        pub struct $name {
+            buf: Vec<$ty>,
+            len: usize,
+        }
+
+        impl $name {
+            /// Takes a buffer of `len` elements with **unspecified
+            /// contents** (whatever a previous user left behind). Use
+            /// when the kernel fully overwrites the buffer — im2col and
+            /// GEMM packing do.
+            pub fn uninit(len: usize) -> $name {
+                let mut buf: Vec<$ty> = $free
+                    .with(|f| f.borrow_mut().pop())
+                    .unwrap_or_default();
+                if buf.len() < len {
+                    // Grow-only: reserves the high-water mark,
+                    // zero-fills just the newly exposed tail (these
+                    // types have no invalid bit patterns, but
+                    // uninitialized memory is still off the table).
+                    buf.resize(len, $zero);
+                }
+                $name { buf, len }
+            }
+
+            /// Takes a buffer of `len` elements cleared to zero. Use
+            /// for accumulation workspaces (e.g. the col2im gradient
+            /// columns).
+            pub fn zeroed(len: usize) -> $name {
+                let mut s = $name::uninit(len);
+                s.fill($zero);
+                s
+            }
+        }
+
+        impl Drop for $name {
+            fn drop(&mut self) {
+                let buf = std::mem::take(&mut self.buf);
+                // try_with: during thread teardown the TLS slot may
+                // already be destroyed; then the buffer just
+                // deallocates normally.
+                let _ = $free.try_with(|f| f.borrow_mut().push(buf));
+            }
+        }
+
+        impl Deref for $name {
+            type Target = [$ty];
+            fn deref(&self) -> &[$ty] {
+                &self.buf[..self.len]
+            }
+        }
+
+        impl DerefMut for $name {
+            fn deref_mut(&mut self) -> &mut [$ty] {
+                &mut self.buf[..self.len]
+            }
+        }
+    };
 }
 
-impl Drop for Scratch {
-    fn drop(&mut self) {
-        let buf = std::mem::take(&mut self.buf);
-        // try_with: during thread teardown the TLS slot may already be
-        // destroyed; then the buffer just deallocates normally.
-        let _ = FREE.try_with(|f| f.borrow_mut().push(buf));
-    }
-}
+scratch_arena!(
+    /// RAII guard over a borrowed `f32` scratch buffer; derefs to
+    /// `[f32]` of the requested length. Used by the float im2col /
+    /// GEMM-packing path.
+    Scratch,
+    f32,
+    0.0,
+    FREE_F32
+);
 
-impl Deref for Scratch {
-    type Target = [f32];
-    fn deref(&self) -> &[f32] {
-        &self.buf[..self.len]
-    }
-}
+scratch_arena!(
+    /// RAII guard over a borrowed `i8` scratch buffer (integer GEMM
+    /// packing panels).
+    ScratchI8,
+    i8,
+    0,
+    FREE_I8
+);
 
-impl DerefMut for Scratch {
-    fn deref_mut(&mut self) -> &mut [f32] {
-        &mut self.buf[..self.len]
-    }
-}
+scratch_arena!(
+    /// RAII guard over a borrowed `i32` scratch buffer (packed i16-pair
+    /// LHS panels, row/column sums).
+    ScratchI32,
+    i32,
+    0,
+    FREE_I32
+);
+
+scratch_arena!(
+    /// RAII guard over a borrowed `i64` scratch buffer (integer im2col
+    /// columns for the bit-accurate `IntGraph` engine).
+    ScratchI64,
+    i64,
+    0,
+    FREE_I64
+);
 
 #[cfg(test)]
 mod tests {
@@ -128,5 +179,21 @@ mod tests {
         let small = Scratch::uninit(3);
         assert_eq!(small.len(), 3);
         assert_eq!(small.iter().count(), 3);
+    }
+
+    #[test]
+    fn typed_arenas_are_independent() {
+        {
+            let mut a = ScratchI64::uninit(32);
+            a.fill(-5);
+        }
+        // The i8 arena has never seen that buffer; a zeroed take is
+        // zero regardless of what the i64 arena retired.
+        let b = ScratchI8::zeroed(32);
+        assert!(b.iter().all(|&v| v == 0));
+        let c = ScratchI64::zeroed(16);
+        assert!(c.iter().all(|&v| v == 0));
+        let d = ScratchI32::uninit(8);
+        assert_eq!(d.len(), 8);
     }
 }

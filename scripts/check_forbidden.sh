@@ -8,6 +8,12 @@
 #   expect          .expect("...")       in crates/{tensor,fixedpoint,rt}
 #   narrowing-cast  `as i32`             in crates/fixedpoint/src/requant.rs
 #   float-eq        `== <float literal>` anywhere in crates/*/src
+#   unsafe          `unsafe {`           in crates/{tensor,fixedpoint}
+#
+# `unsafe` exists for exactly one purpose in this workspace: runtime-
+# dispatched SIMD micro-kernels. Every block must sit next to a SAFETY
+# comment and carry the tqt:allow annotation restating why the dispatch
+# guard makes it sound — anything else is a review escalation.
 #
 # A hit is allowed only when its line carries an inline annotation naming
 # the rule and a justification:
@@ -44,6 +50,7 @@ scan() {
 }
 
 panic_scope=$(find crates/tensor/src crates/fixedpoint/src crates/rt/src -name '*.rs' | sort)
+unsafe_scope=$(find crates/tensor/src crates/fixedpoint/src -name '*.rs' | sort)
 all_src=$(find crates/*/src -name '*.rs' | sort)
 
 # shellcheck disable=SC2086  # word-splitting the file lists is intended
@@ -51,6 +58,8 @@ scan unwrap '\.unwrap\(\)' $panic_scope
 # shellcheck disable=SC2086
 scan expect '\.expect\("' $panic_scope
 scan narrowing-cast ' as i32' crates/fixedpoint/src/requant.rs
+# shellcheck disable=SC2086
+scan unsafe 'unsafe \{' $unsafe_scope
 # shellcheck disable=SC2086
 scan float-eq '==[[:space:]]*-?[0-9]+\.[0-9]|[0-9]\.[0-9]+(f32|f64)?[[:space:]]*==' $all_src
 

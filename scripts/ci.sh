@@ -8,6 +8,12 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline
 cargo test -q --offline
+# Integer-kernel gates: the fused i8 GEMM against its i64 scalar oracle,
+# and serial-vs-parallel bit-identity of the full integer engine across
+# the zoo (the guarantee that lets sanitizer results carry to parallel
+# deployment runs).
+cargo test -q --offline -p tqt-fixedpoint --test gemm_i8_oracle
+cargo test -q --offline --test int_pool_parity
 cargo clippy --offline -- -D warnings
 # Forbidden-pattern gate: unwrap/expect in the numeric substrates,
 # narrowing casts in requant, float equality outside tests.
@@ -15,7 +21,10 @@ scripts/check_forbidden.sh
 # Static verification gate: every zoo model at every supported weight
 # bit-width must pass the full tqt-verify analysis suite (shape inference,
 # quantization lints, overflow proof, observed-vs-proven cross-check).
-cargo run --release --offline -q -p tqt-bench --bin verify
+# Runs with the fixedpoint runtime sanitizer compiled in, so the
+# containment check executes over kernels that assert no i64 accumulator
+# ever wrapped.
+cargo run --release --offline -q -p tqt-bench --bin verify --features tqt-fixedpoint/sanitize
 # Smoke-run the bench binaries (1 sample, tiny shapes, output under
 # target/) so JSON emission and the bench harness can never rot.
 scripts/bench.sh --smoke
