@@ -9,7 +9,19 @@
 //! 4. lowering, then the interval/bit-width dataflow proving i64
 //!    accumulators cannot overflow and shifts are legal (`V011`…`V013`);
 //! 5. an instrumented integer run cross-checked against the proofs
-//!    (observed ⊆ proven, `TQT-V015`).
+//!    (observed ⊆ proven, `TQT-V015`);
+//! 6. the executor-plan alias-freedom proof at batch 1 and the probe
+//!    batch (`TQT-V016`…`V018`).
+//!
+//! Before the zoo sweep, the concurrency substrate itself is verified:
+//! the pool-protocol model checker runs over its bounded configuration
+//! suite (`TQT-V019`/`V020`; state-budgeted smoke here, exhaustive in
+//! `cargo test -p tqt-rt --test sched_model`; pass `--sched-full` for
+//! the exhaustive run in this binary) and the `par_fold_blocks`
+//! partition is checked thread-count-independent (`TQT-V021`). After the
+//! sweep, happens-before sanitizer findings are drained (`TQT-V022`;
+//! populated when built with `--features tqt-fixedpoint/sanitize`, which
+//! the CI sweep does).
 //!
 //! Exits non-zero if any model at any bit-width produces a finding —
 //! this binary is a tier-1 CI gate (`scripts/ci.sh`).
@@ -19,7 +31,10 @@ use tqt_graph::{quantize_graph, QuantizeOptions, WeightBits};
 use tqt_nn::loss::softmax_cross_entropy;
 use tqt_nn::Mode;
 use tqt_tensor::init;
-use tqt_verify::{analyze, check_containment, checked_optimize, verify, Report, Stage};
+use tqt_verify::{
+    analyze, check_containment, check_fold_partition, check_plan, check_schedules,
+    checked_optimize, collect_hb_findings, verify, Report, Stage,
+};
 
 fn main() {
     let args = Args::parse();
@@ -37,6 +52,31 @@ fn main() {
     let seed: u64 = args.get_or("seed", 1);
 
     let mut failures = 0usize;
+
+    // Concurrency substrate first: a broken pool protocol would
+    // invalidate every parallel run below.
+    let sched_budget = if args.flag("sched-full") {
+        None
+    } else {
+        Some(args.get_or("sched-budget", 20_000usize))
+    };
+    let (sched_report, summary) = check_schedules(sched_budget);
+    let mut concurrency = sched_report;
+    concurrency.merge(check_fold_partition());
+    if concurrency.is_clean() {
+        println!(
+            "verify sched protocol ({} configs, {} states, {}) ... ok",
+            summary.configs,
+            summary.states,
+            if summary.complete { "exhaustive" } else { "smoke budget" }
+        );
+    } else {
+        failures += concurrency.diags.len();
+        println!("verify sched protocol ... {} finding(s)", concurrency.diags.len());
+        for line in concurrency.render().lines() {
+            println!("    {line}");
+        }
+    }
     for &model in &models {
         for &wb in &bits {
             let mut report = Report::new();
@@ -57,6 +97,25 @@ fn main() {
             }
         }
     }
+    // Drain the happens-before sanitizer after the whole sweep (every
+    // parallel region and scratch checkout above was instrumented when
+    // the sanitize feature is on).
+    let hb = collect_hb_findings();
+    let hb_mode = if tqt_verify::sched_check::hb_enabled() {
+        "sanitizer on"
+    } else {
+        "sanitizer off"
+    };
+    if hb.is_clean() {
+        println!("verify happens-before ({hb_mode}) ... ok");
+    } else {
+        failures += hb.diags.len();
+        println!("verify happens-before ({hb_mode}) ... {} finding(s)", hb.diags.len());
+        for line in hb.render().lines() {
+            println!("    {line}");
+        }
+    }
+
     if failures > 0 {
         eprintln!("verify: {failures} finding(s) across the zoo");
         std::process::exit(1);
@@ -116,7 +175,17 @@ fn check_model(
     }
 
     // Instrumented run on a fresh batch: observed ⊆ proven.
-    let probe = init::normal(dims, 0.0, 2.0, &mut rng);
+    let probe = init::normal(dims.clone(), 0.0, 2.0, &mut rng);
     let (_, stats) = ig.run_with_stats(&probe);
     report.merge(check_containment(&ig, &proven, &stats));
+
+    // Executor-plan alias-freedom proof at batch 1 and the probe batch.
+    let mut batches = vec![1usize, batch];
+    batches.dedup();
+    for b in batches {
+        let mut bdims = dims.clone();
+        bdims[0] = b;
+        let plan = ig.plan(&bdims);
+        report.merge(check_plan(&ig, &plan));
+    }
 }

@@ -5,25 +5,25 @@
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use tqt_rt::sync::Flag;
 
 /// Set once any fidelity knob is below its recorded-full value; steers
 /// every [`Sink`] of this process into `results/local/`.
-static REDUCED_RUN: AtomicBool = AtomicBool::new(false);
+static REDUCED_RUN: Flag = Flag::new();
 
 /// Marks this process as a reduced-fidelity (smoke/debug) run. All result
 /// sinks created afterwards write under `results/local/` (gitignored)
 /// instead of `results/`, so a quick local invocation can never overwrite
 /// the recorded full-fidelity CSVs.
 pub fn mark_reduced_run(reason: &str) {
-    if !REDUCED_RUN.swap(true, Ordering::SeqCst) {
+    if !REDUCED_RUN.raise() {
         eprintln!("[reduced run] {reason}; results diverted to results/local/");
     }
 }
 
 /// Whether any fidelity guard fired in this process.
 pub fn is_reduced_run() -> bool {
-    REDUCED_RUN.load(Ordering::SeqCst)
+    REDUCED_RUN.get()
 }
 
 /// Guards one fidelity knob (scale, epochs, steps, …): if the effective

@@ -16,12 +16,12 @@
 //! order by exactly one closure invocation, and integer addition is
 //! associative, so serial and parallel runs are bit-identical — including
 //! the overflow *count*, which depends only on each element's exact i128
-//! value. Per-block counts are merged into one `AtomicU64` (a sum of
+//! value. Per-block counts are merged into one [`Counter`] (a sum of
 //! non-negative integers, order-independent).
 
 use crate::lower::narrow;
-use std::sync::atomic::{AtomicU64, Ordering};
 use tqt_rt::pool;
+use tqt_rt::sync::Counter;
 
 /// Accumulator-tile rows.
 const MRB: usize = 4;
@@ -49,7 +49,7 @@ pub fn gemm_i64_narrow(
     bias_row: Option<&[i64]>,
     bias_col: Option<&[i64]>,
     out: &mut [i64],
-    overflowed: &AtomicU64,
+    overflowed: &Counter,
     parallel: bool,
 ) {
     assert_eq!(a.len(), m * k, "lhs length mismatch");
@@ -101,9 +101,7 @@ pub fn gemm_i64_narrow(
                 }
             }
         }
-        if local_ovf > 0 {
-            overflowed.fetch_add(local_ovf, Ordering::Relaxed);
-        }
+        overflowed.add(local_ovf);
     };
     if parallel && m > ROWS_PER_BLOCK && pool::threads() > 1 {
         pool::par_chunks_mut(out, ROWS_PER_BLOCK * n, |bi, chunk| {
@@ -142,10 +140,10 @@ mod tests {
             let b: Vec<i64> = (0..k * n).map(|v| (v as i64 * 53 % 997) - 498).collect();
             let (want, _) = oracle(m, n, k, &a, &b);
             let mut got = vec![0i64; m * n];
-            let ovf = AtomicU64::new(0);
+            let ovf = Counter::new();
             gemm_i64_narrow(m, n, k, &a, &b, None, None, &mut got, &ovf, false);
             assert_eq!(want, got, "shape ({m},{n},{k})");
-            assert_eq!(ovf.load(Ordering::Relaxed), 0);
+            assert_eq!(ovf.get(), 0);
         }
     }
 
@@ -155,10 +153,10 @@ mod tests {
         let a = vec![1i64 << 62, 1 << 62];
         let b = vec![2i64, 2];
         let mut got = vec![0i64; 1];
-        let ovf = AtomicU64::new(0);
+        let ovf = Counter::new();
         gemm_i64_narrow(1, 1, 2, &a, &b, None, None, &mut got, &ovf, false);
         assert_eq!(got[0], 0);
-        assert_eq!(ovf.load(Ordering::Relaxed), 1);
+        assert_eq!(ovf.get(), 1);
     }
 
     #[test]
@@ -167,7 +165,7 @@ mod tests {
         let b = vec![10i64, 100, 1000, 10000];
         // [2,3] @ [[10,100],[1000,10000]] = [3020, 30200]
         let mut got = vec![0i64; 2];
-        let ovf = AtomicU64::new(0);
+        let ovf = Counter::new();
         gemm_i64_narrow(
             1,
             2,

@@ -16,15 +16,15 @@
 //! partition — and therefore every i128 accumulation order and every
 //! saturation/overflow count — is independent of the thread count.
 //! Serial and parallel runs are bit-identical; counters are merged
-//! through `AtomicU64` sums, which are order-independent.
+//! through order-independent `tqt_rt::sync::Counter` sums.
 
 use crate::intgemm::gemm_i64_narrow;
 use crate::lower::{narrow, IntGraph, IntOp, RunStats, LEAKY_ALPHA_FRAC};
 use crate::qtensor::{QFormat, QTensor};
 use crate::requant::shift_round;
-use std::sync::atomic::{AtomicU64, Ordering};
 use tqt_quant::round_half_even;
 use tqt_rt::pool;
+use tqt_rt::sync::Counter;
 use tqt_tensor::conv::{im2col_into, Conv2dGeom};
 use tqt_tensor::scratch::ScratchI64;
 use tqt_tensor::Tensor;
@@ -45,6 +45,7 @@ pub struct IntPlan {
     lens: Vec<usize>,
     slot: Vec<usize>,
     slot_lens: Vec<usize>,
+    scratch_elems: usize,
 }
 
 impl IntPlan {
@@ -167,6 +168,24 @@ impl IntPlan {
         }
         let lens: Vec<usize> = shapes.iter().map(|s| s.iter().product()).collect();
 
+        // High-water mark of the per-image im2col scratch checkout
+        // (`conv_into`): the only executor workspace that lives outside
+        // the slot buffers. Recorded so the plan verifier can prove the
+        // scratch arena never doubles as slot storage.
+        let mut scratch_elems = 0usize;
+        for node in nodes {
+            if let IntOp::Conv {
+                geom,
+                depthwise: false,
+                ..
+            } = &node.op
+            {
+                let ish = &shapes[node.inputs[0]];
+                let (oh, ow) = geom.out_size(ish[2], ish[3]);
+                scratch_elems = scratch_elems.max(ish[1] * geom.kh * geom.kw * oh * ow);
+            }
+        }
+
         // Liveness-based slot assignment. A node's slot is recyclable once
         // every consumer has executed; the output node is pinned live.
         // Crucially, a node's own slot is picked *before* its inputs are
@@ -230,6 +249,7 @@ impl IntPlan {
             lens,
             slot,
             slot_lens,
+            scratch_elems,
         }
     }
 
@@ -257,6 +277,109 @@ impl IntPlan {
     /// the executor saves against).
     pub fn activation_elems(&self) -> usize {
         self.lens.iter().sum()
+    }
+
+    /// Number of planned nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.slot.len()
+    }
+
+    /// The slot node `id` writes its output into.
+    pub fn slot_of(&self, id: usize) -> usize {
+        self.slot[id]
+    }
+
+    /// Output element count of node `id`.
+    pub fn len_of(&self, id: usize) -> usize {
+        self.lens[id]
+    }
+
+    /// Allocated element capacity of slot `s`.
+    pub fn slot_len(&self, s: usize) -> usize {
+        self.slot_lens[s]
+    }
+
+    /// The input shape this plan was built for.
+    pub fn input_dims(&self) -> &[usize] {
+        &self.input_dims
+    }
+
+    /// High-water mark (elements) of the executor's im2col scratch
+    /// checkout — workspace held in the thread-local arena, disjoint from
+    /// the slot buffers by construction. The plan verifier re-derives
+    /// this number independently (`TQT-V018`).
+    pub fn scratch_elems(&self) -> usize {
+        self.scratch_elems
+    }
+
+    /// Test-only mutation hook: shrinks one slot's capacity below a
+    /// tensor assigned to it, simulating a length bookkeeping bug.
+    /// Returns the node whose storage is now short (`TQT-V018`).
+    #[doc(hidden)]
+    pub fn inject_slot_shrink(&mut self) -> Option<usize> {
+        for (id, &s) in self.slot.iter().enumerate() {
+            if self.lens[id] > 1 && self.slot_lens[s] >= self.lens[id] {
+                self.slot_lens[s] = self.lens[id] - 1;
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Test-only mutation hook: re-aliases one node onto the slot of one
+    /// of its *live* inputs, simulating an off-by-one in the liveness
+    /// pass (input released before the consumer's slot is picked). The
+    /// slot capacity is widened so only the aliasing bug is observable.
+    /// Returns `(clobbering_node, input)` or `None` if the graph has no
+    /// eligible pair. The mutated plan must never be executed — it
+    /// exists to prove the plan verifier refutes it (`TQT-V016`).
+    #[doc(hidden)]
+    pub fn inject_liveness_off_by_one(&mut self, g: &IntGraph) -> Option<(usize, usize)> {
+        for (id, node) in g.nodes().iter().enumerate() {
+            for &i in &node.inputs {
+                if self.lens[i] > 0 && self.lens[id] > 0 && self.slot[id] != self.slot[i] {
+                    self.slot[id] = self.slot[i];
+                    self.slot_lens[self.slot[i]] =
+                        self.slot_lens[self.slot[i]].max(self.lens[id]);
+                    return Some((id, i));
+                }
+            }
+        }
+        None
+    }
+
+    /// Test-only mutation hook: releases a producer's slot one consumer
+    /// too early by re-aliasing an intermediate node onto it while a
+    /// later consumer still needs the value. Returns `(producer,
+    /// intermediate, stranded_consumer)` or `None`. As with
+    /// [`inject_liveness_off_by_one`], the mutated plan is only ever fed
+    /// to the plan verifier, which must refute it (`TQT-V017`).
+    #[doc(hidden)]
+    pub fn inject_premature_release(&mut self, g: &IntGraph) -> Option<(usize, usize, usize)> {
+        let nodes = g.nodes();
+        for p in 0..nodes.len() {
+            if self.lens[p] == 0 {
+                continue;
+            }
+            let Some(last_consumer) = (0..nodes.len())
+                .filter(|&c| nodes[c].inputs.contains(&p))
+                .max()
+            else {
+                continue;
+            };
+            for (m, node) in nodes.iter().enumerate().take(last_consumer).skip(p + 1) {
+                if self.lens[m] > 0
+                    && self.slot[m] != self.slot[p]
+                    && !node.inputs.contains(&p)
+                {
+                    self.slot[m] = self.slot[p];
+                    self.slot_lens[self.slot[p]] =
+                        self.slot_lens[self.slot[p]].max(self.lens[m]);
+                    return Some((p, m, last_consumer));
+                }
+            }
+        }
+        None
     }
 }
 
@@ -387,7 +510,7 @@ impl<'g> IntExecutor<'g> {
                     } => {
                         let i0 = node.inputs[0];
                         let a = input_slice(bufs, plan, i0);
-                        let ovf = AtomicU64::new(0);
+                        let ovf = Counter::new();
                         gemm_i64_narrow(
                             plan.shapes[i0][0],
                             *out_dim,
@@ -400,7 +523,7 @@ impl<'g> IntExecutor<'g> {
                             &ovf,
                             true,
                         );
-                        st.overflowed += ovf.load(Ordering::Relaxed);
+                        st.overflowed += ovf.get();
                     }
                     IntOp::Relu { cap_q } => {
                         let a = input_slice(bufs, plan, node.inputs[0]);
@@ -420,7 +543,7 @@ impl<'g> IntExecutor<'g> {
                     IntOp::LeakyRelu { alpha_q } => {
                         let a = input_slice(bufs, plan, node.inputs[0]);
                         let alpha = *alpha_q;
-                        let ovf = AtomicU64::new(0);
+                        let ovf = Counter::new();
                         pool::par_chunks_mut(out, ELEM_BLOCK, |ci, chunk| {
                             let base = ci * ELEM_BLOCK;
                             let mut local = 0u64;
@@ -430,11 +553,9 @@ impl<'g> IntExecutor<'g> {
                                     .max(i128::from(v) * i128::from(alpha));
                                 *o = narrow(wide, &mut local);
                             }
-                            if local > 0 {
-                                ovf.fetch_add(local, Ordering::Relaxed);
-                            }
+                            ovf.add(local);
                         });
-                        st.overflowed += ovf.load(Ordering::Relaxed);
+                        st.overflowed += ovf.get();
                     }
                     IntOp::MaxPool { geom } => {
                         let i0 = node.inputs[0];
@@ -452,7 +573,7 @@ impl<'g> IntExecutor<'g> {
                     IntOp::Add => {
                         let a = input_slice(bufs, plan, node.inputs[0]);
                         let b = input_slice(bufs, plan, node.inputs[1]);
-                        let ovf = AtomicU64::new(0);
+                        let ovf = Counter::new();
                         pool::par_chunks_mut(out, ELEM_BLOCK, |ci, chunk| {
                             let base = ci * ELEM_BLOCK;
                             let mut local = 0u64;
@@ -462,11 +583,9 @@ impl<'g> IntExecutor<'g> {
                                     &mut local,
                                 );
                             }
-                            if local > 0 {
-                                ovf.fetch_add(local, Ordering::Relaxed);
-                            }
+                            ovf.add(local);
                         });
-                        st.overflowed += ovf.load(Ordering::Relaxed);
+                        st.overflowed += ovf.get();
                     }
                     IntOp::Concat => {
                         let ins: Vec<(&[i64], &[usize])> = node
@@ -519,7 +638,7 @@ fn quantf32_into(xd: &[f32], format: QFormat, out: &mut [i64]) -> u64 {
     assert_eq!(xd.len(), out.len(), "quantize length mismatch");
     let s = format.scale();
     let (qmin, qmax) = (format.qmin(), format.qmax());
-    let sat = AtomicU64::new(0);
+    let sat = Counter::new();
     pool::par_chunks_mut(out, ELEM_BLOCK, |ci, chunk| {
         let base = ci * ELEM_BLOCK;
         let mut local = 0u64;
@@ -532,11 +651,9 @@ fn quantf32_into(xd: &[f32], format: QFormat, out: &mut [i64]) -> u64 {
             }
             *o = c;
         }
-        if local > 0 {
-            sat.fetch_add(local, Ordering::Relaxed);
-        }
+        sat.add(local);
     });
-    sat.load(Ordering::Relaxed)
+    sat.get()
 }
 
 /// Requantizes from `in_frac` into `format` by round-half-even bit-shift
@@ -545,7 +662,7 @@ fn requant_into(a: &[i64], in_frac: i32, format: QFormat, out: &mut [i64]) -> u6
     assert_eq!(a.len(), out.len(), "requant length mismatch");
     let shift = in_frac - format.frac;
     let (qmin, qmax) = (format.qmin(), format.qmax());
-    let sat = AtomicU64::new(0);
+    let sat = Counter::new();
     pool::par_chunks_mut(out, ELEM_BLOCK, |ci, chunk| {
         let base = ci * ELEM_BLOCK;
         let mut local = 0u64;
@@ -558,11 +675,9 @@ fn requant_into(a: &[i64], in_frac: i32, format: QFormat, out: &mut [i64]) -> u6
             }
             *o = c;
         }
-        if local > 0 {
-            sat.fetch_add(local, Ordering::Relaxed);
-        }
+        sat.add(local);
     });
-    sat.load(Ordering::Relaxed)
+    sat.get()
 }
 
 /// Standard convolution: per-image i64 im2col into the thread-local
@@ -582,7 +697,7 @@ fn conv_into(
     let cout = wdims[0];
     let krows = c * geom.kh * geom.kw;
     let ncols = oh * ow;
-    let ovf = AtomicU64::new(0);
+    let ovf = Counter::new();
     for ni in 0..nb {
         let mut cols = ScratchI64::uninit(krows * ncols);
         im2col_into(
@@ -597,7 +712,7 @@ fn conv_into(
         let oimg = &mut out[ni * cout * ncols..(ni + 1) * cout * ncols];
         gemm_i64_narrow(cout, ncols, krows, w, &cols, bias, None, oimg, &ovf, true);
     }
-    ovf.load(Ordering::Relaxed)
+    ovf.get()
 }
 
 /// Depthwise convolution, parallel over `(image, channel)` planes with
@@ -614,7 +729,7 @@ fn depthwise_into(
     let (oh, ow) = geom.out_size(h, wd);
     let ncols = oh * ow;
     assert_eq!(out.len(), nb * c * ncols, "depthwise output length mismatch");
-    let ovf = AtomicU64::new(0);
+    let ovf = Counter::new();
     pool::par_chunks_mut(out, ncols, |img, ochunk| {
         let co = img % c;
         let xim = &x[img * h * wd..(img + 1) * h * wd];
@@ -643,11 +758,9 @@ fn depthwise_into(
                 ochunk[oi * ow + oj] = narrow(acc, &mut local);
             }
         }
-        if local > 0 {
-            ovf.fetch_add(local, Ordering::Relaxed);
-        }
+        ovf.add(local);
     });
-    ovf.load(Ordering::Relaxed)
+    ovf.get()
 }
 
 /// Max pooling, parallel over `(image, channel)` planes. Padding

@@ -1,0 +1,316 @@
+//! Happens-before sanitizer (`TQT-V022`): runtime checking of the two
+//! disciplines the pool's `unsafe` blocks rely on but cannot express in
+//! the type system.
+//!
+//! The pool hands mutable sub-slices of one buffer to concurrently
+//! running blocks ([`crate::pool::par_chunks_mut`]) and the scratch
+//! arenas hand out thread-local buffers under an RAII checkout. Both are
+//! sound only under invariants the borrow checker never sees:
+//!
+//! 1. **Block-range disjointness + coverage** — the chunk ranges carved
+//!    for a region must partition `[0, len)` exactly: pairwise disjoint
+//!    (two blocks writing one element is a data race) and jointly
+//!    covering (a gap means a chunk was silently skipped).
+//! 2. **No cross-region scratch escapes** — a scratch checkout made
+//!    inside a parallel block must be returned inside that same block.
+//!    A guard that outlives its block (stashed and dropped elsewhere)
+//!    would push the buffer onto the free stack while another region can
+//!    still reach it, aliasing later checkouts.
+//!
+//! The module is always compiled; every entry point is a no-op unless the
+//! `sanitize` cargo feature is on ([`enabled`]), so instrumentation calls
+//! need no `cfg` at the call sites (`pool.rs`, `tensor/src/scratch.rs`).
+//! Violations are reported to stderr immediately and recorded in a global
+//! findings registry that `tqt-verify` drains into `TQT-V022` diagnostics
+//! after a sanitized sweep ([`take_findings`]).
+//!
+//! Block identity is tracked with a per-thread *(depth, serial)* context:
+//! [`crate::pool`] opens a fresh context around every block body (nesting
+//! increments the depth and allocates a fresh serial from a global
+//! epoch), and scratch guards stamp the context at checkout and compare
+//! at check-in. A mismatch in either direction — guard dropped deeper
+//! (escaped *into* a nested region) or shallower (outlived its block) —
+//! is an escape.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Whether the sanitizer is compiled in (the `sanitize` cargo feature).
+pub const fn enabled() -> bool {
+    cfg!(feature = "sanitize")
+}
+
+// ---------------------------------------------------------------------
+// Findings registry
+// ---------------------------------------------------------------------
+
+fn findings() -> &'static Mutex<Vec<String>> {
+    static FINDINGS: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    FINDINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Records one sanitizer finding (and echoes it to stderr). Callers
+/// outside this module normally never report directly — the
+/// instrumentation hooks do.
+pub fn report(site: &str, detail: &str) {
+    let line = format!("{site}: {detail}");
+    eprintln!("[tqt-rt hb] {line}");
+    findings().lock().unwrap().push(line); // tqt:allow(unwrap): sanitizer registry lock cannot poison (push only)
+}
+
+/// Drains and returns every finding recorded so far (used by the
+/// `tqt-verify` sweep to turn them into `TQT-V022` diagnostics).
+pub fn take_findings() -> Vec<String> {
+    std::mem::take(&mut *findings().lock().unwrap()) // tqt:allow(unwrap): sanitizer registry lock cannot poison (push only)
+}
+
+/// Number of findings currently recorded.
+pub fn findings_count() -> usize {
+    findings().lock().unwrap().len() // tqt:allow(unwrap): sanitizer registry lock cannot poison (push only)
+}
+
+// ---------------------------------------------------------------------
+// Block context (depth, serial) + scratch checkout stamps
+// ---------------------------------------------------------------------
+
+/// Global epoch for block serials; never reused, so two distinct blocks
+/// can never present the same (depth, serial) pair.
+static EPOCH: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// The executing block's identity on this thread; (0, 0) = outside
+    /// any parallel block.
+    static CONTEXT: Cell<(u32, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// RAII guard for one block body's context; restores the enclosing
+/// context (one level up) on drop.
+#[derive(Debug)]
+pub struct BlockScope {
+    prev: Option<(u32, u64)>,
+}
+
+/// Opens a block context: the pool wraps every block body (serial path
+/// included) in one of these. No-op unless [`enabled`].
+pub fn block_scope() -> BlockScope {
+    if !enabled() {
+        return BlockScope { prev: None };
+    }
+    let serial = EPOCH.fetch_add(1, Ordering::Relaxed);
+    let prev = CONTEXT.with(|c| {
+        let prev = c.get();
+        c.set((prev.0 + 1, serial));
+        prev
+    });
+    BlockScope { prev: Some(prev) }
+}
+
+impl Drop for BlockScope {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev {
+            CONTEXT.with(|c| c.set(prev));
+        }
+    }
+}
+
+/// The block identity a scratch checkout happened under. Compared at
+/// check-in; see [`check_checkin`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckoutStamp {
+    ctx: (u32, u64),
+}
+
+/// Stamps the current block context at scratch-checkout time. Returns a
+/// fixed dummy unless [`enabled`].
+pub fn stamp() -> CheckoutStamp {
+    if !enabled() {
+        return CheckoutStamp { ctx: (0, 0) };
+    }
+    CheckoutStamp {
+        ctx: CONTEXT.with(Cell::get),
+    }
+}
+
+/// Verifies at scratch check-in (guard drop) that the checkout is being
+/// returned inside the block it was taken in; reports a `TQT-V022`
+/// finding otherwise. No-op unless [`enabled`].
+pub fn check_checkin(stamp: CheckoutStamp, what: &str) {
+    if !enabled() {
+        return;
+    }
+    let now = CONTEXT.with(Cell::get);
+    if now != stamp.ctx {
+        report(
+            what,
+            &format!(
+                "scratch checkout escaped its block: taken in block context \
+                 (depth {}, serial {}), returned in (depth {}, serial {})",
+                stamp.ctx.0, stamp.ctx.1, now.0, now.1
+            ),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutable block-range checking
+// ---------------------------------------------------------------------
+
+/// Pure partition check: `ranges` (in any order) must tile `[0, len)`
+/// exactly — pairwise disjoint and jointly covering. Returns a
+/// description of the first defect.
+///
+/// # Errors
+///
+/// Returns `Err` with the offending range pair (overlap) or gap.
+pub fn check_block_ranges(len: usize, ranges: &[(usize, usize)]) -> Result<(), String> {
+    let mut sorted: Vec<(usize, usize)> = ranges
+        .iter()
+        .copied()
+        .filter(|(s, e)| s != e)
+        .collect();
+    sorted.sort_unstable();
+    let mut cursor = 0usize;
+    for &(start, end) in &sorted {
+        if start > end {
+            return Err(format!("inverted range {start}..{end}"));
+        }
+        match start.cmp(&cursor) {
+            std::cmp::Ordering::Less => {
+                return Err(format!(
+                    "overlapping mutable ranges: {start}..{end} begins before {cursor}"
+                ));
+            }
+            std::cmp::Ordering::Greater => {
+                return Err(format!("coverage gap: {cursor}..{start} written by no block"));
+            }
+            std::cmp::Ordering::Equal => cursor = end,
+        }
+    }
+    if cursor != len {
+        return Err(format!("coverage gap: {cursor}..{len} written by no block"));
+    }
+    Ok(())
+}
+
+/// Collects the mutable ranges a parallel region actually carves and
+/// checks them against [`check_block_ranges`] once the region has
+/// joined. Allocation-free (and record-free) unless [`enabled`].
+#[derive(Debug)]
+pub struct RangeLog {
+    inner: Option<Mutex<Vec<(usize, usize)>>>,
+}
+
+impl RangeLog {
+    /// A new log; inert unless the sanitizer is compiled in.
+    pub fn new() -> Self {
+        RangeLog {
+            inner: enabled().then(|| Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Records one carved mutable range (called from inside block
+    /// bodies).
+    pub fn record(&self, start: usize, end: usize) {
+        if let Some(m) = &self.inner {
+            m.lock().unwrap().push((start, end)); // tqt:allow(unwrap): range log lock cannot poison (push only)
+        }
+    }
+
+    /// After the region joined: verifies the recorded ranges tile
+    /// `[0, len)` and reports a `TQT-V022` finding otherwise.
+    pub fn check(&self, site: &str, len: usize) {
+        if let Some(m) = &self.inner {
+            let ranges = m.lock().unwrap(); // tqt:allow(unwrap): range log lock cannot poison (push only)
+            if let Err(e) = check_block_ranges(len, &ranges) {
+                report(site, &e);
+            }
+        }
+    }
+}
+
+impl Default for RangeLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_tiling_passes() {
+        assert!(check_block_ranges(10, &[(0, 4), (4, 8), (8, 10)]).is_ok());
+        // Order-independent, empty ranges ignored.
+        assert!(check_block_ranges(10, &[(8, 10), (4, 4), (0, 4), (4, 8)]).is_ok());
+        assert!(check_block_ranges(0, &[]).is_ok());
+    }
+
+    #[test]
+    fn overlap_gap_and_shortfall_are_caught() {
+        let overlap = check_block_ranges(10, &[(0, 5), (4, 10)]).unwrap_err();
+        assert!(overlap.contains("overlap"), "{overlap}");
+        let gap = check_block_ranges(10, &[(0, 4), (6, 10)]).unwrap_err();
+        assert!(gap.contains("gap"), "{gap}");
+        let short = check_block_ranges(10, &[(0, 4), (4, 8)]).unwrap_err();
+        assert!(short.contains("8..10"), "{short}");
+    }
+
+    #[cfg(feature = "sanitize")]
+    #[test]
+    fn context_and_findings_lifecycle() {
+        // One sequential test owns all global-registry assertions (the
+        // registry is process-wide).
+        let _ = take_findings();
+
+        // Checkout returned within its block: clean.
+        {
+            let _scope = block_scope();
+            let st = stamp();
+            check_checkin(st, "clean");
+        }
+        assert_eq!(findings_count(), 0);
+
+        // Checkout dropped after its block exited: escape.
+        let escaped = {
+            let _scope = block_scope();
+            stamp()
+        };
+        check_checkin(escaped, "outlived");
+        // Checkout dropped inside a *nested* block: escape.
+        {
+            let _outer = block_scope();
+            let st = stamp();
+            let _inner = block_scope();
+            check_checkin(st, "crossed-inward");
+        }
+        let found = take_findings();
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(found[0].starts_with("outlived:"), "{found:?}");
+        assert!(found[1].starts_with("crossed-inward:"), "{found:?}");
+        assert_eq!(findings_count(), 0, "take_findings drains");
+
+        // RangeLog feeds the registry through the same path.
+        let log = RangeLog::new();
+        log.record(0, 4);
+        log.record(3, 8);
+        log.check("range-site", 8);
+        let found = take_findings();
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].contains("overlap"), "{found:?}");
+    }
+
+    #[cfg(not(feature = "sanitize"))]
+    #[test]
+    fn disabled_sanitizer_is_inert() {
+        let _scope = block_scope();
+        let st = stamp();
+        drop(_scope);
+        check_checkin(st, "never-reported");
+        let log = RangeLog::new();
+        log.record(0, 100);
+        log.check("never-reported", 3);
+        assert_eq!(findings_count(), 0);
+    }
+}

@@ -16,16 +16,29 @@
 //! * [`check`] — a shrinking property-test mini-harness with persisted
 //!   regression seeds (replaces `proptest`);
 //! * [`bench`] — a median/IQR wall-clock bench harness (replaces
-//!   `criterion`).
+//!   `criterion`);
+//! * [`sched`] — the pool's claim/complete protocol as shared pure
+//!   functions plus a bounded explicit-state model checker that
+//!   exhaustively enumerates schedules of the pool protocol (a
+//!   zero-dependency `loom` stand-in);
+//! * [`hb`] — a runtime happens-before sanitizer (feature `sanitize`):
+//!   mutable block-range disjointness on parallel regions and
+//!   cross-region scratch-checkout escape detection;
+//! * [`sync`] — the only shared-state primitives the rest of the
+//!   workspace may use ([`sync::Counter`], [`sync::Flag`]): raw atomics
+//!   stay in this crate, where they are model-checked.
 //!
 //! Everything here is plain `std`; the crate must never grow an external
 //! dependency.
 
 pub mod bench;
 pub mod check;
+pub mod hb;
 pub mod json;
 pub mod pool;
 pub mod rng;
+pub mod sched;
+pub mod sync;
 
 pub use check::{Config as CheckConfig, Gen};
 pub use json::Json;

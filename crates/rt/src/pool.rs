@@ -37,6 +37,8 @@
 //! at runtime (useful for exercising the parallel paths on single-core
 //! CI machines), or [`std::thread::available_parallelism`].
 
+use crate::hb;
+use crate::sched;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -137,18 +139,16 @@ impl Region {
             st.panic.get_or_insert(p);
         }
         st.done += 1;
-        if st.done == self.nblocks {
+        if sched::is_last_completion(st.done, self.nblocks) {
             self.finished.notify_all();
         }
     }
 
-    /// Claims and runs blocks until the region is exhausted.
+    /// Claims and runs blocks until the region is exhausted. The claim
+    /// decision is [`sched::try_claim`] — the function the bounded model
+    /// checker proves exactly-once/deadlock-free.
     fn participate(&self) {
-        loop {
-            let idx = self.next.fetch_add(1, Ordering::Relaxed);
-            if idx >= self.nblocks {
-                return;
-            }
+        while let Some(idx) = sched::try_claim(&self.next, self.nblocks) {
             self.run_block(idx);
         }
     }
@@ -198,7 +198,7 @@ fn worker_loop(shared: &Shared) {
             let mut q = shared.queue.lock().unwrap(); // tqt:allow(unwrap): a poisoned lock means a worker already panicked
             loop {
                 if let Some(front) = q.front() {
-                    if front.next.load(Ordering::Relaxed) < front.nblocks {
+                    if !sched::region_exhausted(&front.next, front.nblocks) {
                         break Arc::clone(front);
                     }
                     q.pop_front();
@@ -211,9 +211,22 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Number of worker threads the pool has spawned so far in this process
+/// (excluding submitting threads). Grow-only; used by the
+/// `serial_no_spawn` regression test to prove that serial-mode `par_*`
+/// calls never touch the pool.
+pub fn spawned_workers() -> usize {
+    *pool().spawned.lock().unwrap() // tqt:allow(unwrap): a poisoned lock means a worker already panicked
+}
+
 /// Executes `job(0..nblocks)` across the pool, submitting thread
 /// included, and returns when every block has completed. Re-throws the
 /// first panic raised by a block.
+///
+/// With one effective thread (`serial` feature, [`force_serial`],
+/// `set_threads(1)`, `TQT_RT_THREADS=1`, or a single-core machine) this
+/// is a plain loop on the calling thread: no worker is spawned, no lock
+/// taken, no condvar signalled.
 fn run_region(nblocks: usize, job: &(dyn Fn(usize) + Sync)) {
     if nblocks == 0 {
         return;
@@ -221,6 +234,7 @@ fn run_region(nblocks: usize, job: &(dyn Fn(usize) + Sync)) {
     let helpers = threads().saturating_sub(1);
     if helpers == 0 || nblocks == 1 {
         for i in 0..nblocks {
+            let _scope = hb::block_scope();
             job(i);
         }
         return;
@@ -238,8 +252,14 @@ fn run_region(nblocks: usize, job: &(dyn Fn(usize) + Sync)) {
         // borrow outlives every dereference.
         unsafe { std::mem::transmute(job) }
     }
+    // Every block body runs inside a happens-before block scope so the
+    // sanitizer can pin scratch checkouts to the block that made them.
+    let wrapped = |i: usize| {
+        let _scope = hb::block_scope();
+        job(i);
+    };
     let region = Arc::new(Region {
-        job: JobPtr(erase(job)),
+        job: JobPtr(erase(&wrapped)),
         nblocks,
         next: AtomicUsize::new(0),
         state: Mutex::new(RegionDone {
@@ -313,12 +333,14 @@ where
     let per = nchunks.div_ceil(workers * BLOCKS_PER_THREAD).max(1);
     let nblocks = nchunks.div_ceil(per);
     let base = SendPtr(data.as_mut_ptr());
+    let ranges = hb::RangeLog::new();
     run_region(nblocks, &|b| {
         let first = b * per;
         let last = (first + per).min(nchunks);
         for ci in first..last {
             let start = ci * chunk_size;
             let end = (start + chunk_size).min(len);
+            ranges.record(start, end);
             // SAFETY: chunk `ci` covers `[start, end)`; chunk indices are
             // partitioned over blocks, each run by exactly one closure
             // invocation, so the sub-slices are disjoint. The region
@@ -328,6 +350,8 @@ where
             f(ci, chunk);
         }
     });
+    // The region has joined: the carved ranges must tile [0, len).
+    ranges.check("par_chunks_mut", len);
 }
 
 /// Row-wise parallel iteration over a `[rows, row_len]` row-major buffer:
@@ -362,15 +386,19 @@ where
     {
         let base = SendPtr(parts.as_mut_ptr());
         let f = &f;
+        let ranges = hb::RangeLog::new();
         run_region(nblocks, &|b| {
             let lo = b * per;
             let hi = (lo + per).min(n);
+            ranges.record(lo, hi);
             let out: Vec<R> = (lo..hi).map(f).collect();
             // SAFETY: slot `b` is written by exactly one block; the old
             // value is a valid (empty) Vec, so plain assignment drops it
             // correctly. The region joins before `parts` is read.
             unsafe { *base.get().add(b) = out };
         });
+        // The region has joined: index ranges must tile [0, n).
+        ranges.check("par_map", n);
     }
     let mut out = Vec::with_capacity(n);
     for part in &mut parts {

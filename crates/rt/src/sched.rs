@@ -1,0 +1,782 @@
+//! The worker pool's claim/complete protocol — and a bounded model
+//! checker that *proves* it.
+//!
+//! [`pool`](crate::pool) parallelism rests on three tiny decisions: which
+//! block a participant claims next, when a queued region is exhausted,
+//! and when the final completion must wake the submitter. Those decisions
+//! are factored out here as pure functions over a [`ClaimCounter`] trait,
+//! and `pool.rs` calls them at the corresponding sites — so the logic the
+//! model checker enumerates *is* the logic the real pool runs, not a
+//! transcript of it that can drift.
+//!
+//! The checker ([`check`]) is a zero-dependency `loom`-style explicit-state
+//! explorer: every thread of the model is a small stack machine whose
+//! steps correspond to the pool's atomic transitions (queue push, block
+//! claim, block body, completion update, completion wait, worker queue
+//! scan), and a depth-first search over all interleavings — with visited-
+//! state memoization — visits every reachable schedule of a bounded
+//! configuration (≤3 threads × ≤4 root blocks × ≤2 nested regions, the
+//! bounds `protocol_configs` pins). Properties checked on every schedule:
+//!
+//! * **no deadlock** — from every reachable state some thread can step,
+//!   until the root submitter has returned, every worker is parked, and
+//!   the queue is drained;
+//! * **no lost block / exactly-once** — every block of every submitted
+//!   region executes exactly once;
+//! * **panic delivery** — a panic raised in any block (including a block
+//!   of a nested region) is re-thrown on the root submitter, after all
+//!   blocks of its region completed.
+//!
+//! A refuted property comes back as a [`Violation`] carrying the full
+//! interleaving trace as a counterexample. Seeded-bug configurations
+//! ([`Bug::TornClaim`], [`Bug::DropPanic`]) verify the checker actually
+//! refutes broken protocols — the model-checking analogue of the
+//! mutation tests on the plan verifier.
+//!
+//! Faithfulness notes. Model steps are the pool's lock-protected critical
+//! sections and single atomic RMWs, which are serializable points in the
+//! real execution; `Condvar` waits are modeled as predicate-enabledness,
+//! sound because every real wait re-checks its predicate under the mutex
+//! (std condvars have spurious wakeups but, paired with their mutex, no
+//! lost notifications). The block *body* is one step — bodies are
+//! data-race-free by the disjoint-chunk construction, which the
+//! happens-before sanitizer ([`crate::hb`]) checks at runtime rather than
+//! here.
+
+use std::cell::Cell;
+use std::collections::HashSet;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+// ---------------------------------------------------------------------
+// Shared protocol core (used by pool.rs and by the model)
+// ---------------------------------------------------------------------
+
+/// The atomic block-claim counter, abstracted so the model checker can
+/// substitute a simulated counter for [`AtomicUsize`].
+pub trait ClaimCounter {
+    /// Atomically returns the current value and increments it.
+    fn fetch_inc(&self) -> usize;
+    /// Reads the current value without claiming.
+    fn peek(&self) -> usize;
+}
+
+impl ClaimCounter for AtomicUsize {
+    fn fetch_inc(&self) -> usize {
+        // Relaxed is enough: the claim index is the only payload, and the
+        // region's completion handshake goes through a mutex.
+        self.fetch_add(1, Ordering::Relaxed)
+    }
+    fn peek(&self) -> usize {
+        self.load(Ordering::Relaxed)
+    }
+}
+
+/// One iteration of the participant claim loop: claims the next block
+/// index, or reports the region exhausted.
+pub fn try_claim<C: ClaimCounter>(next: &C, nblocks: usize) -> Option<usize> {
+    let idx = next.fetch_inc();
+    (idx < nblocks).then_some(idx)
+}
+
+/// Whether a queued region has no block left to hand out (the worker's
+/// pop-or-participate test; claiming past `nblocks` stays harmless, this
+/// is only the cheap probe).
+pub fn region_exhausted<C: ClaimCounter>(next: &C, nblocks: usize) -> bool {
+    next.peek() >= nblocks
+}
+
+/// Whether a completion that raised the done-count to `done` is the
+/// region's last — the one that must notify the waiting submitter. Also
+/// the submitter's wait predicate.
+pub fn is_last_completion(done: usize, nblocks: usize) -> bool {
+    done >= nblocks
+}
+
+/// The block partition [`crate::pool::par_fold_blocks`] must produce for
+/// `(len, block)`: consecutive `block`-sized ranges, last one ragged.
+/// This is the *specification* the deterministic tree reduction is
+/// checked against — a pure function of `(len, block)`, never of the
+/// thread count. `tqt-verify` compares the pool's actual partition with
+/// this at several forced thread counts (`TQT-V021`).
+///
+/// # Panics
+///
+/// Panics if `block == 0`.
+pub fn fold_partition(len: usize, block: usize) -> Vec<(usize, Range<usize>)> {
+    assert!(block > 0, "block size must be positive");
+    (0..len.div_ceil(block))
+        .map(|b| (b, b * block..(b * block + block).min(len)))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Bounded model checker
+// ---------------------------------------------------------------------
+
+/// Maximum blocks per region the model supports (fixed-size state).
+pub const MAX_BLOCKS: usize = 4;
+/// Maximum threads (1 submitter + workers) the model supports.
+pub const MAX_THREADS: usize = 3;
+
+/// A deliberately broken protocol variant, used to prove the checker can
+/// refute: these must produce a [`Violation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bug {
+    /// The block claim is torn into a separate read and write (not an
+    /// atomic fetch-add): two participants can claim the same block.
+    TornClaim,
+    /// Completions drop the panic payload instead of recording it.
+    DropPanic,
+}
+
+/// One bounded model configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Total threads: 1 root submitter + `threads - 1` pool workers.
+    pub threads: usize,
+    /// Blocks of the root region.
+    pub blocks: usize,
+    /// `Some((outer_block, inner_blocks))`: executing `outer_block` of
+    /// the root region submits a nested region with `inner_blocks` blocks
+    /// from whichever thread claimed it (submitter participates).
+    pub nested: Option<(usize, usize)>,
+    /// `Some((region, block))`: that block's body panics (region 0 =
+    /// root, 1 = nested).
+    pub panic_at: Option<(usize, usize)>,
+    /// Seeded protocol bug (refutation tests only).
+    pub bug: Option<Bug>,
+}
+
+/// Which property a counterexample schedule violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Property {
+    /// A reachable state has no enabled thread before the run finished.
+    Deadlock,
+    /// A block never executed although its region completed.
+    LostBlock,
+    /// A block executed more than once.
+    DuplicateExecution,
+    /// A configured panic was not delivered to the root submitter.
+    PanicLost,
+    /// A panic was delivered although none was configured.
+    PanicInvented,
+    /// Bookkeeping corruption (done-count exceeded the block count).
+    Corruption,
+}
+
+/// A refutation: the violated property plus the full interleaving that
+/// reaches it, one `"t<i>: <step>"` line per step.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The violated property.
+    pub property: Property,
+    /// Human-readable specifics of the terminal/violating state.
+    pub detail: String,
+    /// The counterexample schedule, in execution order.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{:?}: {}", self.property, self.detail)?;
+        for line in &self.trace {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of exploring one configuration.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Completed schedules (terminal states) reached.
+    pub terminals: usize,
+    /// Whether the exploration was exhaustive (false = the state budget
+    /// was hit first; smoke mode).
+    pub complete: bool,
+    /// The first violation found, if any.
+    pub violation: Option<Violation>,
+}
+
+/// Per-region model state.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct MRegion {
+    nblocks: u8,
+    /// The claim counter (monotone under the atomic protocol; the torn
+    /// variant can move it backwards, which is the bug).
+    next: u8,
+    done: u8,
+    panicked: bool,
+    /// Per-block execution count.
+    exec: [u8; MAX_BLOCKS],
+}
+
+/// What a thread is currently doing (top of its frame stack).
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Act {
+    /// `run_region`: push the region onto the shared queue (+ notify).
+    Push { r: u8 },
+    /// The participant claim loop. `torn_read` holds the first half of a
+    /// torn (buggy) claim.
+    Claim {
+        r: u8,
+        submitter: bool,
+        torn_read: Option<u8>,
+    },
+    /// Between claim and completion: the block body runs here.
+    Exec { r: u8, b: u8 },
+    /// The completion critical section: `done += 1`, record panic,
+    /// notify on last.
+    Complete { r: u8, b: u8, panicked: bool },
+    /// Submitter waiting for `done == nblocks`.
+    WaitDone { r: u8 },
+    /// Parked worker / worker scanning the queue.
+    Idle,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct State {
+    regions: [MRegion; 2],
+    queue: Vec<u8>,
+    /// Frame stack per thread; thread 0 is the root submitter (empty
+    /// stack = returned), threads 1.. are workers (bottom frame `Idle`).
+    threads: Vec<Vec<Act>>,
+    /// Whether the root submitter re-threw a recorded panic.
+    root_panic_delivered: bool,
+}
+
+/// The model's claim counter: routes the *shared* `try_claim` /
+/// `region_exhausted` logic over a simulated cell.
+struct ModelCounter(Cell<u8>);
+
+impl ClaimCounter for ModelCounter {
+    fn fetch_inc(&self) -> usize {
+        let v = self.0.get();
+        self.0.set(v.saturating_add(1));
+        v as usize
+    }
+    fn peek(&self) -> usize {
+        self.0.get() as usize
+    }
+}
+
+impl State {
+    fn initial(cfg: &Config) -> State {
+        let mk = |nblocks: usize| MRegion {
+            nblocks: nblocks as u8,
+            next: 0,
+            done: 0,
+            panicked: false,
+            exec: [0; MAX_BLOCKS],
+        };
+        let inner_blocks = cfg.nested.map_or(0, |(_, ib)| ib);
+        let mut threads = vec![vec![Act::Push { r: 0 }]];
+        for _ in 1..cfg.threads {
+            threads.push(vec![Act::Idle]);
+        }
+        State {
+            regions: [mk(cfg.blocks), mk(inner_blocks)],
+            queue: Vec::new(),
+            threads,
+            root_panic_delivered: false,
+        }
+    }
+
+    fn enabled(&self, t: usize) -> bool {
+        match self.threads[t].last() {
+            None => false,
+            Some(Act::WaitDone { r }) => {
+                let rg = &self.regions[*r as usize];
+                is_last_completion(rg.done as usize, rg.nblocks as usize)
+            }
+            Some(Act::Idle) => !self.queue.is_empty(),
+            Some(_) => true,
+        }
+    }
+}
+
+/// Applies one step of thread `t`. Returns the successor state, a trace
+/// line, and an immediate violation if the step itself exposed one.
+fn apply(st: &State, t: usize, cfg: &Config) -> (State, String, Option<(Property, String)>) {
+    let mut s = st.clone();
+    // `enabled` guarantees a non-empty stack; `ti` stays valid across the
+    // pushes below because frames are only ever pushed above it.
+    let ti = s.threads[t].len() - 1; // tqt:allow(expect): enabledness precondition
+    let top = s.threads[t][ti].clone();
+    let mut violation = None;
+    let desc;
+    match top {
+        Act::Push { r } => {
+            s.queue.push(r);
+            s.threads[t][ti] = Act::Claim {
+                r,
+                submitter: true,
+                torn_read: None,
+            };
+            desc = format!("push region r{r}, wake workers");
+        }
+        Act::Claim {
+            r,
+            submitter,
+            torn_read,
+        } => {
+            let ri = r as usize;
+            let nblocks = s.regions[ri].nblocks as usize;
+            let claimed: Option<Option<usize>> = if cfg.bug == Some(Bug::TornClaim) {
+                match torn_read {
+                    None => {
+                        // First half of the torn claim: read only.
+                        s.threads[t][ti] = Act::Claim {
+                            r,
+                            submitter,
+                            torn_read: Some(s.regions[ri].next),
+                        };
+                        None
+                    }
+                    Some(read) => {
+                        // Second half: write read+1, losing any interleaved
+                        // increment — the seeded bug.
+                        s.regions[ri].next = read.saturating_add(1);
+                        Some(((read as usize) < nblocks).then_some(read as usize))
+                    }
+                }
+            } else {
+                // The real protocol: one atomic fetch-inc, routed through
+                // the shared decision function.
+                let c = ModelCounter(Cell::new(s.regions[ri].next));
+                let got = try_claim(&c, nblocks);
+                s.regions[ri].next = c.0.get();
+                Some(got)
+            };
+            match claimed {
+                None => desc = format!("torn-claim read r{r} next={}", s.regions[ri].next),
+                Some(Some(b)) => {
+                    s.threads[t].push(Act::Exec { r, b: b as u8 });
+                    desc = format!("claim r{r} block {b}");
+                }
+                Some(None) => {
+                    if submitter {
+                        s.threads[t][ti] = Act::WaitDone { r };
+                        desc = format!("r{r} exhausted; submitter waits for completion");
+                    } else {
+                        s.threads[t].pop();
+                        desc = format!("r{r} exhausted; worker returns to queue scan");
+                    }
+                }
+            }
+        }
+        Act::Exec { r, b } => {
+            let ri = r as usize;
+            let bi = b as usize;
+            s.regions[ri].exec[bi] += 1;
+            if s.regions[ri].exec[bi] > 1 {
+                violation = Some((
+                    Property::DuplicateExecution,
+                    format!("block {b} of region r{r} executed twice"),
+                ));
+            }
+            let panics = cfg.panic_at == Some((ri, bi));
+            if let Some((ob, _)) = cfg.nested {
+                if ri == 0 && bi == ob {
+                    // The block body submits the nested region and (as its
+                    // submitter) participates until it completes; its own
+                    // completion is pending beneath.
+                    s.threads[t][ti] = Act::Complete {
+                        r,
+                        b,
+                        panicked: panics,
+                    };
+                    s.threads[t].push(Act::Push { r: 1 });
+                    desc = format!("exec r{r} block {b}: submits nested region r1");
+                    return (s, format!("t{t}: {desc}"), violation);
+                }
+            }
+            s.threads[t][ti] = Act::Complete {
+                r,
+                b,
+                panicked: panics,
+            };
+            desc = if panics {
+                format!("exec r{r} block {b}: body panics (caught)")
+            } else {
+                format!("exec r{r} block {b}")
+            };
+        }
+        Act::Complete { r, b, panicked } => {
+            let ri = r as usize;
+            let rg = &mut s.regions[ri];
+            rg.done += 1;
+            if rg.done > rg.nblocks {
+                violation = Some((
+                    Property::Corruption,
+                    format!("region r{r} done-count {} exceeds {} blocks", rg.done, rg.nblocks),
+                ));
+            }
+            if panicked && cfg.bug != Some(Bug::DropPanic) {
+                rg.panicked = true;
+            }
+            let last = is_last_completion(rg.done as usize, rg.nblocks as usize);
+            s.threads[t].pop();
+            desc = format!(
+                "complete r{r} block {b}{}{}",
+                if panicked { " (panicked)" } else { "" },
+                if last { "; notify submitter" } else { "" }
+            );
+        }
+        Act::WaitDone { r } => {
+            let ri = r as usize;
+            let panicked = s.regions[ri].panicked;
+            s.threads[t].pop();
+            if panicked {
+                // resume_unwind on the submitter: inside a nested block
+                // body it unwinds into the enclosing block's catch, at the
+                // root it reaches the caller.
+                if let Some(Act::Complete { panicked: p, .. }) = s.threads[t].last_mut() {
+                    *p = true;
+                    desc = format!("r{r} done; rethrow panic into enclosing block");
+                } else if t == 0 && s.threads[t].is_empty() {
+                    s.root_panic_delivered = true;
+                    desc = format!("r{r} done; panic re-thrown to root caller");
+                } else {
+                    desc = format!("r{r} done; panic re-thrown");
+                }
+            } else {
+                desc = format!("r{r} done; submitter returns");
+            }
+        }
+        Act::Idle => {
+            let front = s.queue[0];
+            let ri = front as usize;
+            let c = ModelCounter(Cell::new(s.regions[ri].next));
+            if region_exhausted(&c, s.regions[ri].nblocks as usize) {
+                s.queue.remove(0);
+                desc = format!("pop exhausted r{front} from queue");
+            } else {
+                s.threads[t].push(Act::Claim {
+                    r: front,
+                    submitter: false,
+                    torn_read: None,
+                });
+                desc = format!("worker joins r{front}");
+            }
+        }
+    }
+    (s, format!("t{t}: {desc}"), violation)
+}
+
+/// Checks the terminal-state properties; `None` means the schedule is
+/// clean.
+fn terminal_violation(st: &State, cfg: &Config) -> Option<(Property, String)> {
+    // Good-terminal shape: root returned, workers parked, queue drained.
+    if !st.threads[0].is_empty() {
+        return Some((
+            Property::Deadlock,
+            "root submitter can no longer step but has not returned".into(),
+        ));
+    }
+    for (t, stack) in st.threads.iter().enumerate().skip(1) {
+        if stack.len() != 1 {
+            return Some((
+                Property::Deadlock,
+                format!("worker t{t} is stuck mid-region with no enabled step"),
+            ));
+        }
+    }
+    if !st.queue.is_empty() {
+        return Some((
+            Property::Deadlock,
+            format!("queue still holds regions {:?} with every thread parked", st.queue),
+        ));
+    }
+    let submitted: &[usize] = if cfg.nested.is_some() { &[0, 1] } else { &[0] };
+    for &ri in submitted {
+        let rg = &st.regions[ri];
+        for b in 0..rg.nblocks as usize {
+            match rg.exec[b] {
+                0 => {
+                    return Some((
+                        Property::LostBlock,
+                        format!("block {b} of region r{ri} never executed"),
+                    ))
+                }
+                1 => {}
+                n => {
+                    return Some((
+                        Property::DuplicateExecution,
+                        format!("block {b} of region r{ri} executed {n} times"),
+                    ))
+                }
+            }
+        }
+        if rg.done != rg.nblocks {
+            return Some((
+                Property::Corruption,
+                format!("region r{ri} finished with done={} of {}", rg.done, rg.nblocks),
+            ));
+        }
+    }
+    match (cfg.panic_at, st.root_panic_delivered) {
+        (Some((r, b)), false) => Some((
+            Property::PanicLost,
+            format!("panic from block {b} of region r{r} never reached the root submitter"),
+        )),
+        (None, true) => Some((
+            Property::PanicInvented,
+            "a panic was delivered although no block panics".into(),
+        )),
+        _ => None,
+    }
+}
+
+/// Exhaustively explores every interleaving of `cfg` (up to `max_states`
+/// distinct states; smoke mode passes a small budget and accepts
+/// `complete == false`). Returns the first violation with its schedule.
+///
+/// # Panics
+///
+/// Panics if `cfg` exceeds the model bounds ([`MAX_THREADS`],
+/// [`MAX_BLOCKS`]).
+pub fn check(cfg: &Config, max_states: usize) -> Outcome {
+    assert!(
+        (2..=MAX_THREADS).contains(&cfg.threads),
+        "model supports 2..={MAX_THREADS} threads"
+    );
+    assert!(
+        (1..=MAX_BLOCKS).contains(&cfg.blocks),
+        "model supports 1..={MAX_BLOCKS} root blocks"
+    );
+    if let Some((ob, ib)) = cfg.nested {
+        assert!(ob < cfg.blocks, "nesting block out of range");
+        assert!((1..=MAX_BLOCKS).contains(&ib), "inner blocks out of range");
+        assert!(
+            cfg.panic_at != Some((0, ob)),
+            "the nesting block delivers inner panics; configure the panic inside the \
+             nested region instead"
+        );
+    }
+    if let Some((r, b)) = cfg.panic_at {
+        let nb = if r == 0 {
+            cfg.blocks
+        } else {
+            cfg.nested.map_or(0, |(_, ib)| ib)
+        };
+        assert!(b < nb, "panic block out of range");
+    }
+
+    let mut out = Outcome {
+        states: 0,
+        terminals: 0,
+        complete: true,
+        violation: None,
+    };
+    let mut visited: HashSet<State> = HashSet::new();
+    let mut trace: Vec<String> = Vec::new();
+    let init = State::initial(cfg);
+    dfs(&init, cfg, max_states, &mut visited, &mut trace, &mut out);
+    out
+}
+
+fn dfs(
+    st: &State,
+    cfg: &Config,
+    max_states: usize,
+    visited: &mut HashSet<State>,
+    trace: &mut Vec<String>,
+    out: &mut Outcome,
+) {
+    if out.violation.is_some() {
+        return;
+    }
+    if !visited.insert(st.clone()) {
+        return;
+    }
+    if visited.len() > max_states {
+        out.complete = false;
+        return;
+    }
+    out.states = visited.len();
+    let enabled: Vec<usize> = (0..st.threads.len()).filter(|&t| st.enabled(t)).collect();
+    if enabled.is_empty() {
+        match terminal_violation(st, cfg) {
+            Some((property, detail)) => {
+                out.violation = Some(Violation {
+                    property,
+                    detail,
+                    trace: trace.clone(),
+                });
+            }
+            None => out.terminals += 1,
+        }
+        return;
+    }
+    for t in enabled {
+        let (succ, line, step_violation) = apply(st, t, cfg);
+        trace.push(line);
+        if let Some((property, detail)) = step_violation {
+            out.violation = Some(Violation {
+                property,
+                detail,
+                trace: trace.clone(),
+            });
+            trace.pop();
+            return;
+        }
+        dfs(&succ, cfg, max_states, visited, trace, out);
+        trace.pop();
+        if out.violation.is_some() {
+            return;
+        }
+    }
+}
+
+/// The pinned bounded configuration suite: every combination of 2–3
+/// threads, 1–4 root blocks, no/one nested region (≤2 regions deep), and
+/// no/root/nested panic, all on the unbugged protocol. CI proves the
+/// whole suite; smoke mode truncates each config at a schedule budget.
+pub fn protocol_configs() -> Vec<Config> {
+    let mut v = Vec::new();
+    for threads in 2..=MAX_THREADS {
+        for blocks in 1..=MAX_BLOCKS {
+            type Shape = (Option<(usize, usize)>, Vec<Option<(usize, usize)>>);
+            let mut shapes: Vec<Shape> =
+                vec![(None, vec![None, Some((0, 0)), Some((0, blocks - 1))])];
+            if blocks >= 2 {
+                // Nested region submitted from the first and from the last
+                // root block; panics in the root and in the nested region.
+                shapes.push((Some((blocks - 1, 2)), vec![None, Some((0, 0)), Some((1, 1))]));
+                shapes.push((Some((0, 1)), vec![None, Some((1, 0))]));
+            }
+            for (nested, panics) in shapes {
+                for panic_at in panics {
+                    if panic_at == nested.map(|(ob, _)| (0, ob)) {
+                        continue; // the nesting block itself may not panic
+                    }
+                    v.push(Config {
+                        threads,
+                        blocks,
+                        nested,
+                        panic_at,
+                        bug: None,
+                    });
+                }
+            }
+        }
+    }
+    // Deduplicate panic targets that coincide (blocks == 1).
+    v.dedup_by(|a, b| {
+        a.threads == b.threads
+            && a.blocks == b.blocks
+            && a.nested == b.nested
+            && a.panic_at == b.panic_at
+    });
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_claim_hands_out_each_block_once_then_stops() {
+        let next = AtomicUsize::new(0);
+        let mut got = Vec::new();
+        while let Some(b) = try_claim(&next, 3) {
+            got.push(b);
+        }
+        assert_eq!(got, vec![0, 1, 2]);
+        assert!(region_exhausted(&next, 3));
+        assert!(try_claim(&next, 3).is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn last_completion_predicate() {
+        assert!(!is_last_completion(2, 3));
+        assert!(is_last_completion(3, 3));
+    }
+
+    #[test]
+    fn fold_partition_is_closed_form() {
+        assert_eq!(
+            fold_partition(10, 4),
+            vec![(0, 0..4), (1, 4..8), (2, 8..10)]
+        );
+        assert!(fold_partition(0, 4).is_empty());
+    }
+
+    #[test]
+    fn small_clean_config_is_proven() {
+        let cfg = Config {
+            threads: 2,
+            blocks: 2,
+            nested: None,
+            panic_at: None,
+            bug: None,
+        };
+        let out = check(&cfg, 1_000_000);
+        assert!(out.complete, "exploration must be exhaustive");
+        assert!(out.violation.is_none(), "{:?}", out.violation);
+        assert!(out.terminals > 0, "at least one complete schedule");
+    }
+
+    #[test]
+    fn nested_panic_reaches_root() {
+        let cfg = Config {
+            threads: 2,
+            blocks: 2,
+            nested: Some((1, 2)),
+            panic_at: Some((1, 0)),
+            bug: None,
+        };
+        let out = check(&cfg, 2_000_000);
+        assert!(out.complete);
+        assert!(out.violation.is_none(), "{}", out.violation.unwrap());
+    }
+
+    #[test]
+    fn torn_claim_is_refuted_with_counterexample() {
+        let cfg = Config {
+            threads: 3,
+            blocks: 2,
+            nested: None,
+            panic_at: None,
+            bug: Some(Bug::TornClaim),
+        };
+        let out = check(&cfg, 2_000_000);
+        let v = out.violation.expect("torn claim must violate a property");
+        assert!(
+            matches!(
+                v.property,
+                Property::DuplicateExecution | Property::Deadlock | Property::LostBlock
+            ),
+            "{v}"
+        );
+        assert!(!v.trace.is_empty(), "counterexample trace must be present");
+    }
+
+    #[test]
+    fn dropped_panic_is_refuted() {
+        let cfg = Config {
+            threads: 2,
+            blocks: 1,
+            nested: None,
+            panic_at: Some((0, 0)),
+            bug: Some(Bug::DropPanic),
+        };
+        let out = check(&cfg, 1_000_000);
+        let v = out.violation.expect("dropped panic must be caught");
+        assert_eq!(v.property, Property::PanicLost, "{v}");
+    }
+
+    #[test]
+    fn config_suite_stays_in_bounds() {
+        let cfgs = protocol_configs();
+        assert!(!cfgs.is_empty());
+        for c in &cfgs {
+            assert!(c.threads <= MAX_THREADS && c.blocks <= MAX_BLOCKS);
+            assert!(c.bug.is_none(), "the pinned suite checks the real protocol");
+        }
+    }
+}

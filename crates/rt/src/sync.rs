@@ -1,0 +1,107 @@
+//! Minimal shared-state primitives for code *outside* `crates/rt`.
+//!
+//! The workspace's concurrency policy (enforced by
+//! `scripts/check_forbidden.sh`) is that raw `std::sync::atomic` types and
+//! `std::thread::spawn` live only in this crate, where the protocols that
+//! use them are model-checked (`sched`) or sanitized (`hb`). Everything
+//! the rest of the workspace legitimately needs from atomics is one of two
+//! shapes, and both are order-independent by construction — no ordering
+//! decision is delegated to the caller:
+//!
+//! * [`Counter`] — a monotone sum of non-negative contributions
+//!   (saturation / overflow tallies merged across pool blocks). Addition
+//!   of `u64`s is commutative and associative, so the final value cannot
+//!   depend on the schedule.
+//! * [`Flag`] — a sticky one-way boolean (e.g. "this process is a
+//!   reduced-fidelity run"). Raising it twice is idempotent, so races
+//!   between raisers are benign.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// An order-independent event counter: concurrent [`add`](Counter::add)s
+/// from pool blocks merge into a sum whose value is independent of the
+/// schedule. This is the only cross-thread accumulation primitive the
+/// numeric crates are allowed — anything order-sensitive must go through
+/// `pool::par_fold_blocks`' deterministic block reduction instead.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        if n > 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The current sum. Exact once every contributing region has joined
+    /// (the pool joins every region before `par_*` returns).
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A sticky one-way boolean: starts lowered, can only be raised.
+#[derive(Debug, Default)]
+pub struct Flag(AtomicBool);
+
+impl Flag {
+    /// A lowered flag.
+    pub const fn new() -> Self {
+        Flag(AtomicBool::new(false))
+    }
+
+    /// Raises the flag; returns whether it was already raised (so the
+    /// first raiser can act exactly once).
+    pub fn raise(&self) -> bool {
+        self.0.swap(true, Ordering::SeqCst)
+    }
+
+    /// Whether the flag has been raised.
+    pub fn get(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.add(3);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4 * 1000 * 3);
+    }
+
+    #[test]
+    fn counter_zero_add_is_free() {
+        let c = Counter::new();
+        c.add(0);
+        assert_eq!(c.get(), 0);
+        c.add(7);
+        assert_eq!(c.get(), 7);
+    }
+
+    #[test]
+    fn flag_is_sticky_and_reports_first_raise() {
+        let f = Flag::new();
+        assert!(!f.get());
+        assert!(!f.raise(), "first raise sees a lowered flag");
+        assert!(f.raise(), "second raise sees a raised flag");
+        assert!(f.get());
+    }
+}

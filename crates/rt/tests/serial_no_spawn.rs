@@ -1,0 +1,38 @@
+//! Regression test: with one effective thread (`set_threads(1)`, the
+//! runtime analogue of `TQT_RT_THREADS=1`), every `par_*` entry point
+//! must take the pure serial path — no worker thread spawned, no region
+//! queued, no condvar signalled.
+//!
+//! This file holds exactly one test so nothing else in the process can
+//! spawn pool workers first (integration tests are their own process).
+
+use tqt_rt::pool;
+
+#[test]
+fn serial_override_never_spawns_workers() {
+    pool::set_threads(1);
+
+    let mut data = vec![0u32; 10_000];
+    pool::par_chunks_mut(&mut data, 7, |i, chunk| {
+        for (j, v) in chunk.iter_mut().enumerate() {
+            *v = (i * 7 + j) as u32 + 1;
+        }
+    });
+    for (k, &v) in data.iter().enumerate() {
+        assert_eq!(v, k as u32 + 1);
+    }
+
+    let squares = pool::par_map(1_000, |i| i * i);
+    assert_eq!(squares[999], 999 * 999);
+
+    let parts = pool::par_fold_blocks(100, 9, |b, r| (b, r.len()));
+    assert_eq!(parts.len(), 12);
+
+    assert_eq!(
+        pool::spawned_workers(),
+        0,
+        "set_threads(1) must keep par_* on the calling thread without \
+         spawning or waking any pool worker"
+    );
+    pool::set_threads(0);
+}

@@ -15,7 +15,11 @@
 //! pool is persistent, so worker arenas are reused across parallel
 //! regions exactly like the main thread's. Nested takes are fine; the
 //! only rule is the usual RAII one: a guard frees its buffer when
-//! dropped, not before.
+//! dropped, not before — and, inside a parallel block, *within that
+//! block*. Under the `sanitize` feature every guard stamps the pool
+//! block context it was checked out in and the happens-before sanitizer
+//! (`tqt_rt::hb`, `TQT-V022`) flags any guard returned in a different
+//! block (escaped into a nested region or outlived its own).
 //!
 //! One arena exists per element type — [`Scratch`] (`f32`) for the
 //! float path, [`ScratchI8`]/[`ScratchI32`]/[`ScratchI64`] for the
@@ -38,6 +42,8 @@ macro_rules! scratch_arena {
         pub struct $name {
             buf: Vec<$ty>,
             len: usize,
+            /// Pool block context at checkout (happens-before sanitizer).
+            stamp: tqt_rt::hb::CheckoutStamp,
         }
 
         impl $name {
@@ -56,7 +62,7 @@ macro_rules! scratch_arena {
                     // uninitialized memory is still off the table).
                     buf.resize(len, $zero);
                 }
-                $name { buf, len }
+                $name { buf, len, stamp: tqt_rt::hb::stamp() }
             }
 
             /// Takes a buffer of `len` elements cleared to zero. Use
@@ -71,6 +77,7 @@ macro_rules! scratch_arena {
 
         impl Drop for $name {
             fn drop(&mut self) {
+                tqt_rt::hb::check_checkin(self.stamp, stringify!($name));
                 let buf = std::mem::take(&mut self.buf);
                 // try_with: during thread teardown the TLS slot may
                 // already be destroyed; then the buffer just

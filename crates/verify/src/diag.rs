@@ -54,6 +54,35 @@ pub enum Code {
     /// `TQT-V015` — runtime sanitizer contradiction: observed behavior
     /// escapes the statically proven envelope (observed ⊄ proven).
     SanitizerViolation,
+    /// `TQT-V016` — executor-plan aliasing: a node writes a buffer slot
+    /// while a live tensor (a pending consumer's operand, the graph
+    /// output, or the writer's own input) still occupies it.
+    PlanAlias,
+    /// `TQT-V017` — executor-plan stale read: a node reads a slot whose
+    /// occupant is not the producing write (slot released or overwritten
+    /// before the last consumer executed).
+    PlanStaleRead,
+    /// `TQT-V018` — executor-plan storage violation: slot capacity below
+    /// the assigned tensor, a per-node length that contradicts
+    /// independent shape re-derivation, or scratch-arena accounting that
+    /// disagrees with the plan.
+    PlanStorage,
+    /// `TQT-V019` — schedule deadlock: the bounded model checker found a
+    /// reachable pool-protocol state with no enabled thread before the
+    /// region completed.
+    SchedDeadlock,
+    /// `TQT-V020` — schedule protocol violation: a lost or duplicated
+    /// block, corrupted completion count, or a panic not delivered to
+    /// the submitting thread, with a counterexample interleaving.
+    SchedProtocol,
+    /// `TQT-V021` — fold-partition violation: `par_fold_blocks` produced
+    /// a block partition that depends on the thread count (breaking
+    /// bit-identical deterministic reduction).
+    FoldPartition,
+    /// `TQT-V022` — happens-before violation from the runtime sanitizer:
+    /// overlapping (or non-covering) mutable block ranges in a parallel
+    /// region, or a scratch checkout escaping its block.
+    HappensBefore,
 }
 
 impl Code {
@@ -75,6 +104,13 @@ impl Code {
             Code::FormatViolation => "TQT-V013",
             Code::TransformInvariant => "TQT-V014",
             Code::SanitizerViolation => "TQT-V015",
+            Code::PlanAlias => "TQT-V016",
+            Code::PlanStaleRead => "TQT-V017",
+            Code::PlanStorage => "TQT-V018",
+            Code::SchedDeadlock => "TQT-V019",
+            Code::SchedProtocol => "TQT-V020",
+            Code::FoldPartition => "TQT-V021",
+            Code::HappensBefore => "TQT-V022",
         }
     }
 
@@ -96,6 +132,13 @@ impl Code {
             Code::FormatViolation => "fixed-point format violation",
             Code::TransformInvariant => "transform invariant violation",
             Code::SanitizerViolation => "runtime sanitizer violation",
+            Code::PlanAlias => "executor-plan slot aliasing",
+            Code::PlanStaleRead => "executor-plan stale read",
+            Code::PlanStorage => "executor-plan storage violation",
+            Code::SchedDeadlock => "pool schedule deadlock",
+            Code::SchedProtocol => "pool schedule protocol violation",
+            Code::FoldPartition => "thread-dependent fold partition",
+            Code::HappensBefore => "happens-before violation",
         }
     }
 }
@@ -219,6 +262,13 @@ mod tests {
             Code::FormatViolation,
             Code::TransformInvariant,
             Code::SanitizerViolation,
+            Code::PlanAlias,
+            Code::PlanStaleRead,
+            Code::PlanStorage,
+            Code::SchedDeadlock,
+            Code::SchedProtocol,
+            Code::FoldPartition,
+            Code::HappensBefore,
         ];
         let mut ids: Vec<&str> = all.iter().map(|c| c.id()).collect();
         ids.sort_unstable();

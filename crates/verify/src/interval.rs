@@ -61,7 +61,7 @@ impl IntervalReport {
 
 /// The producer chain of `id` (following first inputs back to the graph
 /// input), rendered for counterexample messages.
-fn path_to(nodes: &[IntNode], id: usize) -> String {
+pub(crate) fn path_to(nodes: &[IntNode], id: usize) -> String {
     let mut chain = Vec::new();
     let mut cur = id;
     loop {

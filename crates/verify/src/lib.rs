@@ -17,7 +17,14 @@
 //! * [`passes`] — transform invariant checking: re-verifies after every
 //!   pass of the optimization pipeline;
 //! * [`sanitize`] — cross-checks the runtime sanitizer counters against
-//!   the static proofs (observed ⊆ proven).
+//!   the static proofs (observed ⊆ proven);
+//! * [`plan_check`] — independent alias-freedom proof over the executor's
+//!   buffer-slot plan: re-derived liveness and occupancy simulation
+//!   (`TQT-V016`–`TQT-V018`);
+//! * [`sched_check`] — drivers for the `tqt-rt` concurrency proofs:
+//!   bounded model checking of the pool protocol (`TQT-V019`/`TQT-V020`),
+//!   fold-partition determinism (`TQT-V021`), and happens-before
+//!   sanitizer findings (`TQT-V022`).
 //!
 //! The float-graph entry point is [`verify`]; lowered graphs go through
 //! [`interval::analyze`]. Both return a [`Report`] instead of panicking,
@@ -27,13 +34,17 @@ pub mod diag;
 pub mod interval;
 pub mod lint;
 pub mod passes;
+pub mod plan_check;
 pub mod sanitize;
+pub mod sched_check;
 pub mod shape;
 
 pub use diag::{Code, Diag, Report};
 pub use interval::{analyze, IntervalReport};
 pub use passes::{checked_optimize, checked_pipeline};
+pub use plan_check::check_plan;
 pub use sanitize::check_containment;
+pub use sched_check::{check_fold_partition, check_schedules, collect_hb_findings};
 pub use shape::{check_structure, infer_shapes, ShapeReport};
 
 use tqt_graph::Graph;

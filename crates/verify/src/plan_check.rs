@@ -1,0 +1,352 @@
+//! Plan verifier (`TQT-V016`–`TQT-V018`): an independent alias-freedom
+//! proof over [`IntPlan`]'s buffer-slot assignment.
+//!
+//! The executor ([`tqt_fixedpoint::IntExecutor`]) reads every operand
+//! from, and writes every result into, a small set of reusable slots the
+//! planner assigned by liveness analysis. One off-by-one in that
+//! analysis silently corrupts inference — a node would read a buffer
+//! another node already overwrote — so this pass re-proves the plan from
+//! scratch, **treating the planner as untrusted**:
+//!
+//! * per-node element counts are re-derived from the graph's shape rules
+//!   (a mirror written against the runtime kernels, not a call into the
+//!   planner) and compared with the plan (`TQT-V018`);
+//! * per-node liveness is re-derived (a value is live from its
+//!   definition to its last consumer; the graph output is live forever)
+//!   and the whole execution is simulated over slot occupancy: every
+//!   write into a slot holding a live value is `TQT-V016`, every read
+//!   that does not see its producing write is `TQT-V017`, every
+//!   capacity shortfall is `TQT-V018`;
+//! * the executor's only workspace outside the slots — the per-image
+//!   im2col checkout from the thread-local scratch arena — is re-derived
+//!   and compared with the plan's accounting (`TQT-V018`), proving
+//!   im2col scratch is sized and held apart from slot storage (the arena
+//!   is a distinct allocation by construction; the sanitizer's
+//!   `TQT-V022` covers its checkout discipline at runtime).
+//!
+//! Every refutation carries the producer-chain path of the offending
+//! node as a counterexample. The mutation tests
+//! (`crates/verify/tests/plan_mutations.rs`) inject a liveness
+//! off-by-one and a premature slot release and assert this pass refutes
+//! both with the correct node.
+
+use crate::diag::{Code, Report};
+use crate::interval::path_to;
+use tqt_fixedpoint::lower::{IntGraph, IntOp, LEAKY_ALPHA_FRAC};
+use tqt_fixedpoint::IntPlan;
+
+/// Independently re-derived facts about one planned graph.
+#[derive(Debug)]
+struct Derived {
+    /// Element count per node (0 for the float-input placeholder).
+    lens: Vec<usize>,
+    /// Last node id that needs each node's value (`usize::MAX` for the
+    /// graph output, which must survive the whole run).
+    last_use: Vec<usize>,
+    /// im2col scratch high-water mark in elements.
+    scratch_elems: usize,
+}
+
+/// Re-derives per-node output element counts from the op semantics. This
+/// intentionally re-implements the shape rules against the kernel
+/// contracts instead of calling the planner, so a planner bug cannot
+/// vouch for itself.
+fn derive(g: &IntGraph, input_dims: &[usize]) -> Derived {
+    let nodes = g.nodes();
+    let n = nodes.len();
+    let mut dims: Vec<Vec<usize>> = Vec::with_capacity(n);
+    let mut scratch_elems = 0usize;
+    for node in nodes {
+        let i0 = node.inputs.first().copied();
+        let d = match &node.op {
+            // The float input placeholder owns no integer storage.
+            IntOp::Input => vec![0],
+            IntOp::QuantF32 { .. } => input_dims.to_vec(),
+            IntOp::Requant { .. } | IntOp::Relu { .. } | IntOp::LeakyRelu { .. } => {
+                let _ = LEAKY_ALPHA_FRAC; // format-only ops: size-preserving
+                dims[i0.expect("unary op arity")].clone() // tqt:allow(expect): from_parts guarantees arity
+            }
+            IntOp::Conv {
+                wdims,
+                geom,
+                depthwise,
+                ..
+            } => {
+                let ish = &dims[i0.expect("conv arity")]; // tqt:allow(expect): from_parts guarantees arity
+                let (oh, ow) = geom.out_size(ish[2], ish[3]);
+                if !depthwise {
+                    // The kernel's per-image im2col checkout:
+                    // (c·kh·kw) × (oh·ow) elements.
+                    scratch_elems =
+                        scratch_elems.max(ish[1] * geom.kh * geom.kw * oh * ow);
+                }
+                vec![ish[0], wdims[0], oh, ow]
+            }
+            IntOp::Dense { out_dim, .. } => {
+                let ish = &dims[i0.expect("dense arity")]; // tqt:allow(expect): from_parts guarantees arity
+                vec![ish[0], *out_dim]
+            }
+            IntOp::MaxPool { geom } => {
+                let ish = &dims[i0.expect("maxpool arity")]; // tqt:allow(expect): from_parts guarantees arity
+                let (oh, ow) = geom.out_size(ish[2], ish[3]);
+                vec![ish[0], ish[1], oh, ow]
+            }
+            IntOp::GlobalAvgPool => {
+                let ish = &dims[i0.expect("gap arity")]; // tqt:allow(expect): from_parts guarantees arity
+                vec![ish[0], ish[1]]
+            }
+            IntOp::Add => dims[node.inputs[0]].clone(),
+            IntOp::Concat => {
+                let ish = &dims[node.inputs[0]];
+                let c: usize = node.inputs.iter().map(|&i| dims[i][1]).sum();
+                let mut d = vec![ish[0], c];
+                d.extend(&ish[2..]);
+                d
+            }
+            IntOp::Flatten => {
+                let ish = &dims[i0.expect("flatten arity")]; // tqt:allow(expect): from_parts guarantees arity
+                vec![ish[0], ish.iter().product::<usize>() / ish[0]]
+            }
+        };
+        dims.push(d);
+    }
+    let lens: Vec<usize> = dims.iter().map(|d| d.iter().product()).collect();
+    let mut last_use = vec![0usize; n];
+    for (id, node) in nodes.iter().enumerate() {
+        for &i in &node.inputs {
+            last_use[i] = last_use[i].max(id);
+        }
+    }
+    last_use[g.output_id()] = usize::MAX;
+    Derived {
+        lens,
+        last_use,
+        scratch_elems,
+    }
+}
+
+/// Proves (or refutes, with a counterexample node path) that `plan` is
+/// alias-free for `g`: every read sees its producing write, no write
+/// lands on a live value, every slot fits its tensors, and scratch
+/// accounting matches. A clean [`Report`] is the proof.
+pub fn check_plan(g: &IntGraph, plan: &IntPlan) -> Report {
+    let mut r = Report::new();
+    let nodes = g.nodes();
+    let n = nodes.len();
+    let d = derive(g, plan.input_dims());
+
+    if plan.num_nodes() != n {
+        r.push_global(
+            Code::PlanStorage,
+            format!("plan covers {} nodes, graph has {n}", plan.num_nodes()),
+        );
+        return r;
+    }
+
+    // 1. Storage facts: re-derived lengths and slot capacities (V018).
+    for id in 0..n {
+        if plan.len_of(id) != d.lens[id] {
+            r.push(
+                Code::PlanStorage,
+                &nodes[id].name,
+                format!(
+                    "plan says {} elements, shape re-derivation says {} (path: {})",
+                    plan.len_of(id),
+                    d.lens[id],
+                    path_to(nodes, id)
+                ),
+            );
+        }
+        let s = plan.slot_of(id);
+        if s >= plan.num_slots() {
+            r.push(
+                Code::PlanStorage,
+                &nodes[id].name,
+                format!("assigned slot {s} out of range ({} slots)", plan.num_slots()),
+            );
+        } else if plan.slot_len(s) < d.lens[id] {
+            r.push(
+                Code::PlanStorage,
+                &nodes[id].name,
+                format!(
+                    "slot {s} holds {} elements but node needs {} (path: {})",
+                    plan.slot_len(s),
+                    d.lens[id],
+                    path_to(nodes, id)
+                ),
+            );
+        }
+    }
+    if plan.scratch_elems() != d.scratch_elems {
+        r.push_global(
+            Code::PlanStorage,
+            format!(
+                "plan accounts {} im2col scratch elements, kernel contracts require {}",
+                plan.scratch_elems(),
+                d.scratch_elems
+            ),
+        );
+    }
+    if !r.is_clean() {
+        // Occupancy simulation below indexes by the storage facts just
+        // refuted; stop at the stronger finding.
+        return r;
+    }
+
+    // 2. Occupancy simulation over the re-derived liveness (V016/V017).
+    let mut occupant: Vec<Option<usize>> = vec![None; plan.num_slots()];
+    for (id, node) in nodes.iter().enumerate() {
+        // Reads: each live operand must still be in its slot.
+        for &i in &node.inputs {
+            if d.lens[i] == 0 {
+                continue;
+            }
+            let s = plan.slot_of(i);
+            if occupant[s] != Some(i) {
+                let holder = match occupant[s] {
+                    Some(v) => format!("now holds `{}`", nodes[v].name),
+                    None => "was never written".to_string(),
+                };
+                r.push(
+                    Code::PlanStaleRead,
+                    &nodes[id].name,
+                    format!(
+                        "reads operand `{}` from slot {s}, but the slot {holder} — the \
+                         producing write was released or overwritten early \
+                         (counterexample path: {})",
+                        nodes[i].name,
+                        path_to(nodes, id)
+                    ),
+                );
+            }
+        }
+        // Write: the node's slot must hold no live value.
+        if d.lens[id] == 0 {
+            continue;
+        }
+        let s = plan.slot_of(id);
+        if let Some(v) = occupant[s] {
+            let live = d.last_use[v] >= id && v != id;
+            if live {
+                let stranded = if d.last_use[v] == usize::MAX {
+                    "the graph output".to_string()
+                } else {
+                    format!("consumer `{}`", nodes[d.last_use[v].min(n - 1)].name)
+                };
+                r.push(
+                    Code::PlanAlias,
+                    &nodes[id].name,
+                    format!(
+                        "writes slot {s} while `{}` (produced at node {v}) is still \
+                         live — {stranded} would read clobbered data \
+                         (counterexample path: {})",
+                        nodes[v].name,
+                        path_to(nodes, id)
+                    ),
+                );
+            }
+        }
+        occupant[s] = Some(id);
+    }
+
+    // 3. The graph output must have survived the whole run.
+    let out = g.output_id();
+    if d.lens[out] > 0 && occupant[plan.slot_of(out)] != Some(out) {
+        r.push(
+            Code::PlanStaleRead,
+            &nodes[out].name,
+            format!(
+                "graph output no longer occupies slot {} after the final node",
+                plan.slot_of(out)
+            ),
+        );
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqt_fixedpoint::lower::IntNode;
+    use tqt_fixedpoint::QFormat;
+
+    fn q8(frac: i32) -> QFormat {
+        QFormat::new(frac, 8, true)
+    }
+
+    fn diamond() -> IntGraph {
+        let nodes = vec![
+            IntNode {
+                name: "in".into(),
+                op: IntOp::Input,
+                inputs: vec![],
+            },
+            IntNode {
+                name: "q".into(),
+                op: IntOp::QuantF32 { format: q8(4) },
+                inputs: vec![0],
+            },
+            IntNode {
+                name: "relu".into(),
+                op: IntOp::Relu { cap_q: None },
+                inputs: vec![1],
+            },
+            IntNode {
+                name: "rq".into(),
+                op: IntOp::Requant { format: q8(4) },
+                inputs: vec![1],
+            },
+            IntNode {
+                name: "add".into(),
+                op: IntOp::Add,
+                inputs: vec![2, 3],
+            },
+        ];
+        IntGraph::from_parts(nodes, 4)
+    }
+
+    #[test]
+    fn clean_plans_are_proven() {
+        let g = diamond();
+        for dims in [vec![1, 32], vec![4, 32]] {
+            let plan = g.plan(&dims);
+            let r = check_plan(&g, &plan);
+            assert!(r.is_clean(), "{r}");
+        }
+    }
+
+    #[test]
+    fn chain_plan_is_proven() {
+        let nodes = vec![
+            IntNode {
+                name: "in".into(),
+                op: IntOp::Input,
+                inputs: vec![],
+            },
+            IntNode {
+                name: "q".into(),
+                op: IntOp::QuantF32 { format: q8(4) },
+                inputs: vec![0],
+            },
+            IntNode {
+                name: "r1".into(),
+                op: IntOp::Requant { format: q8(3) },
+                inputs: vec![1],
+            },
+            IntNode {
+                name: "r2".into(),
+                op: IntOp::Requant { format: q8(2) },
+                inputs: vec![2],
+            },
+            IntNode {
+                name: "flat".into(),
+                op: IntOp::Flatten,
+                inputs: vec![3],
+            },
+        ];
+        let g = IntGraph::from_parts(nodes, 4);
+        let plan = g.plan(&[2, 16]);
+        let r = check_plan(&g, &plan);
+        assert!(r.is_clean(), "{r}");
+    }
+}

@@ -1,0 +1,85 @@
+//! Doc-consistency gate: the stable diagnostic codes used in this
+//! crate's source and the catalog in `DESIGN.md` §7 must agree in both
+//! directions — a code emitted but undocumented is invisible to users, a
+//! code documented but unused is a stale promise.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Every `TQT-V<ddd>` occurrence in `text`.
+fn codes_in(text: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let bytes = text.as_bytes();
+    let needle = b"TQT-V";
+    let mut i = 0;
+    while i + needle.len() + 3 <= bytes.len() {
+        if &bytes[i..i + needle.len()] == needle {
+            let digits = &bytes[i + needle.len()..i + needle.len() + 3];
+            if digits.iter().all(u8::is_ascii_digit) {
+                out.insert(String::from_utf8_lossy(&bytes[i..i + needle.len() + 3]).into_owned());
+                i += needle.len() + 3;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+#[test]
+fn source_codes_and_design_catalog_agree() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let src_dir = manifest.join("src");
+    let design = manifest.join("../../DESIGN.md");
+
+    let mut src_codes = BTreeSet::new();
+    for entry in std::fs::read_dir(&src_dir).expect("src dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            src_codes.extend(codes_in(&read(&path)));
+        }
+    }
+    assert!(
+        src_codes.contains("TQT-V001") && src_codes.contains("TQT-V022"),
+        "scan looks broken: {src_codes:?}"
+    );
+
+    let design_text = read(&design);
+    // The catalog proper: §7's `| \`TQT-V...\` |` table rows. Other
+    // DESIGN.md sections may mention codes in prose; the table is the
+    // contract.
+    let catalog: BTreeSet<String> = design_text
+        .lines()
+        .filter(|l| l.trim_start().starts_with("| `TQT-V"))
+        .flat_map(|l| codes_in(l).into_iter().take(1))
+        .collect();
+    let design_codes = codes_in(&design_text);
+
+    for code in &src_codes {
+        assert!(
+            catalog.contains(code),
+            "{code} is used in crates/verify/src but missing from the DESIGN.md §7 catalog \
+             table (catalog: {catalog:?})"
+        );
+    }
+    for code in &catalog {
+        assert!(
+            src_codes.contains(code),
+            "{code} is documented in the DESIGN.md §7 catalog but never used in \
+             crates/verify/src"
+        );
+    }
+    // Every code mentioned anywhere in DESIGN.md must at least be a real
+    // code (no typo'd references in prose).
+    for code in &design_codes {
+        assert!(
+            src_codes.contains(code),
+            "{code} appears in DESIGN.md but is not a code crates/verify/src knows"
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Mutation tests for the plan verifier: inject known slot-assignment
+//! bugs through `IntPlan`'s test-only hooks and assert `check_plan`
+//! refutes each with the correct stable code *and* the correct
+//! counterexample node. A prover that cannot refute seeded bugs proves
+//! nothing — this is the teeth behind the zoo-wide "plan proven" gate.
+//!
+//! The mutated plans are never executed.
+
+use tqt_fixedpoint::lower::{IntGraph, IntNode, IntOp};
+use tqt_fixedpoint::QFormat;
+use tqt_verify::{check_plan, Code};
+
+fn q8(frac: i32) -> QFormat {
+    QFormat::new(frac, 8, true)
+}
+
+/// in -> q -> {relu, rq} -> add, with a skip edge (add also reads q's
+/// requantized sibling): enough structure for both mutations.
+fn skip_graph() -> IntGraph {
+    let nodes = vec![
+        IntNode {
+            name: "in".into(),
+            op: IntOp::Input,
+            inputs: vec![],
+        },
+        IntNode {
+            name: "q".into(),
+            op: IntOp::QuantF32 { format: q8(4) },
+            inputs: vec![0],
+        },
+        IntNode {
+            name: "relu".into(),
+            op: IntOp::Relu { cap_q: None },
+            inputs: vec![1],
+        },
+        IntNode {
+            name: "rq".into(),
+            op: IntOp::Requant { format: q8(4) },
+            inputs: vec![2],
+        },
+        IntNode {
+            name: "add".into(),
+            op: IntOp::Add,
+            inputs: vec![3, 1],
+        },
+    ];
+    IntGraph::from_parts(nodes, 4)
+}
+
+#[test]
+fn unmutated_plan_is_proven() {
+    let g = skip_graph();
+    for batch in [1usize, 4] {
+        let plan = g.plan(&[batch, 32]);
+        let r = check_plan(&g, &plan);
+        assert!(r.is_clean(), "batch {batch}: {r}");
+    }
+}
+
+#[test]
+fn liveness_off_by_one_is_refuted_as_v016() {
+    let g = skip_graph();
+    let mut plan = g.plan(&[2, 32]);
+    let (clobberer, input) = plan
+        .inject_liveness_off_by_one(&g)
+        .expect("graph must offer an eligible (node, live input) pair");
+    let r = check_plan(&g, &plan);
+    assert!(r.has(Code::PlanAlias), "V016 expected, got:\n{r}");
+    let diag = r
+        .diags
+        .iter()
+        .find(|d| d.code == Code::PlanAlias)
+        .expect("checked above");
+    let clobberer_name = &g.nodes()[clobberer].name;
+    let input_name = &g.nodes()[input].name;
+    assert_eq!(
+        diag.node.as_deref(),
+        Some(clobberer_name.as_str()),
+        "counterexample must name the clobbering node:\n{r}"
+    );
+    assert!(
+        diag.detail.contains(&format!("`{input_name}`")),
+        "counterexample must name the clobbered live value:\n{r}"
+    );
+}
+
+#[test]
+fn premature_release_is_refuted_as_v017() {
+    let g = skip_graph();
+    let mut plan = g.plan(&[2, 32]);
+    let (producer, _intermediate, stranded) = plan
+        .inject_premature_release(&g)
+        .expect("graph must offer an eligible early-release triple");
+    let r = check_plan(&g, &plan);
+    assert!(r.has(Code::PlanStaleRead), "V017 expected, got:\n{r}");
+    let diag = r
+        .diags
+        .iter()
+        .find(|d| d.code == Code::PlanStaleRead)
+        .expect("checked above");
+    let stranded_name = &g.nodes()[stranded].name;
+    let producer_name = &g.nodes()[producer].name;
+    assert_eq!(
+        diag.node.as_deref(),
+        Some(stranded_name.as_str()),
+        "counterexample must name the stranded consumer:\n{r}"
+    );
+    assert!(
+        diag.detail.contains(&format!("`{producer_name}`")),
+        "counterexample must name the overwritten producer:\n{r}"
+    );
+}
+
+#[test]
+fn storage_shrink_is_refuted_as_v018() {
+    let g = skip_graph();
+    let mut plan = g.plan(&[2, 32]);
+    let short = plan
+        .inject_slot_shrink()
+        .expect("graph must offer a shrinkable slot");
+    let r = check_plan(&g, &plan);
+    assert!(r.has(Code::PlanStorage), "V018 expected, got:\n{r}");
+    let short_name = &g.nodes()[short].name;
+    assert!(
+        r.diags
+            .iter()
+            .any(|d| d.code == Code::PlanStorage && d.node.as_deref() == Some(short_name)),
+        "refutation must name the under-stored node `{short_name}`:\n{r}"
+    );
+}

@@ -9,6 +9,15 @@
 #   narrowing-cast  `as i32`             in crates/fixedpoint/src/requant.rs
 #   float-eq        `== <float literal>` anywhere in crates/*/src
 #   unsafe          `unsafe {`           in crates/{tensor,fixedpoint}
+#   thread-spawn    thread spawning      anywhere except crates/rt/src
+#   raw-atomic      `Atomic*` types      anywhere except crates/rt/src
+#
+# The last two keep every concurrency primitive inside crates/rt, the one
+# crate whose claim/complete protocol the schedule model checker
+# exhaustively verifies (TQT-V019/V020) and whose regions the
+# happens-before sanitizer instruments (TQT-V022). Code elsewhere that
+# needs cross-thread state must use `tqt_rt::sync::{Counter, Flag}` —
+# order-independent by construction — or move the logic into crates/rt.
 #
 # `unsafe` exists for exactly one purpose in this workspace: runtime-
 # dispatched SIMD micro-kernels. Every block must sit next to a SAFETY
@@ -52,6 +61,7 @@ scan() {
 panic_scope=$(find crates/tensor/src crates/fixedpoint/src crates/rt/src -name '*.rs' | sort)
 unsafe_scope=$(find crates/tensor/src crates/fixedpoint/src -name '*.rs' | sort)
 all_src=$(find crates/*/src -name '*.rs' | sort)
+non_rt_src=$(find crates/*/src -name '*.rs' -not -path 'crates/rt/src/*' | sort)
 
 # shellcheck disable=SC2086  # word-splitting the file lists is intended
 scan unwrap '\.unwrap\(\)' $panic_scope
@@ -62,6 +72,10 @@ scan narrowing-cast ' as i32' crates/fixedpoint/src/requant.rs
 scan unsafe 'unsafe \{' $unsafe_scope
 # shellcheck disable=SC2086
 scan float-eq '==[[:space:]]*-?[0-9]+\.[0-9]|[0-9]\.[0-9]+(f32|f64)?[[:space:]]*==' $all_src
+# shellcheck disable=SC2086
+scan thread-spawn 'thread::spawn|thread::Builder' $non_rt_src
+# shellcheck disable=SC2086
+scan raw-atomic 'Atomic(Usize|U8|U16|U32|U64|Bool|I8|I16|I32|I64|Isize|Ptr)' $non_rt_src
 
 if [[ "$fail" -ne 0 ]]; then
   echo "check_forbidden: FAILED (annotate justified sites with tqt:allow(<rule>): <reason>)"

@@ -14,16 +14,28 @@ cargo test -q --offline
 # deployment runs).
 cargo test -q --offline -p tqt-fixedpoint --test gemm_i8_oracle
 cargo test -q --offline --test int_pool_parity
+# Concurrency gates: exhaustive bounded model check of the pool's
+# claim/complete protocol (TQT-V019/V020; every interleaving of the
+# pinned configuration suite, no state budget), and the proof that
+# forcing a single thread takes the pure serial path without spawning
+# or waking any worker.
+cargo test -q --offline -p tqt-rt --test sched_model
+cargo test -q --offline -p tqt-rt --test serial_no_spawn
 cargo clippy --offline -- -D warnings
 # Forbidden-pattern gate: unwrap/expect in the numeric substrates,
-# narrowing casts in requant, float equality outside tests.
+# narrowing casts in requant, float equality outside tests, and thread
+# spawns / raw atomics outside crates/rt (the only crate the schedule
+# model checker covers).
 scripts/check_forbidden.sh
 # Static verification gate: every zoo model at every supported weight
 # bit-width must pass the full tqt-verify analysis suite (shape inference,
-# quantization lints, overflow proof, observed-vs-proven cross-check).
-# Runs with the fixedpoint runtime sanitizer compiled in, so the
-# containment check executes over kernels that assert no i64 accumulator
-# ever wrapped.
+# quantization lints, overflow proof, observed-vs-proven cross-check,
+# executor-plan alias-freedom at batch 1 and 4). The binary also runs the
+# schedule model checker in smoke mode and the fold-partition determinism
+# check up front, and drains happens-before sanitizer findings (TQT-V022)
+# at the end. Built with the sanitize feature, so the sweep executes over
+# kernels that assert no i64 accumulator ever wrapped AND over
+# instrumented parallel regions / scratch checkouts.
 cargo run --release --offline -q -p tqt-bench --bin verify --features tqt-fixedpoint/sanitize
 # Smoke-run the bench binaries (1 sample, tiny shapes, output under
 # target/) so JSON emission and the bench harness can never rot.
