@@ -32,7 +32,7 @@ use tqt_nn::loss::softmax_cross_entropy;
 use tqt_nn::Mode;
 use tqt_tensor::init;
 use tqt_verify::{
-    analyze, check_containment, check_fold_partition, check_plan, check_schedules,
+    analyze, check_containment, check_fold_partition, check_plan, check_schedules, checked_fuse,
     checked_optimize, collect_hb_findings, verify, Report, Stage,
 };
 
@@ -182,10 +182,27 @@ fn check_model(
     // Executor-plan alias-freedom proof at batch 1 and the probe batch.
     let mut batches = vec![1usize, batch];
     batches.dedup();
-    for b in batches {
+    for &b in &batches {
         let mut bdims = dims.clone();
         bdims[0] = b;
         let plan = ig.plan(&bdims);
         report.merge(check_plan(&ig, &plan));
+    }
+
+    // Epilogue fusion: bit-identical probe + interval re-proof + plan
+    // re-verification of the fused graph (`TQT-V014`/`V023`), then an
+    // instrumented fused run re-checked against its own proof and the
+    // fused plan proven at every batch the unfused one was.
+    let (fig, fr) = checked_fuse(&ig, &dims);
+    report.merge(fr);
+    let fproven = analyze(&fig, &dims);
+    if fproven.proven() {
+        let (_, fstats) = fig.run_with_stats(&probe);
+        report.merge(check_containment(&fig, &fproven, &fstats));
+        for &b in &batches {
+            let mut bdims = dims.clone();
+            bdims[0] = b;
+            report.merge(check_plan(&fig, &fig.plan(&bdims)));
+        }
     }
 }

@@ -83,6 +83,53 @@ pub enum RequantMode<'a> {
     },
 }
 
+/// A `[k, n]` RHS packed **once** into the NR-wide k-pair panel layout
+/// the micro-kernel consumes (see [`pack_b`]). Build it when the weight
+/// matrix is known (e.g. at plan time) and pass it to
+/// [`gemm_i8_fused_prepacked`] / [`gemm_i8_acc32_prepacked`]: per-call
+/// packing disappears. Packing is element-wise order-preserving, so the
+/// prepacked path is bit-identical to the pack-per-call path. Read-only
+/// after construction — one `PackedB` can be shared across threads and
+/// sessions.
+#[derive(Debug, Clone)]
+pub struct PackedB {
+    data: Vec<i8>,
+    k: usize,
+    n: usize,
+}
+
+impl PackedB {
+    /// Packs a row-major `b: [k, n]` into panel layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != k * n`.
+    pub fn pack(b: &[i8], k: usize, n: usize) -> Self {
+        assert_eq!(b.len(), k * n, "rhs length mismatch");
+        let kpairs = k.div_ceil(2);
+        let npanels = n.div_ceil(NR);
+        let mut data = vec![0i8; npanels * kpairs * 2 * NR];
+        pack_b(b, k, n, kpairs, &mut data);
+        PackedB { data, k, n }
+    }
+
+    /// The packed operand's `k` (reduction) dimension.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The packed operand's `n` (column) dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The raw panel bytes, `n.div_ceil(NR) * k.div_ceil(2) * 2 * NR`
+    /// of them.
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+}
+
 /// Blocked, pool-parallel `out[m,n] = requant(a[m,k] · b[k,n] + bias)`
 /// writing `i8` directly: bias add (per output row, on the accumulator
 /// grid), zero-point corrections, and requantization are fused into the
@@ -90,7 +137,9 @@ pub enum RequantMode<'a> {
 /// added to the raw `Σ q1·q2` *before* the cross-term correction.
 ///
 /// Overwrites `out` (no `C +=` semantics — a fused requantizing GEMM has
-/// no meaningful accumulate-into form).
+/// no meaningful accumulate-into form). Packs `b` into thread-local
+/// scratch on every call; hoist that with [`PackedB`] +
+/// [`gemm_i8_fused_prepacked`] when `b` is reused.
 ///
 /// # Panics
 ///
@@ -107,8 +156,57 @@ pub fn gemm_i8_fused(
     out: &mut [i8],
     parallel: bool,
 ) {
-    assert_eq!(a.len(), m * k, "lhs length mismatch");
     assert_eq!(b.len(), k * n, "rhs length mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    let kpairs = k.div_ceil(2);
+    let npanels = n.div_ceil(NR);
+    let mut bpack = ScratchI8::uninit(npanels * kpairs * 2 * NR);
+    pack_b(b, k, n, kpairs, &mut bpack);
+    fused_inner(m, n, k, a, &bpack, bias, mode, out, parallel);
+}
+
+/// [`gemm_i8_fused`] over a pre-packed RHS: identical semantics and
+/// bit-identical output, no per-call B packing.
+///
+/// # Panics
+///
+/// Panics if `b` was packed for different `(k, n)` dims or slice
+/// lengths disagree with the dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_i8_fused_prepacked(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    b: &PackedB,
+    bias: Option<&[i32]>,
+    mode: RequantMode,
+    out: &mut [i8],
+    parallel: bool,
+) {
+    assert_eq!((b.k, b.n), (k, n), "packed rhs dims mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    fused_inner(m, n, k, a, &b.data, bias, mode, out, parallel);
+}
+
+/// Shared body of the fused entry points, over an already-packed B.
+#[allow(clippy::too_many_arguments)]
+fn fused_inner(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    bpack: &[i8],
+    bias: Option<&[i32]>,
+    mode: RequantMode,
+    out: &mut [i8],
+    parallel: bool,
+) {
+    assert_eq!(a.len(), m * k, "lhs length mismatch");
     assert_eq!(out.len(), m * n, "output length mismatch");
     if let Some(bv) = bias {
         assert_eq!(bv.len(), m, "bias length mismatch (one per output row)");
@@ -117,14 +215,9 @@ pub fn gemm_i8_fused(
         assert_eq!(a_sums.len(), m, "row-sum length mismatch");
         assert_eq!(b_sums.len(), n, "column-sum length mismatch");
     }
-    if m == 0 || n == 0 {
-        return;
-    }
     let kpairs = k.div_ceil(2);
     let npanels = n.div_ceil(NR);
-    let mut bpack = ScratchI8::uninit(npanels * kpairs * 2 * NR);
-    pack_b(b, k, n, kpairs, &mut bpack);
-    let bpack = &*bpack;
+    assert_eq!(bpack.len(), npanels * kpairs * 2 * NR, "packed rhs length mismatch");
     let avx = has_avx2();
     let run_block = |row0: usize, ochunk: &mut [i8]| {
         let rows = ochunk.len() / n;
@@ -204,9 +297,7 @@ pub fn gemm_i8_acc32(
     out: &mut [i32],
     parallel: bool,
 ) {
-    assert_eq!(a.len(), m * k, "lhs length mismatch");
     assert_eq!(b.len(), k * n, "rhs length mismatch");
-    assert_eq!(out.len(), m * n, "output length mismatch");
     if m == 0 || n == 0 {
         return;
     }
@@ -214,7 +305,48 @@ pub fn gemm_i8_acc32(
     let npanels = n.div_ceil(NR);
     let mut bpack = ScratchI8::uninit(npanels * kpairs * 2 * NR);
     pack_b(b, k, n, kpairs, &mut bpack);
-    let bpack = &*bpack;
+    acc32_inner(m, n, k, a, &bpack, out, parallel);
+}
+
+/// [`gemm_i8_acc32`] over a pre-packed RHS: identical semantics and
+/// bit-identical output, no per-call B packing.
+///
+/// # Panics
+///
+/// Panics if `b` was packed for different `(k, n)` dims or slice
+/// lengths disagree with the dimensions.
+pub fn gemm_i8_acc32_prepacked(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    b: &PackedB,
+    out: &mut [i32],
+    parallel: bool,
+) {
+    assert_eq!((b.k, b.n), (k, n), "packed rhs dims mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    acc32_inner(m, n, k, a, &b.data, out, parallel);
+}
+
+/// Shared body of the raw-accumulator entry points, over an
+/// already-packed B.
+fn acc32_inner(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    bpack: &[i8],
+    out: &mut [i32],
+    parallel: bool,
+) {
+    assert_eq!(a.len(), m * k, "lhs length mismatch");
+    assert_eq!(out.len(), m * n, "output length mismatch");
+    let kpairs = k.div_ceil(2);
+    let npanels = n.div_ceil(NR);
+    assert_eq!(bpack.len(), npanels * kpairs * 2 * NR, "packed rhs length mismatch");
     let avx = has_avx2();
     let run_block = |row0: usize, ochunk: &mut [i32]| {
         let rows = ochunk.len() / n;
@@ -442,6 +574,48 @@ mod tests {
             false,
         );
         assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn prepacked_matches_pack_per_call() {
+        for &(m, k, n) in &[(5usize, 9usize, 23usize), (12, 32, 16), (1, 7, 1)] {
+            let a: Vec<i8> = (0..m * k).map(|v| ((v * 29 + 13) % 255) as i8).collect();
+            let b: Vec<i8> = (0..k * n).map(|v| ((v * 31 + 17) % 255) as i8).collect();
+            let packed = PackedB::pack(&b, k, n);
+            assert_eq!((packed.k(), packed.n()), (k, n));
+
+            let mut acc_ref = vec![0i32; m * n];
+            gemm_i8_acc32(m, n, k, &a, &b, &mut acc_ref, false);
+            let mut acc_pp = vec![0i32; m * n];
+            gemm_i8_acc32_prepacked(m, n, k, &a, &packed, &mut acc_pp, false);
+            assert_eq!(acc_ref, acc_pp);
+
+            let mut out_ref = vec![0i8; m * n];
+            gemm_i8_fused(
+                m,
+                n,
+                k,
+                &a,
+                &b,
+                None,
+                RequantMode::Pow2 { shift: 4 },
+                &mut out_ref,
+                false,
+            );
+            let mut out_pp = vec![0i8; m * n];
+            gemm_i8_fused_prepacked(
+                m,
+                n,
+                k,
+                &a,
+                &packed,
+                None,
+                RequantMode::Pow2 { shift: 4 },
+                &mut out_pp,
+                false,
+            );
+            assert_eq!(out_ref, out_pp);
+        }
     }
 
     #[test]

@@ -12,6 +12,23 @@
 //! accumulator tiles held on the stack, B rows streamed once per row
 //! tile, and the row-block loop fanned out over the `tqt-rt` pool.
 //!
+//! **Packed operands.** Either operand may be supplied pre-packed in the
+//! exact panel layout the kernel walks ([`Lhs::Packed`] /
+//! [`Rhs::Packed`], produced by [`pack_lhs`] / [`pack_rhs`]). The
+//! executor's plan packs every conv and dense weight matrix once at
+//! build time ([`crate::plan`]), so per-call packing cost is zero and
+//! the kernel reads weights with unit stride. Packing only permutes the
+//! operand; every product is still accumulated in ascending-`k` order,
+//! so packed and row-major calls are bit-identical.
+//!
+//! **Fused epilogue.** [`gemm_i64_narrow_fused`] additionally applies an
+//! ordered list of [`TileStep`]s to each element while the narrowed
+//! value is still in registers: requantization (with saturation
+//! counting), a residual add (with wrap counting), and (capped) ReLU.
+//! Each step replays the corresponding standalone kernel of
+//! [`crate::plan`] per element, which is what makes graph-level fusion
+//! bit-exact (`tests/fusion_parity.rs`).
+//!
 //! **Determinism.** Every output element is accumulated in ascending-`k`
 //! order by exactly one closure invocation, and integer addition is
 //! associative, so serial and parallel runs are bit-identical — including
@@ -20,6 +37,7 @@
 //! non-negative integers, order-independent).
 
 use crate::lower::narrow;
+use crate::requant::shift_round;
 use tqt_rt::pool;
 use tqt_rt::sync::Counter;
 
@@ -29,6 +47,90 @@ const MRB: usize = 4;
 const NCB: usize = 64;
 /// Rows of C per parallel row block.
 const ROWS_PER_BLOCK: usize = 16;
+
+/// The left operand: row-major `[m, k]`, or pre-packed by [`pack_lhs`].
+#[derive(Clone, Copy)]
+pub enum Lhs<'a> {
+    /// Row-major `a[i*k + kk]`.
+    Rows(&'a [i64]),
+    /// [`pack_lhs`] layout: `MRB`-tall k-major panels.
+    Packed(&'a [i64]),
+}
+
+/// The right operand: row-major `[k, n]`, or pre-packed by [`pack_rhs`].
+#[derive(Clone, Copy)]
+pub enum Rhs<'a> {
+    /// Row-major `b[kk*n + j]`.
+    Rows(&'a [i64]),
+    /// [`pack_rhs`] layout: `NCB`-wide k-major panels.
+    Packed(&'a [i64]),
+}
+
+/// Element count of the [`pack_lhs`] buffer for an `[m, k]` operand.
+pub const fn packed_lhs_len(m: usize, k: usize) -> usize {
+    m.div_ceil(MRB) * MRB * k
+}
+
+/// Packs a row-major `[m, k]` left operand into `MRB`-tall k-major
+/// panels: panel `p` covers rows `p*MRB..`, and element
+/// `dst[p*MRB*k + kk*MRB + r] = a[(p*MRB + r)*k + kk]` (zero-padded
+/// rows past `m`). This is exactly the order the kernel reads A, so a
+/// packed call touches the operand with unit stride.
+pub fn pack_lhs(a: &[i64], m: usize, k: usize, dst: &mut [i64]) {
+    assert_eq!(a.len(), m * k, "lhs length mismatch");
+    assert_eq!(dst.len(), packed_lhs_len(m, k), "packed lhs length mismatch");
+    dst.fill(0);
+    for p in 0..m.div_ceil(MRB) {
+        let panel = &mut dst[p * MRB * k..(p + 1) * MRB * k];
+        for r in 0..MRB.min(m - p * MRB) {
+            let row = &a[(p * MRB + r) * k..(p * MRB + r + 1) * k];
+            for (kk, &v) in row.iter().enumerate() {
+                panel[kk * MRB + r] = v;
+            }
+        }
+    }
+}
+
+/// Element count of the [`pack_rhs`] buffer for a `[k, n]` operand.
+pub const fn packed_rhs_len(k: usize, n: usize) -> usize {
+    n.div_ceil(NCB) * NCB * k
+}
+
+/// Packs a row-major `[k, n]` right operand into `NCB`-wide k-major
+/// panels: panel `q` covers columns `q*NCB..`, and element
+/// `dst[q*NCB*k + kk*NCB + j] = b[kk*n + q*NCB + j]` (zero-padded
+/// columns past `n`).
+pub fn pack_rhs(b: &[i64], k: usize, n: usize, dst: &mut [i64]) {
+    assert_eq!(b.len(), k * n, "rhs length mismatch");
+    assert_eq!(dst.len(), packed_rhs_len(k, n), "packed rhs length mismatch");
+    dst.fill(0);
+    for q in 0..n.div_ceil(NCB) {
+        let jc = q * NCB;
+        let nc = NCB.min(n - jc);
+        let panel = &mut dst[q * NCB * k..(q + 1) * NCB * k];
+        for kk in 0..k {
+            panel[kk * NCB..kk * NCB + nc].copy_from_slice(&b[kk * n + jc..kk * n + jc + nc]);
+        }
+    }
+}
+
+/// One register-resident epilogue step, applied per element after the
+/// narrowed accumulator (plus biases) is formed. Each variant replays
+/// the corresponding standalone executor kernel bit-for-bit, including
+/// its saturation / wrap counting — the fused-graph parity contract.
+#[derive(Clone, Copy)]
+pub enum TileStep<'a> {
+    /// Round-half-even shift by `shift` then clamp to `[qmin, qmax]`,
+    /// counting clamped elements (the `Requant` node kernel).
+    Requant { shift: i32, qmin: i64, qmax: i64 },
+    /// Exact i128 add of the same-index element of a residual operand,
+    /// narrowed with wrap counting (the `Add` node kernel). The slice is
+    /// indexed by the element's position in the full `[m, n]` output.
+    AddResidual(&'a [i64]),
+    /// `max(0)` then `min(cap)` (the `Relu` node kernel; pass
+    /// `i64::MAX` for an uncapped ReLU).
+    ReluCap(i64),
+}
 
 /// `out[m,n] = narrow(a[m,k] · b[k,n] + bias)` with exact i128
 /// accumulation per element; values escaping the i64 range are counted
@@ -52,8 +154,57 @@ pub fn gemm_i64_narrow(
     overflowed: &Counter,
     parallel: bool,
 ) {
-    assert_eq!(a.len(), m * k, "lhs length mismatch");
-    assert_eq!(b.len(), k * n, "rhs length mismatch");
+    let saturated = Counter::new();
+    gemm_i64_narrow_fused(
+        m,
+        n,
+        k,
+        Lhs::Rows(a),
+        Rhs::Rows(b),
+        bias_row,
+        bias_col,
+        &[],
+        out,
+        overflowed,
+        &saturated,
+        parallel,
+    );
+    debug_assert_eq!(saturated.get(), 0, "no epilogue steps, nothing saturates");
+}
+
+/// [`gemm_i64_narrow`] generalized over packed operands and a fused
+/// per-element epilogue. Clamped elements of `Requant` steps are counted
+/// into `saturated`; wrapped narrows (the accumulator itself and any
+/// `AddResidual` step) into `overflowed`.
+///
+/// # Panics
+///
+/// Panics if operand lengths disagree with the dimensions (packed
+/// operands must have exactly [`packed_lhs_len`] / [`packed_rhs_len`]
+/// elements).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_i64_narrow_fused(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: Lhs,
+    b: Rhs,
+    bias_row: Option<&[i64]>,
+    bias_col: Option<&[i64]>,
+    epi: &[TileStep],
+    out: &mut [i64],
+    overflowed: &Counter,
+    saturated: &Counter,
+    parallel: bool,
+) {
+    match a {
+        Lhs::Rows(s) => assert_eq!(s.len(), m * k, "lhs length mismatch"),
+        Lhs::Packed(s) => assert_eq!(s.len(), packed_lhs_len(m, k), "packed lhs length mismatch"),
+    }
+    match b {
+        Rhs::Rows(s) => assert_eq!(s.len(), k * n, "rhs length mismatch"),
+        Rhs::Packed(s) => assert_eq!(s.len(), packed_rhs_len(k, n), "packed rhs length mismatch"),
+    }
     assert_eq!(out.len(), m * n, "output length mismatch");
     if let Some(br) = bias_row {
         assert_eq!(br.len(), m, "row-bias length mismatch");
@@ -61,21 +212,42 @@ pub fn gemm_i64_narrow(
     if let Some(bc) = bias_col {
         assert_eq!(bc.len(), n, "column-bias length mismatch");
     }
+    for step in epi {
+        if let TileStep::AddResidual(res) = step {
+            assert_eq!(res.len(), m * n, "residual length mismatch");
+        }
+    }
     if m == 0 || n == 0 {
         return;
     }
     let run_block = |row0: usize, ochunk: &mut [i64]| {
         let rows = ochunk.len() / n;
         let mut local_ovf = 0u64;
+        let mut local_sat = 0u64;
         for jc in (0..n).step_by(NCB) {
             let nc = NCB.min(n - jc);
+            // Both layouts reduce to `base + kk*stride` for the nc-wide
+            // B row slice of this column panel.
+            let (bbuf, bbase, bstride) = match b {
+                Rhs::Rows(s) => (s, jc, n),
+                Rhs::Packed(s) => (s, (jc / NCB) * NCB * k, NCB),
+            };
             for rb in (0..rows).step_by(MRB) {
                 let mr = MRB.min(rows - rb);
+                // `row0` is a multiple of ROWS_PER_BLOCK and `rb` of MRB,
+                // so `row0 + rb` always lands on a packed-panel boundary.
+                let (abuf, abase, astride) = match a {
+                    Lhs::Rows(s) => (s, (row0 + rb) * k, k),
+                    Lhs::Packed(s) => (s, (row0 + rb) / MRB * MRB * k, MRB),
+                };
                 let mut acc = [[0i128; NCB]; MRB];
                 for kk in 0..k {
-                    let brow = &b[kk * n + jc..kk * n + jc + nc];
+                    let brow = &bbuf[bbase + kk * bstride..bbase + kk * bstride + nc];
                     for (r, arow) in acc.iter_mut().enumerate().take(mr) {
-                        let av = a[(row0 + rb + r) * k + kk];
+                        let av = match a {
+                            Lhs::Rows(_) => abuf[abase + r * astride + kk],
+                            Lhs::Packed(_) => abuf[abase + kk * astride + r],
+                        };
                         if av == 0 {
                             continue;
                         }
@@ -89,19 +261,42 @@ pub fn gemm_i64_narrow(
                     let gi = row0 + rb + r;
                     let orow = (rb + r) * n + jc;
                     for (j, slot) in ochunk[orow..orow + nc].iter_mut().enumerate() {
-                        let mut v = arow[j];
+                        let mut wide = arow[j];
                         if let Some(br) = bias_row {
-                            v += i128::from(br[gi]);
+                            wide += i128::from(br[gi]);
                         }
                         if let Some(bc) = bias_col {
-                            v += i128::from(bc[jc + j]);
+                            wide += i128::from(bc[jc + j]);
                         }
-                        *slot = narrow(v, &mut local_ovf);
+                        let mut v = narrow(wide, &mut local_ovf);
+                        for step in epi {
+                            match *step {
+                                TileStep::Requant { shift, qmin, qmax } => {
+                                    let r = shift_round(v, shift);
+                                    let c = r.clamp(qmin, qmax);
+                                    if c != r {
+                                        local_sat += 1;
+                                    }
+                                    v = c;
+                                }
+                                TileStep::AddResidual(res) => {
+                                    v = narrow(
+                                        i128::from(v) + i128::from(res[gi * n + jc + j]),
+                                        &mut local_ovf,
+                                    );
+                                }
+                                TileStep::ReluCap(cap) => {
+                                    v = v.max(0).min(cap);
+                                }
+                            }
+                        }
+                        *slot = v;
                     }
                 }
             }
         }
         overflowed.add(local_ovf);
+        saturated.add(local_sat);
     };
     if parallel && m > ROWS_PER_BLOCK && pool::threads() > 1 {
         pool::par_chunks_mut(out, ROWS_PER_BLOCK * n, |bi, chunk| {
@@ -148,6 +343,33 @@ mod tests {
     }
 
     #[test]
+    fn packed_operands_match_row_major() {
+        for &(m, n, k) in &[(1, 1, 3), (5, 67, 9), (33, 130, 17), (16, 64, 8)] {
+            let a: Vec<i64> = (0..m * k).map(|v| (v as i64 * 41 % 811) - 400).collect();
+            let b: Vec<i64> = (0..k * n).map(|v| (v as i64 * 59 % 773) - 380).collect();
+            let mut want = vec![0i64; m * n];
+            let ovf = Counter::new();
+            gemm_i64_narrow(m, n, k, &a, &b, None, None, &mut want, &ovf, false);
+            let mut ap = vec![0i64; packed_lhs_len(m, k)];
+            pack_lhs(&a, m, k, &mut ap);
+            let mut bp = vec![0i64; packed_rhs_len(k, n)];
+            pack_rhs(&b, k, n, &mut bp);
+            for (la, lb) in [
+                (Lhs::Packed(&ap[..]), Rhs::Rows(&b[..])),
+                (Lhs::Rows(&a[..]), Rhs::Packed(&bp[..])),
+                (Lhs::Packed(&ap[..]), Rhs::Packed(&bp[..])),
+            ] {
+                let mut got = vec![0i64; m * n];
+                let (ovf, sat) = (Counter::new(), Counter::new());
+                gemm_i64_narrow_fused(
+                    m, n, k, la, lb, None, None, &[], &mut got, &ovf, &sat, false,
+                );
+                assert_eq!(want, got, "shape ({m},{n},{k})");
+            }
+        }
+    }
+
+    #[test]
     fn counts_overflow_and_wraps() {
         // 2 * (2^62 * 2) = 2^64 wraps to 0 in i64 and must be counted.
         let a = vec![1i64 << 62, 1 << 62];
@@ -179,5 +401,69 @@ mod tests {
             false,
         );
         assert_eq!(got, vec![3020 + 7 + 1, 30200 + 7 + 2]);
+    }
+
+    #[test]
+    fn epilogue_steps_replay_standalone_kernels() {
+        // 2x2 @ 2x2 with a requant (shift 2, clamp to i8), a residual
+        // add, and a capped relu — checked against a hand-folded oracle.
+        let a = vec![3i64, -1, 2, 5];
+        let b = vec![10i64, 20, 30, 40];
+        let res = vec![1i64, -200, 3, 4];
+        let mut got = vec![0i64; 4];
+        let (ovf, sat) = (Counter::new(), Counter::new());
+        let epi = [
+            TileStep::Requant {
+                shift: 2,
+                qmin: -128,
+                qmax: 127,
+            },
+            TileStep::AddResidual(&res),
+            TileStep::ReluCap(30),
+        ];
+        gemm_i64_narrow_fused(
+            2,
+            2,
+            2,
+            Lhs::Rows(&a),
+            Rhs::Rows(&b),
+            None,
+            None,
+            &epi,
+            &mut got,
+            &ovf,
+            &sat,
+            false,
+        );
+        // raw = [[0, 20], [170, 240]]; >>2 half-even = [0, 5, 42, 60]
+        // (170/4 = 42.5 rounds to even); none clamp in i8; +res =
+        // [1, -195, 45, 64]; relu cap 30 = [1, 0, 30, 30].
+        assert_eq!(got, vec![1, 0, 30, 30]);
+        assert_eq!(sat.get(), 0);
+        assert_eq!(ovf.get(), 0);
+        // Same, but with a clamp-visible narrow format.
+        let mut got = vec![0i64; 4];
+        let (ovf, sat) = (Counter::new(), Counter::new());
+        let epi = [TileStep::Requant {
+            shift: 2,
+            qmin: -16,
+            qmax: 15,
+        }];
+        gemm_i64_narrow_fused(
+            2,
+            2,
+            2,
+            Lhs::Rows(&a),
+            Rhs::Rows(&b),
+            None,
+            None,
+            &epi,
+            &mut got,
+            &ovf,
+            &sat,
+            false,
+        );
+        assert_eq!(got, vec![0, 5, 15, 15]);
+        assert_eq!(sat.get(), 2, "42 and 60 clamp to 15");
     }
 }

@@ -15,8 +15,12 @@
 //!   [`IntExecutor`] for repeated integer inference;
 //! * [`mod@lower`] with the [`lower()`](lower::lower) entry point — lowering a quantized float graph to an [`IntGraph`]
 //!   that is bit-exact to the baked float inference graph (the paper's
-//!   Section 4.2 property).
+//!   Section 4.2 property);
+//! * [`mod@fuse`] — graph-level conv→relu→add epilogue fusion over the
+//!   [`IntGraph`], bit-identical by construction and proven so by
+//!   `tests/fusion_parity.rs`.
 
+pub mod fuse;
 pub mod gemm_i8;
 pub mod intgemm;
 pub mod kernels;
@@ -25,7 +29,11 @@ pub mod plan;
 pub mod qtensor;
 pub mod requant;
 
-pub use gemm_i8::{gemm_i8_acc32, gemm_i8_fused, RequantMode};
-pub use lower::{lower, IntGraph, NodeStats, RunStats};
+pub use fuse::fuse;
+pub use gemm_i8::{
+    gemm_i8_acc32, gemm_i8_acc32_prepacked, gemm_i8_fused, gemm_i8_fused_prepacked, PackedB,
+    RequantMode,
+};
+pub use lower::{lower, EpiStep, IntGraph, NodeStats, RunStats};
 pub use plan::{IntExecutor, IntPlan};
 pub use qtensor::{QFormat, QTensor};

@@ -25,7 +25,7 @@ use tqt_tensor::Tensor;
 pub const LEAKY_ALPHA_FRAC: i32 = 7;
 
 /// An integer-only operation.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum IntOp {
     /// The float input placeholder.
     Input,
@@ -94,10 +94,47 @@ pub enum IntOp {
     Concat,
     /// Flatten to `[n, features]`.
     Flatten,
+    /// A conv/dense core with its epilogue chain fused into the GEMM tile
+    /// store (produced by [`crate::fuse::fuse`], never by [`lower`]).
+    ///
+    /// Inputs are `[x]`, or `[x, residual]` when `epi` contains an
+    /// [`EpiStep::AddResidual`]. Every step replays the standalone node
+    /// kernel it replaced per element, so a fused graph is bit-identical —
+    /// outputs *and* total saturation/overflow counts — to its unfused
+    /// original (`tests/fusion_parity.rs`).
+    Fused {
+        /// The producing op: always a `Conv` or `Dense`.
+        core: Box<IntOp>,
+        /// Ordered per-element epilogue, applied to the narrowed
+        /// accumulator while it is register resident.
+        epi: Vec<EpiStep>,
+    },
+}
+
+/// One step of a fused node's per-element epilogue, in graph-level terms
+/// (formats, not shifts — the executor resolves shifts against the
+/// chain's running fractional length at plan time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpiStep {
+    /// Requantize into `format` (round-half-even shift + saturation,
+    /// exactly [`IntOp::Requant`]).
+    Requant {
+        /// Target format.
+        format: QFormat,
+    },
+    /// Add the fused node's second input elementwise (exactly
+    /// [`IntOp::Add`]; both sides must be on the same grid).
+    AddResidual,
+    /// ReLU with an optional cap on the current grid (exactly
+    /// [`IntOp::Relu`]).
+    Relu {
+        /// Cap in current-grid units.
+        cap_q: Option<i64>,
+    },
 }
 
 /// A node of the integer graph.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct IntNode {
     /// Name copied from the float graph.
     pub name: String,
@@ -109,7 +146,7 @@ pub struct IntNode {
 
 /// An integer-only inference graph, bit-exact to the baked float graph it
 /// was lowered from.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct IntGraph {
     nodes: Vec<IntNode>,
     output: usize,
@@ -132,6 +169,13 @@ impl IntGraph {
             }
         }
         IntGraph { nodes, output }
+    }
+
+    /// Disassembles the graph into its node list and output index — the
+    /// inverse of [`from_parts`](Self::from_parts), used by graph-level
+    /// rewrites ([`crate::fuse`]) that rebuild the node list.
+    pub fn into_parts(self) -> (Vec<IntNode>, usize) {
+        (self.nodes, self.output)
     }
 
     /// The nodes in topological order.

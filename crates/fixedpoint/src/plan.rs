@@ -18,8 +18,10 @@
 //! Serial and parallel runs are bit-identical; counters are merged
 //! through order-independent `tqt_rt::sync::Counter` sums.
 
-use crate::intgemm::gemm_i64_narrow;
-use crate::lower::{narrow, IntGraph, IntOp, RunStats, LEAKY_ALPHA_FRAC};
+use crate::intgemm::{
+    gemm_i64_narrow_fused, pack_lhs, pack_rhs, packed_lhs_len, packed_rhs_len, Lhs, Rhs, TileStep,
+};
+use crate::lower::{narrow, EpiStep, IntGraph, IntOp, RunStats, LEAKY_ALPHA_FRAC};
 use crate::qtensor::{QFormat, QTensor};
 use crate::requant::shift_round;
 use tqt_quant::round_half_even;
@@ -34,6 +36,15 @@ use tqt_tensor::Tensor;
 /// every per-chunk counter — are the same in serial and parallel runs.
 const ELEM_BLOCK: usize = 4096;
 
+/// The compute op a node actually runs: the core of a [`IntOp::Fused`]
+/// node, the op itself otherwise.
+fn core_op(op: &IntOp) -> &IntOp {
+    match op {
+        IntOp::Fused { core, .. } => core,
+        other => other,
+    }
+}
+
 /// A static execution plan for one [`IntGraph`] at one input shape:
 /// per-node output shapes and Q-formats, plus a liveness-based assignment
 /// of nodes to reusable buffer slots.
@@ -46,6 +57,15 @@ pub struct IntPlan {
     slot: Vec<usize>,
     slot_lens: Vec<usize>,
     scratch_elems: usize,
+    /// Plan-owned weight arena: every conv/dense weight matrix (fused or
+    /// not), packed once at build time into the exact panel layout the
+    /// blocked GEMM consumes ([`pack_lhs`] for conv, [`pack_rhs`] for
+    /// dense). Read-only after construction, so any number of executors
+    /// may share one plan ([`IntExecutor::with_plan`]) without
+    /// synchronization.
+    wpack: Vec<i64>,
+    /// Per-node `(offset, len)` of the node's packed panels in `wpack`.
+    wpack_at: Vec<Option<(usize, usize)>>,
 }
 
 impl IntPlan {
@@ -162,6 +182,61 @@ impl IntPlan {
                     let feat: usize = ish.iter().product::<usize>() / ish[0];
                     (vec![ish[0], feat], formats[i0])
                 }
+                // A fused node's shape is its core's; its format folds the
+                // epilogue through the exact per-step rules of the
+                // standalone nodes it replaced.
+                IntOp::Fused { core, epi } => {
+                    let i0 = i0.expect("fused needs an input"); // tqt:allow(expect): the fuse pass guarantees arity
+                    let (shape, mut f) = match core.as_ref() {
+                        IntOp::Conv {
+                            wdims,
+                            geom,
+                            w_frac,
+                            ..
+                        } => {
+                            let ish = &shapes[i0];
+                            let (oh, ow) = geom.out_size(ish[2], ish[3]);
+                            (
+                                vec![ish[0], wdims[0], oh, ow],
+                                QFormat::new(formats[i0].frac + w_frac, 64, true),
+                            )
+                        }
+                        IntOp::Dense {
+                            in_dim,
+                            out_dim,
+                            w_frac,
+                            ..
+                        } => {
+                            let ish = &shapes[i0];
+                            assert_eq!(ish[1], *in_dim, "dense input feature mismatch");
+                            (
+                                vec![ish[0], *out_dim],
+                                QFormat::new(formats[i0].frac + w_frac, 64, true),
+                            )
+                        }
+                        other => panic!("fused core must be conv or dense, got {other:?}"),
+                    };
+                    for step in epi {
+                        match step {
+                            EpiStep::Requant { format } => f = *format,
+                            EpiStep::AddResidual => {
+                                let r = node.inputs[1];
+                                assert_eq!(
+                                    formats[r], f,
+                                    "fused residual-add formats must match (scale merging)"
+                                );
+                                assert_eq!(
+                                    shapes[r].iter().product::<usize>(),
+                                    shape.iter().product::<usize>(),
+                                    "fused residual operand size must match"
+                                );
+                                f = QFormat::new(f.frac, 64, true);
+                            }
+                            EpiStep::Relu { .. } => {}
+                        }
+                    }
+                    (shape, f)
+                }
             };
             shapes.push(shape);
             formats.push(format);
@@ -171,18 +246,57 @@ impl IntPlan {
         // High-water mark of the per-image im2col scratch checkout
         // (`conv_into`): the only executor workspace that lives outside
         // the slot buffers. Recorded so the plan verifier can prove the
-        // scratch arena never doubles as slot storage.
+        // scratch arena never doubles as slot storage. Fused nodes run
+        // their conv core through the same im2col path.
         let mut scratch_elems = 0usize;
         for node in nodes {
             if let IntOp::Conv {
                 geom,
                 depthwise: false,
                 ..
-            } = &node.op
+            } = core_op(&node.op)
             {
                 let ish = &shapes[node.inputs[0]];
                 let (oh, ow) = geom.out_size(ish[2], ish[3]);
                 scratch_elems = scratch_elems.max(ish[1] * geom.kh * geom.kw * oh * ow);
+            }
+        }
+
+        // Plan-owned weight arena: pack every conv/dense weight matrix
+        // (fused or not) once, in the exact panel layout the blocked GEMM
+        // walks, so per-call packing cost is zero. Packing only permutes
+        // the operand — accumulation order is unchanged, so results are
+        // bit-identical to the row-major path.
+        let mut wpack: Vec<i64> = Vec::new();
+        let mut wpack_at: Vec<Option<(usize, usize)>> = vec![None; n];
+        for (id, node) in nodes.iter().enumerate() {
+            match core_op(&node.op) {
+                IntOp::Conv {
+                    w,
+                    wdims,
+                    depthwise: false,
+                    ..
+                } => {
+                    let krows = wdims[1] * wdims[2] * wdims[3];
+                    let len = packed_lhs_len(wdims[0], krows);
+                    let off = wpack.len();
+                    wpack.resize(off + len, 0);
+                    pack_lhs(w, wdims[0], krows, &mut wpack[off..]);
+                    wpack_at[id] = Some((off, len));
+                }
+                IntOp::Dense {
+                    w,
+                    in_dim,
+                    out_dim,
+                    ..
+                } => {
+                    let len = packed_rhs_len(*in_dim, *out_dim);
+                    let off = wpack.len();
+                    wpack.resize(off + len, 0);
+                    pack_rhs(w, *in_dim, *out_dim, &mut wpack[off..]);
+                    wpack_at[id] = Some((off, len));
+                }
+                _ => {}
             }
         }
 
@@ -250,6 +364,8 @@ impl IntPlan {
             slot,
             slot_lens,
             scratch_elems,
+            wpack,
+            wpack_at,
         }
     }
 
@@ -310,6 +426,41 @@ impl IntPlan {
     /// this number independently (`TQT-V018`).
     pub fn scratch_elems(&self) -> usize {
         self.scratch_elems
+    }
+
+    /// Total elements of the plan-owned packed weight arena (read-only
+    /// after construction; shared by every executor on this plan).
+    pub fn weight_arena_elems(&self) -> usize {
+        self.wpack.len()
+    }
+
+    /// `(offset, len)` of node `id`'s packed weight panels in the arena,
+    /// or `None` for nodes without a packed GEMM operand. The plan
+    /// verifier re-derives these extents independently (`TQT-V018`).
+    pub fn weight_panel(&self, id: usize) -> Option<(usize, usize)> {
+        self.wpack_at[id]
+    }
+
+    /// The packed panels of node `id`, if any.
+    pub fn weight_panel_data(&self, id: usize) -> Option<&[i64]> {
+        self.wpack_at[id].map(|(off, len)| &self.wpack[off..off + len])
+    }
+
+    /// Node `id`'s GEMM left operand: its arena panels when packed, the
+    /// row-major weights otherwise.
+    fn panel_lhs<'a>(&'a self, id: usize, w: &'a [i64]) -> Lhs<'a> {
+        match self.wpack_at[id] {
+            Some((off, len)) => Lhs::Packed(&self.wpack[off..off + len]),
+            None => Lhs::Rows(w),
+        }
+    }
+
+    /// Node `id`'s GEMM right operand, packed or row-major.
+    fn panel_rhs<'a>(&'a self, id: usize, w: &'a [i64]) -> Rhs<'a> {
+        match self.wpack_at[id] {
+            Some((off, len)) => Rhs::Packed(&self.wpack[off..off + len]),
+            None => Rhs::Rows(w),
+        }
     }
 
     /// Test-only mutation hook: shrinks one slot's capacity below a
@@ -381,6 +532,46 @@ impl IntPlan {
         }
         None
     }
+
+    /// Test-only mutation hook: resurrects a fused node's slot for an
+    /// unrelated later node while a consumer of the fused value is still
+    /// pending — the bug a fusion rewrite would introduce if it released
+    /// the chain's (now eliminated) intermediate storage but wrongly
+    /// treated the fused output itself as part of the dead chain.
+    /// Returns `(fused_producer, resurrector, stranded_consumer)` or
+    /// `None` if the graph has no fused node with a non-adjacent
+    /// consumer. The mutated plan is only ever fed to the plan verifier,
+    /// which must refute it (`TQT-V017`).
+    #[doc(hidden)]
+    pub fn inject_fused_slot_resurrection(
+        &mut self,
+        g: &IntGraph,
+    ) -> Option<(usize, usize, usize)> {
+        let nodes = g.nodes();
+        for p in 0..nodes.len() {
+            if self.lens[p] == 0 || !matches!(nodes[p].op, IntOp::Fused { .. }) {
+                continue;
+            }
+            let Some(last_consumer) = (0..nodes.len())
+                .filter(|&c| nodes[c].inputs.contains(&p))
+                .max()
+            else {
+                continue;
+            };
+            for (m, node) in nodes.iter().enumerate().take(last_consumer).skip(p + 1) {
+                if self.lens[m] > 0
+                    && self.slot[m] != self.slot[p]
+                    && !node.inputs.contains(&p)
+                {
+                    self.slot[m] = self.slot[p];
+                    self.slot_lens[self.slot[p]] =
+                        self.slot_lens[self.slot[p]].max(self.lens[m]);
+                    return Some((p, m, last_consumer));
+                }
+            }
+        }
+        None
+    }
 }
 
 /// A reusable integer-inference engine: one [`IntPlan`] plus one owned
@@ -389,8 +580,26 @@ impl IntPlan {
 /// per-run activation allocation happens after construction.
 pub struct IntExecutor<'g> {
     graph: &'g IntGraph,
-    plan: IntPlan,
+    plan: PlanRef<'g>,
     bufs: Vec<Vec<i64>>,
+}
+
+/// An executor's plan: owned (the default), or borrowed from a shared
+/// plan so several sessions reuse one packed weight arena. The plan is
+/// read-only during execution either way — each executor owns its slot
+/// buffers, so sharing a plan shares only immutable state.
+enum PlanRef<'g> {
+    Owned(IntPlan),
+    Shared(&'g IntPlan),
+}
+
+impl PlanRef<'_> {
+    fn get(&self) -> &IntPlan {
+        match self {
+            PlanRef::Owned(p) => p,
+            PlanRef::Shared(p) => p,
+        }
+    }
 }
 
 impl IntGraph {
@@ -414,12 +623,38 @@ impl<'g> IntExecutor<'g> {
     pub fn new(graph: &'g IntGraph, input_dims: &[usize]) -> Self {
         let plan = IntPlan::new(graph, input_dims);
         let bufs = plan.slot_lens.iter().map(|&l| vec![0i64; l]).collect();
-        IntExecutor { graph, plan, bufs }
+        IntExecutor {
+            graph,
+            plan: PlanRef::Owned(plan),
+            bufs,
+        }
+    }
+
+    /// Creates an executor borrowing an existing plan — the way several
+    /// concurrent inference sessions share one packed weight arena
+    /// instead of planning (and packing) per session. Each executor
+    /// still owns its slot buffers; the shared plan is never written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` was not built for `graph` (node count mismatch).
+    pub fn with_plan(graph: &'g IntGraph, plan: &'g IntPlan) -> Self {
+        assert_eq!(
+            plan.num_nodes(),
+            graph.nodes().len(),
+            "plan was built for a different graph"
+        );
+        let bufs = plan.slot_lens.iter().map(|&l| vec![0i64; l]).collect();
+        IntExecutor {
+            graph,
+            plan: PlanRef::Shared(plan),
+            bufs,
+        }
     }
 
     /// The plan this executor runs.
     pub fn plan(&self) -> &IntPlan {
-        &self.plan
+        self.plan.get()
     }
 
     /// Runs integer inference, skipping the per-node range observation
@@ -451,20 +686,20 @@ impl<'g> IntExecutor<'g> {
     }
 
     fn run_inner(&mut self, x: &Tensor, observe: bool) -> (QTensor, RunStats) {
+        let plan = self.plan.get();
         assert_eq!(
             x.dims(),
-            &self.plan.input_dims[..],
+            &plan.input_dims[..],
             "executor planned for different input dims"
         );
         let n = self.graph.nodes().len();
         let mut stats = RunStats::new(n);
         let mut float_consumed = false;
         for (id, node) in self.graph.nodes().iter().enumerate() {
-            let slot_id = self.plan.slot[id];
-            let len = self.plan.lens[id];
+            let slot_id = plan.slot[id];
+            let len = plan.lens[id];
             let mut outbuf = std::mem::take(&mut self.bufs[slot_id]);
             {
-                let plan = &self.plan;
                 let bufs = &self.bufs;
                 let out = &mut outbuf[..len];
                 let st = &mut stats.nodes[id];
@@ -495,11 +730,21 @@ impl<'g> IntExecutor<'g> {
                         let i0 = node.inputs[0];
                         let a = input_slice(bufs, plan, i0);
                         let ish = &plan.shapes[i0];
-                        st.overflowed += if *depthwise {
-                            depthwise_into(a, ish, w, *geom, bias.as_deref(), out)
+                        let (ovf, _) = if *depthwise {
+                            depthwise_into(a, ish, w, *geom, bias.as_deref(), &[], out)
                         } else {
-                            conv_into(a, ish, w, *wdims, *geom, bias.as_deref(), out)
+                            conv_into(
+                                a,
+                                ish,
+                                plan.panel_lhs(id, w),
+                                *wdims,
+                                *geom,
+                                bias.as_deref(),
+                                &[],
+                                out,
+                            )
                         };
+                        st.overflowed += ovf;
                     }
                     IntOp::Dense {
                         w,
@@ -510,17 +755,19 @@ impl<'g> IntExecutor<'g> {
                     } => {
                         let i0 = node.inputs[0];
                         let a = input_slice(bufs, plan, i0);
-                        let ovf = Counter::new();
-                        gemm_i64_narrow(
+                        let (ovf, sat) = (Counter::new(), Counter::new());
+                        gemm_i64_narrow_fused(
                             plan.shapes[i0][0],
                             *out_dim,
                             *in_dim,
-                            a,
-                            w,
+                            Lhs::Rows(a),
+                            plan.panel_rhs(id, w),
                             None,
                             bias.as_deref(),
+                            &[],
                             out,
                             &ovf,
+                            &sat,
                             true,
                         );
                         st.overflowed += ovf.get();
@@ -598,6 +845,102 @@ impl<'g> IntExecutor<'g> {
                     IntOp::Flatten => {
                         out.copy_from_slice(input_slice(bufs, plan, node.inputs[0]));
                     }
+                    IntOp::Fused { core, epi } => {
+                        let i0 = node.inputs[0];
+                        let a = input_slice(bufs, plan, i0);
+                        let ish = &plan.shapes[i0];
+                        // Resolve the graph-level epilogue into tile steps
+                        // against the chain's running fractional length
+                        // (shifts are relative, formats absolute).
+                        let w_frac = match core.as_ref() {
+                            IntOp::Conv { w_frac, .. } | IntOp::Dense { w_frac, .. } => *w_frac,
+                            other => panic!("fused core must be conv or dense, got {other:?}"),
+                        };
+                        let mut cur_frac = plan.formats[i0].frac + w_frac;
+                        let mut steps: Vec<TileStep> = Vec::with_capacity(epi.len());
+                        for step in epi {
+                            match step {
+                                EpiStep::Requant { format } => {
+                                    steps.push(TileStep::Requant {
+                                        shift: cur_frac - format.frac,
+                                        qmin: format.qmin(),
+                                        qmax: format.qmax(),
+                                    });
+                                    cur_frac = format.frac;
+                                }
+                                EpiStep::AddResidual => {
+                                    steps.push(TileStep::AddResidual(input_slice(
+                                        bufs,
+                                        plan,
+                                        node.inputs[1],
+                                    )));
+                                }
+                                EpiStep::Relu { cap_q } => {
+                                    steps.push(TileStep::ReluCap(cap_q.unwrap_or(i64::MAX)));
+                                }
+                            }
+                        }
+                        let (ovf, sat) = match core.as_ref() {
+                            IntOp::Conv {
+                                w,
+                                wdims,
+                                bias,
+                                geom,
+                                depthwise,
+                                ..
+                            } => {
+                                if *depthwise {
+                                    depthwise_into(
+                                        a,
+                                        ish,
+                                        w,
+                                        *geom,
+                                        bias.as_deref(),
+                                        &steps,
+                                        out,
+                                    )
+                                } else {
+                                    conv_into(
+                                        a,
+                                        ish,
+                                        plan.panel_lhs(id, w),
+                                        *wdims,
+                                        *geom,
+                                        bias.as_deref(),
+                                        &steps,
+                                        out,
+                                    )
+                                }
+                            }
+                            IntOp::Dense {
+                                w,
+                                in_dim,
+                                out_dim,
+                                bias,
+                                ..
+                            } => {
+                                let (ovf, sat) = (Counter::new(), Counter::new());
+                                gemm_i64_narrow_fused(
+                                    ish[0],
+                                    *out_dim,
+                                    *in_dim,
+                                    Lhs::Rows(a),
+                                    plan.panel_rhs(id, w),
+                                    None,
+                                    bias.as_deref(),
+                                    &steps,
+                                    out,
+                                    &ovf,
+                                    &sat,
+                                    true,
+                                );
+                                (ovf.get(), sat.get())
+                            }
+                            _ => unreachable!("checked above"),
+                        };
+                        st.overflowed += ovf;
+                        st.saturated += sat;
+                    }
                 }
             }
             if !matches!(node.op, IntOp::Input) {
@@ -609,7 +952,7 @@ impl<'g> IntExecutor<'g> {
                 // the plan's format inference, which tests validate).
                 #[cfg(debug_assertions)]
                 {
-                    let f = self.plan.formats[id];
+                    let f = plan.formats[id];
                     for &v in &outbuf[..len] {
                         debug_assert!(
                             v >= f.qmin() && v <= f.qmax(),
@@ -623,9 +966,9 @@ impl<'g> IntExecutor<'g> {
         }
         let out_id = self.graph.output_id();
         let y = QTensor::from_ints(
-            self.plan.shapes[out_id].clone(),
-            input_slice(&self.bufs, &self.plan, out_id).to_vec(),
-            self.plan.formats[out_id],
+            plan.shapes[out_id].clone(),
+            input_slice(&self.bufs, plan, out_id).to_vec(),
+            plan.formats[out_id],
         );
         (y, stats)
     }
@@ -682,22 +1025,25 @@ fn requant_into(a: &[i64], in_frac: i32, format: QFormat, out: &mut [i64]) -> u6
 
 /// Standard convolution: per-image i64 im2col into the thread-local
 /// scratch arena, then the blocked exact GEMM (parallel over output-row
-/// blocks). Returns the wrapped-accumulator count.
+/// blocks) with the fused per-element epilogue applied in the tile
+/// store. Returns `(wrapped, saturated)` counts.
+#[allow(clippy::too_many_arguments)]
 fn conv_into(
     x: &[i64],
     ish: &[usize],
-    w: &[i64],
+    w: Lhs,
     wdims: [usize; 4],
     geom: Conv2dGeom,
     bias: Option<&[i64]>,
+    epi: &[TileStep],
     out: &mut [i64],
-) -> u64 {
+) -> (u64, u64) {
     let (nb, c, h, wd) = (ish[0], ish[1], ish[2], ish[3]);
     let (oh, ow) = geom.out_size(h, wd);
     let cout = wdims[0];
     let krows = c * geom.kh * geom.kw;
     let ncols = oh * ow;
-    let ovf = Counter::new();
+    let (ovf, sat) = (Counter::new(), Counter::new());
     for ni in 0..nb {
         let mut cols = ScratchI64::uninit(krows * ncols);
         im2col_into(
@@ -709,32 +1055,59 @@ fn conv_into(
             geom,
             &mut cols,
         );
+        // Residual steps carry the whole-batch operand; the GEMM sees one
+        // image at a time, so reslice them to this image's plane.
+        let epi_img: Vec<TileStep> = epi
+            .iter()
+            .map(|s| match *s {
+                TileStep::AddResidual(r) => {
+                    TileStep::AddResidual(&r[ni * cout * ncols..(ni + 1) * cout * ncols])
+                }
+                other => other,
+            })
+            .collect();
         let oimg = &mut out[ni * cout * ncols..(ni + 1) * cout * ncols];
-        gemm_i64_narrow(cout, ncols, krows, w, &cols, bias, None, oimg, &ovf, true);
+        gemm_i64_narrow_fused(
+            cout,
+            ncols,
+            krows,
+            w,
+            Rhs::Rows(&cols),
+            bias,
+            None,
+            &epi_img,
+            oimg,
+            &ovf,
+            &sat,
+            true,
+        );
     }
-    ovf.get()
+    (ovf.get(), sat.get())
 }
 
 /// Depthwise convolution, parallel over `(image, channel)` planes with
-/// exact i128 per-pixel accumulation. Returns the wrapped count.
+/// exact i128 per-pixel accumulation and the fused per-element epilogue
+/// applied in place. Returns `(wrapped, saturated)` counts.
 fn depthwise_into(
     x: &[i64],
     ish: &[usize],
     w: &[i64],
     geom: Conv2dGeom,
     bias: Option<&[i64]>,
+    epi: &[TileStep],
     out: &mut [i64],
-) -> u64 {
+) -> (u64, u64) {
     let (nb, c, h, wd) = (ish[0], ish[1], ish[2], ish[3]);
     let (oh, ow) = geom.out_size(h, wd);
     let ncols = oh * ow;
     assert_eq!(out.len(), nb * c * ncols, "depthwise output length mismatch");
-    let ovf = Counter::new();
+    let (ovf, sat) = (Counter::new(), Counter::new());
     pool::par_chunks_mut(out, ncols, |img, ochunk| {
         let co = img % c;
         let xim = &x[img * h * wd..(img + 1) * h * wd];
         let wk = &w[co * geom.kh * geom.kw..(co + 1) * geom.kh * geom.kw];
         let mut local = 0u64;
+        let mut local_sat = 0u64;
         for oi in 0..oh {
             for oj in 0..ow {
                 let mut acc = 0i128;
@@ -755,12 +1128,35 @@ fn depthwise_into(
                 if let Some(b) = bias {
                     acc += i128::from(b[co]);
                 }
-                ochunk[oi * ow + oj] = narrow(acc, &mut local);
+                let mut v = narrow(acc, &mut local);
+                for step in epi {
+                    match *step {
+                        TileStep::Requant { shift, qmin, qmax } => {
+                            let r = shift_round(v, shift);
+                            let cl = r.clamp(qmin, qmax);
+                            if cl != r {
+                                local_sat += 1;
+                            }
+                            v = cl;
+                        }
+                        TileStep::AddResidual(res) => {
+                            v = narrow(
+                                i128::from(v) + i128::from(res[img * ncols + oi * ow + oj]),
+                                &mut local,
+                            );
+                        }
+                        TileStep::ReluCap(cap) => {
+                            v = v.max(0).min(cap);
+                        }
+                    }
+                }
+                ochunk[oi * ow + oj] = v;
             }
         }
         ovf.add(local);
+        sat.add(local_sat);
     });
-    ovf.get()
+    (ovf.get(), sat.get())
 }
 
 /// Max pooling, parallel over `(image, channel)` planes. Padding

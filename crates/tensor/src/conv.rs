@@ -195,14 +195,18 @@ pub fn conv2d(x: &Tensor, w: &Tensor, g: Conv2dGeom) -> Tensor {
     let krows = c * g.kh * g.kw;
     let mut out = vec![0.0f32; n * cout * ncols];
     let xd = x.data();
-    let wdat = w.data();
+    // Pack the filter matrix once, outside the parallel region (PackedA
+    // owns a plain Vec, so sharing it across pool blocks is fine where a
+    // thread-local scratch guard would not be); every image's GEMM then
+    // reads the same panels instead of re-packing W per image.
+    let wpack = gemm::PackedA::pack(w.data(), cout, krows);
     pool::par_chunks_mut(&mut out, cout * ncols, |ni, ochunk| {
         // im2col writes every element, so the scratch can stay dirty.
         let mut cols = Scratch::uninit(krows * ncols);
         im2col(&xd[ni * c * h * wd..(ni + 1) * c * h * wd], c, h, wd, g, &mut cols);
         // ochunk[co, :] = W[cout, krows] @ cols[krows, ncols]; serial GEMM —
         // this closure already runs inside the per-image parallel region.
-        gemm::gemm_nn(cout, ncols, krows, wdat, &cols, ochunk, false);
+        gemm::gemm_nn_prepacked(cout, ncols, krows, &wpack, &cols, ochunk, false);
     });
     Tensor::from_vec([n, cout, oh, ow], out)
 }

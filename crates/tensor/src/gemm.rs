@@ -66,6 +66,103 @@ pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
     gemm_strided(m, n, k, a, k, 1, b, 1, k, c, parallel);
 }
 
+/// A full row-major `[m, k]` LHS packed **once** into the exact
+/// slab/panel layout the blocked kernel consumes: for each [`KC`]-deep
+/// k-slab in ascending `k`, every [`MR`]-tall k-major row panel of the
+/// whole matrix (zero-padded like [`pack_a`]). Slab `pc` starts at
+/// `m.div_ceil(MR) * MR * pc`, so any [`MC`]-aligned row block's panels
+/// form a contiguous sub-slice and [`gemm_nn_prepacked`] can skip
+/// per-call packing entirely. Packing is element-wise order-preserving
+/// and the micro-kernel consumes identical panel bytes, so the prepacked
+/// path is bit-identical to [`gemm_nn`]. Read-only after construction —
+/// a plain owned `Vec`, safe to share across pool blocks (no
+/// thread-local scratch guard involved).
+#[derive(Debug, Clone)]
+pub struct PackedA {
+    data: Vec<f32>,
+    m: usize,
+    k: usize,
+}
+
+impl PackedA {
+    /// Packs a row-major `a: [m, k]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != m * k`.
+    pub fn pack(a: &[f32], m: usize, k: usize) -> Self {
+        assert_eq!(a.len(), m * k, "lhs length mismatch");
+        let mpanels = m.div_ceil(MR);
+        let mut data = vec![0.0f32; mpanels * MR * k];
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let base = mpanels * MR * pc;
+            pack_a(a, k, 1, 0, pc, m, kc, &mut data[base..base + mpanels * MR * kc]);
+        }
+        PackedA { data, m, k }
+    }
+
+    /// The packed operand's `m` (row) dimension.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The packed operand's `k` (reduction) dimension.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// [`gemm_nn`] (`c += a @ b`) over a pre-packed LHS: identical blocking,
+/// summation order, and therefore bit-identical f32 results — the A
+/// packing just happened at [`PackedA::pack`] time instead of per call.
+/// The hot use is convolution, where one weight matrix multiplies one
+/// im2col matrix per image per inference call.
+///
+/// # Panics
+///
+/// Panics if `a` was packed for different `(m, k)` dims.
+pub fn gemm_nn_prepacked(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &PackedA,
+    b: &[f32],
+    c: &mut [f32],
+    parallel: bool,
+) {
+    assert_eq!((a.m, a.k), (m, k), "packed lhs dims mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    debug_assert!(c.len() >= m * n, "C buffer too small");
+    let mpanels = m.div_ceil(MR);
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        let npanels = nc.div_ceil(NR);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let mut bpack = Scratch::uninit(npanels * NR * kc);
+            pack_b(b, n, 1, pc, jc, kc, nc, &mut bpack);
+            let slab = mpanels * MR * pc;
+            let block = |ic0: usize, cblock: &mut [f32]| {
+                let mc = MC.min(m - ic0);
+                // MC is a multiple of MR, so a row block's panels start on
+                // a panel boundary and are contiguous within the slab.
+                let apack = &a.data[slab + (ic0 / MR) * MR * kc..][..mc.div_ceil(MR) * MR * kc];
+                mul_block(apack, &bpack, mc, kc, n, jc, nc, cblock);
+            };
+            if parallel && m > MC && pool::threads() > 1 {
+                pool::par_chunks_mut(c, MC * n, |bi, cblock| block(bi * MC, cblock));
+            } else {
+                for (bi, cblock) in c.chunks_mut(MC * n).enumerate() {
+                    block(bi * MC, cblock);
+                }
+            }
+        }
+    }
+}
+
 /// Reference kernel: the naive row-axpy loop the blocked kernel replaced.
 /// Kept on purpose as (a) the oracle for the GEMM property tests and
 /// (b) the baseline the `gemm_kernels` bench measures speedups against.
@@ -383,6 +480,32 @@ mod tests {
         for (got, exp) in c.iter().zip(&want) {
             assert!((got - exp).abs() <= 1e-4 * exp.abs().max(1.0));
         }
+    }
+
+    #[test]
+    fn prepacked_is_bit_identical_to_pack_per_call() {
+        // Shapes straddling MR/MC/KC boundaries, serial and parallel.
+        let shapes = [
+            (1usize, 1usize, 1usize),
+            (MR + 1, NR + 1, 7),
+            (MC, 33, KC),
+            (2 * MC + 5, 97, KC + 3),
+        ];
+        tqt_rt::pool::set_threads(4);
+        for &(m, n, k) in &shapes {
+            let a = fill(m * k, 101 + m as u64);
+            let b = fill(k * n, 202 + n as u64);
+            let packed = PackedA::pack(&a, m, k);
+            assert_eq!((packed.m(), packed.k()), (m, k));
+            for parallel in [false, true] {
+                let mut c_ref = vec![0.5f32; m * n];
+                gemm_nn(m, n, k, &a, &b, &mut c_ref, parallel);
+                let mut c_pp = vec![0.5f32; m * n];
+                gemm_nn_prepacked(m, n, k, &packed, &b, &mut c_pp, parallel);
+                assert_eq!(c_ref, c_pp, "[{m}x{n}x{k}] parallel={parallel}");
+            }
+        }
+        tqt_rt::pool::set_threads(0);
     }
 
     #[test]

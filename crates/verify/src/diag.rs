@@ -83,6 +83,13 @@ pub enum Code {
     /// overlapping (or non-covering) mutable block ranges in a parallel
     /// region, or a scratch checkout escaping its block.
     HappensBefore,
+    /// `TQT-V023` — illegal fusion: a fused node whose structure or
+    /// epilogue breaks the fusion legality conditions — a core that is
+    /// not conv/dense, a residual add whose operand is on a different
+    /// grid than the accumulator at that epilogue position, an epilogue
+    /// requant whose shift is outside the legal range, or an arity that
+    /// contradicts the epilogue's residual steps.
+    IllegalFusion,
 }
 
 impl Code {
@@ -111,6 +118,7 @@ impl Code {
             Code::SchedProtocol => "TQT-V020",
             Code::FoldPartition => "TQT-V021",
             Code::HappensBefore => "TQT-V022",
+            Code::IllegalFusion => "TQT-V023",
         }
     }
 
@@ -139,6 +147,7 @@ impl Code {
             Code::SchedProtocol => "pool schedule protocol violation",
             Code::FoldPartition => "thread-dependent fold partition",
             Code::HappensBefore => "happens-before violation",
+            Code::IllegalFusion => "illegal epilogue fusion",
         }
     }
 }
@@ -269,6 +278,7 @@ mod tests {
             Code::SchedProtocol,
             Code::FoldPartition,
             Code::HappensBefore,
+            Code::IllegalFusion,
         ];
         let mut ids: Vec<&str> = all.iter().map(|c| c.id()).collect();
         ids.sort_unstable();

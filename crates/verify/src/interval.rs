@@ -18,7 +18,7 @@
 //! fits i64, no intermediate i64 accumulation can wrap either.
 
 use crate::diag::{Code, Report};
-use tqt_fixedpoint::lower::{IntGraph, IntNode, IntOp, LEAKY_ALPHA_FRAC};
+use tqt_fixedpoint::lower::{EpiStep, IntGraph, IntNode, IntOp, LEAKY_ALPHA_FRAC};
 use tqt_fixedpoint::QFormat;
 
 /// Legal magnitude for a requantization shift: `shift_round` shifts an
@@ -84,6 +84,64 @@ fn term_bounds(w: i128, lo: i128, hi: i128, include_zero: bool) -> (i128, i128) 
         thi = thi.max(0);
     }
     (tlo, thi)
+}
+
+/// Exact per-output-channel accumulator bounds for a convolution over an
+/// input interval (shared by the standalone [`IntOp::Conv`] transfer and
+/// the fused-node core). Bounds cover the biased final value and every
+/// unbiased partial sum (see the module soundness note).
+fn conv_core_bounds(
+    w: &[i64],
+    wdims: [usize; 4],
+    bias: Option<&[i64]>,
+    padded: bool,
+    xlo: i128,
+    xhi: i128,
+) -> (i128, i128) {
+    let [co_n, ci_n, kh, kw] = wdims;
+    let taps = ci_n * kh * kw;
+    let mut lo = i128::MAX;
+    let mut hi = i128::MIN;
+    for co in 0..co_n {
+        let mut pos = 0i128;
+        let mut neg = 0i128;
+        for t in 0..taps {
+            let (tlo, thi) = term_bounds(i128::from(w[co * taps + t]), xlo, xhi, padded);
+            neg += tlo;
+            pos += thi;
+        }
+        let b = bias.map(|b| i128::from(b[co])).unwrap_or(0);
+        lo = lo.min((neg + b).min(neg));
+        hi = hi.max((pos + b).max(pos));
+    }
+    (lo, hi)
+}
+
+/// Exact per-output-unit accumulator bounds for a dense layer (shared by
+/// the standalone [`IntOp::Dense`] transfer and the fused-node core).
+fn dense_core_bounds(
+    w: &[i64],
+    in_dim: usize,
+    out_dim: usize,
+    bias: Option<&[i64]>,
+    xlo: i128,
+    xhi: i128,
+) -> (i128, i128) {
+    let mut lo = i128::MAX;
+    let mut hi = i128::MIN;
+    for o in 0..out_dim {
+        let mut pos = 0i128;
+        let mut neg = 0i128;
+        for i in 0..in_dim {
+            let (tlo, thi) = term_bounds(i128::from(w[i * out_dim + o]), xlo, xhi, false);
+            neg += tlo;
+            pos += thi;
+        }
+        let b = bias.map(|b| i128::from(b[o])).unwrap_or(0);
+        lo = lo.min((neg + b).min(neg));
+        hi = hi.max((pos + b).max(pos));
+    }
+    (lo, hi)
 }
 
 /// Runs the interval/bit-width dataflow. `input_dims` is the `[n, c, h,
@@ -155,28 +213,9 @@ pub fn analyze(ig: &IntGraph, input_dims: &[usize]) -> IntervalReport {
                 ..
             } => {
                 let fi = fin.expect("conv has an input");
-                let (xlo, xhi) = (fi.lo, fi.hi);
-                let [co_n, ci_n, kh, kw] = *wdims;
-                let taps = ci_n * kh * kw;
-                let mut lo = i128::MAX;
-                let mut hi = i128::MIN;
                 // Padding can drop any tap, so each term interval includes 0.
-                let padded = geom.pad > 0;
-                for co in 0..co_n {
-                    let mut pos = 0i128;
-                    let mut neg = 0i128;
-                    for t in 0..taps {
-                        let (tlo, thi) =
-                            term_bounds(i128::from(w[co * taps + t]), xlo, xhi, padded);
-                        neg += tlo;
-                        pos += thi;
-                    }
-                    let b = bias.as_ref().map(|b| i128::from(b[co])).unwrap_or(0);
-                    // Bias lands after the taps; bound both the biased final
-                    // value and the unbiased partial sums.
-                    lo = lo.min((neg + b).min(neg));
-                    hi = hi.max((pos + b).max(pos));
-                }
+                let (lo, hi) =
+                    conv_core_bounds(w, *wdims, bias.as_deref(), geom.pad > 0, fi.lo, fi.hi);
                 if lo < I64_LO || hi > I64_HI {
                     r.push(
                         Code::Overflow,
@@ -190,7 +229,7 @@ pub fn analyze(ig: &IntGraph, input_dims: &[usize]) -> IntervalReport {
                 fact.format = Some(QFormat::new(in_frac + w_frac, 64, true));
                 if sin[0].len() == 4 {
                     let (oh, ow) = geom.out_size(sin[0][2], sin[0][3]);
-                    shape = vec![sin[0][0], co_n, oh, ow];
+                    shape = vec![sin[0][0], wdims[0], oh, ow];
                 }
             }
             IntOp::Dense {
@@ -201,21 +240,8 @@ pub fn analyze(ig: &IntGraph, input_dims: &[usize]) -> IntervalReport {
                 w_frac,
             } => {
                 let fi = fin.expect("dense has an input");
-                let mut lo = i128::MAX;
-                let mut hi = i128::MIN;
-                for o in 0..*out_dim {
-                    let mut pos = 0i128;
-                    let mut neg = 0i128;
-                    for i in 0..*in_dim {
-                        let (tlo, thi) =
-                            term_bounds(i128::from(w[i * out_dim + o]), fi.lo, fi.hi, false);
-                        neg += tlo;
-                        pos += thi;
-                    }
-                    let b = bias.as_ref().map(|b| i128::from(b[o])).unwrap_or(0);
-                    lo = lo.min((neg + b).min(neg));
-                    hi = hi.max((pos + b).max(pos));
-                }
+                let (lo, hi) =
+                    dense_core_bounds(w, *in_dim, *out_dim, bias.as_deref(), fi.lo, fi.hi);
                 if lo < I64_LO || hi > I64_HI {
                     r.push(
                         Code::Overflow,
@@ -228,6 +254,168 @@ pub fn analyze(ig: &IntGraph, input_dims: &[usize]) -> IntervalReport {
                 let in_frac = fi.format.map(|f| f.frac).unwrap_or(0);
                 fact.format = Some(QFormat::new(in_frac + w_frac, 64, true));
                 shape = vec![sin[0].first().copied().unwrap_or(1), *out_dim];
+            }
+            IntOp::Fused { core, epi } => {
+                let fi = fin.expect("fused has an input");
+                // Legality: arity must match the epilogue's residual steps.
+                let residuals = epi
+                    .iter()
+                    .filter(|s| matches!(s, EpiStep::AddResidual))
+                    .count();
+                if residuals + 1 != node.inputs.len() || residuals > 1 {
+                    r.push(
+                        Code::IllegalFusion,
+                        node.name.clone(),
+                        format!(
+                            "{} AddResidual step(s) but {} input(s); a fused node takes \
+                             exactly one data input plus one per residual step \
+                             (counterexample path: {})",
+                            residuals,
+                            node.inputs.len(),
+                            path_to(nodes, id)
+                        ),
+                    );
+                }
+                // Core: the same exact per-channel accumulator bounds as the
+                // standalone conv/dense transfers (V011 on escape).
+                let in_frac = fi.format.map(|f| f.frac).unwrap_or(0);
+                let (mut lo, mut hi, mut cur_format) = match &**core {
+                    IntOp::Conv {
+                        w,
+                        wdims,
+                        bias,
+                        geom,
+                        w_frac,
+                        ..
+                    } => {
+                        let (lo, hi) = conv_core_bounds(
+                            w,
+                            *wdims,
+                            bias.as_deref(),
+                            geom.pad > 0,
+                            fi.lo,
+                            fi.hi,
+                        );
+                        if sin[0].len() == 4 {
+                            let (oh, ow) = geom.out_size(sin[0][2], sin[0][3]);
+                            shape = vec![sin[0][0], wdims[0], oh, ow];
+                        }
+                        (lo, hi, QFormat::new(in_frac + w_frac, 64, true))
+                    }
+                    IntOp::Dense {
+                        w,
+                        in_dim,
+                        out_dim,
+                        bias,
+                        w_frac,
+                    } => {
+                        let (lo, hi) =
+                            dense_core_bounds(w, *in_dim, *out_dim, bias.as_deref(), fi.lo, fi.hi);
+                        shape = vec![sin[0].first().copied().unwrap_or(1), *out_dim];
+                        (lo, hi, QFormat::new(in_frac + w_frac, 64, true))
+                    }
+                    other => {
+                        r.push(
+                            Code::IllegalFusion,
+                            node.name.clone(),
+                            format!(
+                                "fused core must be a conv or dense producer, found {:?} \
+                                 (counterexample path: {})",
+                                std::mem::discriminant(other),
+                                path_to(nodes, id)
+                            ),
+                        );
+                        (fi.lo, fi.hi, QFormat::new(in_frac, 64, true))
+                    }
+                };
+                if lo < I64_LO || hi > I64_HI {
+                    r.push(
+                        Code::Overflow,
+                        node.name.clone(),
+                        overflow_detail(nodes, id, lo, hi, input_dims),
+                    );
+                }
+                // Fold the epilogue with the same transfers the standalone
+                // Requant/Add/Relu nodes get.
+                let mut residual_slot = 1usize;
+                for (step_idx, step) in epi.iter().enumerate() {
+                    match step {
+                        EpiStep::Requant { format } => {
+                            let shift = cur_format.frac - format.frac;
+                            if shift.abs() > MAX_SHIFT {
+                                r.push(
+                                    Code::IllegalFusion,
+                                    node.name.clone(),
+                                    format!(
+                                        "epilogue step {step_idx} requantizes with shift \
+                                         {shift} (frac {} -> {}), outside the legal \
+                                         |shift| <= {MAX_SHIFT} (counterexample path: {})",
+                                        cur_format.frac,
+                                        format.frac,
+                                        path_to(nodes, id)
+                                    ),
+                                );
+                            }
+                            let (plo, phi) = if shift <= 0 {
+                                let f = 1i128 << i128::from(-shift).min(126);
+                                (lo.saturating_mul(f), hi.saturating_mul(f))
+                            } else {
+                                let half = 1i128 << (shift - 1).min(126);
+                                ((lo - half) >> shift, (hi + half) >> shift)
+                            };
+                            let (qlo, qhi) =
+                                (i128::from(format.qmin()), i128::from(format.qmax()));
+                            if plo < qlo || phi > qhi {
+                                fact.can_saturate = true;
+                            }
+                            lo = plo.max(qlo);
+                            hi = phi.min(qhi);
+                            cur_format = *format;
+                        }
+                        EpiStep::AddResidual => {
+                            let Some(&rid) = node.inputs.get(residual_slot) else {
+                                // Arity mismatch already reported above.
+                                continue;
+                            };
+                            residual_slot += 1;
+                            let rf = facts[rid];
+                            if rf.format != Some(cur_format) {
+                                r.push(
+                                    Code::IllegalFusion,
+                                    node.name.clone(),
+                                    format!(
+                                        "epilogue step {step_idx} adds residual `{}` in \
+                                         format {:?}, but the fused accumulator is in \
+                                         {:?} — scales must be merged before fusing \
+                                         (counterexample path: {})",
+                                        nodes[rid].name,
+                                        rf.format,
+                                        cur_format,
+                                        path_to(nodes, id)
+                                    ),
+                                );
+                            }
+                            lo += rf.lo;
+                            hi += rf.hi;
+                            if lo < I64_LO || hi > I64_HI {
+                                r.push(
+                                    Code::Overflow,
+                                    node.name.clone(),
+                                    overflow_detail(nodes, id, lo, hi, input_dims),
+                                );
+                            }
+                            cur_format = QFormat::new(cur_format.frac, 64, true);
+                        }
+                        EpiStep::Relu { cap_q } => {
+                            let cap = cap_q.map(i128::from).unwrap_or(i128::MAX);
+                            lo = lo.max(0).min(cap);
+                            hi = hi.max(0).min(cap);
+                        }
+                    }
+                }
+                fact.lo = lo;
+                fact.hi = hi;
+                fact.format = Some(cur_format);
             }
             IntOp::Relu { cap_q } => {
                 let fi = fin.expect("relu has an input");

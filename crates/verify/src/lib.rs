@@ -41,7 +41,7 @@ pub mod shape;
 
 pub use diag::{Code, Diag, Report};
 pub use interval::{analyze, IntervalReport};
-pub use passes::{checked_optimize, checked_pipeline};
+pub use passes::{checked_fuse, checked_optimize, checked_pipeline};
 pub use plan_check::check_plan;
 pub use sanitize::check_containment;
 pub use sched_check::{check_fold_partition, check_schedules, collect_hb_findings};

@@ -8,6 +8,7 @@
 
 use crate::diag::{Code, Report};
 use crate::shape::{check_structure, infer_shapes};
+use tqt_fixedpoint::IntGraph;
 use tqt_graph::{transforms, Graph};
 use tqt_nn::Mode;
 use tqt_tensor::{init, Tensor};
@@ -84,6 +85,58 @@ pub fn checked_pipeline(g: &mut Graph, input_dims: &[usize], passes: &[transform
         }
     }
     report
+}
+
+/// Runs the graph-level epilogue fusion ([`tqt_fixedpoint::fuse`]) over a
+/// lowered graph and re-proves the result, returning the fused graph and
+/// every finding:
+///
+/// * a probe inference must be **bit-identical** — outputs, format, and
+///   total saturation/overflow counters (fusion replays the exact
+///   standalone kernels, so unlike the float pipeline there is no
+///   tolerance; any deviation is a `TQT-V014`);
+/// * the fused graph must re-prove under the interval dataflow
+///   (`TQT-V011`/`TQT-V012`, fusion legality `TQT-V023`);
+/// * the fused graph's slot plan must re-verify alias-free
+///   (`TQT-V016`–`TQT-V018`).
+pub fn checked_fuse(ig: &IntGraph, input_dims: &[usize]) -> (IntGraph, Report) {
+    let mut report = Report::new();
+    let fused = tqt_fixedpoint::fuse(ig.clone());
+
+    let mut rng = init::rng(0x6675_7365);
+    let probe = init::normal(input_dims.to_vec(), 0.0, 1.0, &mut rng);
+    let (y0, s0) = ig.run_with_stats(&probe);
+    let (y1, s1) = fused.run_with_stats(&probe);
+    if y0 != y1 {
+        report.push_global(
+            Code::TransformInvariant,
+            format!(
+                "fusion changed inference: unfused output {:?} in {:?}, fused {:?} in {:?}",
+                y0.dims(),
+                y0.format,
+                y1.dims(),
+                y1.format
+            ),
+        );
+    }
+    if (s0.total_saturated(), s0.total_overflowed())
+        != (s1.total_saturated(), s1.total_overflowed())
+    {
+        report.push_global(
+            Code::TransformInvariant,
+            format!(
+                "fusion changed runtime counters: saturated {} -> {}, overflowed {} -> {}",
+                s0.total_saturated(),
+                s1.total_saturated(),
+                s0.total_overflowed(),
+                s1.total_overflowed()
+            ),
+        );
+    }
+
+    report.merge(crate::interval::analyze(&fused, input_dims).report);
+    report.merge(crate::plan_check::check_plan(&fused, &fused.plan(input_dims)));
+    (fused, report)
 }
 
 #[cfg(test)]

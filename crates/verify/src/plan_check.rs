@@ -32,6 +32,7 @@
 
 use crate::diag::{Code, Report};
 use crate::interval::path_to;
+use tqt_fixedpoint::intgemm::{packed_lhs_len, packed_rhs_len};
 use tqt_fixedpoint::lower::{IntGraph, IntOp, LEAKY_ALPHA_FRAC};
 use tqt_fixedpoint::IntPlan;
 
@@ -107,6 +108,31 @@ fn derive(g: &IntGraph, input_dims: &[usize]) -> Derived {
                 let ish = &dims[i0.expect("flatten arity")]; // tqt:allow(expect): from_parts guarantees arity
                 vec![ish[0], ish.iter().product::<usize>() / ish[0]]
             }
+            IntOp::Fused { core, .. } => {
+                // The epilogue (requant/add/relu) is size-preserving, so the
+                // fused node's storage is exactly its core's output; a fused
+                // conv core still checks out the same im2col scratch.
+                let ish = &dims[i0.expect("fused arity")]; // tqt:allow(expect): from_parts guarantees arity
+                match &**core {
+                    IntOp::Conv {
+                        wdims,
+                        geom,
+                        depthwise,
+                        ..
+                    } => {
+                        let (oh, ow) = geom.out_size(ish[2], ish[3]);
+                        if !depthwise {
+                            scratch_elems =
+                                scratch_elems.max(ish[1] * geom.kh * geom.kw * oh * ow);
+                        }
+                        vec![ish[0], wdims[0], oh, ow]
+                    }
+                    IntOp::Dense { out_dim, .. } => vec![ish[0], *out_dim],
+                    // Illegal core: the interval pass refutes it as
+                    // TQT-V023; keep the storage derivation harmless.
+                    _ => vec![0],
+                }
+            }
         };
         dims.push(d);
     }
@@ -122,6 +148,29 @@ fn derive(g: &IntGraph, input_dims: &[usize]) -> Derived {
         lens,
         last_use,
         scratch_elems,
+    }
+}
+
+/// The packed-panel element count the weight arena must reserve for a
+/// node, re-derived from the packing contracts in
+/// [`tqt_fixedpoint::intgemm`]: conv weights pack as an MR-tall LHS over
+/// `cout × (cin·kh·kw)`, dense weights as an NR-wide RHS over
+/// `in_dim × out_dim`. Depthwise convs and non-compute ops pack nothing.
+fn expected_panel_len(op: &IntOp) -> Option<usize> {
+    let core = match op {
+        IntOp::Fused { core, .. } => core,
+        other => other,
+    };
+    match core {
+        IntOp::Conv {
+            wdims,
+            depthwise: false,
+            ..
+        } => Some(packed_lhs_len(wdims[0], wdims[1] * wdims[2] * wdims[3])),
+        IntOp::Dense {
+            in_dim, out_dim, ..
+        } => Some(packed_rhs_len(*in_dim, *out_dim)),
+        _ => None,
     }
 }
 
@@ -187,6 +236,80 @@ pub fn check_plan(g: &IntGraph, plan: &IntPlan) -> Report {
             ),
         );
     }
+
+    // 1b. Weight-arena facts (V018): every non-depthwise conv / dense
+    // core (standalone or fused) must own a packed panel of the
+    // re-derived packed length, inside the arena, pairwise disjoint —
+    // a wrong extent would make the GEMM read another layer's weights.
+    let arena = plan.weight_arena_elems();
+    let mut panels: Vec<(usize, usize, usize)> = Vec::new();
+    for (id, node) in nodes.iter().enumerate() {
+        let want = expected_panel_len(&node.op);
+        match (plan.weight_panel(id), want) {
+            (Some((off, len)), Some(el)) => {
+                if len != el {
+                    r.push(
+                        Code::PlanStorage,
+                        &nodes[id].name,
+                        format!(
+                            "packed weight panel holds {len} elements, packing \
+                             re-derivation says {el} (path: {})",
+                            path_to(nodes, id)
+                        ),
+                    );
+                } else if off + len > arena {
+                    r.push(
+                        Code::PlanStorage,
+                        &nodes[id].name,
+                        format!(
+                            "packed weight panel [{off}, {}) escapes the {arena}-element \
+                             arena (path: {})",
+                            off + len,
+                            path_to(nodes, id)
+                        ),
+                    );
+                } else {
+                    panels.push((off, len, id));
+                }
+            }
+            (None, Some(_)) => {
+                r.push(
+                    Code::PlanStorage,
+                    &nodes[id].name,
+                    format!(
+                        "no packed weight panel for a packable core (path: {})",
+                        path_to(nodes, id)
+                    ),
+                );
+            }
+            (Some(_), None) => {
+                r.push(
+                    Code::PlanStorage,
+                    &nodes[id].name,
+                    "packed weight panel assigned to a node with no packable weights",
+                );
+            }
+            (None, None) => {}
+        }
+    }
+    panels.sort_unstable();
+    for pair in panels.windows(2) {
+        let (off_a, len_a, a) = pair[0];
+        let (off_b, _, b) = pair[1];
+        if off_a + len_a > off_b {
+            r.push(
+                Code::PlanStorage,
+                &nodes[b].name,
+                format!(
+                    "packed weight panel at {off_b} overlaps `{}`'s panel \
+                     [{off_a}, {})",
+                    nodes[a].name,
+                    off_a + len_a
+                ),
+            );
+        }
+    }
+
     if !r.is_clean() {
         // Occupancy simulation below indexes by the storage facts just
         // refuted; stop at the stronger finding.

@@ -7,7 +7,7 @@
 //! a test here by name.
 
 use tqt_fixedpoint::lower::{IntNode, IntOp};
-use tqt_fixedpoint::{IntGraph, QFormat};
+use tqt_fixedpoint::{EpiStep, IntGraph, QFormat};
 use tqt_graph::{
     quantize_graph, transforms, Graph, Op, QuantizeOptions, ThresholdMode, ThresholdState,
     WeightQuant,
@@ -380,6 +380,216 @@ fn v014_real_pipeline_is_clean() {
     g.set_output(fc);
     let r = tqt_verify::checked_optimize(&mut g, &[1, 2, 8, 8]);
     assert!(r.is_clean(), "{r}");
+}
+
+/// `TQT-V023`: a fused epilogue whose requant step needs an 80-bit
+/// shift (fractional lengths 80 -> 0) is an illegal fusion, refuted
+/// with the producer path as counterexample. The same shift on a
+/// standalone `Requant` node would be a `TQT-V012`; inside a fused
+/// epilogue the legality condition belongs to the fusion itself.
+#[test]
+fn v023_illegal_epilogue_requant_shift() {
+    let in_dim = 8;
+    let nodes = vec![
+        IntNode {
+            name: "input".into(),
+            op: IntOp::Input,
+            inputs: vec![],
+        },
+        IntNode {
+            name: "qin".into(),
+            op: IntOp::QuantF32 {
+                format: QFormat::new(40, 32, true),
+            },
+            inputs: vec![0],
+        },
+        IntNode {
+            name: "fc..rq".into(),
+            op: IntOp::Fused {
+                core: Box::new(IntOp::Dense {
+                    w: vec![1i64; in_dim],
+                    in_dim,
+                    out_dim: 1,
+                    bias: None,
+                    w_frac: 40,
+                }),
+                // Accumulator frac = 40 + 40; requanting to frac 0 needs
+                // a shift of 80 > 63.
+                epi: vec![EpiStep::Requant {
+                    format: QFormat::new(0, 8, true),
+                }],
+            },
+            inputs: vec![1],
+        },
+    ];
+    let ig = IntGraph::from_parts(nodes, 2);
+    let ir = analyze(&ig, &[1, in_dim]);
+    assert!(ir.report.has(Code::IllegalFusion), "{}", ir.report);
+    assert!(!ir.report.has(Code::IllegalShift), "fusion legality owns this:\n{}", ir.report);
+    let d = ir
+        .report
+        .diags
+        .iter()
+        .find(|d| d.code == Code::IllegalFusion)
+        .unwrap();
+    assert!(
+        d.detail.contains("input -> qin -> fc..rq"),
+        "refutation must carry the counterexample path:\n{}",
+        d.detail
+    );
+    assert!(d.detail.contains("shift 80"), "{}", d.detail);
+}
+
+/// `TQT-V023`: a fused node carrying an `AddResidual` step but only one
+/// input contradicts its own epilogue's arity.
+#[test]
+fn v023_residual_arity_mismatch() {
+    let in_dim = 4;
+    let nodes = vec![
+        IntNode {
+            name: "input".into(),
+            op: IntOp::Input,
+            inputs: vec![],
+        },
+        IntNode {
+            name: "qin".into(),
+            op: IntOp::QuantF32 {
+                format: QFormat::new(4, 8, true),
+            },
+            inputs: vec![0],
+        },
+        IntNode {
+            name: "fc..add".into(),
+            op: IntOp::Fused {
+                core: Box::new(IntOp::Dense {
+                    w: vec![1i64; in_dim * in_dim],
+                    in_dim,
+                    out_dim: in_dim,
+                    bias: None,
+                    w_frac: 4,
+                }),
+                epi: vec![
+                    EpiStep::Requant {
+                        format: QFormat::new(4, 8, true),
+                    },
+                    EpiStep::AddResidual,
+                ],
+            },
+            // One AddResidual step demands two inputs; only one given.
+            inputs: vec![1],
+        },
+    ];
+    let ig = IntGraph::from_parts(nodes, 2);
+    let ir = analyze(&ig, &[1, in_dim]);
+    assert!(ir.report.has(Code::IllegalFusion), "{}", ir.report);
+}
+
+/// `TQT-V023`: a fused residual add against an operand whose Q-format
+/// differs from the fused accumulator's — the scales were never merged,
+/// so the add would sum values on different grids.
+#[test]
+fn v023_residual_grid_mismatch() {
+    let in_dim = 4;
+    let nodes = vec![
+        IntNode {
+            name: "input".into(),
+            op: IntOp::Input,
+            inputs: vec![],
+        },
+        IntNode {
+            name: "qin".into(),
+            op: IntOp::QuantF32 {
+                format: QFormat::new(4, 8, true),
+            },
+            inputs: vec![0],
+        },
+        IntNode {
+            name: "skip".into(),
+            // The residual branch lands on frac 2 while the fused
+            // epilogue requantizes its accumulator to frac 4.
+            op: IntOp::Requant {
+                format: QFormat::new(2, 8, true),
+            },
+            inputs: vec![1],
+        },
+        IntNode {
+            name: "fc..add".into(),
+            op: IntOp::Fused {
+                core: Box::new(IntOp::Dense {
+                    w: vec![1i64; in_dim * in_dim],
+                    in_dim,
+                    out_dim: in_dim,
+                    bias: None,
+                    w_frac: 4,
+                }),
+                epi: vec![
+                    EpiStep::Requant {
+                        format: QFormat::new(4, 8, true),
+                    },
+                    EpiStep::AddResidual,
+                ],
+            },
+            inputs: vec![1, 2],
+        },
+    ];
+    let ig = IntGraph::from_parts(nodes, 3);
+    let ir = analyze(&ig, &[1, in_dim]);
+    assert!(ir.report.has(Code::IllegalFusion), "{}", ir.report);
+    let d = ir
+        .report
+        .diags
+        .iter()
+        .find(|d| d.code == Code::IllegalFusion)
+        .unwrap();
+    assert!(
+        d.detail.contains("`skip`"),
+        "refutation must name the unmerged residual:\n{}",
+        d.detail
+    );
+}
+
+/// Control for V023: the same fused dense with a legal shift and a
+/// grid-matched residual proves clean.
+#[test]
+fn v023_legal_fusion_is_clean() {
+    let in_dim = 4;
+    let nodes = vec![
+        IntNode {
+            name: "input".into(),
+            op: IntOp::Input,
+            inputs: vec![],
+        },
+        IntNode {
+            name: "qin".into(),
+            op: IntOp::QuantF32 {
+                format: QFormat::new(4, 8, true),
+            },
+            inputs: vec![0],
+        },
+        IntNode {
+            name: "fc..relu".into(),
+            op: IntOp::Fused {
+                core: Box::new(IntOp::Dense {
+                    w: vec![1i64; in_dim * in_dim],
+                    in_dim,
+                    out_dim: in_dim,
+                    bias: None,
+                    w_frac: 4,
+                }),
+                epi: vec![
+                    EpiStep::Requant {
+                        format: QFormat::new(4, 8, true),
+                    },
+                    EpiStep::AddResidual,
+                    EpiStep::Relu { cap_q: None },
+                ],
+            },
+            inputs: vec![1, 1],
+        },
+    ];
+    let ig = IntGraph::from_parts(nodes, 2);
+    let ir = analyze(&ig, &[1, in_dim]);
+    assert!(!ir.report.has(Code::IllegalFusion), "{}", ir.report);
 }
 
 /// `TQT-V015`: an observation outside the proven envelope (forged here —

@@ -7,7 +7,7 @@
 //! The mutated plans are never executed.
 
 use tqt_fixedpoint::lower::{IntGraph, IntNode, IntOp};
-use tqt_fixedpoint::QFormat;
+use tqt_fixedpoint::{EpiStep, QFormat};
 use tqt_verify::{check_plan, Code};
 
 fn q8(frac: i32) -> QFormat {
@@ -108,6 +108,94 @@ fn premature_release_is_refuted_as_v017() {
     assert!(
         diag.detail.contains(&format!("`{producer_name}`")),
         "counterexample must name the overwritten producer:\n{r}"
+    );
+}
+
+/// in -> q -> fused(dense + requant epilogue) joined with a relu branch
+/// of q at a final add: fusion released the chain's intermediate slots,
+/// and the fused output stays live across the relu.
+fn fused_skip_graph() -> IntGraph {
+    let in_dim = 8;
+    let nodes = vec![
+        IntNode {
+            name: "in".into(),
+            op: IntOp::Input,
+            inputs: vec![],
+        },
+        IntNode {
+            name: "q".into(),
+            op: IntOp::QuantF32 { format: q8(4) },
+            inputs: vec![0],
+        },
+        IntNode {
+            name: "fc..rq".into(),
+            op: IntOp::Fused {
+                core: Box::new(IntOp::Dense {
+                    w: vec![1i64; in_dim * in_dim],
+                    in_dim,
+                    out_dim: in_dim,
+                    bias: None,
+                    w_frac: 4,
+                }),
+                epi: vec![EpiStep::Requant { format: q8(4) }],
+            },
+            inputs: vec![1],
+        },
+        IntNode {
+            name: "relu".into(),
+            op: IntOp::Relu { cap_q: None },
+            inputs: vec![1],
+        },
+        IntNode {
+            name: "add".into(),
+            op: IntOp::Add,
+            inputs: vec![2, 3],
+        },
+    ];
+    IntGraph::from_parts(nodes, 4)
+}
+
+#[test]
+fn unmutated_fused_plan_is_proven() {
+    let g = fused_skip_graph();
+    for batch in [1usize, 4] {
+        let plan = g.plan(&[batch, 8]);
+        let r = check_plan(&g, &plan);
+        assert!(r.is_clean(), "batch {batch}: {r}");
+    }
+}
+
+/// Fusion's whole point is that the chain's intermediate slots die with
+/// the chain — this mutation "resurrects" one by parking a later node's
+/// output in the fused producer's slot while that output is still live.
+/// The plan checker must refute it like any other alias: the resurrector
+/// clobbers a live value (V016) and the fused node's consumer reads a
+/// stale slot (V017), each naming the right node.
+#[test]
+fn fused_slot_resurrection_is_refuted() {
+    let g = fused_skip_graph();
+    let mut plan = g.plan(&[2, 8]);
+    let (fused_producer, resurrector, stranded) = plan
+        .inject_fused_slot_resurrection(&g)
+        .expect("graph must offer a fused producer with a later non-consumer");
+    let r = check_plan(&g, &plan);
+    let fused_name = &g.nodes()[fused_producer].name;
+    let resurrector_name = &g.nodes()[resurrector].name;
+    let stranded_name = &g.nodes()[stranded].name;
+
+    assert!(r.has(Code::PlanAlias), "V016 expected, got:\n{r}");
+    assert!(
+        r.diags.iter().any(|d| d.code == Code::PlanAlias
+            && d.node.as_deref() == Some(resurrector_name.as_str())
+            && d.detail.contains(&format!("`{fused_name}`"))),
+        "V016 must name resurrector `{resurrector_name}` clobbering `{fused_name}`:\n{r}"
+    );
+    assert!(r.has(Code::PlanStaleRead), "V017 expected, got:\n{r}");
+    assert!(
+        r.diags.iter().any(|d| d.code == Code::PlanStaleRead
+            && d.node.as_deref() == Some(stranded_name.as_str())
+            && d.detail.contains(&format!("`{fused_name}`"))),
+        "V017 must name stranded consumer `{stranded_name}` reading stale `{fused_name}`:\n{r}"
     );
 }
 

@@ -59,6 +59,9 @@ fn main() {
             IntOp::Add => "eltwise add (merged scales)".into(),
             IntOp::Concat => "concat (merged scales, lossless)".into(),
             IntOp::Flatten => "flatten".into(),
+            IntOp::Fused { epi, .. } => {
+                format!("fused conv/dense + {}-step register epilogue", epi.len())
+            }
         };
         println!("  {:<28} {desc}", node.name);
     }

@@ -14,6 +14,13 @@ cargo test -q --offline
 # deployment runs).
 cargo test -q --offline -p tqt-fixedpoint --test gemm_i8_oracle
 cargo test -q --offline --test int_pool_parity
+# Fusion + packed-panel gates, under the sanitize feature so the
+# happens-before sanitizer (TQT-V022) audits every shared-panel read:
+# the differential fusion harness (fused vs unfused plans bit-identical
+# zoo-wide) and the pre-packed weight-panel memoization oracle,
+# including concurrent executor sessions borrowing one plan arena.
+cargo test -q --offline --features tqt-fixedpoint/sanitize --test fusion_parity
+cargo test -q --offline -p tqt-fixedpoint --features sanitize --test pack_cache_oracle
 # Concurrency gates: exhaustive bounded model check of the pool's
 # claim/complete protocol (TQT-V019/V020; every interleaving of the
 # pinned configuration suite, no state budget), and the proof that
