@@ -1,0 +1,273 @@
+//! Closed-loop serving throughput bench: drives the whole zoo through
+//! the `tqt-serve` dynamic-batching engine at several concurrency
+//! levels and records requests/sec plus p50/p99/p999 latency into
+//! `BENCH_serve.json`.
+//!
+//! Two baselines anchor every model:
+//!
+//! * `naive` — the serial batch-1 loop the workspace offered before the
+//!   serving core existed: one `IntGraph::run` per request, which
+//!   re-plans and re-allocates executor slots every call;
+//! * `session` — a reused batch-1 [`IntExecutor`] session (plan cached,
+//!   slots reused), isolating the dynamic-batching gain from the
+//!   plan/buffer-reuse gain.
+//!
+//! Each serve run is closed-loop: `concurrency` client threads each
+//! keep exactly one request in flight, so offered load scales with the
+//! client count and the admission queue's rung histogram shows how the
+//! ladder coalesces that load. Every reply is asserted bit-identical to
+//! the batch-1 logits, every run must report zero overflow and zero
+//! steady-state executor allocations — the speedups below are at equal
+//! accuracy by construction.
+//!
+//! With `--json <path>` (as driven by `scripts/bench.sh`) the results
+//! are also written as a machine-readable report; `--smoke` shrinks the
+//! sweep to one model and a handful of requests so CI can exercise the
+//! full bench + emission path in seconds.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use tqt_fixedpoint::IntExecutor;
+use tqt_graph::{quantize_graph, transforms, QuantizeOptions, WeightBits};
+use tqt_models::{ModelKind, INPUT_DIMS};
+use tqt_rt::json::Json;
+use tqt_rt::pool;
+use tqt_rt::queue::scoped_threads;
+use tqt_serve::Engine;
+use tqt_tensor::{init, Tensor};
+
+/// Requests per (model, load point) in a full run; divisible by every
+/// client count in the sweep so closed-loop clients stay balanced.
+const FULL_REQUESTS: usize = 160;
+const SMOKE_REQUESTS: usize = 16;
+/// Distinct images cycled through per model (expected logits are
+/// precomputed once per image).
+const FULL_IMAGES: usize = 24;
+const SMOKE_IMAGES: usize = 4;
+/// Admission-queue flush deadline for every serve run.
+const MAX_WAIT: Duration = Duration::from_millis(1);
+
+/// One latency population with its wall-clock window.
+struct Measured {
+    wall: Duration,
+    lat_ns: Vec<u64>,
+}
+
+impl Measured {
+    fn rps(&self) -> f64 {
+        self.lat_ns.len() as f64 / self.wall.as_secs_f64()
+    }
+
+    fn percentile_us(&self, sorted: &[u64], p: f64) -> f64 {
+        // tqt:allow(expect): percentiles over an empty run are a bench bug
+        let last = sorted.len().checked_sub(1).expect("empty latency population");
+        let idx = ((p / 100.0) * last as f64).round() as usize;
+        sorted[idx.min(last)] as f64 / 1_000.0
+    }
+
+    fn to_json(&self, extra: BTreeMap<String, Json>) -> Json {
+        let mut sorted = self.lat_ns.clone();
+        sorted.sort_unstable();
+        let mut obj = extra;
+        obj.insert("requests".into(), Json::from(self.lat_ns.len()));
+        obj.insert("wall_ms".into(), Json::from(self.wall.as_secs_f64() * 1_000.0));
+        obj.insert("rps".into(), Json::from(self.rps()));
+        obj.insert("p50_us".into(), Json::from(self.percentile_us(&sorted, 50.0)));
+        obj.insert("p99_us".into(), Json::from(self.percentile_us(&sorted, 99.0)));
+        obj.insert("p999_us".into(), Json::from(self.percentile_us(&sorted, 99.9)));
+        Json::Obj(obj)
+    }
+}
+
+fn engine_for(kind: ModelKind, seed: u64) -> Engine {
+    let mut g = kind.build(seed);
+    transforms::optimize(&mut g, &INPUT_DIMS);
+    quantize_graph(&mut g, QuantizeOptions::retrain_wt_th(WeightBits::Int8));
+    let mut rng = init::rng(seed + 500);
+    g.calibrate(&init::normal([8, 3, 32, 32], 0.0, 1.0, &mut rng));
+    let ig = tqt_fixedpoint::lower(&mut g);
+    match Engine::build(ig, &INPUT_DIMS) {
+        Ok(e) => e,
+        Err(msg) => panic!("{}: ladder plans must prove\n{msg}", kind.name()),
+    }
+}
+
+/// The pre-serving single-request path: `IntGraph::run` per request,
+/// re-planning and re-allocating every call.
+fn run_naive(eng: &Engine, images: &[Tensor], expected: &[Vec<i64>], total: usize) -> Measured {
+    let mut lat_ns = Vec::with_capacity(total);
+    let t0 = Instant::now();
+    for n in 0..total {
+        let j = n % images.len();
+        let t = Instant::now();
+        let y = eng.graph().run(&images[j]);
+        lat_ns.push(t.elapsed().as_nanos() as u64);
+        assert_eq!(y.data(), &expected[j][..], "naive run diverged");
+    }
+    Measured { wall: t0.elapsed(), lat_ns }
+}
+
+/// A reused batch-1 session: plan cached, slots reused, still serial.
+fn run_session(eng: &Engine, images: &[Tensor], expected: &[Vec<i64>], total: usize) -> Measured {
+    let plan = eng.plan_for(1).expect("rung 1 is planned");
+    let mut ex = IntExecutor::with_plan(eng.graph(), plan);
+    let mut out = Vec::new();
+    let mut lat_ns = Vec::with_capacity(total);
+    let t0 = Instant::now();
+    for n in 0..total {
+        let j = n % images.len();
+        let t = Instant::now();
+        ex.run_into(&images[j], &mut out);
+        lat_ns.push(t.elapsed().as_nanos() as u64);
+        assert_eq!(&out, &expected[j], "session run diverged");
+    }
+    Measured { wall: t0.elapsed(), lat_ns }
+}
+
+/// Closed-loop serve run: `clients` threads, each with one request in
+/// flight, `total / clients` requests per thread.
+fn run_serve(
+    eng: &Engine,
+    images: &[Tensor],
+    expected: &[Vec<i64>],
+    total: usize,
+    workers: usize,
+    clients: usize,
+) -> (Measured, tqt_serve::ServeReport) {
+    let per_client = total / clients;
+    assert_eq!(per_client * clients, total, "client count must divide the request count");
+    let t0 = Instant::now();
+    let (lats, report) = eng.serve(workers, MAX_WAIT, |client| {
+        let (per_thread, ()) = scoped_threads(
+            clients,
+            |c| {
+                let mut lat_ns = Vec::with_capacity(per_client);
+                for k in 0..per_client {
+                    let j = (c * per_client + k) % images.len();
+                    let t = Instant::now();
+                    let reply = client.infer(images[j].data());
+                    lat_ns.push(t.elapsed().as_nanos() as u64);
+                    assert_eq!(reply.logits, expected[j], "served reply diverged");
+                }
+                lat_ns
+            },
+            || {},
+        );
+        per_thread
+    });
+    let wall = t0.elapsed();
+    let lat_ns: Vec<u64> = lats.into_iter().flatten().collect();
+    assert_eq!(report.queue.dispatched_requests as usize, total, "drain lost requests");
+    assert_eq!(report.overflowed, 0, "proven plans cannot wrap");
+    assert_eq!(report.steady_state_allocs, 0, "serving hot path allocated executor slots");
+    (Measured { wall, lat_ns }, report)
+}
+
+fn main() {
+    // Same CLI contract as the other bench binaries: --json <path> to
+    // persist, --smoke for the CI fast path, plus the experiment
+    // binaries' --models filter for targeted runs.
+    let args = tqt_bench::Args::parse();
+    let out: Option<PathBuf> = args.get("json").map(PathBuf::from);
+    let smoke = args.flag("smoke");
+    if smoke {
+        tqt_bench::mark_reduced_run("--smoke serving sweep");
+    }
+
+    // Intra-op parallelism off: every run below (baselines and serve
+    // workers alike) computes single-threaded, so the comparison isolates
+    // the serving layer itself — batching efficiency and plan/buffer
+    // reuse — rather than pool scheduling.
+    pool::set_threads(1);
+
+    let models: Vec<ModelKind> =
+        if smoke { vec![ModelKind::ResNet8] } else { tqt_bench::select_models(&args) };
+    let total = if smoke { SMOKE_REQUESTS } else { FULL_REQUESTS };
+    let n_images = if smoke { SMOKE_IMAGES } else { FULL_IMAGES };
+    let points: &[(usize, usize)] =
+        if smoke { &[(2, 4)] } else { &[(1, 1), (2, 4), (2, 8), (4, 16)] };
+
+    let mut model_rows = Vec::new();
+    for (i, &kind) in models.iter().enumerate() {
+        let seed = 7 + i as u64;
+        let eng = engine_for(kind, seed);
+        let mut rng = init::rng(seed + 900);
+        let images: Vec<Tensor> =
+            (0..n_images).map(|_| init::normal(INPUT_DIMS, 0.0, 1.0, &mut rng)).collect();
+        let expected: Vec<Vec<i64>> = {
+            let plan = eng.plan_for(1).expect("rung 1 is planned");
+            let mut ex = IntExecutor::with_plan(eng.graph(), plan);
+            images.iter().map(|x| ex.run(x).data().to_vec()).collect()
+        };
+
+        let naive = run_naive(&eng, &images, &expected, total);
+        let session = run_session(&eng, &images, &expected, total);
+        println!(
+            "serve {:<14} naive           {:>8.1} req/s   session        {:>8.1} req/s",
+            kind.name(),
+            naive.rps(),
+            session.rps()
+        );
+
+        let mut runs = Vec::new();
+        for &(workers, clients) in points {
+            let (m, report) = run_serve(&eng, &images, &expected, total, workers, clients);
+            println!(
+                "serve {:<14} w{} c{:<2}          {:>8.1} req/s   {:>6.2}x naive  {:>6.2}x session  \
+                 rungs {:?}  flushes {}",
+                kind.name(),
+                workers,
+                clients,
+                m.rps(),
+                m.rps() / naive.rps(),
+                m.rps() / session.rps(),
+                report.queue.rung_dispatches,
+                report.queue.deadline_flushes,
+            );
+            let mut extra = BTreeMap::new();
+            extra.insert("workers".into(), Json::from(workers));
+            extra.insert("concurrency".into(), Json::from(clients));
+            extra.insert("speedup_vs_naive".into(), Json::from(m.rps() / naive.rps()));
+            extra.insert("speedup_vs_session".into(), Json::from(m.rps() / session.rps()));
+            extra.insert(
+                "rung_dispatches".into(),
+                Json::Arr(report.queue.rung_dispatches.iter().map(|&n| Json::from(n as f64)).collect()),
+            );
+            extra.insert("batches".into(), Json::from(report.queue.dispatched_batches as f64));
+            extra.insert("deadline_flushes".into(), Json::from(report.queue.deadline_flushes as f64));
+            extra.insert("idle_dispatches".into(), Json::from(report.queue.idle_dispatches as f64));
+            extra.insert("max_queue_depth".into(), Json::from(report.queue.max_depth as f64));
+            runs.push(m.to_json(extra));
+        }
+
+        let mut row = BTreeMap::new();
+        row.insert("model".to_string(), Json::from(kind.name()));
+        row.insert("naive".to_string(), naive.to_json(BTreeMap::new()));
+        row.insert("session".to_string(), session.to_json(BTreeMap::new()));
+        row.insert("runs".to_string(), Json::Arr(runs));
+        model_rows.push(Json::Obj(row));
+    }
+    pool::set_threads(0);
+
+    let mut top = BTreeMap::new();
+    top.insert("bench".to_string(), Json::from("serve"));
+    top.insert("smoke".to_string(), Json::from(smoke));
+    top.insert(
+        "ladder".to_string(),
+        Json::Arr(tqt_serve::LADDER.iter().map(|&r| Json::from(r)).collect()),
+    );
+    top.insert("max_wait_us".to_string(), Json::from(MAX_WAIT.as_micros() as f64));
+    // Host context for reading the speedups: serve workers add cores, so
+    // on a single-core host batching can only amortize, not parallelize.
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    top.insert("host_cpus".to_string(), Json::from(cpus));
+    top.insert("models".to_string(), Json::Arr(model_rows));
+    if let Some(path) = &out {
+        let body = Json::Obj(top).to_string();
+        std::fs::write(path, body + "\n")
+            .unwrap_or_else(|e| panic!("failed to write {}: {e}", path.display()));
+        println!("report serve -> {}", path.display());
+    }
+}

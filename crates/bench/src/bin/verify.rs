@@ -10,14 +10,19 @@
 //!    accumulators cannot overflow and shifts are legal (`V011`…`V013`);
 //! 5. an instrumented integer run cross-checked against the proofs
 //!    (observed ⊆ proven, `TQT-V015`);
-//! 6. the executor-plan alias-freedom proof at batch 1 and the probe
-//!    batch (`TQT-V016`…`V018`).
+//! 6. the executor-plan alias-freedom proof across the full serving
+//!    batch ladder (`tqt_serve::LADDER`, batches 1/2/4/8) plus the probe
+//!    batch (`TQT-V016`…`V018`) — every plan the serving engine can
+//!    dispatch on is proven here zoo-wide.
 //!
 //! Before the zoo sweep, the concurrency substrate itself is verified:
 //! the pool-protocol model checker runs over its bounded configuration
 //! suite (`TQT-V019`/`V020`; state-budgeted smoke here, exhaustive in
 //! `cargo test -p tqt-rt --test sched_model`; pass `--sched-full` for
-//! the exhaustive run in this binary) and the `par_fold_blocks`
+//! the exhaustive run in this binary), the serving admission queue's
+//! batching protocol is model-checked the same way (`TQT-V024`;
+//! exhaustive in `cargo test -p tqt-rt --test batch_model`), and the
+//! `par_fold_blocks`
 //! partition is checked thread-count-independent (`TQT-V021`). After the
 //! sweep, happens-before sanitizer findings are drained (`TQT-V022`;
 //! populated when built with `--features tqt-fixedpoint/sanitize`, which
@@ -32,8 +37,8 @@ use tqt_nn::loss::softmax_cross_entropy;
 use tqt_nn::Mode;
 use tqt_tensor::init;
 use tqt_verify::{
-    analyze, check_containment, check_fold_partition, check_plan, check_schedules, checked_fuse,
-    checked_optimize, collect_hb_findings, verify, Report, Stage,
+    analyze, check_batch_schedules, check_containment, check_fold_partition, check_plan,
+    check_schedules, checked_fuse, checked_optimize, collect_hb_findings, verify, Report, Stage,
 };
 
 fn main() {
@@ -61,7 +66,9 @@ fn main() {
         Some(args.get_or("sched-budget", 20_000usize))
     };
     let (sched_report, summary) = check_schedules(sched_budget);
+    let (batch_report, batch_summary) = check_batch_schedules(sched_budget);
     let mut concurrency = sched_report;
+    concurrency.merge(batch_report);
     concurrency.merge(check_fold_partition());
     if concurrency.is_clean() {
         println!(
@@ -69,6 +76,12 @@ fn main() {
             summary.configs,
             summary.states,
             if summary.complete { "exhaustive" } else { "smoke budget" }
+        );
+        println!(
+            "verify batch protocol ({} configs, {} states, {}) ... ok",
+            batch_summary.configs,
+            batch_summary.states,
+            if batch_summary.complete { "exhaustive" } else { "smoke budget" }
         );
     } else {
         failures += concurrency.diags.len();
@@ -179,9 +192,14 @@ fn check_model(
     let (_, stats) = ig.run_with_stats(&probe);
     report.merge(check_containment(&ig, &proven, &stats));
 
-    // Executor-plan alias-freedom proof at batch 1 and the probe batch.
-    let mut batches = vec![1usize, batch];
-    batches.dedup();
+    // Executor-plan alias-freedom proof across the full serving batch
+    // ladder plus the probe batch: every rung the serving engine can
+    // dispatch on is proven alias-free here.
+    let mut batches = tqt_serve::LADDER.to_vec();
+    if !batches.contains(&batch) {
+        batches.push(batch);
+        batches.sort_unstable();
+    }
     for &b in &batches {
         let mut bdims = dims.clone();
         bdims[0] = b;

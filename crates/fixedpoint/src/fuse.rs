@@ -1,5 +1,6 @@
 //! Graph-level epilogue fusion over [`IntGraph`]: collapses
-//! `conv → relu → requant`, `conv → requant → add (→ relu) → requant`,
+//! `conv → relu → requant`, `conv → leaky-relu → requant`,
+//! `conv → requant → add (→ relu) → requant`,
 //! and `dense → requant` chains into single [`IntOp::Fused`] nodes whose
 //! epilogue runs in the GEMM tile store ([`crate::intgemm`]), so the
 //! chain's intermediate tensors — including the wide raw-accumulator
@@ -36,7 +37,7 @@ struct Chain {
 
 /// Fuses every eligible chain of `g`, returning the rewritten graph.
 /// Non-chain nodes and non-fusable chains (multi-consumer intermediates,
-/// leaky ReLU, a second residual add) are kept verbatim.
+/// a second residual add) are kept verbatim.
 pub fn fuse(g: IntGraph) -> IntGraph {
     let (nodes, output) = g.into_parts();
     let n = nodes.len();
@@ -81,6 +82,7 @@ pub fn fuse(g: IntGraph) -> IntGraph {
             let step = match nodes[c].op {
                 IntOp::Requant { format } => EpiStep::Requant { format },
                 IntOp::Relu { cap_q } => EpiStep::Relu { cap_q },
+                IntOp::LeakyRelu { alpha_q } => EpiStep::LeakyRelu { alpha_q },
                 IntOp::Add => {
                     let other = if nodes[c].inputs[0] == tail {
                         nodes[c].inputs[1]

@@ -36,7 +36,7 @@
 //! value. Per-block counts are merged into one [`Counter`] (a sum of
 //! non-negative integers, order-independent).
 
-use crate::lower::narrow;
+use crate::lower::{narrow, LEAKY_ALPHA_FRAC};
 use crate::requant::shift_round;
 use tqt_rt::pool;
 use tqt_rt::sync::Counter;
@@ -130,6 +130,10 @@ pub enum TileStep<'a> {
     /// `max(0)` then `min(cap)` (the `Relu` node kernel; pass
     /// `i64::MAX` for an uncapped ReLU).
     ReluCap(i64),
+    /// `max(v << LEAKY_ALPHA_FRAC, v * alpha_q)` narrowed with wrap
+    /// counting (the `LeakyRelu` node kernel; the element moves to the
+    /// `frac + LEAKY_ALPHA_FRAC` grid).
+    Leaky(i64),
 }
 
 /// `out[m,n] = narrow(a[m,k] · b[k,n] + bias)` with exact i128
@@ -287,6 +291,11 @@ pub fn gemm_i64_narrow_fused(
                                 }
                                 TileStep::ReluCap(cap) => {
                                     v = v.max(0).min(cap);
+                                }
+                                TileStep::Leaky(alpha) => {
+                                    let wide = (i128::from(v) << LEAKY_ALPHA_FRAC)
+                                        .max(i128::from(v) * i128::from(alpha));
+                                    v = narrow(wide, &mut local_ovf);
                                 }
                             }
                         }

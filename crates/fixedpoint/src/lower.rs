@@ -131,6 +131,13 @@ pub enum EpiStep {
         /// Cap in current-grid units.
         cap_q: Option<i64>,
     },
+    /// Leaky ReLU `max(x << A, x * alpha_q)` with `A =`
+    /// [`LEAKY_ALPHA_FRAC`] (exactly [`IntOp::LeakyRelu`], including its
+    /// wrap counting); the chain's fractional length grows by `A`.
+    LeakyRelu {
+        /// Slope in QA fixed point.
+        alpha_q: i64,
+    },
 }
 
 /// A node of the integer graph.

@@ -233,6 +233,9 @@ impl IntPlan {
                                 f = QFormat::new(f.frac, 64, true);
                             }
                             EpiStep::Relu { .. } => {}
+                            EpiStep::LeakyRelu { .. } => {
+                                f = QFormat::new(f.frac + LEAKY_ALPHA_FRAC, 64, true);
+                            }
                         }
                     }
                     (shape, f)
@@ -582,6 +585,9 @@ pub struct IntExecutor<'g> {
     graph: &'g IntGraph,
     plan: PlanRef<'g>,
     bufs: Vec<Vec<i64>>,
+    /// Cumulative slot-buffer allocations (see
+    /// [`slot_allocs`](Self::slot_allocs)).
+    slot_allocs: u64,
 }
 
 /// An executor's plan: owned (the default), or borrowed from a shared
@@ -622,11 +628,13 @@ impl<'g> IntExecutor<'g> {
     /// Creates an executor with freshly planned, zeroed slot buffers.
     pub fn new(graph: &'g IntGraph, input_dims: &[usize]) -> Self {
         let plan = IntPlan::new(graph, input_dims);
-        let bufs = plan.slot_lens.iter().map(|&l| vec![0i64; l]).collect();
+        let bufs: Vec<Vec<i64>> = plan.slot_lens.iter().map(|&l| vec![0i64; l]).collect();
+        let slot_allocs = bufs.len() as u64;
         IntExecutor {
             graph,
             plan: PlanRef::Owned(plan),
             bufs,
+            slot_allocs,
         }
     }
 
@@ -644,11 +652,13 @@ impl<'g> IntExecutor<'g> {
             graph.nodes().len(),
             "plan was built for a different graph"
         );
-        let bufs = plan.slot_lens.iter().map(|&l| vec![0i64; l]).collect();
+        let bufs: Vec<Vec<i64>> = plan.slot_lens.iter().map(|&l| vec![0i64; l]).collect();
+        let slot_allocs = bufs.len() as u64;
         IntExecutor {
             graph,
             plan: PlanRef::Shared(plan),
             bufs,
+            slot_allocs,
         }
     }
 
@@ -665,7 +675,57 @@ impl<'g> IntExecutor<'g> {
     ///
     /// Panics if `x` does not have the planned input shape.
     pub fn run(&mut self, x: &Tensor) -> QTensor {
-        let (y, stats) = self.run_inner(x, false);
+        let stats = self.run_inner(x, false);
+        self.assert_no_wrap(&stats);
+        self.output()
+    }
+
+    /// Instrumented run: like [`run`](Self::run) but additionally records
+    /// each node's observed output range (see
+    /// [`IntGraph::run_with_stats`]).
+    pub fn run_with_stats(&mut self, x: &Tensor) -> (QTensor, RunStats) {
+        let stats = self.run_inner(x, true);
+        (self.output(), stats)
+    }
+
+    /// The serving hot path: runs inference like [`run`](Self::run) but
+    /// writes the output values into `out` (cleared and refilled)
+    /// instead of materializing a fresh [`QTensor`], and returns the
+    /// output format with the run's counters. With a warmed-up `out`
+    /// capacity the call performs no slot allocation — the
+    /// zero-allocation steady state [`slot_allocs`](Self::slot_allocs)
+    /// lets serving tests assert.
+    pub fn run_into(&mut self, x: &Tensor, out: &mut Vec<i64>) -> (QFormat, RunStats) {
+        let stats = self.run_inner(x, false);
+        self.assert_no_wrap(&stats);
+        let plan = self.plan.get();
+        let out_id = self.graph.output_id();
+        out.clear();
+        out.extend_from_slice(input_slice(&self.bufs, plan, out_id));
+        (plan.formats[out_id], stats)
+    }
+
+    /// Re-zeroes the slot buffers in place, without reallocating — an
+    /// explicit fresh-session state for executors reused across serving
+    /// requests. Not required for correctness (every node fully writes
+    /// its output range before any consumer reads it), so the serving
+    /// loop skips it per request.
+    pub fn reset(&mut self) {
+        for b in &mut self.bufs {
+            b.fill(0);
+        }
+    }
+
+    /// Cumulative slot-buffer allocations over this executor's
+    /// lifetime: the plan-sized allocations at construction plus any
+    /// mid-run resize (which would indicate a planning bug). A reused
+    /// session must hold this constant across requests — the
+    /// zero hot-path-allocation guarantee the serving bench relies on.
+    pub fn slot_allocs(&self) -> u64 {
+        self.slot_allocs
+    }
+
+    fn assert_no_wrap(&self, stats: &RunStats) {
         #[cfg(feature = "sanitize")]
         for (node, st) in self.graph.nodes().iter().zip(&stats.nodes) {
             assert_eq!(
@@ -675,17 +735,20 @@ impl<'g> IntExecutor<'g> {
             );
         }
         let _ = stats;
-        y
     }
 
-    /// Instrumented run: like [`run`](Self::run) but additionally records
-    /// each node's observed output range (see
-    /// [`IntGraph::run_with_stats`]).
-    pub fn run_with_stats(&mut self, x: &Tensor) -> (QTensor, RunStats) {
-        self.run_inner(x, true)
+    /// Materializes the output tensor from its slot.
+    fn output(&self) -> QTensor {
+        let plan = self.plan.get();
+        let out_id = self.graph.output_id();
+        QTensor::from_ints(
+            plan.shapes[out_id].clone(),
+            input_slice(&self.bufs, plan, out_id).to_vec(),
+            plan.formats[out_id],
+        )
     }
 
-    fn run_inner(&mut self, x: &Tensor, observe: bool) -> (QTensor, RunStats) {
+    fn run_inner(&mut self, x: &Tensor, observe: bool) -> RunStats {
         let plan = self.plan.get();
         assert_eq!(
             x.dims(),
@@ -699,6 +762,13 @@ impl<'g> IntExecutor<'g> {
             let slot_id = plan.slot[id];
             let len = plan.lens[id];
             let mut outbuf = std::mem::take(&mut self.bufs[slot_id]);
+            if outbuf.len() < len {
+                // Never taken when the plan sized the slots correctly —
+                // counted so serving tests can assert an allocation-free
+                // steady state.
+                outbuf.resize(len, 0);
+                self.slot_allocs += 1;
+            }
             {
                 let bufs = &self.bufs;
                 let out = &mut outbuf[..len];
@@ -878,6 +948,10 @@ impl<'g> IntExecutor<'g> {
                                 EpiStep::Relu { cap_q } => {
                                     steps.push(TileStep::ReluCap(cap_q.unwrap_or(i64::MAX)));
                                 }
+                                EpiStep::LeakyRelu { alpha_q } => {
+                                    steps.push(TileStep::Leaky(*alpha_q));
+                                    cur_frac += LEAKY_ALPHA_FRAC;
+                                }
                             }
                         }
                         let (ovf, sat) = match core.as_ref() {
@@ -964,13 +1038,7 @@ impl<'g> IntExecutor<'g> {
             }
             self.bufs[slot_id] = outbuf;
         }
-        let out_id = self.graph.output_id();
-        let y = QTensor::from_ints(
-            plan.shapes[out_id].clone(),
-            input_slice(&self.bufs, plan, out_id).to_vec(),
-            plan.formats[out_id],
-        );
-        (y, stats)
+        stats
     }
 }
 
@@ -1147,6 +1215,11 @@ fn depthwise_into(
                         }
                         TileStep::ReluCap(cap) => {
                             v = v.max(0).min(cap);
+                        }
+                        TileStep::Leaky(alpha) => {
+                            let wide = (i128::from(v) << LEAKY_ALPHA_FRAC)
+                                .max(i128::from(v) * i128::from(alpha));
+                            v = narrow(wide, &mut local);
                         }
                     }
                 }

@@ -26,7 +26,11 @@
 //!   cross-region scratch-checkout escape detection;
 //! * [`sync`] — the only shared-state primitives the rest of the
 //!   workspace may use ([`sync::Counter`], [`sync::Flag`]): raw atomics
-//!   stay in this crate, where they are model-checked.
+//!   stay in this crate, where they are model-checked;
+//! * [`queue`] — the dynamic-batching admission queue of the serving
+//!   core (`tqt-serve`), whose coalescing decisions are the
+//!   model-checked pure functions in [`sched`], plus the scoped-thread
+//!   helper serving workers and bench load generators run on.
 //!
 //! Everything here is plain `std`; the crate must never grow an external
 //! dependency.
@@ -36,6 +40,7 @@ pub mod check;
 pub mod hb;
 pub mod json;
 pub mod pool;
+pub mod queue;
 pub mod rng;
 pub mod sched;
 pub mod sync;

@@ -42,6 +42,20 @@
 //! data-race-free by the disjoint-chunk construction, which the
 //! happens-before sanitizer ([`crate::hb`]) checks at runtime rather than
 //! here.
+//!
+//! The same treatment covers the serving admission queue
+//! ([`crate::queue`]): its coalescing decisions are the pure functions
+//! [`pick_rung`] / [`batch_decision`], called by `queue.rs` at the real
+//! claim sites, and [`batch_check`] exhaustively explores the batching
+//! protocol over bounded client/worker/ladder configurations
+//! ([`batch_protocol_configs`]), proving that every submitted request is
+//! dispatched exactly once in a ladder-sized batch, that a due (deadline-
+//! expired) request is never stranded behind a partial batch, that the
+//! work-conserving rule (all workers idle → dispatch now) never loses or
+//! duplicates work, and that a drain dispatches every remaining request
+//! before the workers exit.
+//! Seeded bugs ([`BatchBug`]) prove the checker refutes broken variants;
+//! refutations surface as `TQT-V024` through `tqt-verify`.
 
 use std::cell::Cell;
 use std::collections::HashSet;
@@ -163,6 +177,14 @@ pub enum Property {
     PanicInvented,
     /// Bookkeeping corruption (done-count exceeded the block count).
     Corruption,
+    /// Batching: a submitted request was never dispatched, or its
+    /// response never produced.
+    LostRequest,
+    /// Batching: a request was handed to more than one batch.
+    DuplicateDispatch,
+    /// Batching: a deadline-expired request is stranded behind a partial
+    /// batch no worker will ever flush.
+    DeadlineStall,
 }
 
 /// A refutation: the violated property plus the full interleaving that
@@ -675,6 +697,463 @@ pub fn protocol_configs() -> Vec<Config> {
     v
 }
 
+// ---------------------------------------------------------------------
+// Batching-queue protocol core (used by queue.rs and by the model)
+// ---------------------------------------------------------------------
+
+/// The largest ladder rung that fits `pending` requests, or `None` when
+/// fewer than the smallest rung are waiting. `ladder` must be sorted
+/// ascending; serving ladders start at rung 1 so any backlog can drain.
+pub fn pick_rung(ladder: &[usize], pending: usize) -> Option<usize> {
+    ladder.iter().rev().find(|&&r| r <= pending).copied()
+}
+
+/// What a serving worker should do with the admission queue in its
+/// current state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchDecision {
+    /// Claim the first `rung` pending requests as one batch.
+    Dispatch(usize),
+    /// Block until a submit, a deadline expiry, or shutdown changes the
+    /// state (condvar wait in the real queue).
+    Wait,
+    /// The queue is draining and empty: the worker exits.
+    Exit,
+}
+
+/// The admission queue's coalescing decision: dispatch the largest
+/// ladder rung that fits once the backlog fills the top rung, once the
+/// oldest request's max-wait deadline expires (`oldest_due`), whenever
+/// no other worker is busy (`!any_busy` — the work-conserving rule:
+/// holding out for a fuller batch only pays while somebody is computing,
+/// otherwise waiting adds latency and no batching), or unconditionally
+/// while `draining` — otherwise hold out for a bigger batch.
+/// [`crate::queue::BatchQueue`] calls this under its mutex; the model
+/// checker ([`batch_check`]) enumerates it over every reachable queue
+/// state — same function, no transcript to drift.
+pub fn batch_decision(
+    ladder: &[usize],
+    pending: usize,
+    oldest_due: bool,
+    any_busy: bool,
+    draining: bool,
+) -> BatchDecision {
+    if pending == 0 {
+        return if draining {
+            BatchDecision::Exit
+        } else {
+            BatchDecision::Wait
+        };
+    }
+    let top_full = ladder.last().is_some_and(|&top| pending >= top);
+    if top_full || oldest_due || !any_busy || draining {
+        match pick_rung(ladder, pending) {
+            Some(rung) => BatchDecision::Dispatch(rung),
+            None => BatchDecision::Wait,
+        }
+    } else {
+        BatchDecision::Wait
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bounded model checker for the batching protocol
+// ---------------------------------------------------------------------
+
+/// Maximum total requests a batch model configuration may submit.
+pub const MAX_REQS: usize = 4;
+/// Maximum serving workers the batch model supports.
+pub const MAX_WORKERS: usize = 2;
+
+/// A deliberately broken batching variant — each must be refuted by
+/// [`batch_check`] (the analogue of [`Bug`] for the admission queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchBug {
+    /// The worker ignores both wake signals — the deadline expiry and
+    /// the work-conserving idle-worker rule: partial batches only ever
+    /// dispatch when the top rung fills or the queue drains. With no
+    /// shutdown coming, a due request is stranded forever.
+    SleepOnDue,
+    /// Draining exits as soon as the backlog no longer fills the top
+    /// rung, leaking the remainder.
+    LeakOnDrain,
+    /// The dispatch leaves the batch head in the queue (a torn claim):
+    /// the head request is handed to two batches.
+    DoubleDispatch,
+}
+
+/// One bounded batching configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Concurrent submitting clients.
+    pub clients: usize,
+    /// Requests each client submits, one at a time.
+    pub requests_per_client: usize,
+    /// Serving workers running the claim/complete loop.
+    pub workers: usize,
+    /// The batch ladder (sorted ascending, rung 1 first).
+    pub ladder: &'static [usize],
+    /// Whether the owner shuts the queue down after every client has
+    /// submitted (the drain path). Without shutdown the run must finish
+    /// on full-rung and deadline dispatches alone — which is what makes
+    /// [`BatchBug::SleepOnDue`] observable.
+    pub shutdown: bool,
+    /// Seeded protocol bug (refutation tests only).
+    pub bug: Option<BatchBug>,
+}
+
+/// What one model worker is doing.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum BWorker {
+    /// Parked on (or re-checking) the admission condvar.
+    Idle,
+    /// Holding a claimed batch; the next step completes it.
+    Busy { batch: Vec<u8> },
+    /// Exited after observing the drained queue.
+    Done,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct BState {
+    /// Pending request ids in FIFO admission order.
+    queue: Vec<u8>,
+    /// Bitmask of requests whose max-wait deadline has expired. The
+    /// timer actor marks requests due in admission order, matching the
+    /// monotone deadlines of a FIFO queue.
+    due: u8,
+    /// Submissions left per client.
+    remaining: Vec<u8>,
+    /// Per-request dispatch count.
+    dispatched: [u8; MAX_REQS],
+    /// Per-request completion count.
+    completed: [u8; MAX_REQS],
+    workers: Vec<BWorker>,
+    draining: bool,
+}
+
+impl BState {
+    fn initial(cfg: &BatchConfig) -> BState {
+        BState {
+            queue: Vec::new(),
+            due: 0,
+            remaining: vec![cfg.requests_per_client as u8; cfg.clients],
+            dispatched: [0; MAX_REQS],
+            completed: [0; MAX_REQS],
+            workers: vec![BWorker::Idle; cfg.workers],
+            draining: false,
+        }
+    }
+
+    /// The worker-visible decision, with bug injection at the exact
+    /// points the bugs corrupt.
+    fn decision(&self, cfg: &BatchConfig) -> BatchDecision {
+        let pending = self.queue.len();
+        let mut oldest_due = self
+            .queue
+            .first()
+            .is_some_and(|&h| self.due & (1 << h) != 0);
+        let mut any_busy = self
+            .workers
+            .iter()
+            .any(|w| matches!(w, BWorker::Busy { .. }));
+        if cfg.bug == Some(BatchBug::SleepOnDue) {
+            oldest_due = false;
+            any_busy = true; // suppresses the idle-worker dispatch too
+        }
+        if cfg.bug == Some(BatchBug::LeakOnDrain)
+            && self.draining
+            && cfg.ladder.last().is_some_and(|&top| pending < top)
+        {
+            return BatchDecision::Exit;
+        }
+        batch_decision(cfg.ladder, pending, oldest_due, any_busy, self.draining)
+    }
+}
+
+/// Actor indices: `0..clients` are clients, then `workers`, then the
+/// deadline timer, then the owner (shutdown).
+fn batch_actors(cfg: &BatchConfig) -> usize {
+    cfg.clients + cfg.workers + 2
+}
+
+fn batch_enabled(st: &BState, a: usize, cfg: &BatchConfig) -> bool {
+    if a < cfg.clients {
+        return st.remaining[a] > 0;
+    }
+    let a = a - cfg.clients;
+    if a < cfg.workers {
+        return match &st.workers[a] {
+            BWorker::Busy { .. } => true,
+            BWorker::Done => false,
+            BWorker::Idle => st.decision(cfg) != BatchDecision::Wait,
+        };
+    }
+    if a == cfg.workers {
+        // Timer: the oldest not-yet-due pending request can expire.
+        return st.queue.iter().any(|&r| st.due & (1 << r) == 0);
+    }
+    // Owner: shuts down once, after every client finished submitting.
+    cfg.shutdown && !st.draining && st.remaining.iter().all(|&r| r == 0)
+}
+
+/// Applies one step of actor `a`; mirrors [`apply`] for the batching
+/// model.
+fn batch_apply(
+    st: &BState,
+    a: usize,
+    cfg: &BatchConfig,
+) -> (BState, String, Option<(Property, String)>) {
+    let mut s = st.clone();
+    let mut violation = None;
+    let desc;
+    if a < cfg.clients {
+        let k = cfg.requests_per_client - s.remaining[a] as usize;
+        let id = (a * cfg.requests_per_client + k) as u8;
+        s.remaining[a] -= 1;
+        s.queue.push(id);
+        desc = format!("client c{a} submits request {id}, wake workers");
+        return (s, format!("a{a}: {desc}"), violation);
+    }
+    let w = a - cfg.clients;
+    if w < cfg.workers {
+        match s.workers[w].clone() {
+            BWorker::Idle => match s.decision(cfg) {
+                BatchDecision::Exit => {
+                    s.workers[w] = BWorker::Done;
+                    desc = format!("worker w{w}: queue drained, exit");
+                }
+                BatchDecision::Dispatch(rung) => {
+                    if !cfg.ladder.contains(&rung) || rung > s.queue.len() {
+                        violation = Some((
+                            Property::Corruption,
+                            format!(
+                                "dispatch of {rung} is not a ladder rung within the {} pending",
+                                s.queue.len()
+                            ),
+                        ));
+                    }
+                    let take = rung.min(s.queue.len());
+                    let batch: Vec<u8> = s.queue.drain(..take).collect();
+                    if cfg.bug == Some(BatchBug::DoubleDispatch) {
+                        if let Some(&head) = batch.first() {
+                            // The torn claim: the head stays queued.
+                            s.queue.insert(0, head);
+                        }
+                    }
+                    for &r in &batch {
+                        s.dispatched[r as usize] += 1;
+                        if s.dispatched[r as usize] > 1 {
+                            violation = Some((
+                                Property::DuplicateDispatch,
+                                format!("request {r} dispatched twice"),
+                            ));
+                        }
+                    }
+                    desc = format!("worker w{w}: dispatch batch {batch:?} (rung {rung})");
+                    s.workers[w] = BWorker::Busy { batch };
+                }
+                BatchDecision::Wait => unreachable!("Wait workers are not enabled"),
+            },
+            BWorker::Busy { batch } => {
+                for &r in &batch {
+                    s.completed[r as usize] += 1;
+                }
+                desc = format!("worker w{w}: complete batch {batch:?}, wake clients");
+                s.workers[w] = BWorker::Idle;
+            }
+            BWorker::Done => unreachable!("Done workers are not enabled"),
+        }
+        return (s, format!("a{a}: {desc}"), violation);
+    }
+    if w == cfg.workers {
+        let r = st
+            .queue
+            .iter()
+            .copied()
+            .find(|&r| st.due & (1 << r) == 0)
+            .unwrap_or(0); // tqt:allow(expect): enabledness precondition
+        s.due |= 1 << r;
+        desc = format!("timer: request {r} max-wait deadline expires, wake workers");
+    } else {
+        s.draining = true;
+        desc = "owner: shutdown — queue drains, wake workers".to_string();
+    }
+    (s, format!("a{a}: {desc}"), violation)
+}
+
+/// Terminal-state properties of the batching model; `None` = clean.
+fn batch_terminal_violation(st: &BState, cfg: &BatchConfig) -> Option<(Property, String)> {
+    if !st.queue.is_empty() {
+        let p = if st.draining {
+            Property::LostRequest
+        } else {
+            Property::DeadlineStall
+        };
+        return Some((
+            p,
+            format!(
+                "requests {:?} still pending with no worker able to dispatch",
+                st.queue
+            ),
+        ));
+    }
+    for (w, wk) in st.workers.iter().enumerate() {
+        let stuck = match wk {
+            BWorker::Busy { .. } => true,
+            BWorker::Done => false,
+            BWorker::Idle => st.draining,
+        };
+        if stuck {
+            return Some((
+                Property::Deadlock,
+                format!("worker w{w} stuck mid-protocol at the terminal state"),
+            ));
+        }
+    }
+    let total = cfg.clients * cfg.requests_per_client;
+    for r in 0..total {
+        match (st.dispatched[r], st.completed[r]) {
+            (1, 1) => {}
+            (0, _) => {
+                return Some((
+                    Property::LostRequest,
+                    format!("request {r} was never dispatched"),
+                ))
+            }
+            (n, _) if n > 1 => {
+                return Some((
+                    Property::DuplicateDispatch,
+                    format!("request {r} dispatched {n} times"),
+                ))
+            }
+            (_, c) => {
+                return Some((
+                    Property::LostRequest,
+                    format!("request {r} completed {c} times"),
+                ))
+            }
+        }
+    }
+    None
+}
+
+/// Exhaustively explores every interleaving of the batching protocol
+/// under `cfg` — the admission-queue analogue of [`check`], reusing the
+/// same [`Outcome`]/[`Violation`] reporting.
+///
+/// # Panics
+///
+/// Panics if `cfg` exceeds the model bounds ([`MAX_REQS`],
+/// [`MAX_WORKERS`]) or carries a malformed ladder.
+pub fn batch_check(cfg: &BatchConfig, max_states: usize) -> Outcome {
+    assert!(cfg.clients >= 1 && cfg.requests_per_client >= 1);
+    assert!(
+        cfg.clients * cfg.requests_per_client <= MAX_REQS,
+        "model supports at most {MAX_REQS} total requests"
+    );
+    assert!(
+        (1..=MAX_WORKERS).contains(&cfg.workers),
+        "model supports 1..={MAX_WORKERS} workers"
+    );
+    assert!(
+        cfg.ladder.first() == Some(&1) && cfg.ladder.windows(2).all(|w| w[0] < w[1]),
+        "ladder must be sorted ascending starting at rung 1"
+    );
+    let mut out = Outcome {
+        states: 0,
+        terminals: 0,
+        complete: true,
+        violation: None,
+    };
+    let mut visited: HashSet<BState> = HashSet::new();
+    let mut trace: Vec<String> = Vec::new();
+    let init = BState::initial(cfg);
+    batch_dfs(&init, cfg, max_states, &mut visited, &mut trace, &mut out);
+    out
+}
+
+fn batch_dfs(
+    st: &BState,
+    cfg: &BatchConfig,
+    max_states: usize,
+    visited: &mut HashSet<BState>,
+    trace: &mut Vec<String>,
+    out: &mut Outcome,
+) {
+    if out.violation.is_some() {
+        return;
+    }
+    if !visited.insert(st.clone()) {
+        return;
+    }
+    if visited.len() > max_states {
+        out.complete = false;
+        return;
+    }
+    out.states = visited.len();
+    let enabled: Vec<usize> = (0..batch_actors(cfg))
+        .filter(|&a| batch_enabled(st, a, cfg))
+        .collect();
+    if enabled.is_empty() {
+        match batch_terminal_violation(st, cfg) {
+            Some((property, detail)) => {
+                out.violation = Some(Violation {
+                    property,
+                    detail,
+                    trace: trace.clone(),
+                });
+            }
+            None => out.terminals += 1,
+        }
+        return;
+    }
+    for a in enabled {
+        let (succ, line, step_violation) = batch_apply(st, a, cfg);
+        trace.push(line);
+        if let Some((property, detail)) = step_violation {
+            out.violation = Some(Violation {
+                property,
+                detail,
+                trace: trace.clone(),
+            });
+            trace.pop();
+            return;
+        }
+        batch_dfs(&succ, cfg, max_states, visited, trace, out);
+        trace.pop();
+        if out.violation.is_some() {
+            return;
+        }
+    }
+}
+
+/// The pinned batching suite: 1–2 clients × 1–2 requests each × 1–2
+/// workers × two ladders, with and without the shutdown/drain path, all
+/// on the unbugged protocol. The no-shutdown half forces every partial
+/// batch through the deadline path; the shutdown half proves the drain.
+pub fn batch_protocol_configs() -> Vec<BatchConfig> {
+    let mut v = Vec::new();
+    for clients in 1..=2 {
+        for requests_per_client in 1..=2 {
+            for workers in 1..=MAX_WORKERS {
+                for ladder in [&[1usize, 2][..], &[1, 2, 4][..]] {
+                    for shutdown in [false, true] {
+                        v.push(BatchConfig {
+                            clients,
+                            requests_per_client,
+                            workers,
+                            ladder,
+                            shutdown,
+                            bug: None,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -776,6 +1255,124 @@ mod tests {
         assert!(!cfgs.is_empty());
         for c in &cfgs {
             assert!(c.threads <= MAX_THREADS && c.blocks <= MAX_BLOCKS);
+            assert!(c.bug.is_none(), "the pinned suite checks the real protocol");
+        }
+    }
+
+    #[test]
+    fn pick_rung_takes_the_largest_fit() {
+        let ladder = [1, 2, 4, 8];
+        assert_eq!(pick_rung(&ladder, 0), None);
+        assert_eq!(pick_rung(&ladder, 1), Some(1));
+        assert_eq!(pick_rung(&ladder, 3), Some(2));
+        assert_eq!(pick_rung(&ladder, 7), Some(4));
+        assert_eq!(pick_rung(&ladder, 23), Some(8));
+    }
+
+    #[test]
+    fn batch_decision_coalesces_and_drains() {
+        let ladder = [1usize, 2, 4];
+        // Hold out for a fuller batch while another worker is busy and
+        // nothing is due.
+        assert_eq!(batch_decision(&ladder, 3, false, true, false), BatchDecision::Wait);
+        // Work-conserving: with every worker idle, dispatch immediately.
+        assert_eq!(
+            batch_decision(&ladder, 3, false, false, false),
+            BatchDecision::Dispatch(2)
+        );
+        // Top rung full: dispatch the largest fit.
+        assert_eq!(
+            batch_decision(&ladder, 5, false, true, false),
+            BatchDecision::Dispatch(4)
+        );
+        // Deadline expired: flush the partial batch.
+        assert_eq!(
+            batch_decision(&ladder, 3, true, true, false),
+            BatchDecision::Dispatch(2)
+        );
+        // Draining: flush everything, then exit on empty.
+        assert_eq!(
+            batch_decision(&ladder, 1, false, true, true),
+            BatchDecision::Dispatch(1)
+        );
+        assert_eq!(batch_decision(&ladder, 0, false, false, true), BatchDecision::Exit);
+        assert_eq!(batch_decision(&ladder, 0, false, false, false), BatchDecision::Wait);
+    }
+
+    #[test]
+    fn small_clean_batch_config_is_proven() {
+        let cfg = BatchConfig {
+            clients: 2,
+            requests_per_client: 2,
+            workers: 2,
+            ladder: &[1, 2],
+            shutdown: true,
+            bug: None,
+        };
+        let out = batch_check(&cfg, 2_000_000);
+        assert!(out.complete, "exploration must be exhaustive");
+        assert!(out.violation.is_none(), "{}", out.violation.unwrap());
+        assert!(out.terminals > 0);
+    }
+
+    #[test]
+    fn sleeping_on_the_deadline_strands_a_request() {
+        // One lone request, ladder top 2, no shutdown: only the deadline
+        // path can flush it — the sleeping worker never does.
+        let cfg = BatchConfig {
+            clients: 1,
+            requests_per_client: 1,
+            workers: 1,
+            ladder: &[1, 2],
+            shutdown: false,
+            bug: Some(BatchBug::SleepOnDue),
+        };
+        let out = batch_check(&cfg, 1_000_000);
+        let v = out.violation.expect("stranded request must be refuted");
+        assert_eq!(v.property, Property::DeadlineStall, "{v}");
+        assert!(!v.trace.is_empty());
+    }
+
+    #[test]
+    fn leaky_drain_loses_the_remainder() {
+        let cfg = BatchConfig {
+            clients: 1,
+            requests_per_client: 1,
+            workers: 1,
+            ladder: &[1, 2],
+            shutdown: true,
+            bug: Some(BatchBug::LeakOnDrain),
+        };
+        let out = batch_check(&cfg, 1_000_000);
+        let v = out.violation.expect("leaked remainder must be refuted");
+        assert!(
+            matches!(v.property, Property::LostRequest | Property::DeadlineStall),
+            "{v}"
+        );
+    }
+
+    #[test]
+    fn double_dispatch_is_refuted() {
+        let cfg = BatchConfig {
+            clients: 2,
+            requests_per_client: 1,
+            workers: 2,
+            ladder: &[1, 2],
+            shutdown: true,
+            bug: Some(BatchBug::DoubleDispatch),
+        };
+        let out = batch_check(&cfg, 2_000_000);
+        let v = out.violation.expect("torn batch claim must be refuted");
+        assert_eq!(v.property, Property::DuplicateDispatch, "{v}");
+    }
+
+    #[test]
+    fn batch_suite_stays_in_bounds() {
+        let cfgs = batch_protocol_configs();
+        assert!(cfgs.len() >= 16);
+        for c in &cfgs {
+            assert!(c.clients * c.requests_per_client <= MAX_REQS);
+            assert!(c.workers <= MAX_WORKERS);
             assert!(c.bug.is_none(), "the pinned suite checks the real protocol");
         }
     }

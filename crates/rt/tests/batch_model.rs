@@ -1,0 +1,86 @@
+//! Exhaustive bounded model check of the serving admission queue's
+//! batching protocol (`TQT-V024`).
+//!
+//! Runs every configuration of the pinned batching suite — 1–2 clients ×
+//! 1–2 requests each × 1–2 workers × two ladders, with and without the
+//! shutdown/drain path — to completion (no state budget): every
+//! reachable interleaving of submit, deadline expiry, dispatch,
+//! complete, and drain is visited, proving that every request is
+//! dispatched exactly once in a ladder-sized batch, that deadline-
+//! expired requests always flush, and that a drain loses nothing.
+//! `scripts/ci.sh` runs this test explicitly as a verification gate.
+
+use tqt_rt::sched;
+
+#[test]
+fn pinned_batch_suite_is_exhaustively_proven() {
+    let configs = sched::batch_protocol_configs();
+    assert!(configs.len() >= 16, "suite unexpectedly small: {}", configs.len());
+    let mut total_states = 0usize;
+    for cfg in &configs {
+        let out = sched::batch_check(cfg, usize::MAX);
+        assert!(out.complete, "exploration of {cfg:?} must be exhaustive");
+        assert!(
+            out.violation.is_none(),
+            "batching protocol violated under {cfg:?}:\n{}",
+            out.violation.unwrap()
+        );
+        assert!(out.terminals > 0, "{cfg:?} reached no terminal state");
+        total_states += out.states;
+    }
+    // Sanity: the suite explores a non-trivial state space.
+    assert!(total_states > 5_000, "only {total_states} states explored");
+}
+
+#[test]
+fn seeded_batching_bugs_are_refuted_across_the_suite_shape() {
+    // The checker must refute broken batching variants in the same
+    // bounded shapes it proves the real decision functions — otherwise
+    // "no violation" would be vacuous.
+    for workers in 1..=2 {
+        let sleepy = sched::BatchConfig {
+            clients: 1,
+            requests_per_client: 2,
+            workers,
+            ladder: &[1, 2, 4],
+            shutdown: false,
+            bug: Some(sched::BatchBug::SleepOnDue),
+        };
+        let out = sched::batch_check(&sleepy, usize::MAX);
+        let v = out
+            .violation
+            .unwrap_or_else(|| panic!("deadline sleeper survived {workers} worker(s)"));
+        assert_eq!(v.property, sched::Property::DeadlineStall, "{v}");
+        assert!(!v.trace.is_empty(), "counterexample must carry its schedule");
+    }
+
+    let leaky = sched::BatchConfig {
+        clients: 2,
+        requests_per_client: 1,
+        workers: 1,
+        ladder: &[1, 2, 4],
+        shutdown: true,
+        bug: Some(sched::BatchBug::LeakOnDrain),
+    };
+    let out = sched::batch_check(&leaky, usize::MAX);
+    let v = out.violation.expect("drain leak survived");
+    assert!(
+        matches!(
+            v.property,
+            sched::Property::LostRequest | sched::Property::DeadlineStall
+        ),
+        "{v}"
+    );
+
+    let torn = sched::BatchConfig {
+        clients: 2,
+        requests_per_client: 2,
+        workers: 2,
+        ladder: &[1, 2],
+        shutdown: true,
+        bug: Some(sched::BatchBug::DoubleDispatch),
+    };
+    let out = sched::batch_check(&torn, usize::MAX);
+    let v = out.violation.expect("torn batch claim survived");
+    assert_eq!(v.property, sched::Property::DuplicateDispatch, "{v}");
+}

@@ -90,6 +90,12 @@ pub enum Code {
     /// requant whose shift is outside the legal range, or an arity that
     /// contradicts the epilogue's residual steps.
     IllegalFusion,
+    /// `TQT-V024` — serving batch-protocol violation: the bounded model
+    /// checker found an interleaving of the admission queue where a
+    /// request is lost or dispatched twice, a deadline-expired request
+    /// is stranded behind a partial batch, or a drain exits with
+    /// requests still queued — with a counterexample schedule.
+    BatchProtocol,
 }
 
 impl Code {
@@ -119,6 +125,7 @@ impl Code {
             Code::FoldPartition => "TQT-V021",
             Code::HappensBefore => "TQT-V022",
             Code::IllegalFusion => "TQT-V023",
+            Code::BatchProtocol => "TQT-V024",
         }
     }
 
@@ -148,6 +155,7 @@ impl Code {
             Code::FoldPartition => "thread-dependent fold partition",
             Code::HappensBefore => "happens-before violation",
             Code::IllegalFusion => "illegal epilogue fusion",
+            Code::BatchProtocol => "serving batch-protocol violation",
         }
     }
 }
@@ -279,6 +287,7 @@ mod tests {
             Code::FoldPartition,
             Code::HappensBefore,
             Code::IllegalFusion,
+            Code::BatchProtocol,
         ];
         let mut ids: Vec<&str> = all.iter().map(|c| c.id()).collect();
         ids.sort_unstable();

@@ -411,6 +411,25 @@ pub fn analyze(ig: &IntGraph, input_dims: &[usize]) -> IntervalReport {
                             lo = lo.max(0).min(cap);
                             hi = hi.max(0).min(cap);
                         }
+                        EpiStep::LeakyRelu { alpha_q } => {
+                            // Same transfer as the standalone node: the
+                            // envelope of `max(v << A, v * alpha)` over the
+                            // interval endpoints (exact for monotone alpha).
+                            let a = i128::from(*alpha_q);
+                            let f = |v: i128| (v << LEAKY_ALPHA_FRAC).max(v * a);
+                            let cands = [f(lo), f(hi)];
+                            lo = *cands.iter().min().expect("nonempty");
+                            hi = *cands.iter().max().expect("nonempty");
+                            if lo < I64_LO || hi > I64_HI {
+                                r.push(
+                                    Code::Overflow,
+                                    node.name.clone(),
+                                    overflow_detail(nodes, id, lo, hi, input_dims),
+                                );
+                            }
+                            cur_format =
+                                QFormat::new(cur_format.frac + LEAKY_ALPHA_FRAC, 64, true);
+                        }
                     }
                 }
                 fact.lo = lo;

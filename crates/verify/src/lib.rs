@@ -44,7 +44,9 @@ pub use interval::{analyze, IntervalReport};
 pub use passes::{checked_fuse, checked_optimize, checked_pipeline};
 pub use plan_check::check_plan;
 pub use sanitize::check_containment;
-pub use sched_check::{check_fold_partition, check_schedules, collect_hb_findings};
+pub use sched_check::{
+    check_batch_schedules, check_fold_partition, check_schedules, collect_hb_findings,
+};
 pub use shape::{check_structure, infer_shapes, ShapeReport};
 
 use tqt_graph::Graph;

@@ -9,6 +9,12 @@
 //!   (`TQT-V019`), exactly-once block execution and panic delivery
 //!   (`TQT-V020`). A refutation carries the counterexample
 //!   interleaving.
+//! * [`check_batch_schedules`] — same treatment for the serving
+//!   admission queue's batching protocol
+//!   (`tqt_rt::sched::batch_protocol_configs`): every interleaving of
+//!   submit, deadline expiry, dispatch, complete, and drain must
+//!   dispatch each request exactly once and drain cleanly; refutations
+//!   are `TQT-V024` with the counterexample schedule.
 //! * [`check_fold_partition`] — runs `pool::par_fold_blocks` under
 //!   several forced thread counts and compares every produced partition
 //!   with the closed-form specification `sched::fold_partition`; any
@@ -56,6 +62,30 @@ pub fn check_schedules(budget: Option<usize>) -> (Report, SchedSummary) {
                 _ => Code::SchedProtocol,
             };
             r.push_global(code, format!("{cfg:?}: {v}"));
+        }
+    }
+    (r, summary)
+}
+
+/// Model-checks the pinned serving batch-protocol suite
+/// (`sched::batch_protocol_configs`). `budget` bounds the states
+/// explored per configuration (`None` = exhaustive; CI proof mode).
+/// Violations land in the report as `TQT-V024` with the counterexample
+/// schedule.
+pub fn check_batch_schedules(budget: Option<usize>) -> (Report, SchedSummary) {
+    let mut r = Report::new();
+    let configs = sched::batch_protocol_configs();
+    let mut summary = SchedSummary {
+        configs: configs.len(),
+        states: 0,
+        complete: true,
+    };
+    for cfg in &configs {
+        let out = sched::batch_check(cfg, budget.unwrap_or(usize::MAX));
+        summary.states += out.states;
+        summary.complete &= out.complete;
+        if let Some(v) = out.violation {
+            r.push_global(Code::BatchProtocol, format!("{cfg:?}: {v}"));
         }
     }
     (r, summary)
@@ -126,6 +156,35 @@ mod tests {
         assert!(r.is_clean(), "{r}");
         assert!(summary.configs >= 20);
         assert!(summary.states > 0);
+    }
+
+    #[test]
+    fn batch_smoke_budget_suite_is_clean() {
+        let (r, summary) = check_batch_schedules(Some(20_000));
+        assert!(r.is_clean(), "{r}");
+        assert!(summary.configs >= 16);
+        assert!(summary.states > 0);
+    }
+
+    #[test]
+    fn batch_refutation_maps_to_v024() {
+        // Route a seeded-bug refutation through the report machinery by
+        // hand — the mapping is what is under test (the checker itself
+        // is proven in tqt-rt).
+        let cfg = sched::BatchConfig {
+            clients: 1,
+            requests_per_client: 1,
+            workers: 1,
+            ladder: &[1, 2],
+            shutdown: false,
+            bug: Some(sched::BatchBug::SleepOnDue),
+        };
+        let out = sched::batch_check(&cfg, 1_000_000);
+        let v = out.violation.expect("seeded bug must be refuted");
+        let mut r = Report::new();
+        r.push_global(Code::BatchProtocol, format!("{cfg:?}: {v}"));
+        assert!(r.has(Code::BatchProtocol), "{r}");
+        assert!(r.render().contains("TQT-V024"));
     }
 
     #[test]

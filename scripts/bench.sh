@@ -7,6 +7,7 @@
 #   BENCH_conv.json        conv2d forward/backward + depthwise
 #   BENCH_train_step.json  one full QAT training step on a zoo model
 #   BENCH_int_infer.json   blocked+fused i8 GEMM vs naive, zoo int8 forward
+#   BENCH_serve.json       closed-loop dynamic-batching serving throughput/latency
 #
 # `--smoke` is the CI mode: one sample, tiny shapes, and output under the
 # gitignored results/local/ so the committed baselines are never
@@ -34,13 +35,14 @@ declare -A OUT=(
   [conv_kernels]="BENCH_conv.json"
   [train_step]="BENCH_train_step.json"
   [int_infer]="BENCH_int_infer.json"
+  [serve_bench]="BENCH_serve.json"
 )
 
-for bench in gemm_kernels conv_kernels train_step int_infer; do
+for bench in gemm_kernels conv_kernels train_step int_infer serve_bench; do
   out="$OUTDIR/${OUT[$bench]}"
   # shellcheck disable=SC2086  # $SMOKE is intentionally word-split ('' or '--smoke')
   cargo bench --offline -p tqt-bench --bench "$bench" -- --json "$out" $SMOKE
   [[ -s "$out" ]] || { echo "bench $bench produced no $out" >&2; exit 1; }
 done
 
-echo "bench results written to $OUTDIR/{BENCH_gemm,BENCH_conv,BENCH_train_step,BENCH_int_infer}.json"
+echo "bench results written to $OUTDIR/{BENCH_gemm,BENCH_conv,BENCH_train_step,BENCH_int_infer,BENCH_serve}.json"

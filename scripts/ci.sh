@@ -28,6 +28,15 @@ cargo test -q --offline -p tqt-fixedpoint --features sanitize --test pack_cache_
 # or waking any worker.
 cargo test -q --offline -p tqt-rt --test sched_model
 cargo test -q --offline -p tqt-rt --test serial_no_spawn
+# Serving gates: exhaustive bounded model check of the admission queue's
+# batching protocol (TQT-V024; no lost/double-dispatched request, no
+# stranded deadline, clean drain — plus refutation of seeded bugs), and
+# zoo-wide batching bit-identity under the sanitize feature: a coalesced
+# batch-k dispatch must match k batch-1 runs bit-for-bit (values and
+# sat/ovf counters), and a full serve() scope must route every client
+# exactly the batch-1 logits with zero steady-state executor allocations.
+cargo test -q --offline -p tqt-rt --test batch_model
+cargo test -q --offline --features tqt-fixedpoint/sanitize --test serve_parity
 cargo clippy --offline -- -D warnings
 # Forbidden-pattern gate: unwrap/expect in the numeric substrates,
 # narrowing casts in requant, float equality outside tests, and thread
@@ -37,10 +46,10 @@ scripts/check_forbidden.sh
 # Static verification gate: every zoo model at every supported weight
 # bit-width must pass the full tqt-verify analysis suite (shape inference,
 # quantization lints, overflow proof, observed-vs-proven cross-check,
-# executor-plan alias-freedom at batch 1 and 4). The binary also runs the
-# schedule model checker in smoke mode and the fold-partition determinism
-# check up front, and drains happens-before sanitizer findings (TQT-V022)
-# at the end. Built with the sanitize feature, so the sweep executes over
+# executor-plan alias-freedom across the serving batch ladder {1,2,4,8}).
+# The binary also runs the schedule and batching-protocol model checkers
+# in smoke mode and the fold-partition determinism check up front, and
+# drains happens-before sanitizer findings (TQT-V022) at the end. Built with the sanitize feature, so the sweep executes over
 # kernels that assert no i64 accumulator ever wrapped AND over
 # instrumented parallel regions / scratch checkouts.
 cargo run --release --offline -q -p tqt-bench --bin verify --features tqt-fixedpoint/sanitize

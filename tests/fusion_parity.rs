@@ -10,6 +10,7 @@
 //! the node list: a `conv -> relu -> requant` chain becomes one fused
 //! node whose stats aggregate the chain.
 
+use tqt_fixedpoint::lower::{EpiStep, IntOp};
 use tqt_fixedpoint::{fuse, lower};
 use tqt_graph::{quantize_graph, transforms, QuantizeOptions, WeightBits};
 use tqt_models::{ModelKind, INPUT_DIMS};
@@ -66,4 +67,47 @@ fn fused_plans_are_bit_identical_across_the_zoo() {
         }
     }
     pool::set_threads(0);
+}
+
+/// DarkNet's `conv → leaky-relu → requant` chains must fuse like the
+/// relu chains do: the fused graph carries `EpiStep::LeakyRelu` steps and
+/// no standalone single-consumer leaky node survives directly downstream
+/// of a conv. (Bit-identity of the fused epilogue is covered zoo-wide by
+/// the test above — DarkNet included.)
+#[test]
+fn darknet_leaky_chains_fuse() {
+    let mut g = ModelKind::DarkNet.build(77);
+    transforms::optimize(&mut g, &INPUT_DIMS);
+    quantize_graph(&mut g, QuantizeOptions::retrain_wt_th(WeightBits::Int8));
+    let mut rng = init::rng(277);
+    g.calibrate(&init::normal([8, 3, 32, 32], 0.0, 1.0, &mut rng));
+    let ig = lower(&mut g);
+    let standalone_before = ig
+        .nodes()
+        .iter()
+        .filter(|n| matches!(n.op, IntOp::LeakyRelu { .. }))
+        .count();
+    assert!(standalone_before > 0, "DarkNet lowers with leaky-relu nodes");
+
+    let fg = fuse(ig.clone());
+    let fused_leaky = fg
+        .nodes()
+        .iter()
+        .filter(|n| match &n.op {
+            IntOp::Fused { epi, .. } => epi
+                .iter()
+                .any(|s| matches!(s, EpiStep::LeakyRelu { .. })),
+            _ => false,
+        })
+        .count();
+    assert_eq!(
+        fused_leaky, standalone_before,
+        "every single-consumer conv→leaky chain must fuse"
+    );
+    let standalone_after = fg
+        .nodes()
+        .iter()
+        .filter(|n| matches!(n.op, IntOp::LeakyRelu { .. }))
+        .count();
+    assert_eq!(standalone_after, 0, "no leaky-relu node should survive fusion");
 }
