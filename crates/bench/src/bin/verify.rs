@@ -13,7 +13,19 @@
 //! 6. the executor-plan alias-freedom proof across the full serving
 //!    batch ladder (`tqt_serve::LADDER`, batches 1/2/4/8) plus the probe
 //!    batch (`TQT-V016`…`V018`) — every plan the serving engine can
-//!    dispatch on is proven here zoo-wide.
+//!    dispatch on is proven here zoo-wide;
+//! 7. translation validation (`TQT-V025`…`V030`): every lowered node —
+//!    unfused and fused — is proven bit-exact against the exact rational
+//!    fake-quant reference using the provenance map recorded by
+//!    `lower_with_provenance`. The graph is lowered **once** per
+//!    (model, bit-width) and the same lowering/interval analysis is
+//!    reused across the interval, plan, and translate passes (the fused
+//!    interval analysis comes straight out of
+//!    `checked_fuse_with_provenance`, not a second `analyze` call).
+//!
+//! Each ok line carries per-pass wall-clock timings; pass
+//! `--filter <substring>` to restrict the sweep to matching model names
+//! while debugging a single proof.
 //!
 //! Before the zoo sweep, the concurrency substrate itself is verified:
 //! the pool-protocol model checker runs over its bounded configuration
@@ -31,19 +43,39 @@
 //! Exits non-zero if any model at any bit-width produces a finding —
 //! this binary is a tier-1 CI gate (`scripts/ci.sh`).
 
+use std::time::{Duration, Instant};
 use tqt_bench::{select_models, Args};
 use tqt_graph::{quantize_graph, QuantizeOptions, WeightBits};
 use tqt_nn::loss::softmax_cross_entropy;
 use tqt_nn::Mode;
 use tqt_tensor::init;
 use tqt_verify::{
-    analyze, check_batch_schedules, check_containment, check_fold_partition, check_plan,
-    check_schedules, checked_fuse, checked_optimize, collect_hb_findings, verify, Report, Stage,
+    analyze, certify, check_batch_schedules, check_containment, check_fold_partition, check_plan,
+    check_schedules, checked_fuse_with_provenance, checked_optimize, collect_hb_findings, verify,
+    Report, Stage,
 };
+
+/// Records the wall-clock lap since `*t` under `name` and restarts it.
+fn lap(timings: &mut Vec<(&'static str, Duration)>, t: &mut Instant, name: &'static str) {
+    let now = Instant::now();
+    timings.push((name, now.duration_since(*t)));
+    *t = now;
+}
+
+fn render_timings(timings: &[(&'static str, Duration)]) -> String {
+    timings
+        .iter()
+        .map(|(n, d)| format!("{n} {}ms", d.as_millis()))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
 
 fn main() {
     let args = Args::parse();
-    let models = select_models(&args);
+    let mut models = select_models(&args);
+    if let Some(f) = args.get("filter") {
+        models.retain(|m| m.name().contains(f));
+    }
     let bits: Vec<WeightBits> = match args.get("bits") {
         None => WeightBits::all().to_vec(),
         Some(list) => list
@@ -93,9 +125,14 @@ fn main() {
     for &model in &models {
         for &wb in &bits {
             let mut report = Report::new();
-            check_model(model, wb, batch, seed, &mut report);
+            let timings = check_model(model, wb, batch, seed, &mut report);
             if report.is_clean() {
-                println!("verify {:<16} w{:<2} ... ok", model.name(), wb.bits());
+                println!(
+                    "verify {:<16} w{:<2} ... ok ({})",
+                    model.name(),
+                    wb.bits(),
+                    render_timings(&timings)
+                );
             } else {
                 failures += report.diags.len();
                 println!(
@@ -142,7 +179,9 @@ fn check_model(
     batch: usize,
     seed: u64,
     report: &mut Report,
-) {
+) -> Vec<(&'static str, Duration)> {
+    let mut timings = Vec::new();
+    let mut t = Instant::now();
     let mut dims = model.input_dims().to_vec();
     dims[0] = batch;
     let mut g = model.build(seed);
@@ -158,8 +197,9 @@ fn check_model(
     let calib = init::normal(dims.clone(), 0.0, 1.0, &mut rng);
     g.calibrate(&calib);
     report.merge(verify(&g, &dims, Stage::Calibrated));
+    lap(&mut timings, &mut t, "float");
     if !report.is_clean() {
-        return; // lowering would panic on a graph the lints rejected
+        return timings; // lowering would panic on a graph the lints rejected
     }
 
     // Smoke QAT step with the float-exec sanitizer: forward in train mode,
@@ -173,24 +213,36 @@ fn check_model(
             tqt_verify::Code::SanitizerViolation,
             format!("QAT smoke step produced {nan} NaN / {inf} Inf activations"),
         );
-        return;
+        return timings;
     }
     let (_, dlogits) = softmax_cross_entropy(&logits, &labels);
     g.zero_grads();
     g.backward(&dlogits);
+    lap(&mut timings, &mut t, "qat");
 
-    // Lower and prove: overflow-freedom, legal shifts, merged formats.
-    let ig = tqt_fixedpoint::lower(&mut g);
+    // Lower ONCE per (model, bits) — the provenance map, interval facts
+    // and plans below all reuse this single lowering.
+    let (ig, prov) = tqt_fixedpoint::lower_with_provenance(&mut g);
+    lap(&mut timings, &mut t, "lower");
+
+    // Prove: overflow-freedom, legal shifts, merged formats.
     let proven = analyze(&ig, &dims);
     report.merge(proven.report.clone());
+    lap(&mut timings, &mut t, "interval");
     if !proven.proven() {
-        return;
+        return timings;
     }
+
+    // Translation validation of the unfused lowering, reusing the facts
+    // the interval pass just computed.
+    report.merge(certify(&ig, &prov, &proven, &dims));
+    lap(&mut timings, &mut t, "translate");
 
     // Instrumented run on a fresh batch: observed ⊆ proven.
     let probe = init::normal(dims.clone(), 0.0, 2.0, &mut rng);
     let (_, stats) = ig.run_with_stats(&probe);
     report.merge(check_containment(&ig, &proven, &stats));
+    lap(&mut timings, &mut t, "contain");
 
     // Executor-plan alias-freedom proof across the full serving batch
     // ladder plus the probe batch: every rung the serving engine can
@@ -206,15 +258,18 @@ fn check_model(
         let plan = ig.plan(&bdims);
         report.merge(check_plan(&ig, &plan));
     }
+    lap(&mut timings, &mut t, "plan");
 
     // Epilogue fusion: bit-identical probe + interval re-proof + plan
-    // re-verification of the fused graph (`TQT-V014`/`V023`), then an
-    // instrumented fused run re-checked against its own proof and the
-    // fused plan proven at every batch the unfused one was.
-    let (fig, fr) = checked_fuse(&ig, &dims);
+    // re-verification of the fused graph (`TQT-V014`/`V023`), then the
+    // fused lowering is itself translation-validated against the re-keyed
+    // provenance, and an instrumented fused run re-checked against the
+    // SAME interval analysis the fuse pass already ran (no re-analyze).
+    let (fig, fprov, fproven, fr) = checked_fuse_with_provenance(&ig, &prov, &dims);
     report.merge(fr);
-    let fproven = analyze(&fig, &dims);
+    report.merge(fproven.report.clone());
     if fproven.proven() {
+        report.merge(certify(&fig, &fprov, &fproven, &dims));
         let (_, fstats) = fig.run_with_stats(&probe);
         report.merge(check_containment(&fig, &fproven, &fstats));
         for &b in &batches {
@@ -223,4 +278,6 @@ fn check_model(
             report.merge(check_plan(&fig, &fig.plan(&bdims)));
         }
     }
+    lap(&mut timings, &mut t, "fuse");
+    timings
 }

@@ -19,7 +19,7 @@
 //! node kernel per element (`tests/fusion_parity.rs` proves outputs and
 //! total saturation/overflow counts bit-identical across the zoo).
 
-use crate::lower::{EpiStep, IntGraph, IntNode, IntOp};
+use crate::lower::{EpiStep, IntGraph, IntNode, IntOp, NodeProv, Provenance};
 
 /// One discovered fusable chain, in old-graph node ids.
 struct Chain {
@@ -33,12 +33,50 @@ struct Chain {
     epi: Vec<EpiStep>,
     /// The residual operand of the chain's `Add`, if any.
     residual: Option<usize>,
+    /// All members in chain order (`core` first, then one per epi step).
+    members: Vec<usize>,
+}
+
+/// What one fusion rewrite did to a chain, in *names* (stable across the
+/// node renumbering the rewrite performs): the fused node's name plus the
+/// standalone members it replaced, chain order. This is how the
+/// translation validator re-keys a [`Provenance`] map onto the fused
+/// graph — see [`Provenance::record_fusion`].
+#[derive(Debug, Clone)]
+pub struct ChainRecord {
+    /// Name of the emitted fused node (`"<core>..<anchor>"`).
+    pub fused_name: String,
+    /// Names of the replaced standalone members, core first.
+    pub members: Vec<String>,
+}
+
+impl Provenance {
+    /// Extends the map over a fusion rewrite: each [`ChainRecord`] gains a
+    /// [`NodeProv::Fused`] entry under the fused node's name, pointing at
+    /// the member entries recorded by the original lowering (which stay in
+    /// the map and keep their meaning).
+    pub fn record_fusion(&mut self, chains: &[ChainRecord]) {
+        for ch in chains {
+            self.insert(
+                ch.fused_name.clone(),
+                NodeProv::Fused {
+                    members: ch.members.clone(),
+                },
+            );
+        }
+    }
 }
 
 /// Fuses every eligible chain of `g`, returning the rewritten graph.
 /// Non-chain nodes and non-fusable chains (multi-consumer intermediates,
 /// a second residual add) are kept verbatim.
 pub fn fuse(g: IntGraph) -> IntGraph {
+    fuse_with_chains(g).0
+}
+
+/// [`fuse`], additionally returning one [`ChainRecord`] per fused chain so
+/// provenance maps can follow the rewrite.
+pub fn fuse_with_chains(g: IntGraph) -> (IntGraph, Vec<ChainRecord>) {
     let (nodes, output) = g.into_parts();
     let n = nodes.len();
 
@@ -112,8 +150,20 @@ pub fn fuse(g: IntGraph) -> IntGraph {
             anchor: tail,
             epi,
             residual,
+            members,
         });
     }
+
+    let records: Vec<ChainRecord> = chains
+        .iter()
+        .map(|ch| ChainRecord {
+            fused_name: format!(
+                "{}..{}",
+                nodes[ch.core].name, nodes[ch.anchor].name
+            ),
+            members: ch.members.iter().map(|&m| nodes[m].name.clone()).collect(),
+        })
+        .collect();
 
     // Rebuild: intermediates vanish, each chain materializes one Fused
     // node at its anchor's position, everything else is remapped.
@@ -159,7 +209,7 @@ pub fn fuse(g: IntGraph) -> IntGraph {
         newid[id] = out_nodes.len();
         out_nodes.push(new);
     }
-    IntGraph::from_parts(out_nodes, newid[output])
+    (IntGraph::from_parts(out_nodes, newid[output]), records)
 }
 
 #[cfg(test)]

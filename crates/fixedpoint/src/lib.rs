@@ -29,11 +29,14 @@ pub mod plan;
 pub mod qtensor;
 pub mod requant;
 
-pub use fuse::fuse;
+pub use fuse::{fuse, fuse_with_chains, ChainRecord};
 pub use gemm_i8::{
     gemm_i8_acc32, gemm_i8_acc32_prepacked, gemm_i8_fused, gemm_i8_fused_prepacked, PackedB,
     RequantMode,
 };
-pub use lower::{lower, EpiStep, IntGraph, NodeStats, RunStats};
+pub use lower::{
+    lower, lower_with_provenance, EpiStep, IntGraph, NodeProv, NodeStats, Provenance, RoundMode,
+    RunStats,
+};
 pub use plan::{IntExecutor, IntPlan};
 pub use qtensor::{QFormat, QTensor};

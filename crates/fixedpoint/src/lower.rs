@@ -15,6 +15,7 @@
 //! than 16 bits so the float emulation stays exact in f32 arithmetic.
 
 use crate::qtensor::{QFormat, QTensor};
+use std::collections::BTreeMap;
 use tqt_graph::{Graph, Op};
 use tqt_nn::{ParamKind, Relu};
 use tqt_quant::round_half_even;
@@ -23,6 +24,124 @@ use tqt_tensor::Tensor;
 
 /// Number of fractional bits used for the fixed-point leaky-ReLU slope.
 pub const LEAKY_ALPHA_FRAC: i32 = 7;
+
+/// The rounding rule a lowering decision declares for a quantization or
+/// requantization site. [`lower`] only ever emits [`RoundMode::HalfEven`]
+/// (the paper's mandated banker's rounding, Section 3.2); the other
+/// variants exist so the translation validator can be handed — and must
+/// refute (`TQT-V026`) — provenance records claiming a different rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundMode {
+    /// Round half to even (banker's rounding) — the only mode the
+    /// integer kernels implement.
+    HalfEven,
+    /// Round half away from zero (`f32::round` semantics).
+    HalfAwayFromZero,
+    /// Truncate toward negative infinity (a bare arithmetic shift).
+    Truncate,
+}
+
+/// What [`lower`] decided for one float node: the scale/zero-point/shift
+/// choices plus the *original* float constants, recorded **before** the
+/// in-place baking mutates them. The translation validator
+/// (`tqt_verify::translate`) re-derives every baked constant from these
+/// records in exact rational arithmetic and proves the integer node
+/// equal to the fake-quant reference.
+#[derive(Debug, Clone)]
+pub enum NodeProv {
+    /// No lowering decision: the node is value-preserving (input, max
+    /// pool, flatten, add, concat, global average pool).
+    Opaque,
+    /// A (re)quantization site: target grid, declared zero-point (always
+    /// 0 — the TQT scheme is symmetric; a non-zero value must be refuted
+    /// as `TQT-V027`) and declared rounding rule.
+    Quant {
+        /// Target bit-width.
+        bits: u32,
+        /// Target signedness.
+        signed: bool,
+        /// Target fractional length (scale `2^-frac`).
+        frac: i32,
+        /// Declared zero-point. The power-of-2 symmetric realization
+        /// applies no correction, so anything non-zero is a lowering bug.
+        zero_point: i64,
+        /// Declared rounding rule.
+        round: RoundMode,
+    },
+    /// A conv/dense core: original float weights and bias plus the grid
+    /// decisions used to bake them.
+    Compute {
+        /// The float weights before quantization.
+        orig_w: Vec<f32>,
+        /// Weight fractional length (scale `2^-w_frac`).
+        w_frac: i32,
+        /// Weight quantizer bit-width.
+        w_bits: u32,
+        /// Weight quantizer signedness.
+        w_signed: bool,
+        /// The float bias before snapping to the accumulator grid.
+        orig_bias: Option<Vec<f32>>,
+        /// Accumulator fractional length (`input frac + w_frac`).
+        acc_frac: i32,
+    },
+    /// A ReLU: the original cap (if any) and the input grid it was
+    /// snapped onto.
+    Relu {
+        /// Original float cap (`Some(6.0)` for ReLU6), pre-snap.
+        orig_cap: Option<f32>,
+        /// The grid the cap was snapped onto.
+        frac: i32,
+    },
+    /// A leaky ReLU: the original negative slope, pre-snap (the slope
+    /// grid is always [`LEAKY_ALPHA_FRAC`]).
+    Leaky {
+        /// Original float negative slope.
+        orig_alpha: f32,
+    },
+    /// A fused node produced by [`crate::fuse::fuse_with_chains`]: the
+    /// names of the standalone members it replaced — core first, then
+    /// one per epilogue step, each resolving to its own entry.
+    Fused {
+        /// Member names in chain order.
+        members: Vec<String>,
+    },
+}
+
+/// The per-node provenance map of one [`lower_with_provenance`] call:
+/// float node name → the lowering decisions for it. Name-keyed (not
+/// index-keyed) so it survives graph rewrites that renumber nodes
+/// (fusion re-keys via [`NodeProv::Fused`] member lists).
+#[derive(Debug, Clone, Default)]
+pub struct Provenance {
+    map: BTreeMap<String, NodeProv>,
+}
+
+impl Provenance {
+    /// An empty map.
+    pub fn new() -> Self {
+        Provenance::default()
+    }
+
+    /// Records (or replaces) the provenance of `name`.
+    pub fn insert(&mut self, name: impl Into<String>, prov: NodeProv) {
+        self.map.insert(name.into(), prov);
+    }
+
+    /// The provenance recorded for `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&NodeProv> {
+        self.map.get(name)
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no entries are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
 
 /// An integer-only operation.
 #[derive(Debug, Clone)]
@@ -316,11 +435,20 @@ pub(crate) fn narrow(acc: i128, overflowed: &mut u64) -> i64 {
 /// compute layers, batch norms, or average pools (run the transform and
 /// quantization passes first).
 pub fn lower(g: &mut Graph) -> IntGraph {
+    lower_with_provenance(g).0
+}
+
+/// [`lower`], additionally returning the per-node [`Provenance`] map —
+/// every scale/zero-point/shift decision plus the original float
+/// constants, recorded before the in-place baking mutates them. The
+/// translation validator consumes this to prove the lowering bit-exact.
+pub fn lower_with_provenance(g: &mut Graph) -> (IntGraph, Provenance) {
     let n = g.len();
     // Fractional length of each float node's output grid; None = float or
     // not yet known.
     let mut fracs: Vec<Option<i32>> = vec![None; n];
     let mut nodes: Vec<IntNode> = Vec::with_capacity(n);
+    let mut prov = Provenance::new();
 
     for id in 0..n {
         let inputs = g.node(id).inputs.clone();
@@ -333,6 +461,16 @@ pub fn lower(g: &mut Graph) -> IntGraph {
                 assert!(ts.calibrated, "threshold {} not calibrated", ts.param.name);
                 let format = QFormat::from_spec(ts.spec, ts.log2_t());
                 fracs[id] = Some(format.frac);
+                prov.insert(
+                    name.clone(),
+                    NodeProv::Quant {
+                        bits: format.bits,
+                        signed: format.signed,
+                        frac: format.frac,
+                        zero_point: 0,
+                        round: RoundMode::HalfEven,
+                    },
+                );
                 if matches!(g.node(inputs[0]).op, Op::Input) {
                     IntOp::QuantF32 { format }
                 } else {
@@ -371,9 +509,14 @@ pub fn lower(g: &mut Graph) -> IntGraph {
                 let mut wdims = [0usize; 4];
                 let mut bias_ints: Option<Vec<i64>> = None;
                 let mut dense_dims = (0usize, 0usize);
+                // Provenance: the float constants as they are *now*, before
+                // the in-place bake below replaces them.
+                let mut orig_w: Vec<f32> = Vec::new();
+                let mut orig_bias: Option<Vec<f32>> = None;
                 for p in tqt_graph::ir::op_params_mut(&mut node.op) {
                     match p.kind {
                         ParamKind::Weight => {
+                            orig_w = p.value.data().to_vec();
                             p.value = tqt_quant::tqt::quantize(&p.value, wq_log2_t, w_spec);
                             let s = 2f64.powi(w_frac);
                             w_ints = p
@@ -394,6 +537,7 @@ pub fn lower(g: &mut Graph) -> IntGraph {
                             }
                         }
                         ParamKind::Bias => {
+                            orig_bias = Some(p.value.data().to_vec());
                             let s = 2f32.powi(acc_frac);
                             // Snap to the accumulator grid in both worlds.
                             let ints: Vec<i64> = p
@@ -411,6 +555,17 @@ pub fn lower(g: &mut Graph) -> IntGraph {
                         _ => {}
                     }
                 }
+                prov.insert(
+                    name.clone(),
+                    NodeProv::Compute {
+                        orig_w,
+                        w_frac,
+                        w_bits: w_spec.bits(),
+                        w_signed: w_spec.signed(),
+                        orig_bias,
+                        acc_frac,
+                    },
+                );
                 match &g.node(id).op {
                     Op::Conv(c) => IntOp::Conv {
                         w: w_ints,
@@ -442,9 +597,11 @@ pub fn lower(g: &mut Graph) -> IntGraph {
                 let fx = fracs[inputs[0]]
                     .unwrap_or_else(|| panic!("relu {name} has unquantized input"));
                 if r.negative_slope() > 0.0 {
+                    let orig_alpha = r.negative_slope();
                     let alpha_q =
-                        round_half_even(r.negative_slope() * 2f32.powi(LEAKY_ALPHA_FRAC)) as i64;
+                        round_half_even(orig_alpha * 2f32.powi(LEAKY_ALPHA_FRAC)) as i64;
                     fracs[id] = Some(fx + LEAKY_ALPHA_FRAC);
+                    prov.insert(name.clone(), NodeProv::Leaky { orig_alpha });
                     // Snap the float graph's slope to the same grid.
                     let snapped = alpha_q as f32 / 2f32.powi(LEAKY_ALPHA_FRAC);
                     if let Op::Relu(r) = &mut g.node_mut(id).op {
@@ -453,7 +610,9 @@ pub fn lower(g: &mut Graph) -> IntGraph {
                     IntOp::LeakyRelu { alpha_q }
                 } else {
                     fracs[id] = Some(fx);
-                    let cap_q = r.cap().map(|c| round_half_even(c * 2f32.powi(fx)) as i64);
+                    let orig_cap = r.cap();
+                    prov.insert(name.clone(), NodeProv::Relu { orig_cap, frac: fx });
+                    let cap_q = orig_cap.map(|c| round_half_even(c * 2f32.powi(fx)) as i64);
                     // Snap the float cap onto the grid too.
                     if let (Some(cq), Op::Relu(r)) = (cap_q, &mut g.node_mut(id).op) {
                         *r = Relu::capped(cq as f32 / 2f32.powi(fx));
@@ -486,13 +645,27 @@ pub fn lower(g: &mut Graph) -> IntGraph {
             }
             Op::Identity => {
                 fracs[id] = fracs[inputs[0]];
+                let frac = fracs[inputs[0]].unwrap_or(0);
+                prov.insert(
+                    name.clone(),
+                    NodeProv::Quant {
+                        bits: 32,
+                        signed: true,
+                        frac,
+                        zero_point: 0,
+                        round: RoundMode::HalfEven,
+                    },
+                );
                 IntOp::Requant {
                     // Identity in a quantized graph is format preserving;
                     // represent as a no-op requant into the same format.
-                    format: QFormat::new(fracs[inputs[0]].unwrap_or(0), 32, true),
+                    format: QFormat::new(frac, 32, true),
                 }
             }
         };
+        if prov.get(&name).is_none() {
+            prov.insert(name.clone(), NodeProv::Opaque);
+        }
         nodes.push(IntNode { name, op, inputs });
     }
 
@@ -501,10 +674,13 @@ pub fn lower(g: &mut Graph) -> IntGraph {
     // the quantize pass always inserts one, so this is a safety net).
     // The runtime computes GAP output formats exactly regardless.
 
-    IntGraph {
-        nodes,
-        output: g.output_id(),
-    }
+    (
+        IntGraph {
+            nodes,
+            output: g.output_id(),
+        },
+        prov,
+    )
 }
 
 #[cfg(test)]

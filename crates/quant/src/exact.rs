@@ -1,0 +1,286 @@
+//! Exact rational (dyadic) arithmetic for the translation-validation
+//! certifier (`tqt-verify`'s `translate` pass).
+//!
+//! Every quantity the TQT pipeline manipulates — thresholds snapped to
+//! powers of two (eq. 4), fixed-point grids `2^-f`, accumulator scales —
+//! is a *dyadic rational* `num * 2^-frac`. This module implements that
+//! arithmetic exactly over `i128`, so the fake-quant forward rule
+//! (`clip(round_half_even(x/s), n, p)`, eq. 4) has a reference
+//! implementation with **no floating point anywhere**: the certifier
+//! proves the integer inference engine equal to *this*, not to another
+//! float program.
+//!
+//! Deliberate independence: rounding here is formulated with
+//! `div_euclid`/`rem_euclid` tie-to-even, a different decomposition from
+//! the shift-and-mask kernel in `tqt_fixedpoint::requant::shift_round`.
+//! Agreement between the two is therefore evidence, not tautology.
+
+/// A dyadic rational `num * 2^-frac` with an exact `i128` numerator.
+///
+/// `frac` may be negative (value `num << -frac`). The representation is
+/// not normalized; all operations are exact or return `None` when a
+/// result would exceed the `i128` range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dyadic {
+    num: i128,
+    frac: i32,
+}
+
+impl Dyadic {
+    /// `num * 2^-frac`, unreduced.
+    pub fn new(num: i128, frac: i32) -> Self {
+        Dyadic { num, frac }
+    }
+
+    /// The exact value of a finite `f32`, by mantissa/exponent
+    /// decomposition (every finite `f32` is a dyadic rational).
+    ///
+    /// Returns `None` for non-finite inputs and for the few huge values
+    /// (`|x| >= 2^104`, near `f32::MAX`) whose integer numerator would not
+    /// fit `i128`; callers treat those as "outside the exact domain".
+    pub fn from_f32(x: f32) -> Option<Dyadic> {
+        if !x.is_finite() {
+            return None;
+        }
+        let bits = x.to_bits();
+        let sign: i128 = if bits >> 31 == 1 { -1 } else { 1 };
+        let exp = ((bits >> 23) & 0xff) as i32;
+        let man = i128::from(bits & 0x7f_ffff);
+        // Subnormals: value = man * 2^-149; normals: (2^23 + man) * 2^(exp-150).
+        let (m, e) = if exp == 0 {
+            (man, -149)
+        } else {
+            (man | (1i128 << 23), exp - 127 - 23)
+        };
+        if m == 0 {
+            return Some(Dyadic { num: 0, frac: 0 });
+        }
+        if e >= 0 {
+            // m < 2^24, so m << e fits i128 only while e <= 103.
+            if e > 103 {
+                return None;
+            }
+            Some(Dyadic {
+                num: sign * (m << e),
+                frac: 0,
+            })
+        } else {
+            Some(Dyadic {
+                num: sign * m,
+                frac: -e,
+            })
+        }
+    }
+
+    /// The value as `f64`, for diagnostics only (may be inexact).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 * 2f64.powi(-self.frac)
+    }
+
+    /// Exact round-half-to-even of `value * 2^target_frac` — i.e. the
+    /// integer coordinate of the nearest point of the `2^-target_frac`
+    /// grid, ties to even.
+    ///
+    /// Returns `None` when the (exact) scaled value exceeds `i128`.
+    pub fn round_half_even(self, target_frac: i32) -> Option<i128> {
+        let shift = target_frac - self.frac;
+        if shift >= 0 {
+            // Pure left shift: exact, no rounding happens.
+            if self.num == 0 {
+                return Some(0);
+            }
+            if shift > 126 {
+                return None;
+            }
+            self.num.checked_mul(1i128 << shift)
+        } else {
+            let k = -shift;
+            // |num| < 2^127, so for k >= 128 the value is strictly below
+            // 2^-1 in magnitude: rounds to 0 (a tie is impossible).
+            if k >= 128 {
+                return Some(0);
+            }
+            if k == 127 {
+                // 1 << 127 overflows i128; the only question left is how
+                // num/2^127 (|.| < 1) rounds: tie at |num| = 2^126 goes to
+                // the even neighbor 0.
+                let half = 1i128 << 126;
+                return Some(if self.num > half {
+                    1
+                } else if self.num < -half {
+                    -1
+                } else {
+                    0
+                });
+            }
+            let d = 1i128 << k;
+            let q = self.num.div_euclid(d);
+            let r = self.num.rem_euclid(d);
+            let half = d >> 1;
+            Some(if r > half || (r == half && (q & 1) != 0) {
+                q + 1
+            } else {
+                q
+            })
+        }
+    }
+}
+
+/// Exact integer fake-quant — eq. 4 with the scale divided out:
+/// `clip(round_half_even(v * 2^frac), qmin, qmax)`, computed in exact
+/// rational arithmetic.
+///
+/// Infinities clip like any over-range value (`+inf -> qmax`,
+/// `-inf -> qmin`), matching the float emulation where `round(inf)`
+/// then `clamp` lands on the clip limit. Finite values too large for
+/// [`Dyadic::from_f32`] (`|v| >= 2^104`) also clip, which is exact for
+/// every practical grid (`|frac| <= 64` keeps `|v * 2^frac| >= 2^40`,
+/// far above any representable `qmax < 2^63`). Returns `None` only for
+/// NaN, which has no fake-quant value.
+pub fn fake_quant_int(v: f32, frac: i32, qmin: i128, qmax: i128) -> Option<i128> {
+    if v.is_nan() {
+        return None;
+    }
+    match Dyadic::from_f32(v) {
+        Some(d) => match d.round_half_even(frac) {
+            Some(q) => Some(q.clamp(qmin, qmax)),
+            // Exact scaled value beyond i128: clips on either grid end.
+            None => Some(if d.num > 0 { qmax } else { qmin }),
+        },
+        None => Some(if v > 0.0 { qmax } else { qmin }),
+    }
+}
+
+/// Exact round-half-to-even of `v * 2^frac` *without* clipping — the
+/// reference for constant snapping (bias onto the accumulator grid,
+/// ReLU caps, leaky-ReLU slopes). `None` for NaN/inf or an out-of-range
+/// result.
+pub fn round_to_grid(v: f32, frac: i32) -> Option<i128> {
+    Dyadic::from_f32(v)?.round_half_even(frac)
+}
+
+/// Exact reference for the power-of-2 requantization shift
+/// (`tqt_fixedpoint::requant::shift_round`): `round_half_even(v * 2^-shift)`
+/// via the dyadic `div_euclid` formulation. A non-positive shift is an
+/// exact left shift; `None` if it overflows `i64`.
+pub fn shift_round_ref(v: i64, shift: i32) -> Option<i64> {
+    if shift <= 0 {
+        let wide = i128::from(v).checked_mul(1i128 << i32::min(-shift, 126))?;
+        return i64::try_from(wide).ok();
+    }
+    let q = Dyadic::new(i128::from(v), shift).round_half_even(0)?;
+    i64::try_from(q).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_f32_roundtrips_exactly() {
+        for &x in &[
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.5,
+            0.1,
+            3.75,
+            f32::MIN_POSITIVE,
+            f32::MIN_POSITIVE / 4.0, // subnormal
+            12345.678,
+            -2.0f32.powi(60),
+        ] {
+            let d = Dyadic::from_f32(x).expect("finite");
+            // num * 2^-frac recomputed in f64 must equal x exactly (f64
+            // holds every f32 exactly, and num < 2^54 for these cases —
+            // except the subnormal path, checked via scaling).
+            let back = d.num as f64 * 2f64.powi(-d.frac);
+            assert_eq!(back, f64::from(x), "{x}");
+        }
+        assert!(Dyadic::from_f32(f32::NAN).is_none());
+        assert!(Dyadic::from_f32(f32::INFINITY).is_none());
+        assert!(Dyadic::from_f32(f32::MAX).is_none(), "numerator would overflow i128");
+    }
+
+    #[test]
+    fn round_half_even_matches_f64_reference() {
+        for num in -2000i128..2000 {
+            for frac in 0..6i32 {
+                for target in -2..6i32 {
+                    let d = Dyadic::new(num, frac);
+                    let expected =
+                        (num as f64 * 2f64.powi(target - frac)).round_ties_even() as i128;
+                    assert_eq!(
+                        d.round_half_even(target),
+                        Some(expected),
+                        "num={num} frac={frac} target={target}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ties_go_to_even() {
+        // 3/2 -> 2, 1/2 -> 0, -1/2 -> 0, -3/2 -> -2.
+        assert_eq!(Dyadic::new(3, 1).round_half_even(0), Some(2));
+        assert_eq!(Dyadic::new(1, 1).round_half_even(0), Some(0));
+        assert_eq!(Dyadic::new(-1, 1).round_half_even(0), Some(0));
+        assert_eq!(Dyadic::new(-3, 1).round_half_even(0), Some(-2));
+    }
+
+    #[test]
+    fn deep_right_shifts_round_to_zero_or_one() {
+        assert_eq!(Dyadic::new(1, 149).round_half_even(0), Some(0));
+        assert_eq!(Dyadic::new(i128::MAX, 0).round_half_even(-130), Some(0));
+        // Tie at exactly 0.5 with even quotient 0.
+        assert_eq!(Dyadic::new(1i128 << 126, 127).round_half_even(0), Some(0));
+        assert_eq!(Dyadic::new((1i128 << 126) + 1, 127).round_half_even(0), Some(1));
+    }
+
+    #[test]
+    fn fake_quant_matches_float_emulation() {
+        // Against tqt::quantize semantics: clip(rhe(v/s), n, p) with
+        // s = 2^-frac, int8 grid.
+        let (frac, qmin, qmax) = (7, -128i128, 127i128);
+        let s = 2f32.powi(-frac);
+        let mut x = -1.5f32;
+        while x < 1.5 {
+            let float_q = (x / s).round_ties_even().clamp(-128.0, 127.0) as i128;
+            assert_eq!(
+                fake_quant_int(x, frac, qmin, qmax),
+                Some(float_q),
+                "x={x}"
+            );
+            x += 0.001_3;
+        }
+        assert_eq!(fake_quant_int(f32::INFINITY, frac, qmin, qmax), Some(127));
+        assert_eq!(fake_quant_int(f32::NEG_INFINITY, frac, qmin, qmax), Some(-128));
+        assert_eq!(fake_quant_int(f32::MAX, frac, qmin, qmax), Some(127));
+        assert!(fake_quant_int(f32::NAN, frac, qmin, qmax).is_none());
+    }
+
+    #[test]
+    fn shift_round_ref_agrees_with_kernel_formulation() {
+        // The independent div_euclid formulation must agree with a plain
+        // f64 reference (and hence with requant::shift_round, which is
+        // itself tested against the same reference).
+        for v in -5000i64..5000 {
+            for shift in 1..8i32 {
+                let expected = (v as f64 / f64::from(1 << shift)).round_ties_even() as i64;
+                assert_eq!(shift_round_ref(v, shift), Some(expected), "v={v} shift={shift}");
+            }
+        }
+        assert_eq!(shift_round_ref(-3, -4), Some(-48));
+        assert_eq!(shift_round_ref(i64::MAX, -1), None, "left shift overflow detected");
+    }
+
+    #[test]
+    fn round_to_grid_snaps_like_f32_multiply() {
+        for &(v, frac) in &[(6.0f32, 4i32), (0.1, 7), (-0.37, 12), (1e-4, 15)] {
+            let expected = (v * 2f32.powi(frac)).round_ties_even() as i128;
+            assert_eq!(round_to_grid(v, frac), Some(expected), "v={v} frac={frac}");
+        }
+        assert!(round_to_grid(f32::NAN, 4).is_none());
+    }
+}

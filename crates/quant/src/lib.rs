@@ -17,6 +17,9 @@
 //!   (Appendix B.2, eqs. 17–18).
 //! * [`freeze`] — incremental threshold freezing around the critical
 //!   integer level (Section 5.2).
+//! * [`exact`] — exact dyadic-rational fake-quant reference (eq. 4 with
+//!   no floating point), the ground truth the `tqt-verify` translation
+//!   validator proves the integer engine against.
 //! * [`toy`] — the toy L2 quantizer model and the training-dynamics
 //!   analyses behind Figures 2, 7, 8, 9 and Table 4.
 //!
@@ -34,6 +37,7 @@
 //! ```
 
 pub mod calib;
+pub mod exact;
 pub mod fakequant;
 pub mod freeze;
 pub mod normed;

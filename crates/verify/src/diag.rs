@@ -96,6 +96,33 @@ pub enum Code {
     /// is stranded behind a partial batch, or a drain exits with
     /// requests still queued — with a counterexample schedule.
     BatchProtocol,
+    /// `TQT-V025` — node lowering not bit-exact: the translation validator
+    /// found an input (or baked constant) where the integer realization
+    /// disagrees with the exact rational fake-quant reference, or the
+    /// provenance needed to prove equivalence is missing/inconsistent.
+    NotBitExact,
+    /// `TQT-V026` — requant rounding-mode mismatch: a lowering decision
+    /// declares a rounding rule other than round-half-to-even while the
+    /// integer kernel implements banker's rounding, with a concrete tie
+    /// input as witness.
+    RoundingMismatch,
+    /// `TQT-V027` — zero-point correction error: the declared zero-point
+    /// is non-zero but the symmetric power-of-2 realization applies no
+    /// correction (or vice versa).
+    ZeroPointDrift,
+    /// `TQT-V028` — Add/Concat operand scale-merge violation: merge-node
+    /// operands carry different requant formats, so the integer add sums
+    /// incommensurate grids (the unmerged-scale gap of ROADMAP item 2).
+    ScaleMergeViolation,
+    /// `TQT-V029` — fused-epilogue semantics diverge from the unfused
+    /// chain: member count or step kind disagrees with the chain's
+    /// provenance, or a fused constant (cap, slope) was snapped on the
+    /// wrong grid for its chain position.
+    EpilogueMismatch,
+    /// `TQT-V030` — saturation-range mismatch: the integer clamp range at
+    /// a (re)quantization site differs from the fake-quant clip range
+    /// `[n, p]` implied by the declared bits/signedness (eq. 3).
+    ClampRangeMismatch,
 }
 
 impl Code {
@@ -126,6 +153,12 @@ impl Code {
             Code::HappensBefore => "TQT-V022",
             Code::IllegalFusion => "TQT-V023",
             Code::BatchProtocol => "TQT-V024",
+            Code::NotBitExact => "TQT-V025",
+            Code::RoundingMismatch => "TQT-V026",
+            Code::ZeroPointDrift => "TQT-V027",
+            Code::ScaleMergeViolation => "TQT-V028",
+            Code::EpilogueMismatch => "TQT-V029",
+            Code::ClampRangeMismatch => "TQT-V030",
         }
     }
 
@@ -156,6 +189,12 @@ impl Code {
             Code::HappensBefore => "happens-before violation",
             Code::IllegalFusion => "illegal epilogue fusion",
             Code::BatchProtocol => "serving batch-protocol violation",
+            Code::NotBitExact => "node lowering not bit-exact",
+            Code::RoundingMismatch => "requant rounding-mode mismatch",
+            Code::ZeroPointDrift => "zero-point correction error",
+            Code::ScaleMergeViolation => "operand scale-merge violation",
+            Code::EpilogueMismatch => "fused-epilogue semantics mismatch",
+            Code::ClampRangeMismatch => "saturation-range mismatch",
         }
     }
 }
@@ -288,6 +327,12 @@ mod tests {
             Code::HappensBefore,
             Code::IllegalFusion,
             Code::BatchProtocol,
+            Code::NotBitExact,
+            Code::RoundingMismatch,
+            Code::ZeroPointDrift,
+            Code::ScaleMergeViolation,
+            Code::EpilogueMismatch,
+            Code::ClampRangeMismatch,
         ];
         let mut ids: Vec<&str> = all.iter().map(|c| c.id()).collect();
         ids.sort_unstable();

@@ -87,10 +87,11 @@ fn term_bounds(w: i128, lo: i128, hi: i128, include_zero: bool) -> (i128, i128) 
 }
 
 /// Exact per-output-channel accumulator bounds for a convolution over an
-/// input interval (shared by the standalone [`IntOp::Conv`] transfer and
-/// the fused-node core). Bounds cover the biased final value and every
-/// unbiased partial sum (see the module soundness note).
-fn conv_core_bounds(
+/// input interval (shared by the standalone [`IntOp::Conv`] transfer, the
+/// fused-node core, and the translation validator's fused-chain walk).
+/// Bounds cover the biased final value and every unbiased partial sum
+/// (see the module soundness note).
+pub(crate) fn conv_core_bounds(
     w: &[i64],
     wdims: [usize; 4],
     bias: Option<&[i64]>,
@@ -118,8 +119,9 @@ fn conv_core_bounds(
 }
 
 /// Exact per-output-unit accumulator bounds for a dense layer (shared by
-/// the standalone [`IntOp::Dense`] transfer and the fused-node core).
-fn dense_core_bounds(
+/// the standalone [`IntOp::Dense`] transfer, the fused-node core, and the
+/// translation validator's fused-chain walk).
+pub(crate) fn dense_core_bounds(
     w: &[i64],
     in_dim: usize,
     out_dim: usize,

@@ -24,7 +24,12 @@
 //! * [`sched_check`] — drivers for the `tqt-rt` concurrency proofs:
 //!   bounded model checking of the pool protocol (`TQT-V019`/`TQT-V020`),
 //!   fold-partition determinism (`TQT-V021`), and happens-before
-//!   sanitizer findings (`TQT-V022`).
+//!   sanitizer findings (`TQT-V022`);
+//! * [`translate`] — translation validation of the fake-quant →
+//!   fixed-point lowering: proves each lowered node bit-exact against the
+//!   exact rational fake-quant reference (`tqt_quant::exact`) over its
+//!   full input lattice, or refutes with a concrete counterexample input
+//!   (`TQT-V025`–`TQT-V030`).
 //!
 //! The float-graph entry point is [`verify`]; lowered graphs go through
 //! [`interval::analyze`]. Both return a [`Report`] instead of panicking,
@@ -38,10 +43,12 @@ pub mod plan_check;
 pub mod sanitize;
 pub mod sched_check;
 pub mod shape;
+pub mod translate;
 
 pub use diag::{Code, Diag, Report};
 pub use interval::{analyze, IntervalReport};
-pub use passes::{checked_fuse, checked_optimize, checked_pipeline};
+pub use passes::{checked_fuse, checked_fuse_with_provenance, checked_optimize, checked_pipeline};
+pub use translate::certify;
 pub use plan_check::check_plan;
 pub use sanitize::check_containment;
 pub use sched_check::{

@@ -186,6 +186,30 @@ pub fn lint(g: &Graph, stage: Stage) -> Report {
                             ),
                         );
                     }
+                    // Requant-format-aware variant: both operands already
+                    // fixed but on *different* grids means the lowering
+                    // will emit an add over incommensurate requant
+                    // formats — the TQT-V028 scale-merge gap.
+                    if let (
+                        Grid::Fixed { frac: f0, .. },
+                        Grid::Fixed { frac: fi, .. },
+                    ) = (first, *gi)
+                    {
+                        if f0 != fi {
+                            r.push(
+                                Code::ScaleMergeViolation,
+                                node.name.clone(),
+                                format!(
+                                    "merge input {slot} is on grid 2^-{fi} but input 0 is \
+                                     on 2^-{f0}: the integer add will sum incommensurate \
+                                     requant formats. Fix: share one activation threshold \
+                                     across both producers (re-run calibration with the \
+                                     merge inputs tied), or insert a requant onto one \
+                                     grid before the merge prior to lowering"
+                                ),
+                            );
+                        }
+                    }
                 }
                 first
             }

@@ -8,7 +8,7 @@
 
 use crate::diag::{Code, Report};
 use crate::shape::{check_structure, infer_shapes};
-use tqt_fixedpoint::IntGraph;
+use tqt_fixedpoint::{IntGraph, Provenance};
 use tqt_graph::{transforms, Graph};
 use tqt_nn::Mode;
 use tqt_tensor::{init, Tensor};
@@ -100,8 +100,29 @@ pub fn checked_pipeline(g: &mut Graph, input_dims: &[usize], passes: &[transform
 /// * the fused graph's slot plan must re-verify alias-free
 ///   (`TQT-V016`–`TQT-V018`).
 pub fn checked_fuse(ig: &IntGraph, input_dims: &[usize]) -> (IntGraph, Report) {
+    let (fused, _prov, facts, mut report) =
+        checked_fuse_with_provenance(ig, &Provenance::default(), input_dims);
+    report.merge(facts.report);
+    (fused, report)
+}
+
+/// [`checked_fuse`], additionally threading a [`Provenance`] map through
+/// the rewrite (fused nodes gain `Fused` entries naming their members)
+/// and returning the fused graph's [`IntervalReport`] so callers can
+/// reuse the one interval analysis this pass already ran — the verify bin
+/// feeds it straight into the translation validator instead of
+/// re-analyzing per pass. The interval findings stay in the returned
+/// `IntervalReport` (not merged into the `Report`), so callers choose
+/// where to surface them exactly once.
+pub fn checked_fuse_with_provenance(
+    ig: &IntGraph,
+    prov: &Provenance,
+    input_dims: &[usize],
+) -> (IntGraph, Provenance, crate::interval::IntervalReport, Report) {
     let mut report = Report::new();
-    let fused = tqt_fixedpoint::fuse(ig.clone());
+    let (fused, chains) = tqt_fixedpoint::fuse_with_chains(ig.clone());
+    let mut fprov = prov.clone();
+    fprov.record_fusion(&chains);
 
     let mut rng = init::rng(0x6675_7365);
     let probe = init::normal(input_dims.to_vec(), 0.0, 1.0, &mut rng);
@@ -134,9 +155,9 @@ pub fn checked_fuse(ig: &IntGraph, input_dims: &[usize]) -> (IntGraph, Report) {
         );
     }
 
-    report.merge(crate::interval::analyze(&fused, input_dims).report);
+    let facts = crate::interval::analyze(&fused, input_dims);
     report.merge(crate::plan_check::check_plan(&fused, &fused.plan(input_dims)));
-    (fused, report)
+    (fused, fprov, facts, report)
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! pins the code catalog: renumbering or silently dropping a check breaks
 //! a test here by name.
 
-use tqt_fixedpoint::lower::{IntNode, IntOp};
+use tqt_fixedpoint::lower::{IntNode, IntOp, NodeProv, Provenance, RoundMode};
 use tqt_fixedpoint::{EpiStep, IntGraph, QFormat};
 use tqt_graph::{
     quantize_graph, transforms, Graph, Op, QuantizeOptions, ThresholdMode, ThresholdState,
@@ -17,7 +17,9 @@ use tqt_quant::calib::ThresholdInit;
 use tqt_quant::QuantSpec;
 use tqt_tensor::conv::Conv2dGeom;
 use tqt_tensor::init;
-use tqt_verify::{analyze, check_containment, check_structure, checked_pipeline, infer_shapes};
+use tqt_verify::{
+    analyze, certify, check_containment, check_structure, checked_pipeline, infer_shapes,
+};
 use tqt_verify::{Code, Stage};
 
 fn int8_threshold(g: &mut Graph, name: &str, log2_t: f32) -> usize {
@@ -619,4 +621,307 @@ fn v015_observed_escapes_proven() {
     stats.nodes[1].hi = i64::from(i32::MAX);
     let r = check_containment(&ig, &proven, &stats);
     assert!(r.has(Code::SanitizerViolation), "{r}");
+}
+
+// --- Translation-validation refutations (`TQT-V025` … `TQT-V030`) --------
+
+/// Runs the translation validator over a hand-built lowered graph,
+/// computing the interval facts it consumes the same way the verify bin
+/// does.
+fn certify_graph(ig: &IntGraph, prov: &Provenance, dims: &[usize]) -> tqt_verify::Report {
+    let facts = analyze(ig, dims);
+    certify(ig, prov, &facts, dims)
+}
+
+/// A well-formed Quant provenance record for a signed `bits`-wide site on
+/// the `2^-frac` grid.
+fn quant_prov(bits: u32, frac: i32) -> NodeProv {
+    NodeProv::Quant {
+        bits,
+        signed: true,
+        frac,
+        zero_point: 0,
+        round: RoundMode::HalfEven,
+    }
+}
+
+/// `input -> qin` on a signed int8 `2^-4` grid: the minimal certifiable
+/// graph; tests seed one provenance lie each and assert the refutation.
+fn quant_site_graph() -> IntGraph {
+    let nodes = vec![
+        IntNode {
+            name: "input".into(),
+            op: IntOp::Input,
+            inputs: vec![],
+        },
+        IntNode {
+            name: "qin".into(),
+            op: IntOp::QuantF32 {
+                format: QFormat::new(4, 8, true),
+            },
+            inputs: vec![0],
+        },
+    ];
+    IntGraph::from_parts(nodes, 1)
+}
+
+/// `TQT-V025`: one baked weight disagrees with the exact fake-quant of
+/// the recorded original float; the refutation names the offending node
+/// and path. The uncorrupted twin certifies clean.
+#[test]
+fn v025_corrupted_baked_weight() {
+    let in_dim = 4;
+    let build = |w: Vec<i64>| {
+        let nodes = vec![
+            IntNode {
+                name: "input".into(),
+                op: IntOp::Input,
+                inputs: vec![],
+            },
+            IntNode {
+                name: "qin".into(),
+                op: IntOp::QuantF32 {
+                    format: QFormat::new(4, 8, true),
+                },
+                inputs: vec![0],
+            },
+            IntNode {
+                name: "fc".into(),
+                op: IntOp::Dense {
+                    w,
+                    in_dim,
+                    out_dim: 2,
+                    bias: None,
+                    w_frac: 4,
+                },
+                inputs: vec![1],
+            },
+        ];
+        IntGraph::from_parts(nodes, 2)
+    };
+    let mut prov = Provenance::new();
+    prov.insert("qin", quant_prov(8, 4));
+    prov.insert(
+        "fc",
+        NodeProv::Compute {
+            // 0.25 on the 2^-4 grid is exactly 4.
+            orig_w: vec![0.25; in_dim * 2],
+            w_frac: 4,
+            w_bits: 8,
+            w_signed: true,
+            orig_bias: None,
+            acc_frac: 8,
+        },
+    );
+    let clean = certify_graph(&build(vec![4i64; in_dim * 2]), &prov, &[1, in_dim]);
+    assert!(clean.is_clean(), "{clean}");
+
+    let mut w = vec![4i64; in_dim * 2];
+    w[3] = 5; // bit-flip in the baked constant
+    let r = certify_graph(&build(w), &prov, &[1, in_dim]);
+    assert!(r.has(Code::NotBitExact), "{r}");
+    let d = r.diags.iter().find(|d| d.code == Code::NotBitExact).unwrap();
+    assert_eq!(d.node.as_deref(), Some("fc"), "{r}");
+    assert!(
+        d.detail.contains("input -> qin -> fc"),
+        "refutation must name the offending node's path:\n{}",
+        d.detail
+    );
+}
+
+/// `TQT-V026`: the lowering declares truncation but the kernel rounds
+/// half to even; the refutation carries a concrete tie witness.
+#[test]
+fn v026_declared_truncate_rounding() {
+    let ig = quant_site_graph();
+    let mut prov = Provenance::new();
+    prov.insert(
+        "qin",
+        NodeProv::Quant {
+            bits: 8,
+            signed: true,
+            frac: 4,
+            zero_point: 0,
+            round: RoundMode::Truncate,
+        },
+    );
+    let r = certify_graph(&ig, &prov, &[1, 4]);
+    assert!(r.has(Code::RoundingMismatch), "{r}");
+    let d = r.diags.iter().find(|d| d.code == Code::RoundingMismatch).unwrap();
+    assert_eq!(d.node.as_deref(), Some("qin"), "{r}");
+    assert!(
+        d.detail.contains("input -> qin"),
+        "refutation must name the offending node's path:\n{}",
+        d.detail
+    );
+}
+
+/// `TQT-V027`: a declared non-zero zero-point that the symmetric pow2
+/// realization never applies.
+#[test]
+fn v027_nonzero_zero_point() {
+    let ig = quant_site_graph();
+    let mut prov = Provenance::new();
+    prov.insert(
+        "qin",
+        NodeProv::Quant {
+            bits: 8,
+            signed: true,
+            frac: 4,
+            zero_point: 3,
+            round: RoundMode::HalfEven,
+        },
+    );
+    let r = certify_graph(&ig, &prov, &[1, 4]);
+    assert!(r.has(Code::ZeroPointDrift), "{r}");
+    let d = r.diags.iter().find(|d| d.code == Code::ZeroPointDrift).unwrap();
+    assert!(d.detail.contains("input -> qin"), "{}", d.detail);
+}
+
+/// `TQT-V028`: an integer add whose operands were requantized onto
+/// different grids — the scales were never merged, so the raw-coordinate
+/// sum is meaningless. The refutation names both offending operands.
+#[test]
+fn v028_unmerged_add_operands() {
+    let nodes = vec![
+        IntNode {
+            name: "input".into(),
+            op: IntOp::Input,
+            inputs: vec![],
+        },
+        IntNode {
+            name: "qin".into(),
+            op: IntOp::QuantF32 {
+                format: QFormat::new(4, 8, true),
+            },
+            inputs: vec![0],
+        },
+        IntNode {
+            name: "ra".into(),
+            op: IntOp::Requant {
+                format: QFormat::new(3, 8, true),
+            },
+            inputs: vec![1],
+        },
+        IntNode {
+            name: "rb".into(),
+            op: IntOp::Requant {
+                format: QFormat::new(2, 8, true),
+            },
+            inputs: vec![1],
+        },
+        IntNode {
+            name: "add".into(),
+            op: IntOp::Add,
+            inputs: vec![2, 3],
+        },
+    ];
+    let ig = IntGraph::from_parts(nodes, 4);
+    let mut prov = Provenance::new();
+    prov.insert("qin", quant_prov(8, 4));
+    prov.insert("ra", quant_prov(8, 3));
+    prov.insert("rb", quant_prov(8, 2));
+    let r = certify_graph(&ig, &prov, &[1, 4]);
+    assert!(r.has(Code::ScaleMergeViolation), "{r}");
+    let d = r
+        .diags
+        .iter()
+        .find(|d| d.code == Code::ScaleMergeViolation)
+        .unwrap();
+    assert!(
+        d.detail.contains("`ra`") && d.detail.contains("`rb`"),
+        "refutation must name both unmerged operands:\n{}",
+        d.detail
+    );
+}
+
+/// `TQT-V028` at quantize time: the float-graph lint flags the same gap
+/// before lowering ever runs, and carries a fix-it hint.
+#[test]
+fn v028_float_add_lint_with_fixit() {
+    let mut g = Graph::new();
+    let x = g.add_input("x");
+    let t0 = int8_threshold(&mut g, "a.t", 0.0);
+    let t1 = int8_threshold(&mut g, "b.t", 3.0);
+    let qa = g.add("qa", Op::Quant { tid: t0 }, &[x]);
+    let qb = g.add("qb", Op::Quant { tid: t1 }, &[x]);
+    let add = g.add("add", Op::Add(EltwiseAdd::new()), &[qa, qb]);
+    g.set_output(add);
+    let r = tqt_verify::lint::lint(&g, Stage::Quantized);
+    assert!(r.has(Code::ScaleMergeViolation), "{r}");
+    let d = r
+        .diags
+        .iter()
+        .find(|d| d.code == Code::ScaleMergeViolation)
+        .unwrap();
+    assert_eq!(d.node.as_deref(), Some("add"), "{r}");
+    assert!(d.detail.contains("Fix:"), "lint must carry a fix-it hint:\n{}", d.detail);
+}
+
+/// `TQT-V029`: a fused node whose chain record does not match its
+/// epilogue — the fused kernel no longer replays the chain it replaced.
+#[test]
+fn v029_fused_chain_member_mismatch() {
+    let in_dim = 4;
+    let nodes = vec![
+        IntNode {
+            name: "input".into(),
+            op: IntOp::Input,
+            inputs: vec![],
+        },
+        IntNode {
+            name: "qin".into(),
+            op: IntOp::QuantF32 {
+                format: QFormat::new(4, 8, true),
+            },
+            inputs: vec![0],
+        },
+        IntNode {
+            name: "fc..rq".into(),
+            op: IntOp::Fused {
+                core: Box::new(IntOp::Dense {
+                    w: vec![4i64; in_dim * 2],
+                    in_dim,
+                    out_dim: 2,
+                    bias: None,
+                    w_frac: 4,
+                }),
+                epi: vec![EpiStep::Requant {
+                    format: QFormat::new(4, 8, true),
+                }],
+            },
+            inputs: vec![1],
+        },
+    ];
+    let ig = IntGraph::from_parts(nodes, 2);
+    let mut prov = Provenance::new();
+    prov.insert("qin", quant_prov(8, 4));
+    // One member recorded; core + one epilogue step demand two.
+    prov.insert("fc..rq", NodeProv::Fused { members: vec!["fc".into()] });
+    let r = certify_graph(&ig, &prov, &[1, in_dim]);
+    assert!(r.has(Code::EpilogueMismatch), "{r}");
+    let d = r.diags.iter().find(|d| d.code == Code::EpilogueMismatch).unwrap();
+    assert_eq!(d.node.as_deref(), Some("fc..rq"), "{r}");
+    assert!(
+        d.detail.contains("input -> qin -> fc..rq"),
+        "refutation must name the offending node's path:\n{}",
+        d.detail
+    );
+}
+
+/// `TQT-V030`: the declared bit-width implies clip limits [-64, 63] (eq.
+/// 3) but the emitted format saturates to the int8 range.
+#[test]
+fn v030_clamp_range_mismatch() {
+    let ig = quant_site_graph();
+    let mut prov = Provenance::new();
+    prov.insert("qin", quant_prov(7, 4));
+    let r = certify_graph(&ig, &prov, &[1, 4]);
+    assert!(r.has(Code::ClampRangeMismatch), "{r}");
+    let d = r
+        .diags
+        .iter()
+        .find(|d| d.code == Code::ClampRangeMismatch)
+        .unwrap();
+    assert!(d.detail.contains("input -> qin"), "{}", d.detail);
 }

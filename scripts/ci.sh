@@ -45,7 +45,10 @@ cargo clippy --offline -- -D warnings
 scripts/check_forbidden.sh
 # Static verification gate: every zoo model at every supported weight
 # bit-width must pass the full tqt-verify analysis suite (shape inference,
-# quantization lints, overflow proof, observed-vs-proven cross-check,
+# quantization lints, overflow proof, the translation-validation
+# certifier proving every lowered node — fused and unfused — bit-exact
+# against the exact rational fake-quant reference (TQT-V025..V030),
+# observed-vs-proven cross-check,
 # executor-plan alias-freedom across the serving batch ladder {1,2,4,8}).
 # The binary also runs the schedule and batching-protocol model checkers
 # in smoke mode and the fold-partition determinism check up front, and
