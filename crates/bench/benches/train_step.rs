@@ -3,14 +3,26 @@
 //! thresholds) on a quantized zoo model. This is the number the kernel
 //! work exists to improve — every matmul, conv, quantizer and optimizer
 //! kernel is on this path.
+//!
+//! The headline `train_step/…` entry runs the planned path the trainer
+//! uses by default: the liveness-planned slot-reuse executor plus the
+//! pooled Adam over the contiguous parameter arena (bit-identical to the
+//! allocating path — `crates/core/tests/train_parity.rs`). The
+//! `train_step_legacy/…` entry keeps the allocating per-tensor path for
+//! comparison, and the report carries the planned executor's
+//! steady-state slot-allocation count (must be 0: after the first step,
+//! a training step performs no slot allocation at all).
 
 use tqt::config::TrainHyper;
 use tqt_data::{train_val, BatchIter, SynthConfig};
-use tqt_graph::{quantize_graph, transforms, QuantizeOptions, WeightBits};
+use tqt_graph::{
+    build_arena, quantize_graph, sync_thresholds_from_arena, sync_thresholds_to_arena, transforms,
+    FloatExecutor, FloatPlan, QuantizeOptions, WeightBits,
+};
 use tqt_models::{ModelKind, INPUT_DIMS};
 use tqt_nn::loss::softmax_cross_entropy;
 use tqt_nn::optim::{Adam, Optimizer};
-use tqt_nn::{Mode, ParamKind};
+use tqt_nn::{Mode, ParamKind, PooledAdam};
 use tqt_rt::bench::{black_box, Bench, Report};
 
 fn main() {
@@ -18,45 +30,88 @@ fn main() {
     let (bench, batch, model) = if report.smoke() {
         (Bench::smoke(), 2, ModelKind::ResNet8)
     } else {
-        (Bench::with_samples(10), 32, ModelKind::ResNet8)
+        (Bench::with_samples(20), 32, ModelKind::ResNet8)
     };
 
     // Build, quantize, and calibrate the model exactly as the quickstart
     // does, so the benched step is the steady-state QAT retraining step.
     let cfg = SynthConfig::default();
     let (train_set, _val_set) = train_val(&cfg, batch.max(64), 8);
-    let mut g = model.build(42);
-    transforms::optimize(&mut g, &INPUT_DIMS);
-    quantize_graph(&mut g, QuantizeOptions::retrain_wt_th(WeightBits::Int8));
-    let calib = tqt_data::calibration_batch(&train_set, 16, 7);
-    g.calibrate(&calib);
-
+    let build = || {
+        let mut g = model.build(42);
+        transforms::optimize(&mut g, &INPUT_DIMS);
+        quantize_graph(&mut g, QuantizeOptions::retrain_wt_th(WeightBits::Int8));
+        let calib = tqt_data::calibration_batch(&train_set, 16, 7);
+        g.calibrate(&calib);
+        g
+    };
     let hyper = TrainHyper::retrain(1);
-    let mut weight_opt = Adam::paper(hyper.weight_lr);
-    let mut thresh_opt = Adam::paper(hyper.threshold_lr);
     let (x, labels) = BatchIter::new(&train_set, batch, 3, 0)
         .next()
         .expect("dataset provides at least one batch");
+    let mut dims = INPUT_DIMS;
+    dims[0] = batch;
 
+    // Planned path (the trainer's default): slot-reuse executor + pooled
+    // Adam over the parameter arena.
+    let mut g = build();
+    let mut arena = build_arena(&mut g);
+    let plan = FloatPlan::new(&mut g, &dims);
+    let mut ex = FloatExecutor::new(plan, &g);
+    let mut weight_opt = PooledAdam::paper(hyper.weight_lr, &arena);
+    let mut thresh_opt = PooledAdam::paper(hyper.threshold_lr, &arena);
+    // One untimed step so the bench measures steady state (the first
+    // forward builds the slot buffers).
+    let warm = ex.forward(&mut g, &arena, &x);
+    black_box(warm);
+    let allocs_after_first = ex.slot_allocs();
     report.push(bench.run(&format!("train_step/{model:?}/batch{batch}"), || {
-        let logits = g.forward(black_box(&x), Mode::Train);
+        let logits = ex.forward(&mut g, &arena, black_box(&x));
         let (_, dlogits) = softmax_cross_entropy(&logits, &labels);
         g.zero_grads();
-        g.backward(&dlogits);
-        let mut params = g.params_mut();
-        let mut weights = Vec::new();
-        let mut thresholds = Vec::new();
-        for p in params.drain(..) {
-            if p.kind == ParamKind::Threshold {
-                thresholds.push(p);
-            } else {
-                weights.push(p);
-            }
-        }
-        weight_opt.step(&mut weights);
-        thresh_opt.step(&mut thresholds);
-        black_box(&g);
+        arena.zero_grads();
+        ex.backward(&mut g, &mut arena, &dlogits);
+        weight_opt.step(
+            &mut arena,
+            &[ParamKind::Weight, ParamKind::Bias, ParamKind::BatchNorm],
+        );
+        sync_thresholds_to_arena(&g, &mut arena);
+        thresh_opt.step(&mut arena, &[ParamKind::Threshold]);
+        sync_thresholds_from_arena(&mut g, &arena);
+        black_box(&arena);
     }));
+    let steady_allocs = ex.slot_allocs() - allocs_after_first;
+    report.push_metric("steady_state_slot_allocs", steady_allocs as f64);
+    assert_eq!(
+        steady_allocs, 0,
+        "planned executor allocated slot memory in steady state"
+    );
+
+    // Legacy allocating path, kept as the comparison baseline.
+    let mut g = build();
+    let mut weight_opt = Adam::paper(hyper.weight_lr);
+    let mut thresh_opt = Adam::paper(hyper.threshold_lr);
+    report.push(
+        bench.run(&format!("train_step_legacy/{model:?}/batch{batch}"), || {
+            let logits = g.forward(black_box(&x), Mode::Train);
+            let (_, dlogits) = softmax_cross_entropy(&logits, &labels);
+            g.zero_grads();
+            g.backward(&dlogits);
+            let mut params = g.params_mut();
+            let mut weights = Vec::new();
+            let mut thresholds = Vec::new();
+            for p in params.drain(..) {
+                if p.kind == ParamKind::Threshold {
+                    thresholds.push(p);
+                } else {
+                    weights.push(p);
+                }
+            }
+            weight_opt.step(&mut weights);
+            thresh_opt.step(&mut thresholds);
+            black_box(&g);
+        }),
+    );
 
     report.finish();
 }

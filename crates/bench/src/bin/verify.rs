@@ -5,7 +5,10 @@
 //!
 //! 1. structure + shapes + lints on the float graph (`TQT-V001`…`V010`);
 //! 2. transform invariant checking with a semantic probe (`TQT-V014`);
-//! 3. one smoke QAT step with the float-exec NaN/Inf sanitizer;
+//! 3. one smoke QAT step with the float-exec NaN/Inf sanitizer, then the
+//!    float *training* plan — the slot assignment the planned trainer
+//!    executes over the forward+backward tape — is proven alias-free and
+//!    storage-sound (`TQT-V016`…`V018` again, on float values);
 //! 4. lowering, then the interval/bit-width dataflow proving i64
 //!    accumulators cannot overflow and shifts are legal (`V011`…`V013`);
 //! 5. an instrumented integer run cross-checked against the proofs
@@ -49,10 +52,11 @@ use tqt_graph::{quantize_graph, QuantizeOptions, WeightBits};
 use tqt_nn::loss::softmax_cross_entropy;
 use tqt_nn::Mode;
 use tqt_tensor::init;
+use tqt_graph::FloatPlan;
 use tqt_verify::{
-    analyze, certify, check_batch_schedules, check_containment, check_fold_partition, check_plan,
-    check_schedules, checked_fuse_with_provenance, checked_optimize, collect_hb_findings, verify,
-    Report, Stage,
+    analyze, certify, check_batch_schedules, check_containment, check_float_plan,
+    check_fold_partition, check_plan, check_schedules, checked_fuse_with_provenance,
+    checked_optimize, collect_hb_findings, verify, Report, Stage,
 };
 
 /// Records the wall-clock lap since `*t` under `name` and restarts it.
@@ -219,6 +223,13 @@ fn check_model(
     g.zero_grads();
     g.backward(&dlogits);
     lap(&mut timings, &mut t, "qat");
+
+    // Float training-plan alias-freedom proof (`TQT-V016`…`V018` over the
+    // forward+backward tape): the same slot assignment the planned trainer
+    // executes is proven here, on the exact graph the QAT step just ran.
+    let fplan = FloatPlan::new(&mut g, &dims);
+    report.merge(check_float_plan(&mut g, &fplan));
+    lap(&mut timings, &mut t, "fplan");
 
     // Lower ONCE per (model, bits) — the provenance map, interval facts
     // and plans below all reuse this single lowering.

@@ -1,0 +1,137 @@
+//! Planned-vs-legacy trainer bit-identity: `TrainHyper::planned` must be
+//! a pure performance switch. Full `train()` runs — Adam for both
+//! parameter groups, staircase LR decay, batch-norm statistic freezing,
+//! incremental threshold freezing, validation with best-checkpoint
+//! restore — on the planned slot-reuse executor and on the allocating
+//! legacy path must produce bit-equal validation histories, threshold
+//! traces, and final parameters, at 1 and 4 threads.
+
+use tqt::trainer::train;
+use tqt::{TrainHyper, TrainResult};
+use tqt_data::{train_val, Dataset, SynthConfig};
+use tqt_graph::{quantize_graph, transforms, Graph, QuantizeOptions, WeightBits};
+use tqt_models::{ModelKind, INPUT_DIMS};
+use tqt_rt::pool;
+
+fn tiny_data() -> (Dataset, Dataset) {
+    let cfg = SynthConfig {
+        classes: 10,
+        image_size: 16,
+        noise: 0.1,
+        seed: 5,
+    };
+    train_val(&cfg, 320, 100)
+}
+
+/// Builds the run's graph: FP32 DarkNet (keeps batch norms), optionally
+/// taken through the optimize/quantize/calibrate pipeline the real
+/// retraining flow uses.
+fn build_graph(quantized: bool, val_d: &Dataset) -> Graph {
+    let mut g = ModelKind::DarkNet.build(2);
+    if quantized {
+        let mut dims = INPUT_DIMS;
+        dims[2] = 16;
+        dims[3] = 16;
+        transforms::optimize(&mut g, &dims);
+        quantize_graph(&mut g, QuantizeOptions::retrain_wt_th(WeightBits::Int8));
+        let calib = tqt_data::calibration_batch(val_d, 50, 3);
+        g.calibrate(&calib);
+    }
+    g
+}
+
+fn run(planned: bool, quantized: bool, threads: usize) -> (TrainResult, Graph) {
+    pool::set_threads(threads);
+    let (train_d, val_d) = tiny_data();
+    let mut g = build_graph(quantized, &val_d);
+    let mut h = if quantized {
+        let mut h = TrainHyper::retrain(10);
+        h.freeze_start = 5;
+        h
+    } else {
+        TrainHyper::pretrain(10)
+    };
+    h.epochs = 2;
+    h.batch = 32;
+    // Exercise the mid-run batch-norm statistic freeze on the FP32 run.
+    if !quantized {
+        h.bn_freeze_after = 10;
+    }
+    h.planned = planned;
+    let r = train(&mut g, &train_d, &val_d, &h);
+    pool::set_threads(0);
+    (r, g)
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn assert_identical(quantized: bool, threads: usize) {
+    let (rl, mut gl) = run(false, quantized, threads);
+    let (rp, mut gp) = run(true, quantized, threads);
+    let tag = if quantized { "quantized" } else { "fp32" };
+
+    assert_eq!(rl.steps_run, rp.steps_run, "{tag}/{threads}t: step counts");
+    assert_eq!(
+        rl.history.len(),
+        rp.history.len(),
+        "{tag}/{threads}t: history lengths"
+    );
+    for (a, b) in rl.history.iter().zip(&rp.history) {
+        assert_eq!(a.step, b.step, "{tag}/{threads}t: validation step");
+        assert_eq!(
+            a.loss.to_bits(),
+            b.loss.to_bits(),
+            "{tag}/{threads}t: validation loss at step {}",
+            a.step
+        );
+        assert_eq!(
+            (a.top1.to_bits(), a.top5.to_bits()),
+            (b.top1.to_bits(), b.top5.to_bits()),
+            "{tag}/{threads}t: accuracy at step {}",
+            a.step
+        );
+    }
+    assert_eq!(
+        bits(&rl.threshold_final),
+        bits(&rp.threshold_final),
+        "{tag}/{threads}t: final thresholds"
+    );
+    for (i, (a, b)) in rl.threshold_trace.iter().zip(&rp.threshold_trace).enumerate() {
+        assert_eq!(bits(a), bits(b), "{tag}/{threads}t: threshold trace row {i}");
+    }
+    // Best-checkpoint parameters, restored onto the graphs by train().
+    let lp = gl.params_mut();
+    let pp = gp.params_mut();
+    assert_eq!(lp.len(), pp.len(), "{tag}/{threads}t: parameter counts");
+    for (a, b) in lp.iter().zip(&pp) {
+        assert_eq!(a.name, b.name, "{tag}/{threads}t: parameter order");
+        assert_eq!(
+            bits(a.value.data()),
+            bits(b.value.data()),
+            "{tag}/{threads}t: checkpoint value of {}",
+            a.name
+        );
+    }
+}
+
+#[test]
+fn planned_training_is_bit_identical_fp32_serial() {
+    assert_identical(false, 1);
+}
+
+#[test]
+fn planned_training_is_bit_identical_fp32_four_threads() {
+    assert_identical(false, 4);
+}
+
+#[test]
+fn planned_training_is_bit_identical_quantized_serial() {
+    assert_identical(true, 1);
+}
+
+#[test]
+fn planned_training_is_bit_identical_quantized_four_threads() {
+    assert_identical(true, 4);
+}

@@ -303,62 +303,18 @@ impl IntPlan {
             }
         }
 
-        // Liveness-based slot assignment. A node's slot is recyclable once
-        // every consumer has executed; the output node is pinned live.
-        // Crucially, a node's own slot is picked *before* its inputs are
-        // released, so an op never writes into a buffer it is reading.
-        let mut uses = vec![0usize; n];
-        for node in nodes {
-            for &i in &node.inputs {
-                uses[i] += 1;
-            }
-        }
-        uses[g.output_id()] += 1;
-        let mut slot = vec![0usize; n];
-        let mut slot_lens: Vec<usize> = Vec::new();
-        let mut free: Vec<usize> = Vec::new();
-        for id in 0..n {
-            let need = lens[id];
-            // Best fit: smallest free slot that already fits; otherwise
-            // grow the largest free slot; otherwise open a new slot.
-            let mut best: Option<usize> = None;
-            for (fi, &s) in free.iter().enumerate() {
-                let better = match best {
-                    None => true,
-                    Some(b) => {
-                        let (bl, l) = (slot_lens[free[b]], slot_lens[s]);
-                        if l >= need {
-                            bl < need || l < bl
-                        } else {
-                            bl < need && l > bl
-                        }
-                    }
-                };
-                if better {
-                    best = Some(fi);
-                }
-            }
-            let s = match best {
-                Some(fi) => free.swap_remove(fi),
-                None => {
-                    slot_lens.push(0);
-                    slot_lens.len() - 1
-                }
-            };
-            slot[id] = s;
-            slot_lens[s] = slot_lens[s].max(need);
-            for &i in &nodes[id].inputs {
-                uses[i] -= 1;
-                if uses[i] == 0 {
-                    free.push(slot[i]);
-                }
-            }
-            if uses[id] == 0 {
-                // Dead node (no consumers, not the output): recyclable
-                // right after it runs.
-                free.push(s);
-            }
-        }
+        // Liveness-based slot assignment via the shared dtype-generic
+        // planner: one single-write tape step per node (write its own
+        // value, read its inputs), output pinned live. The planner claims
+        // a step's write slot *before* its reads are released, so an op
+        // never writes into a buffer it is reading.
+        let steps: Vec<tqt_plan::TapeStep> = nodes
+            .iter()
+            .enumerate()
+            .map(|(id, node)| tqt_plan::TapeStep::new(vec![id], node.inputs.clone()))
+            .collect();
+        let assignment = tqt_plan::assign_slots(&lens, &steps, &[g.output_id()]);
+        let (slot, slot_lens) = (assignment.slot, assignment.slot_lens);
         IntPlan {
             input_dims: input_dims.to_vec(),
             shapes,

@@ -1,0 +1,915 @@
+//! Planned float executor: runs one QAT training step (forward +
+//! backward) over the slot buffers of a [`FloatPlan`], with zero
+//! steady-state allocations.
+//!
+//! **Bit-identity contract.** Every op handler either calls the exact
+//! `_into` kernel the allocating layer path wraps ([`tqt_tensor::conv`],
+//! [`tqt_tensor::gemm`], [`tqt_quant::tqt`]) or replicates the layer's
+//! scalar loop statement for statement (pooling, batch-norm, channel
+//! reductions). Gradient fan-in follows the legacy executor's
+//! move-then-axpy order (first contribution in descending-node order
+//! writes, later ones accumulate), weight-gradient reductions stay in
+//! ascending image order, and threshold gradients accumulate in the same
+//! descending node order. `crates/graph/tests/planned_parity.rs` and the
+//! trainer parity test assert bit-equality against the allocating path.
+//!
+//! Parameters are read from a [`ParamArena`] (the pooled-optimizer
+//! layout); thresholds and batch-norm running statistics stay
+//! authoritative on the [`Graph`] itself, because calibration and the
+//! threshold freezer mutate them there mid-training.
+
+use crate::fplan::FloatPlan;
+use crate::ir::{Graph, Op, ThresholdMode};
+use tqt_nn::ParamArena;
+use tqt_quant::tqt::{quantize_backward_inplace, quantize_backward_into, quantize_into};
+use tqt_tensor::conv::{
+    conv2d_backward_into, conv2d_bwd_ws, conv2d_fwd_ws, conv2d_into, depthwise_conv2d_backward_into,
+    depthwise_conv2d_into,
+};
+use tqt_tensor::gemm::{gemm_nn, gemm_nt, gemm_tn, pack_a_full_into, packed_a_len};
+use tqt_tensor::Tensor;
+
+/// Per-batch-norm-node scratch: statistics of the last forward pass,
+/// retained for the backward pass (the planned analogue of `BnCache`).
+#[derive(Debug)]
+struct BnScratch {
+    mean: Vec<f32>,
+    var: Vec<f32>,
+    inv_std: Vec<f32>,
+    scale: Vec<f32>,
+    sum_gy: Vec<f32>,
+    sum_gy_xhat: Vec<f32>,
+    /// Whether the forward used batch statistics (full BN backward) or
+    /// frozen moving statistics (affine backward).
+    batch: bool,
+}
+
+impl BnScratch {
+    fn new(channels: usize) -> Self {
+        BnScratch {
+            mean: vec![0.0; channels],
+            var: vec![0.0; channels],
+            inv_std: vec![0.0; channels],
+            scale: vec![0.0; channels],
+            sum_gy: vec![0.0; channels],
+            sum_gy_xhat: vec![0.0; channels],
+            batch: true,
+        }
+    }
+}
+
+/// Executes planned training steps for one `(graph, input shape)` pair.
+/// All buffers — value slots, conv workspace, packed-filter panel,
+/// quantized-weight arena, pooling argmaxes, batch-norm scratch — are
+/// allocated once at construction; the steady state allocates nothing
+/// (asserted via [`slot_allocs`](Self::slot_allocs)).
+#[derive(Debug)]
+pub struct FloatExecutor {
+    plan: FloatPlan,
+    slots: Vec<Vec<f32>>,
+    ws: Vec<f32>,
+    wpack: Vec<f32>,
+    qw: Vec<f32>,
+    /// Per-node max-pool argmaxes (flat input indices), empty elsewhere.
+    argmax: Vec<Vec<usize>>,
+    bn: Vec<Option<BnScratch>>,
+    slot_allocs: u64,
+    forward_ran: bool,
+}
+
+impl FloatExecutor {
+    /// Builds an executor for `plan`, eagerly allocating every buffer.
+    pub fn new(plan: FloatPlan, g: &Graph) -> Self {
+        let n = g.len();
+        let slots = (0..plan.num_slots()).map(|s| vec![0.0; plan.slot_len(s)]).collect();
+        let mut argmax = vec![Vec::new(); n];
+        let mut bn = Vec::with_capacity(n);
+        for (id, am) in argmax.iter_mut().enumerate() {
+            match &g.node(id).op {
+                Op::MaxPool(_) => {
+                    *am = vec![0usize; plan.shape(id).iter().product()];
+                    bn.push(None);
+                }
+                Op::BatchNorm(_) => bn.push(Some(BnScratch::new(plan.shape(id)[1]))),
+                _ => bn.push(None),
+            }
+        }
+        FloatExecutor {
+            slots,
+            ws: vec![0.0; plan.scratch_elems()],
+            wpack: vec![0.0; plan.wpack_elems()],
+            qw: vec![0.0; plan.qw_elems()],
+            argmax,
+            bn,
+            slot_allocs: 0,
+            forward_ran: false,
+            plan,
+        }
+    }
+
+    /// The plan this executor runs.
+    pub fn plan(&self) -> &FloatPlan {
+        &self.plan
+    }
+
+    /// Number of slot-buffer growths since construction. Stays `0` in
+    /// steady state — every buffer is sized at build time.
+    pub fn slot_allocs(&self) -> u64 {
+        self.slot_allocs
+    }
+
+    /// Grows any undersized slot buffer (a no-op after a correct build;
+    /// each growth bumps the [`slot_allocs`](Self::slot_allocs) counter).
+    fn ensure_slots(&mut self) {
+        for s in 0..self.slots.len() {
+            let need = self.plan.slot_len(s);
+            if self.slots[s].len() < need {
+                self.slots[s].resize(need, 0.0);
+                self.slot_allocs += 1;
+            }
+        }
+    }
+
+    /// Runs the planned training-mode forward pass: parameters from
+    /// `arena`, thresholds and batch-norm running statistics from (and
+    /// to) `g`. Returns the output logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` does not match the planned input shape, a quantizer
+    /// is uncalibrated, or (debug builds) a node produces a non-finite
+    /// value.
+    pub fn forward(&mut self, g: &mut Graph, arena: &ParamArena, x: &Tensor) -> Tensor {
+        assert_eq!(
+            x.dims(),
+            self.plan.input_dims(),
+            "input shape does not match the compiled plan"
+        );
+        self.ensure_slots();
+        let FloatExecutor {
+            plan,
+            slots,
+            ws,
+            wpack,
+            qw,
+            argmax,
+            bn,
+            ..
+        } = self;
+        let plan: &FloatPlan = plan;
+        let n = g.len();
+        let Graph {
+            nodes, thresholds, ..
+        } = g;
+        for id in 0..n {
+            let node = &mut nodes[id];
+            let olen = plan.len_of(id);
+            let oslot = plan.slot_of(id);
+            let mut obuf = std::mem::take(&mut slots[oslot]);
+            let out = &mut obuf[..olen];
+            match &mut node.op {
+                Op::Input => out.copy_from_slice(x.data()),
+                Op::Identity | Op::Flatten(_) => {
+                    let i0 = node.inputs[0];
+                    out.copy_from_slice(&slots[plan.slot_of(i0)][..plan.len_of(i0)]);
+                }
+                Op::Quant { tid } => {
+                    let i0 = node.inputs[0];
+                    let xin = &slots[plan.slot_of(i0)][..plan.len_of(i0)];
+                    let ts = &thresholds[*tid];
+                    assert!(
+                        ts.calibrated,
+                        "quantizer {} used before calibration",
+                        ts.param.name
+                    );
+                    quantize_into(xin, ts.log2_t(), ts.spec, out);
+                }
+                Op::Relu(l) => {
+                    let i0 = node.inputs[0];
+                    let xin = &slots[plan.slot_of(i0)][..plan.len_of(i0)];
+                    for (o, &v) in out.iter_mut().zip(xin) {
+                        *o = l.apply(v);
+                    }
+                }
+                Op::Conv(l) => {
+                    let i0 = node.inputs[0];
+                    let xin = &slots[plan.slot_of(i0)][..plan.len_of(i0)];
+                    let ish = plan.shape(i0);
+                    let (nb, c, h, w) = (ish[0], ish[1], ish[2], ish[3]);
+                    let cout = plan.shape(id)[1];
+                    let geom = l.geom();
+                    let segs = plan.param_segs(id);
+                    let wsrc = quantized_or_plain(node, id, plan, thresholds, arena, qw, segs[0]);
+                    let krows = c * geom.kh * geom.kw;
+                    let plen = packed_a_len(cout, krows);
+                    pack_a_full_into(wsrc, cout, krows, &mut wpack[..plen]);
+                    let wslen = nb * conv2d_fwd_ws(c, h, w, geom);
+                    conv2d_into(xin, nb, c, h, w, &wpack[..plen], cout, geom, out, &mut ws[..wslen]);
+                    if let Some(&bseg) = segs.get(1) {
+                        let spatial = olen / (nb * cout);
+                        add_channel_slice(out, nb, cout, spatial, arena.val(bseg));
+                    }
+                }
+                Op::Depthwise(l) => {
+                    let i0 = node.inputs[0];
+                    let xin = &slots[plan.slot_of(i0)][..plan.len_of(i0)];
+                    let ish = plan.shape(i0);
+                    let (nb, c, h, w) = (ish[0], ish[1], ish[2], ish[3]);
+                    let geom = l.geom();
+                    let segs = plan.param_segs(id);
+                    let wsrc = quantized_or_plain(node, id, plan, thresholds, arena, qw, segs[0]);
+                    depthwise_conv2d_into(xin, nb, c, h, w, wsrc, geom, out);
+                    if let Some(&bseg) = segs.get(1) {
+                        let spatial = olen / (nb * c);
+                        add_channel_slice(out, nb, c, spatial, arena.val(bseg));
+                    }
+                }
+                Op::Dense(_) => {
+                    let i0 = node.inputs[0];
+                    let xin = &slots[plan.slot_of(i0)][..plan.len_of(i0)];
+                    let (nb, ind) = (plan.shape(i0)[0], plan.shape(i0)[1]);
+                    let outd = plan.shape(id)[1];
+                    let segs = plan.param_segs(id);
+                    let wsrc = quantized_or_plain(node, id, plan, thresholds, arena, qw, segs[0]);
+                    out.fill(0.0);
+                    gemm_nn(nb, outd, ind, xin, wsrc, out, true);
+                    if let Some(&bseg) = segs.get(1) {
+                        add_channel_slice(out, nb, outd, 1, arena.val(bseg));
+                    }
+                }
+                Op::BatchNorm(l) => {
+                    let i0 = node.inputs[0];
+                    let sh = plan.shape(id);
+                    let (nb, c) = (sh[0], sh[1]);
+                    let spatial = olen / (nb * c);
+                    let count = (nb * spatial) as f32;
+                    let xh_val = plan.xhat_of(id).expect("batch-norm has an xhat value");
+                    let mut xhbuf = std::mem::take(&mut slots[plan.slot_of(xh_val)]);
+                    let xin = &slots[plan.slot_of(i0)][..plan.len_of(i0)];
+                    let xh = &mut xhbuf[..olen];
+                    let st = bn[id].as_mut().expect("batch-norm scratch missing");
+                    st.batch = !l.stats_frozen();
+                    if st.batch {
+                        // reduce::mean_over_channel: per-(image, channel)
+                        // block sums accumulated, one divide at the end.
+                        st.mean.fill(0.0);
+                        for ni in 0..nb {
+                            for (ci, o) in st.mean.iter_mut().enumerate() {
+                                let base = (ni * c + ci) * spatial;
+                                *o += xin[base..base + spatial].iter().sum::<f32>();
+                            }
+                        }
+                        for m in &mut st.mean {
+                            *m /= count;
+                        }
+                        // reduce::var_over_channel: same two-level shape.
+                        st.var.fill(0.0);
+                        for ni in 0..nb {
+                            for (ci, o) in st.var.iter_mut().enumerate() {
+                                let base = (ni * c + ci) * spatial;
+                                let m = st.mean[ci];
+                                *o += xin[base..base + spatial]
+                                    .iter()
+                                    .map(|&v| (v - m) * (v - m))
+                                    .sum::<f32>();
+                            }
+                        }
+                        for v in &mut st.var {
+                            *v /= count;
+                        }
+                        l.update_running_stats(&st.mean, &st.var);
+                    } else {
+                        let (rm, rv) = l.running_stats();
+                        st.mean.copy_from_slice(rm.data());
+                        st.var.copy_from_slice(rv.data());
+                    }
+                    let eps = l.eps();
+                    for (o, &v) in st.inv_std.iter_mut().zip(&st.var) {
+                        *o = 1.0 / (v + eps).sqrt();
+                    }
+                    // xhat = (x + (-mean[c])) * inv_std[c], then
+                    // y = xhat * gamma[c] + beta[c] — the layer's exact
+                    // add_channel / mul_channel element sequences.
+                    let segs = plan.param_segs(id);
+                    let gamma = arena.val(segs[0]);
+                    let beta = arena.val(segs[1]);
+                    for ni in 0..nb {
+                        for ci in 0..c {
+                            let base = (ni * c + ci) * spatial;
+                            let nm = -st.mean[ci];
+                            let is = st.inv_std[ci];
+                            let (gv, bv) = (gamma[ci], beta[ci]);
+                            for ((y, xhv), &xv) in out[base..base + spatial]
+                                .iter_mut()
+                                .zip(&mut xh[base..base + spatial])
+                                .zip(&xin[base..base + spatial])
+                            {
+                                let xhat = (xv + nm) * is;
+                                *xhv = xhat;
+                                *y = xhat * gv + bv;
+                            }
+                        }
+                    }
+                    slots[plan.slot_of(xh_val)] = xhbuf;
+                }
+                Op::MaxPool(l) => {
+                    let i0 = node.inputs[0];
+                    let xin = &slots[plan.slot_of(i0)][..plan.len_of(i0)];
+                    let ish = plan.shape(i0);
+                    let (nb, c, h, w) = (ish[0], ish[1], ish[2], ish[3]);
+                    let geom = l.geom();
+                    let (oh, ow) = geom.out_size(h, w);
+                    let am = &mut argmax[id];
+                    for ni in 0..nb {
+                        for ci in 0..c {
+                            let ibase = (ni * c + ci) * h * w;
+                            let obase = (ni * c + ci) * oh * ow;
+                            for oi in 0..oh {
+                                for oj in 0..ow {
+                                    let mut best = f32::NEG_INFINITY;
+                                    let mut besti = 0usize;
+                                    for ki in 0..geom.kh {
+                                        let ii = (oi * geom.stride + ki) as isize - geom.pad as isize;
+                                        if ii < 0 || ii >= h as isize {
+                                            continue;
+                                        }
+                                        for kj in 0..geom.kw {
+                                            let jj =
+                                                (oj * geom.stride + kj) as isize - geom.pad as isize;
+                                            if jj < 0 || jj >= w as isize {
+                                                continue;
+                                            }
+                                            let idx = ibase + ii as usize * w + jj as usize;
+                                            if xin[idx] > best {
+                                                best = xin[idx];
+                                                besti = idx;
+                                            }
+                                        }
+                                    }
+                                    out[obase + oi * ow + oj] = best;
+                                    am[obase + oi * ow + oj] = besti;
+                                }
+                            }
+                        }
+                    }
+                }
+                Op::AvgPool(l) => {
+                    let i0 = node.inputs[0];
+                    let xin = &slots[plan.slot_of(i0)][..plan.len_of(i0)];
+                    let ish = plan.shape(i0);
+                    let (nb, c, h, w) = (ish[0], ish[1], ish[2], ish[3]);
+                    let geom = l.geom();
+                    let (oh, ow) = geom.out_size(h, w);
+                    let r = l.reciprocal();
+                    for ni in 0..nb {
+                        for ci in 0..c {
+                            let ibase = (ni * c + ci) * h * w;
+                            let obase = (ni * c + ci) * oh * ow;
+                            for oi in 0..oh {
+                                for oj in 0..ow {
+                                    let mut acc = 0.0f32;
+                                    for ki in 0..geom.kh {
+                                        let ii = (oi * geom.stride + ki) as isize - geom.pad as isize;
+                                        if ii < 0 || ii >= h as isize {
+                                            continue;
+                                        }
+                                        for kj in 0..geom.kw {
+                                            let jj =
+                                                (oj * geom.stride + kj) as isize - geom.pad as isize;
+                                            if jj < 0 || jj >= w as isize {
+                                                continue;
+                                            }
+                                            acc += xin[ibase + ii as usize * w + jj as usize];
+                                        }
+                                    }
+                                    out[obase + oi * ow + oj] = acc * r;
+                                }
+                            }
+                        }
+                    }
+                }
+                Op::GlobalAvgPool(_) => {
+                    let i0 = node.inputs[0];
+                    let xin = &slots[plan.slot_of(i0)][..plan.len_of(i0)];
+                    let ish = plan.shape(i0);
+                    let (nb, c, h, w) = (ish[0], ish[1], ish[2], ish[3]);
+                    let inv = 1.0 / (h * w) as f32;
+                    for ni in 0..nb {
+                        for ci in 0..c {
+                            let base = (ni * c + ci) * h * w;
+                            out[ni * c + ci] = xin[base..base + h * w].iter().sum::<f32>() * inv;
+                        }
+                    }
+                }
+                Op::Add(_) => {
+                    let (a, b) = (node.inputs[0], node.inputs[1]);
+                    let ad = &slots[plan.slot_of(a)][..plan.len_of(a)];
+                    let bd = &slots[plan.slot_of(b)][..plan.len_of(b)];
+                    for ((o, &av), &bv) in out.iter_mut().zip(ad).zip(bd) {
+                        *o = av + bv;
+                    }
+                }
+                Op::Concat(_) => {
+                    let c_out = plan.shape(id)[1];
+                    let nb = plan.shape(id)[0];
+                    let spatial: usize = plan.shape(id)[2..].iter().product::<usize>().max(1);
+                    for ni in 0..nb {
+                        let mut c_off = 0usize;
+                        for &i in &node.inputs {
+                            let c = plan.shape(i)[1];
+                            let src = &slots[plan.slot_of(i)]
+                                [ni * c * spatial..(ni + 1) * c * spatial];
+                            let dst_base = (ni * c_out + c_off) * spatial;
+                            out[dst_base..dst_base + c * spatial].copy_from_slice(src);
+                            c_off += c;
+                        }
+                    }
+                }
+            }
+            #[cfg(debug_assertions)]
+            for &v in out.iter() {
+                assert!(
+                    v.is_finite(),
+                    "non-finite activation produced by node {}",
+                    node.name
+                );
+            }
+            slots[oslot] = obuf;
+        }
+        self.forward_ran = true;
+        let out_id = g.output_id();
+        let plan = &self.plan;
+        Tensor::from_vec(
+            plan.shape(out_id).to_vec(),
+            self.slots[plan.slot_of(out_id)][..plan.len_of(out_id)].to_vec(),
+        )
+    }
+
+    /// Runs the planned backward pass from the loss gradient `dout`,
+    /// accumulating layer-parameter gradients into `arena` (which must
+    /// arrive zeroed, like `Graph::zero_grads` before the legacy
+    /// backward) and threshold gradients onto `g`'s side table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no planned forward preceded this call or `dout` has the
+    /// wrong shape.
+    pub fn backward(&mut self, g: &mut Graph, arena: &mut ParamArena, dout: &Tensor) {
+        assert!(
+            self.forward_ran,
+            "planned backward requires a planned forward pass first"
+        );
+        self.forward_ran = false;
+        let out_id = g.output_id();
+        assert_eq!(
+            dout.dims(),
+            self.plan.shape(out_id),
+            "loss gradient shape does not match the graph output"
+        );
+        let FloatExecutor {
+            plan,
+            slots,
+            ws,
+            qw,
+            argmax,
+            bn,
+            ..
+        } = self;
+        let plan: &FloatPlan = plan;
+        let Graph {
+            nodes, thresholds, ..
+        } = g;
+
+        // Seed: the loss gradient defines grad(output).
+        let gout = plan.grad_of(out_id).expect("output has a gradient value");
+        let gslot = plan.slot_of(gout);
+        let mut gbuf = std::mem::take(&mut slots[gslot]);
+        gbuf[..plan.len_of(gout)].copy_from_slice(dout.data());
+        slots[gslot] = gbuf;
+
+        for step in plan.bwd_steps() {
+            let id = step.id;
+            let node = &mut nodes[id];
+            let gid = plan.grad_of(id).expect("backward step on inactive node");
+            // Take every destination buffer for this step's contributions
+            // (defining writes and staged temps; the planner guarantees
+            // their slots are disjoint from each other and from reads).
+            let mut dsts: Vec<Vec<f32>> = Vec::with_capacity(step.contribs.len());
+            let dst_vals: Vec<usize> = step
+                .contribs
+                .iter()
+                .map(|cb| cb.temp.unwrap_or_else(|| {
+                    plan.grad_of(cb.target).expect("contribution to inactive node")
+                }))
+                .collect();
+            for &v in &dst_vals {
+                dsts.push(std::mem::take(&mut slots[plan.slot_of(v)]));
+            }
+            {
+                let gy = &slots[plan.slot_of(gid)][..plan.len_of(gid)];
+                match &mut node.op {
+                    Op::Input => unreachable!("input nodes have no backward step"),
+                    Op::Identity | Op::Flatten(_) | Op::Add(_) => {
+                        for (cb, dbuf) in step.contribs.iter().zip(&mut dsts) {
+                            dbuf[..plan.len_of(dst_vals[cb.pos])].copy_from_slice(gy);
+                        }
+                    }
+                    Op::Concat(_) => {
+                        let c_out = plan.shape(id)[1];
+                        let nb = plan.shape(id)[0];
+                        let spatial: usize =
+                            plan.shape(id)[2..].iter().product::<usize>().max(1);
+                        let mut c_off = 0usize;
+                        for (cb, dbuf) in step.contribs.iter().zip(&mut dsts) {
+                            let c = plan.shape(node.inputs[cb.pos])[1];
+                            for ni in 0..nb {
+                                let src_base = (ni * c_out + c_off) * spatial;
+                                let dst_base = ni * c * spatial;
+                                dbuf[dst_base..dst_base + c * spatial]
+                                    .copy_from_slice(&gy[src_base..src_base + c * spatial]);
+                            }
+                            c_off += c;
+                        }
+                    }
+                    Op::Quant { tid } => {
+                        let i0 = node.inputs[0];
+                        let xin = &slots[plan.slot_of(i0)][..plan.len_of(i0)];
+                        let ts = &mut thresholds[*tid];
+                        let dst = &mut dsts[0][..plan.len_of(dst_vals[0])];
+                        let dlog2_t = quantize_backward_into(xin, ts.log2_t(), ts.spec, gy, dst);
+                        if ts.mode == ThresholdMode::Trained {
+                            ts.param.accumulate_scalar(dlog2_t);
+                        }
+                    }
+                    Op::Relu(l) => {
+                        let i0 = node.inputs[0];
+                        let xin = &slots[plan.slot_of(i0)][..plan.len_of(i0)];
+                        let dst = &mut dsts[0][..plan.len_of(dst_vals[0])];
+                        for ((o, &gv), &xv) in dst.iter_mut().zip(gy).zip(xin) {
+                            *o = gv * l.grad_at(xv);
+                        }
+                    }
+                    Op::Conv(l) => {
+                        let i0 = node.inputs[0];
+                        let xin = &slots[plan.slot_of(i0)][..plan.len_of(i0)];
+                        let ish = plan.shape(i0);
+                        let (nb, c, h, w) = (ish[0], ish[1], ish[2], ish[3]);
+                        let cout = plan.shape(id)[1];
+                        let geom = l.geom();
+                        let segs = plan.param_segs(id).to_vec();
+                        let dst = &mut dsts[0][..plan.len_of(dst_vals[0])];
+                        let (wvals, wgrad) = arena.val_grad_mut(segs[0]);
+                        let wdat: &[f32] = match plan.qw_seg(id) {
+                            Some((o, ln)) => &qw[o..o + ln],
+                            None => wvals,
+                        };
+                        let wslen = nb * conv2d_bwd_ws(c, h, w, cout, geom);
+                        conv2d_backward_into(
+                            xin,
+                            wdat,
+                            gy,
+                            nb,
+                            c,
+                            h,
+                            w,
+                            cout,
+                            geom,
+                            dst,
+                            wgrad,
+                            &mut ws[..wslen],
+                        );
+                        if let Some(&bseg) = segs.get(1) {
+                            let spatial = plan.len_of(id) / (nb * cout);
+                            sum_channel_slice_acc(gy, nb, cout, spatial, arena.grad_mut(bseg));
+                        }
+                        apply_weight_ste(node, thresholds, arena, segs[0]);
+                    }
+                    Op::Depthwise(l) => {
+                        let i0 = node.inputs[0];
+                        let xin = &slots[plan.slot_of(i0)][..plan.len_of(i0)];
+                        let ish = plan.shape(i0);
+                        let (nb, c, h, w) = (ish[0], ish[1], ish[2], ish[3]);
+                        let geom = l.geom();
+                        let segs = plan.param_segs(id).to_vec();
+                        let dst = &mut dsts[0][..plan.len_of(dst_vals[0])];
+                        let (wvals, wgrad) = arena.val_grad_mut(segs[0]);
+                        let wdat: &[f32] = match plan.qw_seg(id) {
+                            Some((o, ln)) => &qw[o..o + ln],
+                            None => wvals,
+                        };
+                        let kelems = c * geom.kh * geom.kw;
+                        depthwise_conv2d_backward_into(
+                            xin,
+                            wdat,
+                            gy,
+                            nb,
+                            c,
+                            h,
+                            w,
+                            geom,
+                            dst,
+                            wgrad,
+                            &mut ws[..nb * kelems],
+                        );
+                        if let Some(&bseg) = segs.get(1) {
+                            let spatial = plan.len_of(id) / (nb * c);
+                            sum_channel_slice_acc(gy, nb, c, spatial, arena.grad_mut(bseg));
+                        }
+                        apply_weight_ste(node, thresholds, arena, segs[0]);
+                    }
+                    Op::Dense(_) => {
+                        let i0 = node.inputs[0];
+                        let xin = &slots[plan.slot_of(i0)][..plan.len_of(i0)];
+                        let (nb, ind) = (plan.shape(i0)[0], plan.shape(i0)[1]);
+                        let outd = plan.shape(id)[1];
+                        let segs = plan.param_segs(id).to_vec();
+                        let dst = &mut dsts[0][..plan.len_of(dst_vals[0])];
+                        {
+                            // dW = x^T @ gy onto the zeroed arena gradient
+                            // (matmul_tn's exact GEMM call).
+                            let wgrad = arena.grad_mut(segs[0]);
+                            gemm_tn(ind, outd, nb, xin, gy, wgrad, true);
+                        }
+                        if let Some(&bseg) = segs.get(1) {
+                            sum_channel_slice_acc(gy, nb, outd, 1, arena.grad_mut(bseg));
+                        }
+                        // dx = gy @ w^T with the (possibly quantized)
+                        // forward weights, like the legacy op order.
+                        let wvals = arena.val(segs[0]);
+                        let wdat: &[f32] = match plan.qw_seg(id) {
+                            Some((o, ln)) => &qw[o..o + ln],
+                            None => wvals,
+                        };
+                        dst.fill(0.0);
+                        gemm_nt(nb, ind, outd, gy, wdat, dst, true);
+                        apply_weight_ste(node, thresholds, arena, segs[0]);
+                    }
+                    Op::BatchNorm(_) => {
+                        let xh_val = plan.xhat_of(id).expect("batch-norm has an xhat value");
+                        let xh = &slots[plan.slot_of(xh_val)][..plan.len_of(xh_val)];
+                        let sh = plan.shape(id);
+                        let (nb, c) = (sh[0], sh[1]);
+                        let spatial = plan.len_of(id) / (nb * c);
+                        let st = bn[id].as_mut().expect("batch-norm scratch missing");
+                        let segs = plan.param_segs(id);
+                        // dgamma = Σ gy*xhat, dbeta = Σ gy per channel —
+                        // sum_over_channel's two-level accumulation; the
+                        // sums are retained because the batch-stats dx
+                        // reuses the identical quantities.
+                        st.sum_gy_xhat.fill(0.0);
+                        st.sum_gy.fill(0.0);
+                        for ni in 0..nb {
+                            for ci in 0..c {
+                                let base = (ni * c + ci) * spatial;
+                                st.sum_gy_xhat[ci] += gy[base..base + spatial]
+                                    .iter()
+                                    .zip(&xh[base..base + spatial])
+                                    .map(|(&a, &b)| a * b)
+                                    .sum::<f32>();
+                                st.sum_gy[ci] +=
+                                    gy[base..base + spatial].iter().sum::<f32>();
+                            }
+                        }
+                        for (o, &s) in arena.grad_mut(segs[0]).iter_mut().zip(&st.sum_gy_xhat) {
+                            *o += s;
+                        }
+                        for (o, &s) in arena.grad_mut(segs[1]).iter_mut().zip(&st.sum_gy) {
+                            *o += s;
+                        }
+                        let gamma = arena.val(segs[0]);
+                        for ((o, &gv), &is) in
+                            st.scale.iter_mut().zip(gamma).zip(&st.inv_std)
+                        {
+                            *o = gv * is;
+                        }
+                        let dst = &mut dsts[0][..plan.len_of(dst_vals[0])];
+                        if !st.batch {
+                            // Frozen statistics: per-channel affine map.
+                            for ni in 0..nb {
+                                for ci in 0..c {
+                                    let base = (ni * c + ci) * spatial;
+                                    let sc = st.scale[ci];
+                                    for (o, &gv) in dst[base..base + spatial]
+                                        .iter_mut()
+                                        .zip(&gy[base..base + spatial])
+                                    {
+                                        *o = gv * sc;
+                                    }
+                                }
+                            }
+                        } else {
+                            // dx = scale*(gy - mean(gy) - xhat*mean(gy*xhat)),
+                            // element order exactly as the layer's
+                            // add_channel/sub/mul_channel chain.
+                            let count = (plan.len_of(id) / c) as f32;
+                            for ni in 0..nb {
+                                for ci in 0..c {
+                                    let base = (ni * c + ci) * spatial;
+                                    let nmgy = -(st.sum_gy[ci] / count);
+                                    let mgx = st.sum_gy_xhat[ci] / count;
+                                    let sc = st.scale[ci];
+                                    for ((o, &gv), &xhv) in dst[base..base + spatial]
+                                        .iter_mut()
+                                        .zip(&gy[base..base + spatial])
+                                        .zip(&xh[base..base + spatial])
+                                    {
+                                        *o = ((gv + nmgy) - xhv * mgx) * sc;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Op::MaxPool(_) => {
+                        let dst = &mut dsts[0][..plan.len_of(dst_vals[0])];
+                        dst.fill(0.0);
+                        for (o, &i) in argmax[id].iter().enumerate() {
+                            dst[i] += gy[o];
+                        }
+                    }
+                    Op::AvgPool(l) => {
+                        let i0 = node.inputs[0];
+                        let ish = plan.shape(i0);
+                        let (nb, c, h, w) = (ish[0], ish[1], ish[2], ish[3]);
+                        let geom = l.geom();
+                        let (oh, ow) = geom.out_size(h, w);
+                        let r = l.reciprocal();
+                        let dst = &mut dsts[0][..plan.len_of(dst_vals[0])];
+                        dst.fill(0.0);
+                        for ni in 0..nb {
+                            for ci in 0..c {
+                                let ibase = (ni * c + ci) * h * w;
+                                let obase = (ni * c + ci) * oh * ow;
+                                for oi in 0..oh {
+                                    for oj in 0..ow {
+                                        let gv = gy[obase + oi * ow + oj] * r;
+                                        for ki in 0..geom.kh {
+                                            let ii = (oi * geom.stride + ki) as isize
+                                                - geom.pad as isize;
+                                            if ii < 0 || ii >= h as isize {
+                                                continue;
+                                            }
+                                            for kj in 0..geom.kw {
+                                                let jj = (oj * geom.stride + kj) as isize
+                                                    - geom.pad as isize;
+                                                if jj < 0 || jj >= w as isize {
+                                                    continue;
+                                                }
+                                                dst[ibase + ii as usize * w + jj as usize] += gv;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Op::GlobalAvgPool(_) => {
+                        let i0 = node.inputs[0];
+                        let ish = plan.shape(i0);
+                        let (nb, c, h, w) = (ish[0], ish[1], ish[2], ish[3]);
+                        let inv = 1.0 / (h * w) as f32;
+                        let dst = &mut dsts[0][..plan.len_of(dst_vals[0])];
+                        for ni in 0..nb {
+                            for ci in 0..c {
+                                let gv = gy[ni * c + ci] * inv;
+                                let base = (ni * c + ci) * h * w;
+                                dst[base..base + h * w].fill(gv);
+                            }
+                        }
+                    }
+                }
+            }
+            for (&v, dbuf) in dst_vals.iter().zip(dsts) {
+                slots[plan.slot_of(v)] = dbuf;
+            }
+            // Fan-in: accumulate staged temps onto the already-defined
+            // gradients, in input-position order (the legacy executor's
+            // axpy order for fan-out nodes).
+            for (cb, &v) in step.contribs.iter().zip(&dst_vals) {
+                if cb.temp.is_none() {
+                    continue;
+                }
+                let gt = plan.grad_of(cb.target).expect("contribution to inactive node");
+                let gts = plan.slot_of(gt);
+                let mut acc = std::mem::take(&mut slots[gts]);
+                let tmp = &slots[plan.slot_of(v)][..plan.len_of(v)];
+                for (a, &b) in acc[..plan.len_of(gt)].iter_mut().zip(tmp) {
+                    *a += 1.0 * b;
+                }
+                slots[gts] = acc;
+            }
+        }
+    }
+}
+
+/// Quantizes node `id`'s weight segment into its persistent qw slice
+/// (forward pass of the weight fake-quantizer) and returns the weights
+/// the compute kernel should consume; plain arena weights when no
+/// quantizer is attached.
+fn quantized_or_plain<'a>(
+    node: &crate::ir::Node,
+    id: usize,
+    plan: &FloatPlan,
+    thresholds: &[crate::ir::ThresholdState],
+    arena: &'a ParamArena,
+    qw: &'a mut [f32],
+    wseg: usize,
+) -> &'a [f32] {
+    match (&node.wq, plan.qw_seg(id)) {
+        (Some(wq), Some((o, ln))) => {
+            let ts = &thresholds[wq.tid];
+            assert!(
+                ts.calibrated,
+                "weight quantizer {} used before calibration",
+                ts.param.name
+            );
+            quantize_into(arena.val(wseg), ts.log2_t(), ts.spec, &mut qw[o..o + ln]);
+            &qw[o..o + ln]
+        }
+        _ => arena.val(wseg),
+    }
+}
+
+/// Routes an accumulated weight gradient through the fake-quantizer STE
+/// (mask to the clip range, fold the threshold gradient) exactly like the
+/// legacy backward, accumulating `dlog2 t` onto the graph threshold.
+fn apply_weight_ste(
+    node: &crate::ir::Node,
+    thresholds: &mut [crate::ir::ThresholdState],
+    arena: &mut ParamArena,
+    wseg: usize,
+) {
+    let Some(wq) = &node.wq else { return };
+    let ts = &mut thresholds[wq.tid];
+    let (wvals, wgrad) = arena.val_grad_mut(wseg);
+    let dlog2_t = quantize_backward_inplace(wvals, ts.log2_t(), ts.spec, wgrad);
+    if ts.mode == ThresholdMode::Trained {
+        ts.param.accumulate_scalar(dlog2_t);
+    }
+}
+
+/// `ops::add_channel_inplace` over raw slices: adds `b[c]` to every
+/// element of each `(image, channel)` block.
+fn add_channel_slice(out: &mut [f32], n: usize, c: usize, spatial: usize, b: &[f32]) {
+    for ni in 0..n {
+        for ci in 0..c {
+            let bv = b[ci];
+            for v in &mut out[(ni * c + ci) * spatial..(ni * c + ci + 1) * spatial] {
+                *v += bv;
+            }
+        }
+    }
+}
+
+/// `ops::sum_over_channel` over raw slices, accumulating onto `out`
+/// (zeroed by the caller): the exact two-level per-block summation.
+fn sum_channel_slice_acc(src: &[f32], n: usize, c: usize, spatial: usize, out: &mut [f32]) {
+    for ni in 0..n {
+        for (ci, o) in out.iter_mut().enumerate() {
+            let base = (ni * c + ci) * spatial;
+            *o += src[base..base + spatial].iter().sum::<f32>();
+        }
+    }
+}
+
+/// Builds a [`ParamArena`] over `g`'s parameters in `params_mut` order
+/// (layer parameters by node id, then thresholds by id) — the exact
+/// layout [`FloatPlan`]'s segment indices assume.
+pub fn build_arena(g: &mut Graph) -> ParamArena {
+    let params = g.params_mut();
+    let refs: Vec<&tqt_nn::Param> = params.iter().map(|p| &**p).collect();
+    ParamArena::from_params(&refs)
+}
+
+/// Copies every arena segment's values back onto the graph parameters
+/// (layer params and thresholds). Call before `state_dict`, `evaluate`,
+/// or any other consumer of the graph's own parameter tensors.
+pub fn flush_arena(g: &mut Graph, arena: &ParamArena) {
+    for (i, p) in g.params_mut().into_iter().enumerate() {
+        p.value.data_mut().copy_from_slice(arena.val(i));
+    }
+}
+
+/// Pushes the graph's threshold values, gradients, and trainable flags
+/// into their arena segments. The graph is authoritative for thresholds
+/// (calibration and the freezer mutate it); call right before the pooled
+/// threshold-optimizer step.
+pub fn sync_thresholds_to_arena(g: &Graph, arena: &mut ParamArena) {
+    let base = arena.segments().len() - g.thresholds().len();
+    for (ti, ts) in g.thresholds().iter().enumerate() {
+        let i = base + ti;
+        arena.val_mut(i).copy_from_slice(ts.param.value.data());
+        arena.grad_mut(i).copy_from_slice(ts.param.grad.data());
+        arena.set_trainable(i, ts.param.trainable);
+    }
+}
+
+/// Pulls updated threshold values from the arena back onto the graph's
+/// side table (values only — the graph keeps its own gradients/flags).
+pub fn sync_thresholds_from_arena(g: &mut Graph, arena: &ParamArena) {
+    let base = arena.segments().len() - g.thresholds().len();
+    for (ti, ts) in g.thresholds_mut().iter_mut().enumerate() {
+        let v = arena.val(base + ti)[0];
+        ts.param.value.data_mut()[0] = v;
+    }
+}
+

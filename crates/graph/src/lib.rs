@@ -15,12 +15,21 @@
 //! * [`quantize`] — the automatic quantization pass implementing the
 //!   layer-precision topologies of Section 4.3 in static or retrain mode.
 //! * [`state`] — weight checkpointing (save/load state dicts).
+//! * [`fplan`] / [`fexec`] — the planned float training path: a
+//!   liveness-planned slot assignment over the forward+backward tape and
+//!   the allocation-free executor that runs it, bit-identical to [`exec`].
 
 pub mod exec;
+pub mod fexec;
+pub mod fplan;
 pub mod ir;
 pub mod quantize;
 pub mod state;
 pub mod transforms;
 
+pub use fexec::{
+    build_arena, flush_arena, sync_thresholds_from_arena, sync_thresholds_to_arena, FloatExecutor,
+};
+pub use fplan::{FloatPlan, ValueKind};
 pub use ir::{Graph, Node, NodeId, Op, ThresholdId, ThresholdMode, ThresholdState, WeightQuant};
 pub use quantize::{quantize_graph, QuantizeOptions, WeightBits};

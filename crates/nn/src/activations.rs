@@ -92,7 +92,9 @@ impl Relu {
         self.negative_slope
     }
 
-    fn apply(&self, v: f32) -> f32 {
+    /// The pointwise forward map (public so the planned executor can run
+    /// the identical element function over slot buffers).
+    pub fn apply(&self, v: f32) -> f32 {
         let mut y = if v > 0.0 { v } else { self.negative_slope * v };
         if let Some(c) = self.cap {
             y = y.min(c);
@@ -100,7 +102,9 @@ impl Relu {
         y
     }
 
-    fn grad_at(&self, v: f32) -> f32 {
+    /// The pointwise sub-gradient at pre-activation `v` (public for the
+    /// planned executor).
+    pub fn grad_at(&self, v: f32) -> f32 {
         if v <= 0.0 {
             self.negative_slope
         } else if let Some(c) = self.cap {

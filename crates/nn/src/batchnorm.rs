@@ -107,6 +107,36 @@ impl BatchNorm {
         (&self.running_mean, &self.running_var)
     }
 
+    /// The numerical-stability epsilon (public for the planned executor).
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
+    /// The running-stats momentum (public for the planned executor).
+    pub fn momentum(&self) -> f32 {
+        self.momentum
+    }
+
+    /// Applies one moving-average update
+    /// `running = momentum * running + (1 - momentum) * batch` in place.
+    /// Shared by the layer forward and the planned executor so both paths
+    /// perform the identical per-element update sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` or `var` does not have `channels` elements.
+    pub fn update_running_stats(&mut self, mean: &[f32], var: &[f32]) {
+        assert_eq!(mean.len(), self.running_mean.len(), "bad mean length");
+        assert_eq!(var.len(), self.running_var.len(), "bad var length");
+        let m = self.momentum;
+        for (old, &new) in self.running_mean.data_mut().iter_mut().zip(mean) {
+            *old = m * *old + (1.0 - m) * new;
+        }
+        for (old, &new) in self.running_var.data_mut().iter_mut().zip(var) {
+            *old = m * *old + (1.0 - m) * new;
+        }
+    }
+
     fn normalize_with(&self, x: &Tensor, mean: &Tensor, var: &Tensor) -> (Tensor, Tensor) {
         let inv_std = var.map(|v| 1.0 / (v + self.eps).sqrt());
         let centered = ops::add_channel(x, &mean.map(|m| -m));
@@ -126,14 +156,7 @@ impl Layer for BatchNorm {
         let (xhat, inv_std) = if use_batch_stats {
             let mean = reduce::mean_over_channel(x);
             let var = reduce::var_over_channel(x, &mean);
-            // Moving-average update: new = momentum*old + (1-momentum)*batch.
-            let m = self.momentum;
-            self.running_mean = self
-                .running_mean
-                .zip_map(&mean, |old, new| m * old + (1.0 - m) * new);
-            self.running_var = self
-                .running_var
-                .zip_map(&var, |old, new| m * old + (1.0 - m) * new);
+            self.update_running_stats(mean.data(), var.data());
             self.normalize_with(x, &mean, &var)
         } else {
             let (mean, var) = (self.running_mean.clone(), self.running_var.clone());

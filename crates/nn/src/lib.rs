@@ -30,6 +30,7 @@
 //! ```
 
 pub mod activations;
+pub mod arena;
 pub mod batchnorm;
 pub mod conv;
 pub mod dense;
@@ -44,6 +45,7 @@ pub mod schedule;
 pub mod testutil;
 
 pub use activations::Relu;
+pub use arena::{ParamArena, PooledAdam};
 pub use batchnorm::BatchNorm;
 pub use conv::{Conv2d, DepthwiseConv2d};
 pub use dense::Dense;

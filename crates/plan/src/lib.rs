@@ -1,0 +1,311 @@
+//! # tqt-plan
+//!
+//! The dtype-generic liveness planner shared by every planned executor in
+//! the workspace. Execution is modeled as a *tape*: an ordered list of
+//! steps, each of which writes some values and reads some values. Every
+//! value is written by exactly one step (SSA) and has a known element
+//! count; the planner assigns each value to a reusable buffer *slot* so
+//! that no two simultaneously-live values share storage, recycling a
+//! value's slot as soon as its last reader has executed.
+//!
+//! This is the machinery the `IntPlan` executor introduced for int8
+//! inference (single-write steps, one per graph node) hoisted out and
+//! generalized over multi-write steps so the float training tape —
+//! forward activations, backward gradients, batch-norm auxiliaries and
+//! per-step temporaries — plans through the exact same best-fit
+//! allocator. The element type never appears here: slots are abstract
+//! capacities; executors own `Vec<T>` buffers sized from
+//! [`SlotAssignment::slot_lens`].
+//!
+//! Invariants (proven independently by `tqt-verify`'s plan checker):
+//!
+//! * a step's write slots are picked **before** its read values are
+//!   released, so a step never writes into a buffer it is reading;
+//! * two writes of one step never share a slot;
+//! * a pinned value's slot is never recycled.
+
+/// One step of an execution tape: the values it defines and the values it
+/// consumes. A value updated in place (read-modify-write) belongs in
+/// `reads` — it already owns a slot and stays live through the step.
+#[derive(Debug, Clone, Default)]
+pub struct TapeStep {
+    /// Values this step defines (each value appears as a write exactly
+    /// once across the whole tape).
+    pub writes: Vec<usize>,
+    /// Values this step consumes (duplicates allowed; each occurrence
+    /// counts as one use, mirroring a node listing the same input twice).
+    pub reads: Vec<usize>,
+}
+
+impl TapeStep {
+    /// A step writing `writes` and reading `reads`.
+    pub fn new(writes: Vec<usize>, reads: Vec<usize>) -> Self {
+        TapeStep { writes, reads }
+    }
+}
+
+/// The planner's output: a slot per value and a capacity per slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotAssignment {
+    /// Slot index per value.
+    pub slot: Vec<usize>,
+    /// Element capacity per slot (the max over the values it hosts).
+    pub slot_lens: Vec<usize>,
+}
+
+impl SlotAssignment {
+    /// Number of distinct slots.
+    pub fn num_slots(&self) -> usize {
+        self.slot_lens.len()
+    }
+
+    /// Total elements across all slot buffers.
+    pub fn total_elems(&self) -> usize {
+        self.slot_lens.iter().sum()
+    }
+}
+
+/// Assigns every value of a tape to a reusable slot.
+///
+/// `lens[v]` is the element count of value `v`; `steps` is the tape in
+/// execution order; `pinned` values get one extra phantom use so their
+/// slot survives past their last tape read (the executor's output, read
+/// by the caller after the run).
+///
+/// Best-fit policy (identical to the int executor's): prefer the
+/// smallest free slot that already fits the value; otherwise grow the
+/// largest free slot; otherwise open a new slot. Within a step all write
+/// slots are claimed first, then reads are released, then writes with no
+/// readers at all (step-local temporaries) are released immediately.
+///
+/// # Panics
+///
+/// Panics if a value is written more than once, read or pinned but never
+/// written, or read before its writing step (the tape is not in
+/// execution order).
+pub fn assign_slots(lens: &[usize], steps: &[TapeStep], pinned: &[usize]) -> SlotAssignment {
+    let n = lens.len();
+    let mut uses = vec![0usize; n];
+    for step in steps {
+        for &r in &step.reads {
+            uses[r] += 1;
+        }
+    }
+    for &p in pinned {
+        uses[p] += 1;
+    }
+
+    // SSA + ordering validation.
+    let mut written = vec![false; n];
+    for (si, step) in steps.iter().enumerate() {
+        for &w in &step.writes {
+            assert!(!written[w], "value {w} written twice (step {si})");
+            written[w] = true;
+        }
+        for &r in &step.reads {
+            assert!(written[r], "value {r} read at step {si} before being written");
+        }
+    }
+    for (v, &u) in uses.iter().enumerate() {
+        assert!(
+            u == 0 || written[v],
+            "value {v} is read or pinned but never written"
+        );
+    }
+
+    let mut slot = vec![0usize; n];
+    let mut slot_lens: Vec<usize> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    for step in steps {
+        // Claim a slot for every write *before* releasing any read, so a
+        // step never writes into a buffer it is reading.
+        for &w in &step.writes {
+            let need = lens[w];
+            // Best fit: smallest free slot that already fits; otherwise
+            // grow the largest free slot; otherwise open a new slot.
+            let mut best: Option<usize> = None;
+            for (fi, &s) in free.iter().enumerate() {
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        let (bl, l) = (slot_lens[free[b]], slot_lens[s]);
+                        if l >= need {
+                            bl < need || l < bl
+                        } else {
+                            bl < need && l > bl
+                        }
+                    }
+                };
+                if better {
+                    best = Some(fi);
+                }
+            }
+            let s = match best {
+                Some(fi) => free.swap_remove(fi),
+                None => {
+                    slot_lens.push(0);
+                    slot_lens.len() - 1
+                }
+            };
+            slot[w] = s;
+            slot_lens[s] = slot_lens[s].max(need);
+        }
+        for &r in &step.reads {
+            uses[r] -= 1;
+            if uses[r] == 0 {
+                free.push(slot[r]);
+            }
+        }
+        for &w in &step.writes {
+            if uses[w] == 0 {
+                // Step-local temporary or dead value (no readers, not
+                // pinned): recyclable right after the step runs.
+                free.push(slot[w]);
+            }
+        }
+    }
+    SlotAssignment { slot, slot_lens }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Shorthand: single-write step, like an inference-graph node.
+    fn node(id: usize, inputs: &[usize]) -> TapeStep {
+        TapeStep::new(vec![id], inputs.to_vec())
+    }
+
+    #[test]
+    fn chain_reuses_two_slots() {
+        // 0 -> 1 -> 2 -> 3: value v is dead once v+1 ran, so a chain
+        // ping-pongs between two slots.
+        let lens = [4, 4, 4, 4];
+        let steps = [node(0, &[]), node(1, &[0]), node(2, &[1]), node(3, &[2])];
+        let a = assign_slots(&lens, &steps, &[3]);
+        assert_eq!(a.num_slots(), 2);
+        assert_ne!(a.slot[0], a.slot[1]);
+        assert_ne!(a.slot[1], a.slot[2]);
+        assert_ne!(a.slot[2], a.slot[3]);
+    }
+
+    #[test]
+    fn fanout_keeps_value_live() {
+        // 0 feeds both 1 and 2; its slot must not be reused for 1.
+        let lens = [4, 4, 4, 4];
+        let steps = [
+            node(0, &[]),
+            node(1, &[0]),
+            node(2, &[0]),
+            node(3, &[1, 2]),
+        ];
+        let a = assign_slots(&lens, &steps, &[3]);
+        assert_ne!(a.slot[1], a.slot[0]);
+        // After step 2 both 0 and 1 are dead; 3 may reuse either.
+    }
+
+    #[test]
+    fn pinned_slot_never_recycled() {
+        let lens = [4, 4, 4];
+        let steps = [node(0, &[]), node(1, &[0]), node(2, &[1])];
+        let a = assign_slots(&lens, &steps, &[0, 2]);
+        // 0 is pinned: 1 and 2 must avoid its slot even though no step
+        // reads 0 after step 1.
+        assert_ne!(a.slot[1], a.slot[0]);
+        assert_ne!(a.slot[2], a.slot[0]);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient() {
+        // Free slots of capacity 10 and 4 exist when value 4 (len 3)
+        // allocates; it must take the 4-slot, not grow the 10-slot.
+        let lens = [10, 4, 1, 1, 3, 1];
+        let steps = [
+            node(0, &[]),
+            node(1, &[]),
+            node(2, &[0]), // frees slot of 0 (cap 10)
+            node(3, &[1]), // frees slot of 1 (cap 4)
+            node(4, &[2, 3]),
+            node(5, &[4]),
+        ];
+        let a = assign_slots(&lens, &steps, &[5]);
+        assert_eq!(a.slot[4], a.slot[1]);
+        assert_eq!(a.slot_lens[a.slot[1]], 4);
+    }
+
+    #[test]
+    fn multi_write_step_gets_distinct_slots() {
+        // One step defines two values (e.g. an op writing activation and
+        // auxiliary); they must not share a slot, nor alias the read.
+        let lens = [4, 4, 4, 4];
+        let steps = [
+            node(0, &[]),
+            TapeStep::new(vec![1, 2], vec![0]),
+            node(3, &[1, 2]),
+        ];
+        let a = assign_slots(&lens, &steps, &[3]);
+        assert_ne!(a.slot[1], a.slot[2]);
+        assert_ne!(a.slot[1], a.slot[0]);
+        assert_ne!(a.slot[2], a.slot[0]);
+    }
+
+    #[test]
+    fn step_local_temp_freed_immediately() {
+        // Value 1 is written and never read (an in-step temporary that was
+        // consumed by an in-place update of a read value); its slot is
+        // free for the very next step. Value 0 stays live (pinned + read),
+        // so the temp's slot is the only recyclable one.
+        let lens = [4, 4, 4];
+        let steps = [
+            node(0, &[]),
+            TapeStep::new(vec![1], vec![0]),
+            node(2, &[0]),
+        ];
+        let a = assign_slots(&lens, &steps, &[0, 2]);
+        assert_eq!(a.slot[2], a.slot[1], "temp slot should be recycled");
+        assert_eq!(a.num_slots(), 2);
+    }
+
+    #[test]
+    fn in_place_update_keeps_value_live() {
+        // Step 2 reads 0 (update in place) and writes 2; 2 must not alias
+        // 0, which is read again later.
+        let lens = [4, 4, 4, 4];
+        let steps = [
+            node(0, &[]),
+            node(1, &[]),
+            TapeStep::new(vec![2], vec![0, 1]),
+            node(3, &[0, 2]),
+        ];
+        let a = assign_slots(&lens, &steps, &[3]);
+        assert_ne!(a.slot[2], a.slot[0]);
+    }
+
+    #[test]
+    fn duplicate_reads_count_twice() {
+        // Node 1 reads 0 twice (Add(r, r)); 0 dies only after both
+        // occurrences are accounted.
+        let lens = [4, 4];
+        let steps = [node(0, &[]), node(1, &[0, 0])];
+        let a = assign_slots(&lens, &steps, &[1]);
+        assert_ne!(a.slot[0], a.slot[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "written twice")]
+    fn rejects_double_write() {
+        assign_slots(&[1, 1], &[node(0, &[]), TapeStep::new(vec![0], vec![])], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before being written")]
+    fn rejects_read_before_write() {
+        assign_slots(&[1, 1], &[node(0, &[1]), node(1, &[])], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "never written")]
+    fn rejects_unwritten_pin() {
+        assign_slots(&[1, 1], &[node(0, &[])], &[1]);
+    }
+}

@@ -33,18 +33,29 @@ pub(crate) const PAR_BLOCK: usize = 8192;
 /// assert_eq!(y.data()[1], -1.0);                  // clipped to n*s
 /// ```
 pub fn quantize(x: &Tensor, log2_t: f32, spec: QuantSpec) -> Tensor {
+    let mut y = Tensor::zeros(x.shape().clone());
+    quantize_into(x.data(), log2_t, spec, y.data_mut());
+    y
+}
+
+/// [`quantize`] over raw slices: the planned-executor entry point. `out`
+/// may be dirty — every element is assigned. Same parallel structure as
+/// the tensor path, so results are bit-identical.
+///
+/// # Panics
+///
+/// Panics if `out.len() != xd.len()`.
+pub fn quantize_into(xd: &[f32], log2_t: f32, spec: QuantSpec, out: &mut [f32]) {
+    assert_eq!(out.len(), xd.len(), "quantize output length mismatch");
     let s = spec.scale_for_log2_t(log2_t);
     let (n, p) = (spec.qmin(), spec.qmax());
-    let mut y = Tensor::zeros(x.shape().clone());
-    let xd = x.data();
-    pool::par_chunks_mut(y.data_mut(), PAR_BLOCK, |ci, chunk| {
+    pool::par_chunks_mut(out, PAR_BLOCK, |ci, chunk| {
         let base = ci * PAR_BLOCK;
         let end = base + chunk.len();
         for (o, &v) in chunk.iter_mut().zip(&xd[base..end]) {
             *o = round_half_even(v / s).clamp(n, p) * s;
         }
     });
-    y
 }
 
 /// Gradients produced by [`quantize_backward`].
@@ -83,7 +94,6 @@ pub struct TqtGrads {
 /// # Panics
 ///
 /// Panics if `gy` has a different shape than `x`.
-#[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must take the else branch, as in the serial chain
 pub fn quantize_backward(x: &Tensor, log2_t: f32, spec: QuantSpec, gy: &Tensor) -> TqtGrads {
     assert!(
         x.shape().same_as(gy.shape()),
@@ -91,23 +101,87 @@ pub fn quantize_backward(x: &Tensor, log2_t: f32, spec: QuantSpec, gy: &Tensor) 
         gy.shape(),
         x.shape()
     );
+    let mut dx = Tensor::zeros(x.shape().clone());
+    let dlog2_t = quantize_backward_into(x.data(), log2_t, spec, gy.data(), dx.data_mut());
+    TqtGrads { dx, dlog2_t }
+}
+
+/// [`quantize_backward`] over raw slices: writes the STE input gradient
+/// into `dx` (may be dirty — every element is assigned: the upstream
+/// gradient inside the clip range, `0.0` outside) and returns the scalar
+/// log-threshold gradient. Identical parallel structure and f64 block
+/// reduction as the tensor path, so results are bit-identical.
+///
+/// # Panics
+///
+/// Panics if `gyd` or `dx` disagree with `xd` in length.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must take the pass-through branch, as in the serial chain
+pub fn quantize_backward_into(
+    xd: &[f32],
+    log2_t: f32,
+    spec: QuantSpec,
+    gyd: &[f32],
+    dx: &mut [f32],
+) -> f32 {
+    assert_eq!(gyd.len(), xd.len(), "upstream gradient length mismatch");
+    assert_eq!(dx.len(), xd.len(), "dx length mismatch");
     let s = spec.scale_for_log2_t(log2_t);
     let (n, p) = (spec.qmin(), spec.qmax());
-    let ln2 = std::f32::consts::LN_2;
-    let mut dx = Tensor::zeros(x.shape().clone());
-    let xd = x.data();
-    let gyd = gy.data();
-    pool::par_chunks_mut(dx.data_mut(), PAR_BLOCK, |ci, chunk| {
+    pool::par_chunks_mut(dx, PAR_BLOCK, |ci, chunk| {
         let base = ci * PAR_BLOCK;
         for (j, o) in chunk.iter_mut().enumerate() {
             let q = round_half_even(xd[base + j] / s);
             // Negated comparisons so NaN falls through to the pass-through
             // branch, exactly like the serial if/else chain.
-            if !(q < n) && !(q > p) {
-                *o = gyd[base + j];
+            *o = if !(q < n) && !(q > p) {
+                gyd[base + j]
+            } else {
+                0.0
+            };
+        }
+    });
+    fold_dlog2_t(xd, s, n, p, gyd)
+}
+
+/// In-place weight-STE variant of [`quantize_backward_into`]: computes
+/// the scalar log-threshold gradient from the **unmasked** `grad` first,
+/// then masks `grad` in place (kept inside the clip range of the
+/// original weights `xd`, zeroed outside). Exactly the value sequence of
+/// `quantize_backward` followed by `w.grad = g.dx`, without the
+/// intermediate buffer.
+///
+/// # Panics
+///
+/// Panics if `grad.len() != xd.len()`.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must take the pass-through branch, as in the serial chain
+pub fn quantize_backward_inplace(
+    xd: &[f32],
+    log2_t: f32,
+    spec: QuantSpec,
+    grad: &mut [f32],
+) -> f32 {
+    assert_eq!(grad.len(), xd.len(), "gradient length mismatch");
+    let s = spec.scale_for_log2_t(log2_t);
+    let (n, p) = (spec.qmin(), spec.qmax());
+    let dlog2_t = fold_dlog2_t(xd, s, n, p, grad);
+    pool::par_chunks_mut(grad, PAR_BLOCK, |ci, chunk| {
+        let base = ci * PAR_BLOCK;
+        for (j, o) in chunk.iter_mut().enumerate() {
+            let q = round_half_even(xd[base + j] / s);
+            if !(!(q < n) && !(q > p)) {
+                *o = 0.0;
             }
         }
     });
+    dlog2_t
+}
+
+/// The eq. 7 threshold-gradient reduction shared by every backward entry
+/// point: per-element f64 terms summed in index order within fixed
+/// [`PAR_BLOCK`]s, block partials folded serially in block order —
+/// bitwise independent of the thread count.
+fn fold_dlog2_t(xd: &[f32], s: f32, n: f32, p: f32, gyd: &[f32]) -> f32 {
+    let ln2 = std::f32::consts::LN_2;
     let partials = pool::par_fold_blocks(xd.len(), PAR_BLOCK, |_, range| {
         let mut acc = 0.0f64;
         for i in range {
@@ -125,10 +199,7 @@ pub fn quantize_backward(x: &Tensor, log2_t: f32, spec: QuantSpec, gy: &Tensor) 
         acc
     });
     let dlog2_t: f64 = partials.iter().sum();
-    TqtGrads {
-        dx,
-        dlog2_t: dlog2_t as f32,
-    }
+    dlog2_t as f32
 }
 
 /// Per-element local gradient of the quantizer output with respect to the
@@ -339,6 +410,27 @@ mod tests {
             let expected_dx = if in_range { gy.data()[i] } else { 0.0 };
             assert_eq!(g.dx.data()[i], expected_dx, "STE mask wrong at {i}");
         }
+    }
+
+    #[test]
+    fn inplace_ste_matches_backward_then_replace() {
+        // The fused weight-STE path (dlog2_t from the unmasked grad, then
+        // mask in place) must be bit-identical to quantize_backward
+        // followed by `grad = dx`, across serial and parallel runs.
+        let mut rng = init::rng(14);
+        let x = init::normal([3 * PAR_BLOCK + 17], 0.0, 1.5, &mut rng);
+        let gy = init::normal([3 * PAR_BLOCK + 17], 0.0, 1.0, &mut rng);
+        for spec in [QuantSpec::INT8, QuantSpec::INT4] {
+            for threads in [1usize, 4] {
+                tqt_rt::pool::set_threads(threads);
+                let reference = quantize_backward(&x, -0.7, spec, &gy);
+                let mut grad = gy.data().to_vec();
+                let dlog2_t = quantize_backward_inplace(x.data(), -0.7, spec, &mut grad);
+                assert_eq!(dlog2_t.to_bits(), reference.dlog2_t.to_bits());
+                assert_eq!(grad, reference.dx.data());
+            }
+        }
+        tqt_rt::pool::set_threads(0);
     }
 
     #[test]

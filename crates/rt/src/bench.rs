@@ -87,6 +87,7 @@ pub struct Report {
     out: Option<PathBuf>,
     smoke: bool,
     results: Vec<Stats>,
+    metrics: Vec<(String, f64)>,
 }
 
 impl Report {
@@ -109,6 +110,7 @@ impl Report {
             out,
             smoke,
             results: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 
@@ -123,6 +125,12 @@ impl Report {
         self.results.push(stats);
     }
 
+    /// Records a scalar side-metric (e.g. a steady-state allocation
+    /// count) to be serialized alongside the timing results.
+    pub fn push_metric(&mut self, name: &str, value: f64) {
+        self.metrics.push((name.to_string(), value));
+    }
+
     /// Serializes the recorded results.
     pub fn to_json(&self) -> Json {
         let mut obj = BTreeMap::new();
@@ -132,6 +140,14 @@ impl Report {
             "results".to_string(),
             Json::Arr(self.results.iter().map(Stats::to_json).collect()),
         );
+        if !self.metrics.is_empty() {
+            let m: BTreeMap<String, Json> = self
+                .metrics
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::from(*v)))
+                .collect();
+            obj.insert("metrics".to_string(), Json::Obj(m));
+        }
         Json::Obj(obj)
     }
 

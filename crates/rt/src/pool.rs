@@ -354,6 +354,129 @@ where
     ranges.check("par_chunks_mut", len);
 }
 
+/// Lockstep dual-buffer variant of [`par_chunks_mut`]: carves chunk `i`
+/// of `a` (size `ca`) and chunk `i` of `b` (size `cb`) and hands both to
+/// `f(i, a_chunk, b_chunk)`. The two buffers must tile into the same
+/// number of chunks. Used by kernels that pair each output chunk with a
+/// private scratch chunk (e.g. per-image conv output + im2col workspace)
+/// so the scratch is plan-owned rather than checked out per call.
+///
+/// # Panics
+///
+/// Panics if either chunk size is zero or the chunk counts differ, or
+/// re-throws the first panic raised by `f`.
+pub fn par_chunks_mut2<A, B, F>(a: &mut [A], ca: usize, b: &mut [B], cb: usize, f: F)
+where
+    A: Send,
+    B: Send,
+    F: Fn(usize, &mut [A], &mut [B]) + Sync,
+{
+    assert!(ca > 0 && cb > 0, "chunk sizes must be positive");
+    let (la, lb) = (a.len(), b.len());
+    let nchunks = la.div_ceil(ca);
+    assert_eq!(
+        nchunks,
+        lb.div_ceil(cb),
+        "par_chunks_mut2: buffers disagree on chunk count"
+    );
+    let workers = threads();
+    if workers <= 1 || nchunks < 2 {
+        for (i, (cha, chb)) in a.chunks_mut(ca).zip(b.chunks_mut(cb)).enumerate() {
+            f(i, cha, chb);
+        }
+        return;
+    }
+    let per = nchunks.div_ceil(workers * BLOCKS_PER_THREAD).max(1);
+    let nblocks = nchunks.div_ceil(per);
+    let base_a = SendPtr(a.as_mut_ptr());
+    let base_b = SendPtr(b.as_mut_ptr());
+    let ranges_a = hb::RangeLog::new();
+    let ranges_b = hb::RangeLog::new();
+    run_region(nblocks, &|blk| {
+        let first = blk * per;
+        let last = (first + per).min(nchunks);
+        for ci in first..last {
+            let (sa, ea) = (ci * ca, ((ci + 1) * ca).min(la));
+            let (sb, eb) = (ci * cb, ((ci + 1) * cb).min(lb));
+            ranges_a.record(sa, ea);
+            ranges_b.record(sb, eb);
+            // SAFETY: chunk indices are partitioned over blocks, each run
+            // by exactly one closure invocation, so the sub-slices of each
+            // buffer are disjoint. The region joins before either borrow
+            // ends.
+            let cha = unsafe { std::slice::from_raw_parts_mut(base_a.get().add(sa), ea - sa) };
+            let chb = unsafe { std::slice::from_raw_parts_mut(base_b.get().add(sb), eb - sb) };
+            f(ci, cha, chb);
+        }
+    });
+    ranges_a.check("par_chunks_mut2/a", la);
+    ranges_b.check("par_chunks_mut2/b", lb);
+}
+
+/// Lockstep four-buffer variant of [`par_chunks_mut`]: all four buffers
+/// share one length and one chunk size; `f(i, a_i, b_i, c_i, d_i)` gets
+/// the `i`-th chunk of each. Built for the pooled optimizer update, where
+/// parameter values, gradients and both moment vectors advance together
+/// over a contiguous arena in fixed thread-count-independent blocks.
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0` or the lengths differ, or re-throws the
+/// first panic raised by `f`.
+pub fn par_chunks_mut4<T, F>(
+    a: &mut [T],
+    b: &mut [T],
+    c: &mut [T],
+    d: &mut [T],
+    chunk_size: usize,
+    f: F,
+) where
+    T: Send,
+    F: Fn(usize, &mut [T], &mut [T], &mut [T], &mut [T]) + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let len = a.len();
+    assert!(
+        b.len() == len && c.len() == len && d.len() == len,
+        "par_chunks_mut4: buffers disagree on length"
+    );
+    let nchunks = len.div_ceil(chunk_size);
+    let workers = threads();
+    if workers <= 1 || nchunks < 2 {
+        for i in 0..nchunks {
+            let (s, e) = (i * chunk_size, ((i + 1) * chunk_size).min(len));
+            f(i, &mut a[s..e], &mut b[s..e], &mut c[s..e], &mut d[s..e]);
+        }
+        return;
+    }
+    let per = nchunks.div_ceil(workers * BLOCKS_PER_THREAD).max(1);
+    let nblocks = nchunks.div_ceil(per);
+    let bases = [
+        SendPtr(a.as_mut_ptr()),
+        SendPtr(b.as_mut_ptr()),
+        SendPtr(c.as_mut_ptr()),
+        SendPtr(d.as_mut_ptr()),
+    ];
+    let ranges = hb::RangeLog::new();
+    run_region(nblocks, &|blk| {
+        let first = blk * per;
+        let last = (first + per).min(nchunks);
+        for ci in first..last {
+            let (s, e) = (ci * chunk_size, ((ci + 1) * chunk_size).min(len));
+            ranges.record(s, e);
+            // SAFETY: chunk indices are partitioned over blocks, each run
+            // by exactly one closure invocation, so the per-buffer
+            // sub-slices are disjoint; the four buffers are distinct
+            // borrows. The region joins before any borrow ends.
+            let [cha, chb, chc, chd] = bases.map(|p| unsafe {
+                std::slice::from_raw_parts_mut(p.get().add(s), e - s)
+            });
+            f(ci, cha, chb, chc, chd);
+        }
+    });
+    ranges.check("par_chunks_mut4", len);
+}
+
 /// Row-wise parallel iteration over a `[rows, row_len]` row-major buffer:
 /// calls `f(row_index, row)` for every row. Thin wrapper over
 /// [`par_chunks_mut`] named for the common tensor-kernel case.
@@ -525,6 +648,59 @@ mod tests {
         let parts = par_fold_blocks(10, 4, |b, r| (b, r.len()));
         assert_eq!(parts, vec![(0, 4), (1, 4), (2, 2)]);
         assert!(par_fold_blocks(0, 4, |_, _| 0u8).is_empty());
+    }
+
+    #[test]
+    fn chunks2_lockstep_pairs_match() {
+        // a chunks of 8 pair with b chunks of 3; every element records
+        // which chunk wrote it.
+        let mut a = vec![0u32; 64];
+        let mut b = vec![0u32; 24];
+        par_chunks_mut2(&mut a, 8, &mut b, 3, |i, ca, cb| {
+            ca.fill(i as u32 + 1);
+            cb.fill(i as u32 + 1);
+        });
+        for (k, &v) in a.iter().enumerate() {
+            assert_eq!(v, (k / 8) as u32 + 1);
+        }
+        for (k, &v) in b.iter().enumerate() {
+            assert_eq!(v, (k / 3) as u32 + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on chunk count")]
+    fn chunks2_rejects_mismatched_chunk_counts() {
+        let (mut a, mut b) = (vec![0u8; 10], vec![0u8; 10]);
+        par_chunks_mut2(&mut a, 2, &mut b, 5, |_, _, _| {});
+    }
+
+    #[test]
+    fn chunks4_covers_all_four_buffers() {
+        let mut bufs: Vec<Vec<u32>> = (0..4).map(|_| vec![0u32; 1003]).collect();
+        let [a, b, c, d] = &mut bufs[..] else {
+            unreachable!()
+        };
+        par_chunks_mut4(a, b, c, d, 17, |i, ca, cb, cc, cd| {
+            for (j, (((va, vb), vc), vd)) in ca
+                .iter_mut()
+                .zip(cb.iter_mut())
+                .zip(cc.iter_mut())
+                .zip(cd.iter_mut())
+                .enumerate()
+            {
+                let base = (i * 17 + j) as u32;
+                *va = base + 1;
+                *vb = base + 2;
+                *vc = base + 3;
+                *vd = base + 4;
+            }
+        });
+        for (bi, buf) in bufs.iter().enumerate() {
+            for (k, &v) in buf.iter().enumerate() {
+                assert_eq!(v, k as u32 + bi as u32 + 1);
+            }
+        }
     }
 
     #[test]

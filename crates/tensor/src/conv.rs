@@ -177,6 +177,125 @@ fn check_conv_shapes(x: &Tensor, w: &Tensor, depthwise: bool) {
     }
 }
 
+/// Per-image workspace length (f32 elements) for [`conv2d_into`]: one
+/// im2col column matrix `[c*kh*kw, oh*ow]`.
+pub fn conv2d_fwd_ws(c: usize, h: usize, w: usize, g: Conv2dGeom) -> usize {
+    let (oh, ow) = g.out_size(h, w);
+    c * g.kh * g.kw * oh * ow
+}
+
+/// Per-image workspace length (f32 elements) for
+/// [`conv2d_backward_into`]: the im2col matrix, the gradient column
+/// matrix, and one per-image weight-gradient partial.
+pub fn conv2d_bwd_ws(c: usize, h: usize, w: usize, cout: usize, g: Conv2dGeom) -> usize {
+    let (oh, ow) = g.out_size(h, w);
+    let krows = c * g.kh * g.kw;
+    2 * krows * oh * ow + cout * krows
+}
+
+/// Standard 2-D convolution forward over raw slices with caller-owned
+/// workspace: the planned-executor entry point. `xd` is `[n, c, h, w]`,
+/// `wpack` the filter matrix `[cout, c*kh*kw]` packed by
+/// [`gemm::pack_a_full_into`], `out` is `[n, cout, oh, ow]` (may be
+/// dirty; fully overwritten), and `ws` holds `n` per-image im2col
+/// workspaces of [`conv2d_fwd_ws`] elements each. Compute structure —
+/// per-image parallel region, serial prepacked GEMM per image — is
+/// identical to the allocating [`conv2d`], so results are bit-identical.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the shapes.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_into(
+    xd: &[f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    wpack: &[f32],
+    cout: usize,
+    g: Conv2dGeom,
+    out: &mut [f32],
+    ws: &mut [f32],
+) {
+    let (oh, ow) = g.out_size(h, w);
+    let ncols = oh * ow;
+    let krows = c * g.kh * g.kw;
+    assert_eq!(xd.len(), n * c * h * w, "conv input length mismatch");
+    assert_eq!(out.len(), n * cout * ncols, "conv output length mismatch");
+    assert_eq!(ws.len(), n * krows * ncols, "conv workspace length mismatch");
+    pool::par_chunks_mut2(out, cout * ncols, ws, krows * ncols, |ni, ochunk, cols| {
+        // im2col writes every workspace element, so it can stay dirty.
+        im2col(&xd[ni * c * h * w..(ni + 1) * c * h * w], c, h, w, g, cols);
+        // ochunk[co, :] = W[cout, krows] @ cols[krows, ncols]; GEMM
+        // accumulates, so clear the (possibly reused) output chunk first.
+        // Serial GEMM — already inside the per-image parallel region.
+        ochunk.fill(0.0);
+        gemm::gemm_nn_prepacked_slice(cout, ncols, krows, wpack, cols, ochunk, false);
+    });
+}
+
+/// Standard 2-D convolution backward over raw slices with caller-owned
+/// workspace. `gx` (shape of `xd`) is fully overwritten; `gw`
+/// `[cout, c*kh*kw]` must arrive **zeroed** — per-image partials are
+/// accumulated into it in ascending image order, reproducing the
+/// allocating path's serial reduction bit-for-bit. `ws` holds `n`
+/// per-image workspaces of [`conv2d_bwd_ws`] elements each.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the shapes.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_backward_into(
+    xd: &[f32],
+    wdat: &[f32],
+    gyd: &[f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    cout: usize,
+    g: Conv2dGeom,
+    gx: &mut [f32],
+    gw: &mut [f32],
+    ws: &mut [f32],
+) {
+    let (oh, ow) = g.out_size(h, w);
+    let ncols = oh * ow;
+    let krows = c * g.kh * g.kw;
+    let per = 2 * krows * ncols + cout * krows;
+    assert_eq!(xd.len(), n * c * h * w, "conv input length mismatch");
+    assert_eq!(wdat.len(), cout * krows, "conv weight length mismatch");
+    assert_eq!(gyd.len(), n * cout * ncols, "conv upstream length mismatch");
+    assert_eq!(gx.len(), n * c * h * w, "conv gx length mismatch");
+    assert_eq!(gw.len(), cout * krows, "conv gw length mismatch");
+    assert_eq!(ws.len(), n * per, "conv workspace length mismatch");
+    pool::par_chunks_mut2(gx, c * h * w, ws, per, |ni, gxchunk, wsi| {
+        let (cols, rest) = wsi.split_at_mut(krows * ncols);
+        let (gcols, gwpart) = rest.split_at_mut(krows * ncols);
+        // im2col writes every element, so the workspace can stay dirty.
+        im2col(&xd[ni * c * h * w..(ni + 1) * c * h * w], c, h, w, g, cols);
+        let gslice = &gyd[ni * cout * ncols..(ni + 1) * cout * ncols];
+        // grad_w partial = gy[cout, ncols] @ cols[krows, ncols]^T; GEMM
+        // accumulates, so both destinations start zeroed.
+        gwpart.fill(0.0);
+        gemm::gemm_nt(cout, krows, ncols, gslice, cols, gwpart, false);
+        // grad_cols = W[cout, krows]^T @ gy[cout, ncols].
+        gcols.fill(0.0);
+        gemm::gemm_tn(krows, ncols, cout, wdat, gslice, gcols, false);
+        // col2im zero-fills gxchunk itself before scattering.
+        col2im(gcols, c, h, w, g, gxchunk);
+    });
+    // Serial weight-gradient reduction in deterministic image order —
+    // bit-identical to the serial path regardless of thread count.
+    for ni in 0..n {
+        let gwpart = &ws[ni * per + 2 * krows * ncols..ni * per + per];
+        for (a, &b) in gw.iter_mut().zip(gwpart) {
+            *a += b;
+        }
+    }
+}
+
 /// Standard 2-D convolution forward pass.
 ///
 /// Input `x: [n, c_in, h, w]`, weight `w: [c_out, c_in, kh, kw]`; returns
@@ -194,20 +313,14 @@ pub fn conv2d(x: &Tensor, w: &Tensor, g: Conv2dGeom) -> Tensor {
     let ncols = oh * ow;
     let krows = c * g.kh * g.kw;
     let mut out = vec![0.0f32; n * cout * ncols];
-    let xd = x.data();
-    // Pack the filter matrix once, outside the parallel region (PackedA
-    // owns a plain Vec, so sharing it across pool blocks is fine where a
-    // thread-local scratch guard would not be); every image's GEMM then
-    // reads the same panels instead of re-packing W per image.
-    let wpack = gemm::PackedA::pack(w.data(), cout, krows);
-    pool::par_chunks_mut(&mut out, cout * ncols, |ni, ochunk| {
-        // im2col writes every element, so the scratch can stay dirty.
-        let mut cols = Scratch::uninit(krows * ncols);
-        im2col(&xd[ni * c * h * wd..(ni + 1) * c * h * wd], c, h, wd, g, &mut cols);
-        // ochunk[co, :] = W[cout, krows] @ cols[krows, ncols]; serial GEMM —
-        // this closure already runs inside the per-image parallel region.
-        gemm::gemm_nn_prepacked(cout, ncols, krows, &wpack, &cols, ochunk, false);
-    });
+    // Pack the filter matrix once, outside the parallel region; every
+    // image's GEMM then reads the same panels instead of re-packing W per
+    // image. One workspace checkout for the whole batch (carved per image
+    // by the kernel) replaces the former per-image checkouts.
+    let mut wpack = Scratch::uninit(gemm::packed_a_len(cout, krows));
+    gemm::pack_a_full_into(w.data(), cout, krows, &mut wpack);
+    let mut ws = Scratch::uninit(n * krows * ncols);
+    conv2d_into(x.data(), n, c, h, wd, &wpack, cout, g, &mut out, &mut ws);
     Tensor::from_vec([n, cout, oh, ow], out)
 }
 
@@ -230,41 +343,28 @@ pub fn conv2d_backward(x: &Tensor, w: &Tensor, gy: &Tensor, g: Conv2dGeom) -> (T
         "upstream gradient shape {} does not match conv output [{n}x{cout}x{oh}x{ow}]",
         gy.shape()
     );
-    let ncols = oh * ow;
     let krows = c * g.kh * g.kw;
-    let xd = x.data();
-    let wdat = w.data();
-    let gyd = gy.data();
 
-    // Per-image partials computed in parallel, then reduced serially in
-    // deterministic `ni` order so results are bit-identical to the serial
-    // path.
-    let results: Vec<(Vec<f32>, Vec<f32>)> = pool::par_map(n, |ni| {
-        // im2col writes every element, so the scratch can stay dirty.
-        let mut cols = Scratch::uninit(krows * ncols);
-        im2col(&xd[ni * c * h * wd..(ni + 1) * c * h * wd], c, h, wd, g, &mut cols);
-        let gslice = &gyd[ni * cout * ncols..(ni + 1) * cout * ncols];
-        // grad_w = gy[cout, ncols] @ cols[krows, ncols]^T. The per-image
-        // partials escape the closure, so they are plain Vecs, not scratch.
-        let mut gw = vec![0.0f32; cout * krows];
-        gemm::gemm_nt(cout, krows, ncols, gslice, &cols, &mut gw, false);
-        // grad_cols = W[cout, krows]^T @ gy[cout, ncols]; GEMM accumulates
-        // (`C += A·B`), so this scratch must start zeroed.
-        let mut gcols = Scratch::zeroed(krows * ncols);
-        gemm::gemm_tn(krows, ncols, cout, wdat, gslice, &mut gcols, false);
-        let mut gx = vec![0.0f32; c * h * wd];
-        col2im(&gcols, c, h, wd, g, &mut gx);
-        (gx, gw)
-    });
-
+    // One workspace checkout for the whole batch (carved per image by the
+    // kernel, reduced serially in deterministic `ni` order) replaces the
+    // former per-image checkouts and partial Vecs.
     let mut gx_all = vec![0.0f32; n * c * h * wd];
     let mut gw_all = vec![0.0f32; cout * krows];
-    for (ni, (gx, gw)) in results.into_iter().enumerate() {
-        gx_all[ni * c * h * wd..(ni + 1) * c * h * wd].copy_from_slice(&gx);
-        for (a, b) in gw_all.iter_mut().zip(gw) {
-            *a += b;
-        }
-    }
+    let mut ws = Scratch::uninit(n * conv2d_bwd_ws(c, h, wd, cout, g));
+    conv2d_backward_into(
+        x.data(),
+        w.data(),
+        gy.data(),
+        n,
+        c,
+        h,
+        wd,
+        cout,
+        g,
+        &mut gx_all,
+        &mut gw_all,
+        &mut ws,
+    );
     (
         Tensor::from_vec([n, c, h, wd], gx_all),
         Tensor::from_vec([cout, c, g.kh, g.kw], gw_all),
@@ -283,12 +383,36 @@ pub fn depthwise_conv2d(x: &Tensor, w: &Tensor, g: Conv2dGeom) -> Tensor {
     check_conv_shapes(x, w, true);
     let (n, c, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
     let (oh, ow) = g.out_size(h, wd);
-    let xd = x.data();
-    let wdat = w.data();
     let mut out = vec![0.0f32; n * c * oh * ow];
-    pool::par_chunks_mut(&mut out, c * oh * ow, |ni, ochunk| {
+    depthwise_conv2d_into(x.data(), n, c, h, wd, w.data(), g, &mut out);
+    Tensor::from_vec([n, c, oh, ow], out)
+}
+
+/// Depthwise 2-D convolution forward over raw slices: the
+/// planned-executor entry point. `out` (`[n, c, oh, ow]`) may be dirty —
+/// every element is assigned.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the shapes.
+#[allow(clippy::too_many_arguments)]
+pub fn depthwise_conv2d_into(
+    xd: &[f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    wdat: &[f32],
+    g: Conv2dGeom,
+    out: &mut [f32],
+) {
+    let (oh, ow) = g.out_size(h, w);
+    assert_eq!(xd.len(), n * c * h * w, "depthwise input length mismatch");
+    assert_eq!(wdat.len(), c * g.kh * g.kw, "depthwise weight length mismatch");
+    assert_eq!(out.len(), n * c * oh * ow, "depthwise output length mismatch");
+    pool::par_chunks_mut(out, c * oh * ow, |ni, ochunk| {
         for ci in 0..c {
-            let img = &xd[(ni * c + ci) * h * wd..(ni * c + ci + 1) * h * wd];
+            let img = &xd[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
             let ker = &wdat[ci * g.kh * g.kw..(ci + 1) * g.kh * g.kw];
             let orow = &mut ochunk[ci * oh * ow..(ci + 1) * oh * ow];
             for oi in 0..oh {
@@ -301,9 +425,9 @@ pub fn depthwise_conv2d(x: &Tensor, w: &Tensor, g: Conv2dGeom) -> Tensor {
                         }
                         for kj in 0..g.kw {
                             let jj = (oj * g.stride + kj) as isize - g.pad as isize;
-                            if jj >= 0 && jj < wd as isize {
+                            if jj >= 0 && jj < w as isize {
                                 acc += ker[ki * g.kw + kj]
-                                    * img[ii as usize * wd + jj as usize];
+                                    * img[ii as usize * w + jj as usize];
                             }
                         }
                     }
@@ -312,7 +436,6 @@ pub fn depthwise_conv2d(x: &Tensor, w: &Tensor, g: Conv2dGeom) -> Tensor {
             }
         }
     });
-    Tensor::from_vec([n, c, oh, ow], out)
 }
 
 /// Depthwise 2-D convolution backward pass.
@@ -337,18 +460,69 @@ pub fn depthwise_conv2d_backward(
         "upstream gradient shape {} does not match depthwise output [{n}x{c}x{oh}x{ow}]",
         gy.shape()
     );
-    let xd = x.data();
-    let wdat = w.data();
-    let gyd = gy.data();
-    let results: Vec<(Vec<f32>, Vec<f32>)> = pool::par_map(n, |ni| {
-        let mut gx = vec![0.0f32; c * h * wd];
-        let mut gw = vec![0.0f32; c * g.kh * g.kw];
+    let mut gx_all = vec![0.0f32; n * c * h * wd];
+    let mut gw_all = vec![0.0f32; c * g.kh * g.kw];
+    let mut ws = Scratch::uninit(n * c * g.kh * g.kw);
+    depthwise_conv2d_backward_into(
+        x.data(),
+        w.data(),
+        gy.data(),
+        n,
+        c,
+        h,
+        wd,
+        g,
+        &mut gx_all,
+        &mut gw_all,
+        &mut ws,
+    );
+    (
+        Tensor::from_vec([n, c, h, wd], gx_all),
+        Tensor::from_vec([c, 1, g.kh, g.kw], gw_all),
+    )
+}
+
+/// Depthwise 2-D convolution backward over raw slices with caller-owned
+/// workspace. `gx` (shape of `xd`) is fully overwritten; `gw`
+/// (`[c, kh, kw]`) must arrive **zeroed** — per-image partials are
+/// accumulated into it in ascending image order, bit-identical to the
+/// allocating path's serial reduction. `ws` holds one `c*kh*kw`
+/// weight-gradient partial per image.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the shapes.
+#[allow(clippy::too_many_arguments)]
+pub fn depthwise_conv2d_backward_into(
+    xd: &[f32],
+    wdat: &[f32],
+    gyd: &[f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    g: Conv2dGeom,
+    gx: &mut [f32],
+    gw: &mut [f32],
+    ws: &mut [f32],
+) {
+    let (oh, ow) = g.out_size(h, w);
+    let kelems = c * g.kh * g.kw;
+    assert_eq!(xd.len(), n * c * h * w, "depthwise input length mismatch");
+    assert_eq!(wdat.len(), kelems, "depthwise weight length mismatch");
+    assert_eq!(gyd.len(), n * c * oh * ow, "depthwise upstream length mismatch");
+    assert_eq!(gx.len(), n * c * h * w, "depthwise gx length mismatch");
+    assert_eq!(gw.len(), kelems, "depthwise gw length mismatch");
+    assert_eq!(ws.len(), n * kelems, "depthwise workspace length mismatch");
+    pool::par_chunks_mut2(gx, c * h * w, ws, kelems, |ni, gxchunk, gwpart| {
+        gxchunk.fill(0.0);
+        gwpart.fill(0.0);
         for ci in 0..c {
-            let img = &xd[(ni * c + ci) * h * wd..(ni * c + ci + 1) * h * wd];
+            let img = &xd[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
             let ker = &wdat[ci * g.kh * g.kw..(ci + 1) * g.kh * g.kw];
             let grow = &gyd[(ni * c + ci) * oh * ow..(ni * c + ci + 1) * oh * ow];
-            let gximg = &mut gx[ci * h * wd..(ci + 1) * h * wd];
-            let gwker = &mut gw[ci * g.kh * g.kw..(ci + 1) * g.kh * g.kw];
+            let gximg = &mut gxchunk[ci * h * w..(ci + 1) * h * w];
+            let gwker = &mut gwpart[ci * g.kh * g.kw..(ci + 1) * g.kh * g.kw];
             for oi in 0..oh {
                 for oj in 0..ow {
                     let gv = grow[oi * ow + oj];
@@ -362,8 +536,8 @@ pub fn depthwise_conv2d_backward(
                         }
                         for kj in 0..g.kw {
                             let jj = (oj * g.stride + kj) as isize - g.pad as isize;
-                            if jj >= 0 && jj < wd as isize {
-                                let xoff = ii as usize * wd + jj as usize;
+                            if jj >= 0 && jj < w as isize {
+                                let xoff = ii as usize * w + jj as usize;
                                 gximg[xoff] += ker[ki * g.kw + kj] * gv;
                                 gwker[ki * g.kw + kj] += img[xoff] * gv;
                             }
@@ -372,20 +546,14 @@ pub fn depthwise_conv2d_backward(
                 }
             }
         }
-        (gx, gw)
     });
-    let mut gx_all = vec![0.0f32; n * c * h * wd];
-    let mut gw_all = vec![0.0f32; c * g.kh * g.kw];
-    for (ni, (gx, gw)) in results.into_iter().enumerate() {
-        gx_all[ni * c * h * wd..(ni + 1) * c * h * wd].copy_from_slice(&gx);
-        for (a, b) in gw_all.iter_mut().zip(gw) {
+    // Serial weight-gradient reduction in deterministic image order.
+    for ni in 0..n {
+        let gwpart = &ws[ni * kelems..(ni + 1) * kelems];
+        for (a, &b) in gw.iter_mut().zip(gwpart) {
             *a += b;
         }
     }
-    (
-        Tensor::from_vec([n, c, h, wd], gx_all),
-        Tensor::from_vec([c, 1, g.kh, g.kw], gw_all),
-    )
 }
 
 #[cfg(test)]

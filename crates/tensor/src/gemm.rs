@@ -91,14 +91,8 @@ impl PackedA {
     ///
     /// Panics if `a.len() != m * k`.
     pub fn pack(a: &[f32], m: usize, k: usize) -> Self {
-        assert_eq!(a.len(), m * k, "lhs length mismatch");
-        let mpanels = m.div_ceil(MR);
-        let mut data = vec![0.0f32; mpanels * MR * k];
-        for pc in (0..k).step_by(KC) {
-            let kc = KC.min(k - pc);
-            let base = mpanels * MR * pc;
-            pack_a(a, k, 1, 0, pc, m, kc, &mut data[base..base + mpanels * MR * kc]);
-        }
+        let mut data = vec![0.0f32; packed_a_len(m, k)];
+        pack_a_full_into(a, m, k, &mut data);
         PackedA { data, m, k }
     }
 
@@ -132,6 +126,58 @@ pub fn gemm_nn_prepacked(
     parallel: bool,
 ) {
     assert_eq!((a.m, a.k), (m, k), "packed lhs dims mismatch");
+    gemm_nn_prepacked_slice(m, n, k, &a.data, b, c, parallel);
+}
+
+/// Packed-LHS buffer length for a row-major `[m, k]` operand:
+/// `m.div_ceil(MR) * MR * k` elements (rows rounded up to whole MR
+/// panels, every k column present).
+pub fn packed_a_len(m: usize, k: usize) -> usize {
+    m.div_ceil(MR) * MR * k
+}
+
+/// Packs a row-major `a: [m, k]` into `dst` in the exact slab/panel
+/// layout [`gemm_nn_prepacked_slice`] consumes — the slice-destination
+/// form of [`PackedA::pack`], for executors that keep packed weights in a
+/// plan-owned arena and re-pack in place each training step.
+///
+/// # Panics
+///
+/// Panics if `a.len() != m * k` or `dst.len() != packed_a_len(m, k)`.
+pub fn pack_a_full_into(a: &[f32], m: usize, k: usize, dst: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "lhs length mismatch");
+    assert_eq!(dst.len(), packed_a_len(m, k), "packed dst length mismatch");
+    let mpanels = m.div_ceil(MR);
+    for pc in (0..k).step_by(KC) {
+        let kc = KC.min(k - pc);
+        let base = mpanels * MR * pc;
+        pack_a(a, k, 1, 0, pc, m, kc, &mut dst[base..base + mpanels * MR * kc]);
+    }
+}
+
+/// [`gemm_nn_prepacked`] over a raw packed-LHS slice (as produced by
+/// [`pack_a_full_into`]): same blocking, same summation order, same
+/// bit-identical-to-[`gemm_nn`] guarantee. This is the entry point for
+/// arena-resident packed weights; [`PackedA`] remains the owned
+/// convenience wrapper.
+///
+/// # Panics
+///
+/// Panics if `apack.len() != packed_a_len(m, k)`.
+pub fn gemm_nn_prepacked_slice(
+    m: usize,
+    n: usize,
+    k: usize,
+    apack_full: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    parallel: bool,
+) {
+    assert_eq!(
+        apack_full.len(),
+        packed_a_len(m, k),
+        "packed lhs length mismatch"
+    );
     if m == 0 || n == 0 || k == 0 {
         return;
     }
@@ -149,7 +195,8 @@ pub fn gemm_nn_prepacked(
                 let mc = MC.min(m - ic0);
                 // MC is a multiple of MR, so a row block's panels start on
                 // a panel boundary and are contiguous within the slab.
-                let apack = &a.data[slab + (ic0 / MR) * MR * kc..][..mc.div_ceil(MR) * MR * kc];
+                let apack =
+                    &apack_full[slab + (ic0 / MR) * MR * kc..][..mc.div_ceil(MR) * MR * kc];
                 mul_block(apack, &bpack, mc, kc, n, jc, nc, cblock);
             };
             if parallel && m > MC && pool::threads() > 1 {
@@ -506,6 +553,21 @@ mod tests {
             }
         }
         tqt_rt::pool::set_threads(0);
+    }
+
+    #[test]
+    fn slice_prepack_matches_owned_prepack() {
+        let (m, n, k) = (MC + 7, 65, KC + 9);
+        let a = fill(m * k, 303);
+        let b = fill(k * n, 304);
+        let packed = PackedA::pack(&a, m, k);
+        let mut arena = vec![0.0f32; packed_a_len(m, k)];
+        pack_a_full_into(&a, m, k, &mut arena);
+        let mut c_owned = vec![0.25f32; m * n];
+        gemm_nn_prepacked(m, n, k, &packed, &b, &mut c_owned, false);
+        let mut c_slice = vec![0.25f32; m * n];
+        gemm_nn_prepacked_slice(m, n, k, &arena, &b, &mut c_slice, false);
+        assert_eq!(c_owned, c_slice);
     }
 
     #[test]

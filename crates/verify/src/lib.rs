@@ -49,7 +49,7 @@ pub use diag::{Code, Diag, Report};
 pub use interval::{analyze, IntervalReport};
 pub use passes::{checked_fuse, checked_fuse_with_provenance, checked_optimize, checked_pipeline};
 pub use translate::certify;
-pub use plan_check::check_plan;
+pub use plan_check::{check_float_plan, check_plan};
 pub use sanitize::check_containment;
 pub use sched_check::{
     check_batch_schedules, check_fold_partition, check_schedules, collect_hb_findings,

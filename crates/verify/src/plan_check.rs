@@ -35,6 +35,10 @@ use crate::interval::path_to;
 use tqt_fixedpoint::intgemm::{packed_lhs_len, packed_rhs_len};
 use tqt_fixedpoint::lower::{IntGraph, IntOp, LEAKY_ALPHA_FRAC};
 use tqt_fixedpoint::IntPlan;
+use tqt_graph::fplan::FloatPlan;
+use tqt_graph::{Graph, Op as FOp};
+use tqt_tensor::conv::{conv2d_bwd_ws, conv2d_fwd_ws};
+use tqt_tensor::gemm::packed_a_len;
 
 /// Independently re-derived facts about one planned graph.
 #[derive(Debug)]
@@ -385,6 +389,361 @@ pub fn check_plan(g: &IntGraph, plan: &IntPlan) -> Report {
         );
     }
     r
+}
+
+/// Proves (or refutes) that a [`FloatPlan`] — the training-step tape of
+/// forward activations, xhats, gradients, and fan-in temps — is
+/// alias-free for `g`, extending the `TQT-V016`–`TQT-V018` proofs from
+/// inference plans to the full forward+backward tape. The planner is
+/// again untrusted:
+///
+/// * value element counts are re-derived from the legacy executor's own
+///   shape inference (a dry run of the reference path, not a call into
+///   the planner) and compared per value (`TQT-V018`);
+/// * the plan-owned `ws`/`wpack`/`qw` arena accounting is re-derived from
+///   the kernel workspace contracts (`conv2d_fwd_ws`, `conv2d_bwd_ws`,
+///   depthwise `n·kelems`, `packed_a_len`) and the graph's weight
+///   quantizers (`TQT-V018`);
+/// * the forward tape must structurally match the graph (step *i*
+///   defines activation *i* and reads exactly node *i*'s inputs);
+/// * the whole tape is simulated over slot occupancy with the same
+///   clobber/stale-read refutations as the inference checker
+///   (`TQT-V016`/`TQT-V017`). Unlike inference plans, a training step may
+///   legally write a value and read it in the same step (fan-in temps):
+///   reads of earlier-defined values are validated *before* the step's
+///   writes land, reads of step-local values after.
+///
+/// `g` is only mutated by shape inference. A clean [`Report`] is the
+/// proof; the float mutation test injects a premature slot release and
+/// asserts the refutation names the victim value.
+pub fn check_float_plan(g: &mut Graph, plan: &FloatPlan) -> Report {
+    let mut r = Report::new();
+    let n = g.len();
+    let shapes = g.infer_shapes(plan.input_dims());
+    let ref_lens: Vec<usize> = shapes.iter().map(|s| s.iter().product()).collect();
+    let nv = plan.num_values();
+
+    // 1. Value storage facts (V018): re-derived lengths, slot ranges and
+    // capacities.
+    for v in 0..nv {
+        let node = plan.kind_of(v).node();
+        if node >= n {
+            r.push_global(
+                Code::PlanStorage,
+                format!("value {v} refers to node {node}, graph has {n}"),
+            );
+            return r;
+        }
+        let name = plan.value_name(g, v);
+        if plan.len_of(v) != ref_lens[node] {
+            r.push(
+                Code::PlanStorage,
+                &name,
+                format!(
+                    "plan says {} elements, the reference executor's shape \
+                     inference says {}",
+                    plan.len_of(v),
+                    ref_lens[node]
+                ),
+            );
+        }
+        let s = plan.slot_of(v);
+        if s >= plan.num_slots() {
+            r.push(
+                Code::PlanStorage,
+                &name,
+                format!("assigned slot {s} out of range ({} slots)", plan.num_slots()),
+            );
+        } else if plan.slot_len(s) < plan.len_of(v) {
+            r.push(
+                Code::PlanStorage,
+                &name,
+                format!(
+                    "slot {s} holds {} elements but the value needs {}",
+                    plan.slot_len(s),
+                    plan.len_of(v)
+                ),
+            );
+        }
+    }
+    // Xhat values must exist exactly on batch-norm nodes: the backward
+    // pass reads them instead of the raw input.
+    for id in 0..n {
+        let is_bn = matches!(g.node(id).op, FOp::BatchNorm(_));
+        if plan.xhat_of(id).is_some() != is_bn {
+            r.push(
+                Code::PlanStorage,
+                &g.node(id).name,
+                if is_bn {
+                    "batch-norm node has no planned xhat value"
+                } else {
+                    "non-batch-norm node carries an xhat value"
+                },
+            );
+        }
+    }
+
+    // 2. Plan-owned arena accounting (V018): mirror the kernel workspace
+    // contracts instead of trusting the planner's own sums.
+    let (mut ws_need, mut wpack_need, mut qw_total) = (0usize, 0usize, 0usize);
+    let mut qw_segs: Vec<(usize, usize, usize)> = Vec::new();
+    for id in 0..n {
+        let node = g.node(id);
+        let ish = &shapes[node.inputs.first().copied().unwrap_or(id)];
+        let weight_elems = tqt_graph::ir::op_params(&node.op)
+            .into_iter()
+            .find(|p| p.kind == tqt_nn::ParamKind::Weight)
+            .map(|p| p.value.len());
+        match &node.op {
+            FOp::Conv(l) => {
+                let (nb, c, h, w) = (ish[0], ish[1], ish[2], ish[3]);
+                let g2 = l.geom();
+                let cout = shapes[id][1];
+                ws_need = ws_need
+                    .max(nb * conv2d_fwd_ws(c, h, w, g2))
+                    .max(nb * conv2d_bwd_ws(c, h, w, cout, g2));
+                wpack_need = wpack_need.max(packed_a_len(cout, c * g2.kh * g2.kw));
+            }
+            FOp::Depthwise(_) => {
+                let kelems = weight_elems.unwrap_or(0);
+                ws_need = ws_need.max(ish[0] * kelems);
+            }
+            _ => {}
+        }
+        match (node.wq.is_some(), plan.qw_seg(id), weight_elems) {
+            (true, Some((off, len)), Some(el)) => {
+                if len != el {
+                    r.push(
+                        Code::PlanStorage,
+                        &node.name,
+                        format!("quantized-weight segment holds {len} elements, weight has {el}"),
+                    );
+                } else {
+                    qw_segs.push((off, len, id));
+                }
+                qw_total += el;
+            }
+            (true, None, Some(el)) => {
+                r.push(
+                    Code::PlanStorage,
+                    &node.name,
+                    "weight-quantized node has no quantized-weight segment",
+                );
+                qw_total += el;
+            }
+            (false, Some(_), _) => {
+                r.push(
+                    Code::PlanStorage,
+                    &node.name,
+                    "quantized-weight segment on a node without a weight quantizer",
+                );
+            }
+            _ => {}
+        }
+    }
+    if plan.scratch_elems() != ws_need {
+        r.push_global(
+            Code::PlanStorage,
+            format!(
+                "plan accounts {} workspace elements, kernel contracts require {ws_need}",
+                plan.scratch_elems()
+            ),
+        );
+    }
+    if plan.wpack_elems() != wpack_need {
+        r.push_global(
+            Code::PlanStorage,
+            format!(
+                "plan accounts {} packed-filter elements, packing contracts require {wpack_need}",
+                plan.wpack_elems()
+            ),
+        );
+    }
+    if plan.qw_elems() != qw_total {
+        r.push_global(
+            Code::PlanStorage,
+            format!(
+                "plan accounts {} quantized-weight elements, weight quantizers require {qw_total}",
+                plan.qw_elems()
+            ),
+        );
+    }
+    qw_segs.sort_unstable();
+    for pair in qw_segs.windows(2) {
+        let (off_a, len_a, a) = pair[0];
+        let (off_b, _, b) = pair[1];
+        if off_a + len_a > off_b {
+            r.push(
+                Code::PlanStorage,
+                &g.node(b).name,
+                format!(
+                    "quantized-weight segment at {off_b} overlaps `{}`'s segment [{off_a}, {})",
+                    g.node(a).name,
+                    off_a + len_a
+                ),
+            );
+        }
+    }
+    if let Some(&(off, len, ref_id)) = qw_segs.last() {
+        if off + len > plan.qw_elems() {
+            r.push(
+                Code::PlanStorage,
+                &g.node(ref_id).name,
+                format!(
+                    "quantized-weight segment [{off}, {}) escapes the {}-element arena",
+                    off + len,
+                    plan.qw_elems()
+                ),
+            );
+        }
+    }
+
+    // 3. Forward-tape structure: step i must define activation i from
+    // exactly node i's inputs (the executor dispatches by node id).
+    let steps = plan.steps();
+    if steps.len() != n + 1 + plan.bwd_steps().len() {
+        r.push_global(
+            Code::PlanStorage,
+            format!(
+                "tape has {} steps; graph requires {} forward + 1 seed + {} backward",
+                steps.len(),
+                n,
+                plan.bwd_steps().len()
+            ),
+        );
+    }
+    for (id, st) in steps.iter().enumerate().take(n) {
+        if st.writes.first() != Some(&id) {
+            r.push(
+                Code::PlanStorage,
+                &g.node(id).name,
+                "forward step does not define the node's activation first",
+            );
+        }
+        if st.reads != g.node(id).inputs {
+            r.push(
+                Code::PlanStorage,
+                &g.node(id).name,
+                "forward step reads disagree with the node's inputs",
+            );
+        }
+    }
+
+    if !r.is_clean() {
+        // The occupancy simulation indexes by the storage facts just
+        // refuted; stop at the stronger finding.
+        return r;
+    }
+
+    // 4. Occupancy simulation over re-derived liveness (V016/V017).
+    let mut last_read = vec![0usize; nv];
+    for (si, step) in steps.iter().enumerate() {
+        for &rd in &step.reads {
+            last_read[rd] = last_read[rd].max(si);
+        }
+    }
+    let out_act = g.output_id();
+    last_read[out_act] = usize::MAX; // pinned: logits survive the run
+    let mut occupant: Vec<Option<usize>> = vec![None; plan.num_slots()];
+    let mut defined_at: Vec<Option<usize>> = vec![None; nv];
+    for (si, step) in steps.iter().enumerate() {
+        // Reads of values defined in earlier steps must still be in
+        // their slots *before* this step's writes land.
+        for &rd in &step.reads {
+            match defined_at[rd] {
+                Some(_) => {
+                    if occupant[plan.slot_of(rd)] != Some(rd) {
+                        stale_read(&mut r, g, plan, rd, si, occupant[plan.slot_of(rd)]);
+                    }
+                }
+                None => {
+                    if !step.writes.contains(&rd) {
+                        r.push(
+                            Code::PlanStaleRead,
+                            plan.value_name(g, rd),
+                            format!("read at step {si} before any write defines it"),
+                        );
+                    }
+                }
+            }
+        }
+        for &w in &step.writes {
+            if defined_at[w].is_some() {
+                r.push(
+                    Code::PlanStorage,
+                    plan.value_name(g, w),
+                    format!("defined twice (again at step {si}); the tape is not SSA"),
+                );
+            }
+            let s = plan.slot_of(w);
+            if let Some(v) = occupant[s] {
+                if v != w && last_read[v] >= si {
+                    r.push(
+                        Code::PlanAlias,
+                        plan.value_name(g, w),
+                        format!(
+                            "step {si} writes slot {s} while `{}` is still live \
+                             (last read at step {}) — the pending consumer would \
+                             read clobbered data",
+                            plan.value_name(g, v),
+                            if last_read[v] == usize::MAX {
+                                "end-of-tape (pinned)".to_string()
+                            } else {
+                                last_read[v].to_string()
+                            }
+                        ),
+                    );
+                }
+            }
+            occupant[s] = Some(w);
+            defined_at[w] = Some(si);
+        }
+        // Same-step write-then-read (fan-in accumulation) is legal;
+        // validate those reads now that the writes landed.
+        for &rd in &step.reads {
+            if defined_at[rd] == Some(si) && occupant[plan.slot_of(rd)] != Some(rd) {
+                stale_read(&mut r, g, plan, rd, si, occupant[plan.slot_of(rd)]);
+            }
+        }
+    }
+
+    // 5. The logits must have survived the whole training step.
+    if occupant[plan.slot_of(out_act)] != Some(out_act) {
+        r.push(
+            Code::PlanStaleRead,
+            &g.node(out_act).name,
+            format!(
+                "graph output no longer occupies slot {} after the final step",
+                plan.slot_of(out_act)
+            ),
+        );
+    }
+    r
+}
+
+/// Pushes the V017 refutation for a stranded read, naming the victim
+/// value so mutation tests can pin the counterexample.
+fn stale_read(
+    r: &mut Report,
+    g: &Graph,
+    plan: &FloatPlan,
+    rd: usize,
+    si: usize,
+    holder: Option<usize>,
+) {
+    let holder = match holder {
+        Some(v) => format!("now holds `{}`", plan.value_name(g, v)),
+        None => "was never written".to_string(),
+    };
+    r.push(
+        Code::PlanStaleRead,
+        plan.value_name(g, rd),
+        format!(
+            "read at step {si} from slot {}, but the slot {holder} — the \
+             producing write was released or overwritten early",
+            plan.slot_of(rd)
+        ),
+    );
 }
 
 #[cfg(test)]

@@ -8,7 +8,12 @@
 
 use tqt_fixedpoint::lower::{IntGraph, IntNode, IntOp};
 use tqt_fixedpoint::{EpiStep, QFormat};
-use tqt_verify::{check_plan, Code};
+use tqt_graph::fplan::FloatPlan;
+use tqt_graph::{Graph, Op};
+use tqt_nn::{BatchNorm, Conv2d, Dense, EltwiseAdd, Flatten, GlobalAvgPool, MaxPool2d, Relu};
+use tqt_tensor::conv::Conv2dGeom;
+use tqt_tensor::init;
+use tqt_verify::{check_float_plan, check_plan, Code};
 
 fn q8(frac: i32) -> QFormat {
     QFormat::new(frac, 8, true)
@@ -196,6 +201,77 @@ fn fused_slot_resurrection_is_refuted() {
             && d.node.as_deref() == Some(stranded_name.as_str())
             && d.detail.contains(&format!("`{fused_name}`"))),
         "V017 must name stranded consumer `{stranded_name}` reading stale `{fused_name}`:\n{r}"
+    );
+}
+
+/// A float training graph with a skip connection and batch-norm: the
+/// planner must carry activations, xhat, gradients and staged fan-in
+/// temporaries across the forward+backward tape.
+fn float_skip_graph() -> Graph {
+    let mut rng = init::rng(31);
+    let mut g = Graph::new();
+    let x = g.add_input("input");
+    let c1 = g.add(
+        "c1",
+        Op::Conv(Conv2d::new("c1", 3, 8, Conv2dGeom::same(3), &mut rng)),
+        &[x],
+    );
+    let b1 = g.add("b1", Op::BatchNorm(BatchNorm::new("b1", 8, 0.9, 1e-5)), &[c1]);
+    let r1 = g.add("r1", Op::Relu(Relu::new()), &[b1]);
+    let c2 = g.add(
+        "c2",
+        Op::Conv(Conv2d::new("c2", 8, 8, Conv2dGeom::same(3), &mut rng)),
+        &[r1],
+    );
+    let a1 = g.add("a1", Op::Add(EltwiseAdd::new()), &[c2, r1]);
+    let p1 = g.add("p1", Op::MaxPool(MaxPool2d::k2s2()), &[a1]);
+    let gap = g.add("gap", Op::GlobalAvgPool(GlobalAvgPool::new()), &[p1]);
+    let fl = g.add("fl", Op::Flatten(Flatten::new()), &[gap]);
+    let fc = g.add("fc", Op::Dense(Dense::new("fc", 8, 4, &mut rng)), &[fl]);
+    g.set_output(fc);
+    g
+}
+
+const FDIMS: [usize; 4] = [2, 3, 8, 8];
+
+#[test]
+fn unmutated_float_plan_is_proven() {
+    let mut g = float_skip_graph();
+    let plan = FloatPlan::new(&mut g, &FDIMS);
+    let r = check_float_plan(&mut g, &plan);
+    assert!(r.is_clean(), "{r}");
+}
+
+/// Re-alias a later value into a slot whose occupant is still awaited by
+/// a downstream step: the checker must refute it twice, as the alias at
+/// the clobbering write (V016, naming the clobberer with the victim in
+/// the counterexample) and as the stale read at the stranded step (V017,
+/// naming the victim).
+#[test]
+fn float_premature_release_is_refuted() {
+    let mut g = float_skip_graph();
+    let mut plan = FloatPlan::new(&mut g, &FDIMS);
+    let (victim, clobberer, _stranded) = plan
+        .inject_premature_release()
+        .expect("graph must offer an eligible early-release triple");
+    let victim_name = plan.value_name(&g, victim);
+    let clobberer_name = plan.value_name(&g, clobberer);
+    let r = check_float_plan(&mut g, &plan);
+
+    assert!(r.has(Code::PlanAlias), "V016 expected, got:\n{r}");
+    assert!(
+        r.diags.iter().any(|d| d.code == Code::PlanAlias
+            && d.node.as_deref() == Some(clobberer_name.as_str())
+            && d.detail.contains(&format!("`{victim_name}`"))),
+        "V016 must name clobberer `{clobberer_name}` over live `{victim_name}`:\n{r}"
+    );
+    assert!(r.has(Code::PlanStaleRead), "V017 expected, got:\n{r}");
+    assert!(
+        r.diags
+            .iter()
+            .any(|d| d.code == Code::PlanStaleRead
+                && d.node.as_deref() == Some(victim_name.as_str())),
+        "V017 must name the stranded value `{victim_name}`:\n{r}"
     );
 }
 
