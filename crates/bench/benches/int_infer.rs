@@ -13,7 +13,7 @@ use tqt_fixedpoint::kernels::{
 };
 use tqt_fixedpoint::requant::NormalizedMultiplier;
 use tqt_fixedpoint::{
-    fuse, gemm_i8_fused_prepacked, lower, IntExecutor, PackedB, RequantMode,
+    fuse, gemm_i8_fused_prepacked, lower, rebalance, IntExecutor, PackedB, RequantMode,
 };
 use tqt_graph::{quantize_graph, transforms, QuantizeOptions, WeightBits};
 use tqt_models::{ModelKind, INPUT_DIMS};
@@ -155,7 +155,10 @@ fn main() {
     // batch-1 forward passes through a persistent executor (the planned
     // activation buffers and the plan-owned packed weight arena are built
     // once, outside the timed region, as in deployment). The fused-graph
-    // entries run the same model after conv->relu->add epilogue fusion.
+    // entries run the same model after conv->relu->add epilogue fusion;
+    // the rebal_fused entries quantize with per-operand (unmerged) scales,
+    // repair the merges with the rebalance pass, and fuse through the
+    // inserted coercions — the cost of keeping independent thresholds.
     let zoo: &[ModelKind] = if report.smoke() {
         &[ModelKind::ResNet8]
     } else {
@@ -170,15 +173,25 @@ fn main() {
         g.calibrate(&init::normal([8, 3, 32, 32], 0.0, 1.0, &mut rng));
         let ig = lower(&mut g);
         let fg = fuse(ig.clone());
+        let mut ug = kind.build(seed);
+        transforms::optimize(&mut ug, &INPUT_DIMS);
+        quantize_graph(&mut ug, QuantizeOptions::retrain_wt_th(WeightBits::Int8).unmerged());
+        let mut urng = init::rng(seed + 100);
+        ug.calibrate(&init::normal([8, 3, 32, 32], 0.0, 1.0, &mut urng));
+        let rfg = fuse(rebalance(lower(&mut ug)));
         let dims = [1usize, 3, 32, 32];
         let mut ex = IntExecutor::new(&ig, &dims);
         let mut fex = IntExecutor::new(&fg, &dims);
+        let mut rfex = IntExecutor::new(&rfg, &dims);
         let x: Tensor = init::normal(dims, 0.0, 1.0, &mut rng);
         report.push(bench.run(&format!("int_infer/{kind:?}/batch1"), || {
             black_box(ex.run(black_box(&x)));
         }));
         report.push(bench.run(&format!("int_infer/{kind:?}/batch1_fused"), || {
             black_box(fex.run(black_box(&x)));
+        }));
+        report.push(bench.run(&format!("int_infer/{kind:?}/batch1_rebal_fused"), || {
+            black_box(rfex.run(black_box(&x)));
         }));
     }
 

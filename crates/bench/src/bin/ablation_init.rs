@@ -38,6 +38,7 @@ fn main() {
                 mode: ThresholdMode::Trained,
                 weight_init: init,
                 act_init: ThresholdInit::KlJ,
+                merge_scales: true,
             },
         );
         g.calibrate(&env.calib);

@@ -24,7 +24,18 @@
 //!    (model, bit-width) and the same lowering/interval analysis is
 //!    reused across the interval, plan, and translate passes (the fused
 //!    interval analysis comes straight out of
-//!    `checked_fuse_with_provenance`, not a second `analyze` call).
+//!    `checked_fuse_with_provenance`, not a second `analyze` call);
+//! 8. grid-type inference (`TQT-V031`…`V034`): the whole-graph
+//!    quantization-format type system runs over the calibrated float
+//!    graph, the lowered graph, and the fused graph — every edge must
+//!    get exactly one grid type with only checked coercions between
+//!    grids;
+//! 9. rebalance certification: the same model is re-quantized with
+//!    per-operand thresholds (`QuantizeOptions::unmerged`, the
+//!    `TQT-V028` gap), lowered, repaired by the `rebalance` pass, and
+//!    the repaired graph re-certified end to end — grid types, interval,
+//!    translation validation, containment, the full plan ladder, and the
+//!    same suite again after fusing through the inserted coercions.
 //!
 //! Each ok line carries per-pass wall-clock timings; pass
 //! `--filter <substring>` to restrict the sweep to matching model names
@@ -56,7 +67,8 @@ use tqt_graph::FloatPlan;
 use tqt_verify::{
     analyze, certify, check_batch_schedules, check_containment, check_float_plan,
     check_fold_partition, check_plan, check_schedules, checked_fuse_with_provenance,
-    checked_optimize, collect_hb_findings, verify, Report, Stage,
+    checked_optimize, checked_rebalance_with_provenance, infer_float_grids, infer_int_grids,
+    collect_hb_findings, verify, Report, Stage,
 };
 
 /// Records the wall-clock lap since `*t` under `name` and restarts it.
@@ -231,10 +243,25 @@ fn check_model(
     report.merge(check_float_plan(&mut g, &fplan));
     lap(&mut timings, &mut t, "fplan");
 
+    // Grid-type inference over the calibrated float graph: every edge
+    // must carry exactly one power-of-2 grid type (`TQT-V031`…`V034`).
+    report.merge(infer_float_grids(&g, &dims).report);
+    lap(&mut timings, &mut t, "gridf");
+    if !report.is_clean() {
+        return timings;
+    }
+
     // Lower ONCE per (model, bits) — the provenance map, interval facts
     // and plans below all reuse this single lowering.
     let (ig, prov) = tqt_fixedpoint::lower_with_provenance(&mut g);
     lap(&mut timings, &mut t, "lower");
+
+    // Grid-type inference over the lowered graph.
+    report.merge(infer_int_grids(&ig, &dims).report);
+    lap(&mut timings, &mut t, "gridi");
+    if !report.is_clean() {
+        return timings;
+    }
 
     // Prove: overflow-freedom, legal shifts, merged formats.
     let proven = analyze(&ig, &dims);
@@ -280,6 +307,7 @@ fn check_model(
     report.merge(fr);
     report.merge(fproven.report.clone());
     if fproven.proven() {
+        report.merge(infer_int_grids(&fig, &dims).report);
         report.merge(certify(&fig, &fprov, &fproven, &dims));
         let (_, fstats) = fig.run_with_stats(&probe);
         report.merge(check_containment(&fig, &fproven, &fstats));
@@ -290,5 +318,40 @@ fn check_model(
         }
     }
     lap(&mut timings, &mut t, "fuse");
+    if !report.is_clean() {
+        return timings;
+    }
+
+    // Rebalance certification: re-quantize the SAME model with
+    // per-operand thresholds (the `TQT-V028` gap — the float lints are
+    // expected to flag it, so they are deliberately skipped), lower,
+    // repair with the rebalance pass, and re-certify the repaired graph
+    // end to end, unfused and fused through the inserted coercions.
+    let mut ug = model.build(seed);
+    tqt_graph::transforms::optimize(&mut ug, &dims);
+    quantize_graph(&mut ug, QuantizeOptions::retrain_wt_th(wb).unmerged());
+    ug.calibrate(&calib);
+    let (uig, uprov) = tqt_fixedpoint::lower_with_provenance(&mut ug);
+    let (rig, rprov, rproven, rr) = checked_rebalance_with_provenance(&uig, &uprov, &dims);
+    report.merge(rr);
+    report.merge(rproven.report.clone());
+    if rproven.proven() {
+        report.merge(certify(&rig, &rprov, &rproven, &dims));
+        let (_, rstats) = rig.run_with_stats(&probe);
+        report.merge(check_containment(&rig, &rproven, &rstats));
+        for &b in &batches {
+            let mut bdims = dims.clone();
+            bdims[0] = b;
+            report.merge(check_plan(&rig, &rig.plan(&bdims)));
+        }
+        let (rfig, rfprov, rfproven, rfr) = checked_fuse_with_provenance(&rig, &rprov, &dims);
+        report.merge(rfr);
+        report.merge(rfproven.report.clone());
+        if rfproven.proven() {
+            report.merge(infer_int_grids(&rfig, &dims).report);
+            report.merge(certify(&rfig, &rfprov, &rfproven, &dims));
+        }
+    }
+    lap(&mut timings, &mut t, "rebal");
     timings
 }

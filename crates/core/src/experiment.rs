@@ -164,6 +164,7 @@ pub fn run_trial(model: ModelKind, kind: TrialKind, env: &ExpEnv) -> (TrialResul
                     mode: ThresholdMode::Fixed,
                     weight_init: ThresholdInit::Max,
                     act_init: ThresholdInit::KlJ,
+                    merge_scales: true,
                 }
             };
             quantize_graph(&mut g, opts);

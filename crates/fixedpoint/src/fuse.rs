@@ -18,6 +18,13 @@
 //! Fusion cannot change results: each [`EpiStep`] replays its standalone
 //! node kernel per element (`tests/fusion_parity.rs` proves outputs and
 //! total saturation/overflow counts bit-identical across the zoo).
+//!
+//! The pass composes with [`crate::rebalance`]: a rebalancing coercion
+//! inserted on a single-consumer conv/dense chain is an ordinary
+//! [`IntOp::Requant`], so chain discovery absorbs it like any other
+//! member — the epilogue simply carries two consecutive
+//! [`EpiStep::Requant`] steps (site requant, then coercion) and the
+//! rebalanced intermediate never materializes a buffer.
 
 use crate::lower::{EpiStep, IntGraph, IntNode, IntOp, NodeProv, Provenance};
 
@@ -341,6 +348,64 @@ mod tests {
                 assert_eq!(epi, &vec![EpiStep::Requant { format: q(3, 8) }]);
             }
             other => panic!("expected fused shortcut, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chain_fuses_through_rebalance_coercion() {
+        // Unmerged residual block (rqm on f3, rqs on f2): rebalance inserts
+        // a coercion after rqm, and the main chain must fuse straight
+        // through it — two consecutive requant epilogue steps.
+        let nodes = vec![
+            IntNode { name: "in".into(), op: IntOp::Input, inputs: vec![] },
+            IntNode {
+                name: "q".into(),
+                op: IntOp::QuantF32 { format: q(4, 8) },
+                inputs: vec![0],
+            },
+            IntNode { name: "cmain".into(), op: conv_op(2, 2, 5), inputs: vec![1] },
+            IntNode {
+                name: "rqm".into(),
+                op: IntOp::Requant { format: q(3, 8) },
+                inputs: vec![2],
+            },
+            IntNode { name: "cshort".into(), op: conv_op(2, 2, 6), inputs: vec![1] },
+            IntNode {
+                name: "rqs".into(),
+                op: IntOp::Requant { format: q(2, 8) },
+                inputs: vec![4],
+            },
+            IntNode { name: "add".into(), op: IntOp::Add, inputs: vec![3, 5] },
+            IntNode { name: "relu".into(), op: IntOp::Relu { cap_q: None }, inputs: vec![6] },
+            IntNode {
+                name: "rqo".into(),
+                op: IntOp::Requant { format: q(2, 8) },
+                inputs: vec![7],
+            },
+        ];
+        let g = IntGraph::from_parts(nodes, 8);
+        let (rg, records) = crate::rebalance::rebalance_with_records(g);
+        assert_eq!(records.len(), 1, "the unmerged add must be repaired");
+        let fused = fuse(rg);
+        // in, q, fused(cshort..rqs), fused(cmain..rqo).
+        assert_eq!(fused.nodes().len(), 4);
+        let main = fused
+            .nodes()
+            .iter()
+            .find(|nd| nd.inputs.len() == 2)
+            .expect("main branch carries the residual input");
+        match &main.op {
+            IntOp::Fused { epi, .. } => assert_eq!(
+                epi,
+                &vec![
+                    EpiStep::Requant { format: q(3, 8) },
+                    EpiStep::Requant { format: q(2, 8) }, // the coercion
+                    EpiStep::AddResidual,
+                    EpiStep::Relu { cap_q: None },
+                    EpiStep::Requant { format: q(2, 8) },
+                ]
+            ),
+            other => panic!("expected fused main branch, got {other:?}"),
         }
     }
 

@@ -18,7 +18,11 @@
 //!   Section 4.2 property);
 //! * [`mod@fuse`] — graph-level conv→relu→add epilogue fusion over the
 //!   [`IntGraph`], bit-identical by construction and proven so by
-//!   `tests/fusion_parity.rs`.
+//!   `tests/fusion_parity.rs`;
+//! * [`mod@rebalance`] — certified requant rebalancing: inserts the
+//!   minimal coercions that bring unmerged Add/Concat operands onto one
+//!   power-of-2 grid, closing the `TQT-V028` gap (`fuse` then fuses
+//!   through the inserted coercions).
 
 pub mod fuse;
 pub mod gemm_i8;
@@ -27,9 +31,13 @@ pub mod kernels;
 pub mod lower;
 pub mod plan;
 pub mod qtensor;
+pub mod rebalance;
 pub mod requant;
 
 pub use fuse::{fuse, fuse_with_chains, ChainRecord};
+pub use rebalance::{
+    rebalance, rebalance_with_provenance, rebalance_with_records, RebalanceRecord,
+};
 pub use gemm_i8::{
     gemm_i8_acc32, gemm_i8_acc32_prepacked, gemm_i8_fused, gemm_i8_fused_prepacked, PackedB,
     RequantMode,

@@ -64,12 +64,12 @@ impl Graph {
                 }
                 Op::Identity => acts[node.inputs[0]]
                     .as_ref()
-                    .expect("identity input missing")
+                    .expect("identity input missing") // tqt:allow(expect): topological order computes inputs before consumers
                     .clone(),
                 Op::Quant { tid } => {
                     let input = acts[node.inputs[0]]
                         .as_ref()
-                        .expect("quant input missing");
+                        .expect("quant input missing"); // tqt:allow(expect): topological order computes inputs before consumers
                     let ts = &mut thresholds[*tid];
                     if pass == QuantPass::Calibrate
                         && (!ts.calibrated || calibrated_this_pass[*tid])
@@ -98,7 +98,7 @@ impl Graph {
                         let w = crate::ir::op_params_mut(op)
                             .into_iter()
                             .find(|p| p.kind == ParamKind::Weight)
-                            .expect("weight quantizer on op without weights");
+                            .expect("weight quantizer on op without weights"); // tqt:allow(expect): quantize_graph attaches wq only to weight-bearing ops
                         if pass == QuantPass::Calibrate && !ts.calibrated {
                             ts.set_log2_t(calibrate_log2_t(&w.value, ts.init, ts.spec));
                         }
@@ -113,7 +113,7 @@ impl Graph {
                     let inputs: Vec<&Tensor> = node
                         .inputs
                         .iter()
-                        .map(|&i| acts[i].as_ref().expect("op input missing"))
+                        .map(|&i| acts[i].as_ref().expect("op input missing")) // tqt:allow(expect): topological order computes inputs before consumers
                         .collect();
                     let y = op_forward(op, &inputs, mode);
                     // In eval-style passes there is no backward to restore
@@ -123,8 +123,8 @@ impl Graph {
                             let w = crate::ir::op_params_mut(&mut node.op)
                                 .into_iter()
                                 .find(|p| p.kind == ParamKind::Weight)
-                                .expect("weight quantizer on op without weights");
-                            w.value = wq.saved_w.take().expect("saved weights missing");
+                                .expect("weight quantizer on op without weights"); // tqt:allow(expect): quantize_graph attaches wq only to weight-bearing ops
+                            w.value = wq.saved_w.take().expect("saved weights missing"); // tqt:allow(expect): saved_w was stored by this same forward pass above
                         }
                     }
                     y
@@ -132,9 +132,9 @@ impl Graph {
             };
             acts[id] = Some(out);
         }
-        let result = acts[out_id].clone().expect("output not computed");
+        let result = acts[out_id].clone().expect("output not computed"); // tqt:allow(expect): the loop computes every node, the output included
         if mode == Mode::Train {
-            self.acts = acts.into_iter().map(|a| a.unwrap()).collect();
+            self.acts = acts.into_iter().map(|a| a.unwrap()).collect(); // tqt:allow(unwrap): the Train pass computes every activation
         } else {
             self.acts.clear();
         }
@@ -188,11 +188,11 @@ impl Graph {
                     // and restore full-precision weights.
                     if let Some(wq) = &mut node.wq {
                         let ts = &mut thresholds[wq.tid];
-                        let w_orig = wq.saved_w.take().expect("saved weights missing");
+                        let w_orig = wq.saved_w.take().expect("saved weights missing"); // tqt:allow(expect): the Train forward stored saved_w for every wq
                         let w = crate::ir::op_params_mut(op)
                             .into_iter()
                             .find(|p| p.kind == ParamKind::Weight)
-                            .expect("weight quantizer on op without weights");
+                            .expect("weight quantizer on op without weights"); // tqt:allow(expect): quantize_graph attaches wq only to weight-bearing ops
                         let g = quantize_backward(&w_orig, ts.log2_t(), ts.spec, &w.grad);
                         if ts.mode == ThresholdMode::Trained {
                             ts.param.accumulate_scalar(g.dlog2_t);
@@ -254,17 +254,17 @@ impl Graph {
             let node = &mut nodes[id];
             let out = match &mut node.op {
                 Op::Input => x.clone(),
-                Op::Identity => acts[node.inputs[0]].clone().unwrap(),
+                Op::Identity => acts[node.inputs[0]].clone().unwrap(), // tqt:allow(unwrap): topological order computes inputs before consumers
                 Op::Quant { tid } => {
                     // Shape-preserving; avoid requiring calibration.
                     let _ = &thresholds[*tid];
-                    acts[node.inputs[0]].clone().unwrap()
+                    acts[node.inputs[0]].clone().unwrap() // tqt:allow(unwrap): topological order computes inputs before consumers
                 }
                 op => {
                     let inputs: Vec<&Tensor> = node
                         .inputs
                         .iter()
-                        .map(|&i| acts[i].as_ref().unwrap())
+                        .map(|&i| acts[i].as_ref().unwrap()) // tqt:allow(unwrap): topological order computes inputs before consumers
                         .collect();
                     op_forward(op, &inputs, Mode::Eval)
                 }

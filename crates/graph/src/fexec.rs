@@ -243,11 +243,11 @@ impl FloatExecutor {
                     let (nb, c) = (sh[0], sh[1]);
                     let spatial = olen / (nb * c);
                     let count = (nb * spatial) as f32;
-                    let xh_val = plan.xhat_of(id).expect("batch-norm has an xhat value");
+                    let xh_val = plan.xhat_of(id).expect("batch-norm has an xhat value"); // tqt:allow(expect): the plan allocates an xhat slot per batch-norm
                     let mut xhbuf = std::mem::take(&mut slots[plan.slot_of(xh_val)]);
                     let xin = &slots[plan.slot_of(i0)][..plan.len_of(i0)];
                     let xh = &mut xhbuf[..olen];
-                    let st = bn[id].as_mut().expect("batch-norm scratch missing");
+                    let st = bn[id].as_mut().expect("batch-norm scratch missing"); // tqt:allow(expect): scratch is allocated per batch-norm at plan build
                     st.batch = !l.stats_frozen();
                     if st.batch {
                         // reduce::mean_over_channel: per-(image, channel)
@@ -481,7 +481,7 @@ impl FloatExecutor {
         } = g;
 
         // Seed: the loss gradient defines grad(output).
-        let gout = plan.grad_of(out_id).expect("output has a gradient value");
+        let gout = plan.grad_of(out_id).expect("output has a gradient value"); // tqt:allow(expect): gradient seeding makes the output active
         let gslot = plan.slot_of(gout);
         let mut gbuf = std::mem::take(&mut slots[gslot]);
         gbuf[..plan.len_of(gout)].copy_from_slice(dout.data());
@@ -490,7 +490,7 @@ impl FloatExecutor {
         for step in plan.bwd_steps() {
             let id = step.id;
             let node = &mut nodes[id];
-            let gid = plan.grad_of(id).expect("backward step on inactive node");
+            let gid = plan.grad_of(id).expect("backward step on inactive node"); // tqt:allow(expect): the plan emits backward steps only for active nodes
             // Take every destination buffer for this step's contributions
             // (defining writes and staged temps; the planner guarantees
             // their slots are disjoint from each other and from reads).
@@ -499,7 +499,7 @@ impl FloatExecutor {
                 .contribs
                 .iter()
                 .map(|cb| cb.temp.unwrap_or_else(|| {
-                    plan.grad_of(cb.target).expect("contribution to inactive node")
+                    plan.grad_of(cb.target).expect("contribution to inactive node") // tqt:allow(expect): the plan records contributions to active nodes only
                 }))
                 .collect();
             for &v in &dst_vals {
@@ -645,12 +645,12 @@ impl FloatExecutor {
                         apply_weight_ste(node, thresholds, arena, segs[0]);
                     }
                     Op::BatchNorm(_) => {
-                        let xh_val = plan.xhat_of(id).expect("batch-norm has an xhat value");
+                        let xh_val = plan.xhat_of(id).expect("batch-norm has an xhat value"); // tqt:allow(expect): the plan allocates an xhat slot per batch-norm
                         let xh = &slots[plan.slot_of(xh_val)][..plan.len_of(xh_val)];
                         let sh = plan.shape(id);
                         let (nb, c) = (sh[0], sh[1]);
                         let spatial = plan.len_of(id) / (nb * c);
-                        let st = bn[id].as_mut().expect("batch-norm scratch missing");
+                        let st = bn[id].as_mut().expect("batch-norm scratch missing"); // tqt:allow(expect): scratch is allocated per batch-norm at plan build
                         let segs = plan.param_segs(id);
                         // dgamma = Σ gy*xhat, dbeta = Σ gy per channel —
                         // sum_over_channel's two-level accumulation; the
@@ -788,7 +788,7 @@ impl FloatExecutor {
                 if cb.temp.is_none() {
                     continue;
                 }
-                let gt = plan.grad_of(cb.target).expect("contribution to inactive node");
+                let gt = plan.grad_of(cb.target).expect("contribution to inactive node"); // tqt:allow(expect): the plan records contributions to active nodes only
                 let gts = plan.slot_of(gt);
                 let mut acc = std::mem::take(&mut slots[gts]);
                 let tmp = &slots[plan.slot_of(v)][..plan.len_of(v)];

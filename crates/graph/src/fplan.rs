@@ -170,7 +170,7 @@ impl FloatPlan {
         }
 
         // Seed: the loss gradient defines Grad(output).
-        let gout = grad[out_id].expect("output is active by construction");
+        let gout = grad[out_id].expect("output is active by construction"); // tqt:allow(expect): gradient seeding makes the output active
         steps.push(TapeStep::new(vec![gout], Vec::new()));
 
         // Backward tape: active non-input nodes in reverse order.
@@ -182,7 +182,7 @@ impl FloatPlan {
                 continue;
             }
             let node = g.node(id);
-            let gid = grad[id].expect("active node has a gradient value");
+            let gid = grad[id].expect("active node has a gradient value"); // tqt:allow(expect): every active node was assigned a gradient slot
             let mut reads = vec![gid];
             match &node.op {
                 // Ops whose backward consumes the forward input.
@@ -193,14 +193,14 @@ impl FloatPlan {
                 | Op::Quant { .. } => reads.push(node.inputs[0]),
                 // Batch-norm consumes its normalized activation instead.
                 Op::BatchNorm(_) => {
-                    reads.push(xhat[id].expect("batch-norm has an xhat value"));
+                    reads.push(xhat[id].expect("batch-norm has an xhat value")); // tqt:allow(expect): an xhat slot is allocated per batch-norm above
                 }
                 _ => {}
             }
             let mut writes = Vec::new();
             let mut contribs = Vec::with_capacity(node.inputs.len());
             for (pos, &t) in node.inputs.iter().enumerate() {
-                let gt = grad[t].expect("inputs of active nodes are active");
+                let gt = grad[t].expect("inputs of active nodes are active"); // tqt:allow(expect): activity is closed over inputs by construction
                 if !grad_defined[t] {
                     grad_defined[t] = true;
                     writes.push(gt);
@@ -262,7 +262,7 @@ impl FloatPlan {
                     let kelems = op_params(&node.op)
                         .into_iter()
                         .find(|p| p.kind == tqt_nn::ParamKind::Weight)
-                        .expect("depthwise conv has a weight")
+                        .expect("depthwise conv has a weight") // tqt:allow(expect): depthwise conv always carries a weight param
                         .value
                         .len();
                     ws_len = ws_len.max(nb * kelems);
@@ -273,7 +273,7 @@ impl FloatPlan {
                 let wlen = op_params(&node.op)
                     .into_iter()
                     .find(|p| p.kind == tqt_nn::ParamKind::Weight)
-                    .expect("weight quantizer on op without weights")
+                    .expect("weight quantizer on op without weights") // tqt:allow(expect): quantize_graph attaches wq only to weight-bearing ops
                     .value
                     .len();
                 qw_seg[id] = Some((qw_len, wlen));

@@ -246,7 +246,7 @@ impl Graph {
     ///
     /// Panics if the graph has no input.
     pub fn input_id(&self) -> NodeId {
-        self.input.expect("graph has no input")
+        self.input.expect("graph has no input") // tqt:allow(expect): documented panic; try_input_id is the checked twin
     }
 
     /// The output node id.
@@ -255,7 +255,7 @@ impl Graph {
     ///
     /// Panics if no output was set.
     pub fn output_id(&self) -> NodeId {
-        self.output.expect("graph has no output")
+        self.output.expect("graph has no output") // tqt:allow(expect): documented panic; try_output_id is the checked twin
     }
 
     /// The input node id, or `None` for a graph without an input
@@ -397,7 +397,7 @@ impl Graph {
         self.nodes = order
             .iter()
             .map(|&old| {
-                let mut node = slots[old].take().expect("node moved twice");
+                let mut node = slots[old].take().expect("node moved twice"); // tqt:allow(expect): the topo order is a permutation, each slot taken once
                 for i in &mut node.inputs {
                     *i = remap[*i];
                 }

@@ -75,6 +75,11 @@ pub struct QuantizeOptions {
     pub weight_init: ThresholdInit,
     /// Activation-threshold initialization (Table 2: KL-J).
     pub act_init: ThresholdInit,
+    /// Whether eltwise-add/concat operand scales are tied to one shared
+    /// threshold (the paper's §4.3 rule; the default). When `false` each
+    /// operand keeps its own grid, producing the unmerged graphs that the
+    /// `rebalance` pass in `tqt-fixedpoint` repairs after lowering.
+    pub merge_scales: bool,
 }
 
 impl QuantizeOptions {
@@ -85,6 +90,7 @@ impl QuantizeOptions {
             mode: ThresholdMode::Fixed,
             weight_init: ThresholdInit::Max,
             act_init: ThresholdInit::KlJ,
+            merge_scales: true,
         }
     }
 
@@ -95,6 +101,7 @@ impl QuantizeOptions {
             mode: ThresholdMode::Fixed,
             weight_init: ThresholdInit::Max,
             act_init: ThresholdInit::KlJ,
+            merge_scales: true,
         }
     }
 
@@ -105,7 +112,17 @@ impl QuantizeOptions {
             mode: ThresholdMode::Trained,
             weight_init: ThresholdInit::THREE_SD,
             act_init: ThresholdInit::KlJ,
+            merge_scales: true,
         }
+    }
+
+    /// Disables scale merging at add/concat operands: each site keeps its
+    /// own threshold, so the lowered graph needs the `rebalance` pass in
+    /// `tqt-fixedpoint` before it is executable (the `TQT-V028` gap the
+    /// grid type system refutes).
+    pub fn unmerged(mut self) -> Self {
+        self.merge_scales = false;
+        self
     }
 }
 
@@ -123,11 +140,20 @@ impl UnionFind {
     }
 
     fn find(&mut self, x: usize) -> usize {
-        if self.parent[x] != x {
-            let root = self.find(self.parent[x]);
-            self.parent[x] = root;
+        // Iterative with full path compression: site chains on large zoo
+        // graphs can get deep, and the recursive form grows the stack
+        // linearly with chain length.
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
         }
-        self.parent[x]
+        let mut cur = x;
+        while cur != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
     }
 
     fn union(&mut self, a: usize, b: usize) {
@@ -213,8 +239,10 @@ pub fn quantize_graph(g: &mut Graph, opts: QuantizeOptions) {
                     .iter()
                     .map(|&i| trace_site(g, &plan, i))
                     .collect();
-                for w in sites.windows(2) {
-                    uf.union(w[0], w[1]);
+                if opts.merge_scales {
+                    for w in sites.windows(2) {
+                        uf.union(w[0], w[1]);
+                    }
                 }
                 if matches!(node.op, Op::Add(_)) {
                     // Add produces a new distribution: quantize its output
@@ -489,6 +517,26 @@ mod tests {
             })
             .collect();
         assert_eq!(tids[0], tids[1], "eltwise-add input scales must be merged");
+    }
+
+    #[test]
+    fn unmerged_mode_keeps_separate_add_input_scales() {
+        let mut g = build_residual_net();
+        quantize_graph(&mut g, QuantizeOptions::static_int8().unmerged());
+        let add = g.find("add").unwrap();
+        let tids: Vec<usize> = g
+            .node(add)
+            .inputs
+            .iter()
+            .map(|&i| match g.node(i).op {
+                Op::Quant { tid } => tid,
+                _ => panic!("add input {} is not a quant node", g.node(i).name),
+            })
+            .collect();
+        assert_ne!(
+            tids[0], tids[1],
+            "unmerged mode must leave each add operand on its own threshold"
+        );
     }
 
     #[test]

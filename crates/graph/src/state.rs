@@ -175,7 +175,7 @@ impl Graph {
         }
         let names: Vec<String> = self.iter().map(|(_, n)| n.name.clone()).collect();
         for name in names {
-            let id = self.find(&name).unwrap();
+            let id = self.find(&name).unwrap(); // tqt:allow(unwrap): name taken from this graph's own node list
             if let Op::BatchNorm(bn) = &mut self.node_mut(id).op {
                 let mean_key = format!("{name}/running_mean");
                 let var_key = format!("{name}/running_var");

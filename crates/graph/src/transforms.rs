@@ -117,7 +117,7 @@ fn fold_into_compute(g: &mut Graph, pid: NodeId, scale: &Tensor, shift: &Tensor)
     match &mut node.op {
         Op::Conv(_) | Op::Depthwise(_) => {
             let mut params = crate::ir::op_params_mut(&mut node.op).into_iter();
-            let w = params.next().expect("compute op has weight");
+            let w = params.next().expect("compute op has weight"); // tqt:allow(expect): conv/depthwise ops always carry a weight param
             assert_eq!(w.kind, ParamKind::Weight);
             let out_ch = w.value.dim(0);
             assert_eq!(scale.len(), out_ch, "BN channel mismatch in fold");
@@ -130,7 +130,7 @@ fn fold_into_compute(g: &mut Graph, pid: NodeId, scale: &Tensor, shift: &Tensor)
             }
             let b = params
                 .next()
-                .expect("batch-norm folding requires a bias parameter");
+                .expect("batch-norm folding requires a bias parameter"); // tqt:allow(expect): documented panic; zoo layers are always biased
             assert_eq!(b.kind, ParamKind::Bias);
             for o in 0..out_ch {
                 let bv = b.value.data()[o];
@@ -139,7 +139,7 @@ fn fold_into_compute(g: &mut Graph, pid: NodeId, scale: &Tensor, shift: &Tensor)
         }
         Op::Dense(_) => {
             let mut params = crate::ir::op_params_mut(&mut node.op).into_iter();
-            let w = params.next().expect("dense has weight");
+            let w = params.next().expect("dense has weight"); // tqt:allow(expect): dense ops always carry a weight param
             let (in_dim, out_dim) = (w.value.dim(0), w.value.dim(1));
             assert_eq!(scale.len(), out_dim, "BN channel mismatch in fold");
             for i in 0..in_dim {
@@ -149,7 +149,7 @@ fn fold_into_compute(g: &mut Graph, pid: NodeId, scale: &Tensor, shift: &Tensor)
             }
             let b = params
                 .next()
-                .expect("batch-norm folding requires a bias parameter");
+                .expect("batch-norm folding requires a bias parameter"); // tqt:allow(expect): documented panic; zoo layers are always biased
             for o in 0..out_dim {
                 let bv = b.value.data()[o];
                 b.value.data_mut()[o] = bv * scale.data()[o] + shift.data()[o];

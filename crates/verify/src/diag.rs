@@ -123,6 +123,25 @@ pub enum Code {
     /// a (re)quantization site differs from the fake-quant clip range
     /// `[n, p]` implied by the declared bits/signedness (eq. 3).
     ClampRangeMismatch,
+    /// `TQT-V031` — grid-type contradiction: dataflow inference derived
+    /// two incompatible `Grid` types for one edge (e.g. the operands of a
+    /// merge node sit on different power-of-2 grids), reported with both
+    /// deriving paths as the counterexample.
+    GridContradiction,
+    /// `TQT-V032` — uninferable edge: grid-type inference reached an edge
+    /// whose type cannot be derived from any quantization site (a compute
+    /// op consuming an ungridded input, or a pooling reduction whose
+    /// scale factor is not a power of two).
+    UninferableGrid,
+    /// `TQT-V033` — redundant requant lint: a coercion whose target grid
+    /// is identical (scale, zero-point, bits, signedness) to the grid
+    /// already inferred on its input edge; the node is a no-op.
+    RedundantRequant,
+    /// `TQT-V034` — illegal coercion: a requant between two inferred
+    /// grids that cannot be realized by the integer engine — shift
+    /// outside `[-63, 63]` or a zero-point that overflows the target
+    /// format's representable range.
+    IllegalCoercion,
 }
 
 impl Code {
@@ -159,6 +178,10 @@ impl Code {
             Code::ScaleMergeViolation => "TQT-V028",
             Code::EpilogueMismatch => "TQT-V029",
             Code::ClampRangeMismatch => "TQT-V030",
+            Code::GridContradiction => "TQT-V031",
+            Code::UninferableGrid => "TQT-V032",
+            Code::RedundantRequant => "TQT-V033",
+            Code::IllegalCoercion => "TQT-V034",
         }
     }
 
@@ -195,6 +218,10 @@ impl Code {
             Code::ScaleMergeViolation => "operand scale-merge violation",
             Code::EpilogueMismatch => "fused-epilogue semantics mismatch",
             Code::ClampRangeMismatch => "saturation-range mismatch",
+            Code::GridContradiction => "grid-type contradiction",
+            Code::UninferableGrid => "uninferable grid type",
+            Code::RedundantRequant => "redundant requantization",
+            Code::IllegalCoercion => "illegal grid coercion",
         }
     }
 }
@@ -333,6 +360,10 @@ mod tests {
             Code::ScaleMergeViolation,
             Code::EpilogueMismatch,
             Code::ClampRangeMismatch,
+            Code::GridContradiction,
+            Code::UninferableGrid,
+            Code::RedundantRequant,
+            Code::IllegalCoercion,
         ];
         let mut ids: Vec<&str> = all.iter().map(|c| c.id()).collect();
         ids.sort_unstable();

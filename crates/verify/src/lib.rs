@@ -10,6 +10,11 @@
 //! * [`lint`] — the quantization lint set (unquantized compute edges, dead
 //!   thresholds, degenerate scales, unfolded batch norms, unmerged scales
 //!   at add/concat);
+//! * [`gridtype`] — the grid type system: dataflow inference assigning
+//!   every edge of both IRs a `Grid { scale_num, shift, zp, bits, signed }`
+//!   type, with meet at merges and checked coercions
+//!   (`TQT-V031`–`TQT-V034`); the typing discipline the `rebalance`
+//!   codegen pass in `tqt-fixedpoint` is certified against;
 //! * [`interval`] — interval/bit-width dataflow over the lowered
 //!   [`IntGraph`](tqt_fixedpoint::IntGraph): proves i64 accumulators
 //!   cannot overflow (or refutes with a counterexample path) and that
@@ -36,6 +41,7 @@
 //! so one run over a model zoo surfaces every finding at once.
 
 pub mod diag;
+pub mod gridtype;
 pub mod interval;
 pub mod lint;
 pub mod passes;
@@ -46,8 +52,12 @@ pub mod shape;
 pub mod translate;
 
 pub use diag::{Code, Diag, Report};
+pub use gridtype::{infer_float_grids, infer_int_grids, Grid, GridReport};
 pub use interval::{analyze, IntervalReport};
-pub use passes::{checked_fuse, checked_fuse_with_provenance, checked_optimize, checked_pipeline};
+pub use passes::{
+    checked_fuse, checked_fuse_with_provenance, checked_optimize, checked_pipeline,
+    checked_rebalance_with_provenance,
+};
 pub use translate::certify;
 pub use plan_check::{check_float_plan, check_plan};
 pub use sanitize::check_containment;

@@ -204,8 +204,10 @@ pub fn lint(g: &Graph, stage: Stage) -> Report {
                                      on 2^-{f0}: the integer add will sum incommensurate \
                                      requant formats. Fix: share one activation threshold \
                                      across both producers (re-run calibration with the \
-                                     merge inputs tied), or insert a requant onto one \
-                                     grid before the merge prior to lowering"
+                                     merge inputs tied), or run the `rebalance` pass in \
+                                     `tqt-fixedpoint` after lowering — it inserts the \
+                                     minimal coercions and re-certifies the result \
+                                     (`checked_rebalance_with_provenance`)"
                                 ),
                             );
                         }

@@ -160,6 +160,41 @@ pub fn checked_fuse_with_provenance(
     (fused, fprov, facts, report)
 }
 
+/// Runs the requant-rebalancing pass ([`tqt_fixedpoint::rebalance`]) over a
+/// lowered graph and re-proves the result, returning the rebalanced graph,
+/// the extended provenance (inserted coercions gain `Quant` entries), the
+/// graph's [`IntervalReport`], and every finding:
+///
+/// * the rebalanced graph must be **well-typed** under the grid type
+///   system ([`crate::gridtype::infer_int_grids`]) — any surviving
+///   `TQT-V031`–`TQT-V034` means the pass failed to repair (or broke) a
+///   merge;
+/// * it must re-prove under the interval dataflow
+///   (`TQT-V011`/`TQT-V012`) and the slot-plan alias checks
+///   (`TQT-V016`–`TQT-V018`).
+///
+/// Unlike [`checked_fuse_with_provenance`] there is no bit-identity probe:
+/// the *input* graph of this pass is by definition not executable when it
+/// needs repair (an unmerged add sums incommensurate grids), so there is
+/// no reference run to compare against. Bit-accuracy of the rebalanced
+/// graph is instead proven against the exact dyadic reference by the
+/// translation validator and `tests/rebalance_parity.rs`. As with fusion,
+/// interval findings stay in the returned `IntervalReport` so callers
+/// surface them exactly once.
+pub fn checked_rebalance_with_provenance(
+    ig: &IntGraph,
+    prov: &Provenance,
+    input_dims: &[usize],
+) -> (IntGraph, Provenance, crate::interval::IntervalReport, Report) {
+    let mut report = Report::new();
+    let (rg, rprov, _records) = tqt_fixedpoint::rebalance_with_provenance(ig, prov);
+
+    report.merge(crate::gridtype::infer_int_grids(&rg, input_dims).report);
+    let facts = crate::interval::analyze(&rg, input_dims);
+    report.merge(crate::plan_check::check_plan(&rg, &rg.plan(input_dims)));
+    (rg, rprov, facts, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

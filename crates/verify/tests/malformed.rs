@@ -18,7 +18,8 @@ use tqt_quant::QuantSpec;
 use tqt_tensor::conv::Conv2dGeom;
 use tqt_tensor::init;
 use tqt_verify::{
-    analyze, certify, check_containment, check_structure, checked_pipeline, infer_shapes,
+    analyze, certify, check_containment, check_structure, checked_pipeline, infer_int_grids,
+    infer_shapes,
 };
 use tqt_verify::{Code, Stage};
 
@@ -907,6 +908,197 @@ fn v029_fused_chain_member_mismatch() {
         "refutation must name the offending node's path:\n{}",
         d.detail
     );
+}
+
+// --- Grid type system refutations (`TQT-V031` … `TQT-V034`) --------------
+
+/// `input -> qin(2^-4) -> {ra(2^-3), rb(2^-2)} -> add`: the minimal
+/// unmerged merge; each grid-type test derives one violation from it.
+fn unmerged_add_graph() -> IntGraph {
+    let nodes = vec![
+        IntNode {
+            name: "input".into(),
+            op: IntOp::Input,
+            inputs: vec![],
+        },
+        IntNode {
+            name: "qin".into(),
+            op: IntOp::QuantF32 {
+                format: QFormat::new(4, 8, true),
+            },
+            inputs: vec![0],
+        },
+        IntNode {
+            name: "ra".into(),
+            op: IntOp::Requant {
+                format: QFormat::new(3, 8, true),
+            },
+            inputs: vec![1],
+        },
+        IntNode {
+            name: "rb".into(),
+            op: IntOp::Requant {
+                format: QFormat::new(2, 8, true),
+            },
+            inputs: vec![1],
+        },
+        IntNode {
+            name: "add".into(),
+            op: IntOp::Add,
+            inputs: vec![2, 3],
+        },
+    ];
+    IntGraph::from_parts(nodes, 4)
+}
+
+/// `TQT-V031`: add operands derive incompatible grid types; the
+/// refutation carries *both* deriving paths as counterexample. The
+/// rebalance pass must close exactly this finding.
+#[test]
+fn v031_grid_contradiction_at_add() {
+    let ig = unmerged_add_graph();
+    let gr = infer_int_grids(&ig, &[1, 4]);
+    assert!(gr.report.has(Code::GridContradiction), "{}", gr.report);
+    let d = gr
+        .report
+        .diags
+        .iter()
+        .find(|d| d.code == Code::GridContradiction)
+        .unwrap();
+    assert_eq!(d.node.as_deref(), Some("add"), "{}", gr.report);
+    assert!(
+        d.detail.contains("input -> qin -> ra") && d.detail.contains("input -> qin -> rb"),
+        "refutation must carry both deriving paths:\n{}",
+        d.detail
+    );
+
+    let repaired = tqt_fixedpoint::rebalance(ig);
+    let gr2 = infer_int_grids(&repaired, &[1, 4]);
+    assert!(
+        !gr2.report.has(Code::GridContradiction),
+        "rebalance must close the contradiction:\n{}",
+        gr2.report
+    );
+}
+
+/// `TQT-V032`: a value-interpreting op (relu) consumes an edge whose grid
+/// cannot be derived from any quantization site.
+#[test]
+fn v032_uninferable_edge() {
+    let nodes = vec![
+        IntNode {
+            name: "input".into(),
+            op: IntOp::Input,
+            inputs: vec![],
+        },
+        IntNode {
+            name: "relu".into(),
+            op: IntOp::Relu { cap_q: None },
+            inputs: vec![0],
+        },
+    ];
+    let ig = IntGraph::from_parts(nodes, 1);
+    let gr = infer_int_grids(&ig, &[1, 4]);
+    assert!(gr.report.has(Code::UninferableGrid), "{}", gr.report);
+    let d = gr.report.diags.iter().find(|d| d.code == Code::UninferableGrid).unwrap();
+    assert_eq!(d.node.as_deref(), Some("relu"), "{}", gr.report);
+    assert!(
+        d.detail.contains("input -> relu"),
+        "refutation must name the offending edge's path:\n{}",
+        d.detail
+    );
+}
+
+/// `TQT-V033`: a requant onto the exact grid its input already has is a
+/// no-op the plan should never carry.
+#[test]
+fn v033_redundant_requant() {
+    let nodes = vec![
+        IntNode {
+            name: "input".into(),
+            op: IntOp::Input,
+            inputs: vec![],
+        },
+        IntNode {
+            name: "qin".into(),
+            op: IntOp::QuantF32 {
+                format: QFormat::new(4, 8, true),
+            },
+            inputs: vec![0],
+        },
+        IntNode {
+            name: "rq".into(),
+            op: IntOp::Requant {
+                format: QFormat::new(4, 8, true),
+            },
+            inputs: vec![1],
+        },
+    ];
+    let ig = IntGraph::from_parts(nodes, 2);
+    let gr = infer_int_grids(&ig, &[1, 4]);
+    assert!(gr.report.has(Code::RedundantRequant), "{}", gr.report);
+    let d = gr.report.diags.iter().find(|d| d.code == Code::RedundantRequant).unwrap();
+    assert_eq!(d.node.as_deref(), Some("rq"), "{}", gr.report);
+    assert!(
+        d.detail.contains("input -> qin -> rq"),
+        "lint must name the redundant edge's path:\n{}",
+        d.detail
+    );
+}
+
+/// `TQT-V034`: a coercion between fractional lengths 70 and 0 needs a
+/// 70-bit shift, outside the engine's `|shift| <= 63`. (The interval pass
+/// reports the same graph as `TQT-V012`; the grid type system must refute
+/// it standalone, without interval facts.)
+#[test]
+fn v034_illegal_coercion_shift() {
+    let nodes = vec![
+        IntNode {
+            name: "input".into(),
+            op: IntOp::Input,
+            inputs: vec![],
+        },
+        IntNode {
+            name: "qin".into(),
+            op: IntOp::QuantF32 {
+                format: QFormat::new(70, 8, true),
+            },
+            inputs: vec![0],
+        },
+        IntNode {
+            name: "rq".into(),
+            op: IntOp::Requant {
+                format: QFormat::new(0, 8, true),
+            },
+            inputs: vec![1],
+        },
+    ];
+    let ig = IntGraph::from_parts(nodes, 2);
+    let gr = infer_int_grids(&ig, &[1, 4]);
+    assert!(gr.report.has(Code::IllegalCoercion), "{}", gr.report);
+    let d = gr.report.diags.iter().find(|d| d.code == Code::IllegalCoercion).unwrap();
+    assert_eq!(d.node.as_deref(), Some("rq"), "{}", gr.report);
+    assert!(
+        d.detail.contains("input -> qin -> rq"),
+        "refutation must name the offending edge's path:\n{}",
+        d.detail
+    );
+}
+
+/// Control for V031–V034: the merged twin of [`unmerged_add_graph`] is
+/// well-typed with no findings at all.
+#[test]
+fn grid_types_clean_on_merged_add() {
+    let mut ig = unmerged_add_graph();
+    {
+        let (mut nodes, out) = ig.into_parts();
+        if let IntOp::Requant { format } = &mut nodes[2].op {
+            *format = QFormat::new(2, 8, true);
+        }
+        ig = IntGraph::from_parts(nodes, out);
+    }
+    let gr = infer_int_grids(&ig, &[1, 4]);
+    assert!(gr.typed(), "{}", gr.report);
 }
 
 /// `TQT-V030`: the declared bit-width implies clip limits [-64, 63] (eq.

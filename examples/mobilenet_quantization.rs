@@ -53,6 +53,7 @@ fn main() {
             mode: ThresholdMode::Fixed,
             weight_init: ThresholdInit::Max,
             act_init: ThresholdInit::KlJ,
+            merge_scales: true,
         },
     );
     g.calibrate(&calib);

@@ -4,11 +4,11 @@
 # Rules, scoped to NON-TEST code (everything before the first `#[cfg(test)]`
 # in a file):
 #
-#   unwrap          .unwrap()            in crates/{tensor,fixedpoint,rt,serve}
-#   expect          .expect("...")       in crates/{tensor,fixedpoint,rt,serve}
+#   unwrap          .unwrap()            in crates/{tensor,fixedpoint,rt,serve,plan,graph}
+#   expect          .expect("...")       in crates/{tensor,fixedpoint,rt,serve,plan,graph}
 #   narrowing-cast  `as i32`             in crates/fixedpoint/src/requant.rs
 #   float-eq        `== <float literal>` anywhere in crates/*/src
-#   unsafe          `unsafe {`           in crates/{tensor,fixedpoint,serve}
+#   unsafe          `unsafe {`           in crates/{tensor,fixedpoint,serve,plan,graph}
 #   thread-spawn    thread spawning      anywhere except crates/rt/src
 #   raw-atomic      `Atomic*` types      anywhere except crates/rt/src
 #
@@ -58,8 +58,8 @@ scan() {
   done
 }
 
-panic_scope=$(find crates/tensor/src crates/fixedpoint/src crates/rt/src crates/serve/src -name '*.rs' | sort)
-unsafe_scope=$(find crates/tensor/src crates/fixedpoint/src crates/serve/src -name '*.rs' | sort)
+panic_scope=$(find crates/tensor/src crates/fixedpoint/src crates/rt/src crates/serve/src crates/plan/src crates/graph/src -name '*.rs' | sort)
+unsafe_scope=$(find crates/tensor/src crates/fixedpoint/src crates/serve/src crates/plan/src crates/graph/src -name '*.rs' | sort)
 all_src=$(find crates/*/src -name '*.rs' | sort)
 non_rt_src=$(find crates/*/src -name '*.rs' -not -path 'crates/rt/src/*' | sort)
 

@@ -21,6 +21,12 @@ cargo test -q --offline --test int_pool_parity
 # including concurrent executor sessions borrowing one plan arena.
 cargo test -q --offline --features tqt-fixedpoint/sanitize --test fusion_parity
 cargo test -q --offline -p tqt-fixedpoint --features sanitize --test pack_cache_oracle
+# Grid-type / rebalance gate, also sanitized: unmerged-lowered graphs
+# repaired by the rebalance pass must be well-typed (TQT-V031..V034),
+# re-certify end-to-end, fuse through the inserted coercions, and match
+# the exact dyadic reference bit-for-bit across random operand grids,
+# serially and on 4 worker threads.
+cargo test -q --offline --features tqt-fixedpoint/sanitize --test rebalance_parity
 # Concurrency gates: exhaustive bounded model check of the pool's
 # claim/complete protocol (TQT-V019/V020; every interleaving of the
 # pinned configuration suite, no state budget), and the proof that
@@ -54,6 +60,8 @@ scripts/check_forbidden.sh
 # quantization lints, overflow proof, the translation-validation
 # certifier proving every lowered node — fused and unfused — bit-exact
 # against the exact rational fake-quant reference (TQT-V025..V030),
+# grid-type inference over the float, lowered, and fused graphs plus
+# certified rebalancing of an unmerged lowering (TQT-V031..V034),
 # observed-vs-proven cross-check,
 # executor-plan alias-freedom across the serving batch ladder {1,2,4,8}).
 # The binary also runs the schedule and batching-protocol model checkers
